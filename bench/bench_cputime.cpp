@@ -1,0 +1,126 @@
+// Section-5 CPU-time claim: "the computational complexity of the CWM
+// algorithm is proportional to the number of communications between cores
+// (NCC) and that of CDCM to the number of dependences and packets (NDP); the
+// increase in CPU time with the NDP/NCC ratio is approximately linear with a
+// small slope; the worst case for CDCM took only 23% more CPU time".
+//
+// google-benchmark microbenchmarks of one cost evaluation under each model,
+// swept over suite applications and over a synthetic NDP/NCC ladder. Each
+// benchmark reports the instance's NCC / NDP as counters so the ratio-vs-
+// slowdown trend can be read off directly.
+//
+//   ./bench_cputime [--benchmark_filter=...]
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "nocmap/mapping/cost.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+#include "nocmap/workload/suite.hpp"
+
+namespace {
+
+using namespace nocmap;
+
+struct Instance {
+  graph::Cdcg cdcg;
+  graph::Cwg cwg;
+  noc::Mesh mesh;
+  mapping::Mapping mapping;
+
+  Instance(graph::Cdcg g, std::uint32_t w, std::uint32_t h)
+      : cdcg(std::move(g)), cwg(cdcg.to_cwg()), mesh(w, h),
+        mapping(mesh, cdcg.num_cores()) {
+    util::Rng rng(1);
+    mapping = mapping::Mapping::random(mesh, cdcg.num_cores(), rng);
+  }
+
+  double ndp() const {
+    return static_cast<double>(cdcg.num_packets() + cdcg.num_dependences());
+  }
+  double ncc() const { return static_cast<double>(cwg.num_edges()); }
+};
+
+const energy::Technology kTech = energy::technology_0_07u();
+
+void run_cwm(benchmark::State& state, const Instance& inst) {
+  const mapping::CwmCost cost(inst.cwg, inst.mesh, kTech);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost.cost(inst.mapping));
+  }
+  state.counters["NCC"] = inst.ncc();
+  state.counters["NDP"] = inst.ndp();
+  state.counters["NDP/NCC"] = inst.ndp() / inst.ncc();
+}
+
+void run_cdcm(benchmark::State& state, const Instance& inst) {
+  const mapping::CdcmCost cost(inst.cdcg, inst.mesh, kTech);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost.cost(inst.mapping));
+  }
+  state.counters["NCC"] = inst.ncc();
+  state.counters["NDP"] = inst.ndp();
+  state.counters["NDP/NCC"] = inst.ndp() / inst.ncc();
+}
+
+// --- Suite applications -----------------------------------------------------
+
+const Instance& suite_instance(std::size_t index) {
+  static const std::vector<Instance>* instances = [] {
+    auto* v = new std::vector<Instance>;
+    for (const workload::SuiteEntry& e : workload::table1_suite()) {
+      v->emplace_back(e.cdcg, e.noc_width, e.noc_height);
+    }
+    return v;
+  }();
+  return (*instances)[index];
+}
+
+void BM_CwmEval_Suite(benchmark::State& state) {
+  run_cwm(state, suite_instance(static_cast<std::size_t>(state.range(0))));
+}
+void BM_CdcmEval_Suite(benchmark::State& state) {
+  run_cdcm(state, suite_instance(static_cast<std::size_t>(state.range(0))));
+}
+// Representative small / medium / large rows: romberg-v1 (0), imgenc-v2
+// (10), random-6 (13), random-big-1 (15), random-big-3 (17).
+BENCHMARK(BM_CwmEval_Suite)->Arg(0)->Arg(10)->Arg(13)->Arg(15)->Arg(17);
+BENCHMARK(BM_CdcmEval_Suite)->Arg(0)->Arg(10)->Arg(13)->Arg(15)->Arg(17);
+
+// --- NDP/NCC ladder -----------------------------------------------------------
+// Fixed core count and communication pattern; the packet count per core pair
+// grows, so NCC stays flat while NDP climbs — exactly the ratio experiment
+// of Section 5.
+
+const Instance& ladder_instance(std::size_t packets_per_edge) {
+  static auto* cache = new std::map<std::size_t, Instance>;
+  auto it = cache->find(packets_per_edge);
+  if (it == cache->end()) {
+    workload::RandomCdcgParams params;
+    params.num_cores = 12;
+    params.num_packets =
+        static_cast<std::uint32_t>(12 * packets_per_edge);
+    params.total_bits = params.num_packets * 64;
+    params.parallelism = 4.0;
+    util::Rng rng(0x1ADD);
+    it = cache
+             ->emplace(packets_per_edge,
+                       Instance(workload::generate_random_cdcg(params, rng),
+                                4, 3))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_CwmEval_Ladder(benchmark::State& state) {
+  run_cwm(state, ladder_instance(static_cast<std::size_t>(state.range(0))));
+}
+void BM_CdcmEval_Ladder(benchmark::State& state) {
+  run_cdcm(state, ladder_instance(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_CwmEval_Ladder)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_CdcmEval_Ladder)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace

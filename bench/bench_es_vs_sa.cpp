@@ -1,0 +1,79 @@
+// Ablation A1 — Section 5's claim "for small NoC sizes (up to 3x4 or 2x5),
+// both ES and SA methods reached the same results": run exhaustive search
+// and simulated annealing on every small suite row under both objectives and
+// report whether the best costs agree.
+//
+//   ./bench_es_vs_sa
+
+#include <iostream>
+
+#include "nocmap/mapping/cost.hpp"
+#include "nocmap/search/exhaustive.hpp"
+#include "nocmap/search/simulated_annealing.hpp"
+#include "nocmap/util/strings.hpp"
+#include "nocmap/util/table.hpp"
+#include "nocmap/workload/suite.hpp"
+
+int main() {
+  using namespace nocmap;
+  const energy::Technology tech = energy::technology_0_07u();
+
+  util::TextTable t({"application", "NoC", "model", "ES cost", "SA cost",
+                     "agree", "ES evals", "SA evals"});
+  t.set_title("ES vs SA on small NoCs (paper: identical results)");
+
+  int total = 0, agreements = 0;
+  for (const workload::SuiteEntry& e : workload::table1_suite()) {
+    if (!workload::small_enough_for_exhaustive(e.noc_width, e.noc_height)) {
+      continue;
+    }
+    const noc::Mesh mesh(e.noc_width, e.noc_height);
+    // CDCM evaluations are costly; skip rows whose pruned placement space
+    // would exceed the budget (they are covered under the cheap CWM
+    // objective instead).
+    const std::uint64_t group = mesh.width() == mesh.height() ? 8 : 4;
+    const std::uint64_t pruned =
+        search::placement_count(mesh.num_tiles(),
+                                static_cast<std::uint32_t>(
+                                    e.cdcg.num_cores())) /
+        group;
+
+    const graph::Cwg cwg = e.cdcg.to_cwg();
+    const mapping::CwmCost cwm(cwg, mesh, tech);
+    const mapping::CdcmCost cdcm(e.cdcg, mesh, tech);
+    const std::vector<const mapping::CostFunction*> costs =
+        pruned <= 150'000
+            ? std::vector<const mapping::CostFunction*>{&cwm, &cdcm}
+            : std::vector<const mapping::CostFunction*>{&cwm};
+
+    for (const mapping::CostFunction* cost : costs) {
+      std::cerr << "[es-vs-sa] " << e.name << " / " << cost->name() << " ..."
+                << std::endl;
+      // Cap the enumeration so a single 12-tile row cannot stall the
+      // harness; capped rows are flagged (the optimum may then be missed by
+      // ES itself, so agreement is only *expected* on exhausted rows).
+      search::EsOptions es_options;
+      es_options.max_evaluations = 3'000'000;
+      const search::SearchResult es =
+          search::exhaustive_search(*cost, mesh, es_options);
+      util::Rng rng(0xE5E5);
+      const search::SearchResult sa = search::anneal(*cost, mesh, rng);
+      const bool agree = sa.best_cost <= es.best_cost * (1.0 + 1e-12);
+      if (es.exhausted) {
+        ++total;
+        agreements += agree;
+      }
+      t.add_row({e.name, e.noc_size_label(),
+                 std::string(cost->name()) + (es.exhausted ? "" : " (capped)"),
+                 util::format_energy_j(es.best_cost),
+                 util::format_energy_j(sa.best_cost), agree ? "yes" : "NO",
+                 std::to_string(es.evaluations),
+                 std::to_string(sa.evaluations)});
+    }
+  }
+
+  std::cout << t;
+  std::cout << "\n" << agreements << "/" << total
+            << " runs: SA found the exhaustive optimum.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Regenerates Figures 2-5: the paper's worked example, checked value by
+// value against the published numbers. Exits non-zero on any mismatch, so
+// this doubles as an acceptance gate.
+//
+//   ./bench_fig2to5
+
+#include <cmath>
+#include <iostream>
+
+#include "nocmap/mapping/cost.hpp"
+#include "nocmap/sim/timeline.hpp"
+#include "nocmap/util/table.hpp"
+#include "nocmap/workload/paper_example.hpp"
+
+namespace {
+
+int failures = 0;
+
+void check(const std::string& what, double measured, double paper) {
+  const bool ok = std::fabs(measured - paper) < 1e-9;
+  if (!ok) ++failures;
+  std::cout << "  [" << (ok ? "ok" : "FAIL") << "] " << what << ": measured "
+            << measured << ", paper " << paper << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace nocmap;
+
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  const noc::Mesh mesh = workload::paper_example_mesh();
+  const energy::Technology tech = energy::example_technology();
+  const graph::Cwg cwg = cdcg.to_cwg();
+  const mapping::Mapping map_a = workload::paper_mapping_a();
+  const mapping::Mapping map_b = workload::paper_mapping_b();
+
+  std::cout << "=== Figure 2: CWM energy (pJ) ===\n";
+  check("EDyNoC(mapping a)",
+        mapping::cwm_dynamic_energy(cwg, mesh, map_a, tech) * 1e12, 390.0);
+  check("EDyNoC(mapping b)",
+        mapping::cwm_dynamic_energy(cwg, mesh, map_b, tech) * 1e12, 390.0);
+
+  const auto a = sim::simulate(cdcg, mesh, map_a, tech);
+  const auto b = sim::simulate(cdcg, mesh, map_b, tech);
+
+  std::cout << "\n=== Figure 3(a) + Figure 4: mapping (a) ===\n";
+  check("texec (ns)", a.texec_ns, 100.0);
+  check("ENoC (pJ)", a.energy.total_j() * 1e12, 400.0);
+  check("contended packets", static_cast<double>(a.num_contended_packets), 1.0);
+  check("A->F contention (ns)",
+        a.packets[workload::kPacketAF1].contention_ns, 7.0);
+  std::cout << "\nPer-resource annotations (compare Figure 3a):\n"
+            << sim::render_annotations(a, cdcg, mesh);
+  std::cout << "\nTiming diagram (compare Figure 4):\n"
+            << sim::render_timeline(a, cdcg, tech, 100);
+
+  std::cout << "\n=== Figure 3(b) + Figure 5: mapping (b) ===\n";
+  check("texec (ns)", b.texec_ns, 90.0);
+  check("ENoC (pJ)", b.energy.total_j() * 1e12, 399.0);
+  check("contended packets", static_cast<double>(b.num_contended_packets), 0.0);
+  std::cout << "\nPer-resource annotations (compare Figure 3b):\n"
+            << sim::render_annotations(b, cdcg, mesh);
+  std::cout << "\nTiming diagram (compare Figure 5):\n"
+            << sim::render_timeline(b, cdcg, tech, 100);
+
+  std::cout << "\n=== Section 4.1 relative numbers ===\n";
+  check("execution time reduction (%)",
+        (a.texec_ns - b.texec_ns) / b.texec_ns * 100.0, 100.0 / 9.0);
+
+  std::cout << "\n"
+            << (failures == 0 ? "ALL CHECKS PASSED"
+                              : "SOME CHECKS FAILED")
+            << " (" << failures << " failures)\n";
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Ablation A2 — routing algorithm choice. The paper fixes deterministic XY
+// routing; this bench quantifies how much the CDCM results depend on that
+// choice by re-optimizing under XY, YX and west-first routing.
+//
+//   ./bench_routing_ablation
+
+#include <iostream>
+
+#include "nocmap/core/explorer.hpp"
+#include "nocmap/util/strings.hpp"
+#include "nocmap/util/table.hpp"
+#include "nocmap/workload/suite.hpp"
+
+int main() {
+  using namespace nocmap;
+
+  util::TextTable t({"application", "routing", "CDCM texec", "CDCM energy",
+                     "contention", "ETR vs CWM"});
+  t.set_title("Routing-algorithm ablation (CDCM re-optimized per router)");
+
+  // A representative slice: one embedded and one random app per small size
+  // class, plus the 8x8.
+  const char* picks[] = {"objrec-v1", "imgenc-v1", "fft-v1",
+                         "random-5", "random-6", "random-big-1"};
+  for (const workload::SuiteEntry& e : workload::table1_suite()) {
+    bool selected = false;
+    for (const char* p : picks) selected |= (e.name == p);
+    if (!selected) continue;
+
+    const noc::Mesh mesh(e.noc_width, e.noc_height);
+    for (const auto algo :
+         {noc::RoutingAlgorithm::kXY, noc::RoutingAlgorithm::kYX,
+          noc::RoutingAlgorithm::kWestFirst}) {
+      std::cerr << "[routing] " << e.name << " / "
+                << noc::routing_algorithm_name(algo) << " ..." << std::endl;
+      core::ExplorerOptions options;
+      options.tech = energy::technology_0_07u();
+      options.routing = algo;
+      options.seed = 0xAB1A;
+      options.es_auto_threshold = 50'000;
+      if (mesh.num_tiles() >= 64) {
+        options.sa.moves_per_tile = 3;
+        options.sa.max_steps = 80;
+        options.sa.max_stale_steps = 6;
+      }
+      const core::Explorer explorer(e.cdcg, mesh, options);
+      const core::Comparison cmp = explorer.compare();
+      t.add_row({e.name, noc::routing_algorithm_name(algo),
+                 util::format_time_ns(cmp.cdcm.sim.texec_ns),
+                 util::format_energy_j(cmp.cdcm.sim.energy.total_j()),
+                 util::format_time_ns(cmp.cdcm.sim.total_contention_ns),
+                 util::format_percent(cmp.execution_time_reduction())});
+    }
+    t.add_separator();
+  }
+
+  std::cout << t;
+  std::cout << "\nExpectation: the CWM-vs-CDCM gap (ETR) persists under every "
+               "deterministic router;\nabsolute numbers shift a little "
+               "because minimal paths and conflict sets differ.\n";
+  return 0;
+}

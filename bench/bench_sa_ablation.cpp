@@ -1,0 +1,74 @@
+// Ablation A3 — simulated-annealing schedule sensitivity: cooling factor and
+// moves-per-temperature, averaged over seeds, on a mid-size instance. Shows
+// the default schedule sits on the quality/cost plateau.
+//
+//   ./bench_sa_ablation
+
+#include <iostream>
+
+#include "nocmap/mapping/cost.hpp"
+#include "nocmap/search/simulated_annealing.hpp"
+#include "nocmap/util/strings.hpp"
+#include "nocmap/util/table.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+
+int main() {
+  using namespace nocmap;
+
+  workload::RandomCdcgParams params;
+  params.num_cores = 14;
+  params.num_packets = 80;
+  params.total_bits = 300000;
+  params.parallelism = 5.0;
+  util::Rng gen(0x5AAB);
+  const graph::Cdcg cdcg = workload::generate_random_cdcg(params, gen);
+  const noc::Mesh mesh(4, 4);
+  const energy::Technology tech = energy::technology_0_07u();
+  const mapping::CdcmCost cost(cdcg, mesh, tech);
+
+  util::TextTable t({"cooling", "moves/tile", "avg best (pJ)", "avg evals",
+                     "vs default"});
+  t.set_title("SA schedule ablation (14 cores on 4x4, CDCM objective, "
+              "5 seeds each)");
+
+  constexpr int kSeeds = 5;
+  const double coolings[] = {0.80, 0.90, 0.95, 0.99};
+  const std::uint32_t moves[] = {5, 20, 50};
+
+  // Reference: default schedule.
+  double default_cost = 0;
+  {
+    for (int s = 0; s < kSeeds; ++s) {
+      util::Rng rng(100 + s);
+      default_cost += search::anneal(cost, mesh, rng).best_cost / kSeeds;
+    }
+  }
+
+  for (const double cooling : coolings) {
+    for (const std::uint32_t mpt : moves) {
+      std::cerr << "[sa-ablation] cooling " << cooling << " moves " << mpt
+                << " ..." << std::endl;
+      search::SaOptions options;
+      options.cooling = cooling;
+      options.moves_per_tile = mpt;
+      double sum_cost = 0;
+      double sum_evals = 0;
+      for (int s = 0; s < kSeeds; ++s) {
+        util::Rng rng(100 + s);
+        const search::SearchResult r = search::anneal(cost, mesh, rng, options);
+        sum_cost += r.best_cost / kSeeds;
+        sum_evals += static_cast<double>(r.evaluations) / kSeeds;
+      }
+      t.add_row({util::format_fixed(cooling, 2), std::to_string(mpt),
+                 util::format_fixed(sum_cost * 1e12, 2),
+                 util::format_fixed(sum_evals, 0),
+                 util::format_percent(sum_cost / default_cost - 1.0, 2)});
+    }
+    t.add_separator();
+  }
+
+  std::cout << t;
+  std::cout << "\nDefault schedule (cooling 0.95, 20 moves/tile) average: "
+            << util::format_energy_j(default_cost) << "\n";
+  return 0;
+}

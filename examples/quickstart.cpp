@@ -1,0 +1,75 @@
+// Quickstart: describe a small application as a CDCG, explore mappings with
+// both models, and print what CDCM buys you.
+//
+//   ./quickstart
+//
+// This is the 60-second tour of the public API; see paper_example.cpp for
+// the paper's worked figures and design_space.cpp / custom_workload.cpp for
+// larger studies.
+
+#include <iostream>
+
+#include "nocmap/nocmap.hpp"
+
+int main() {
+  using namespace nocmap;
+
+  // --- 1. Describe the application -----------------------------------------
+  // A tiny producer/worker/consumer system: "sensor" fans work out to two
+  // "dsp" cores, which feed an "actuator". Packets carry (source, dest,
+  // computation cycles before send, payload bits).
+  graph::Cdcg app;
+  const auto sensor = app.add_core("sensor");
+  const auto dsp0 = app.add_core("dsp0");
+  const auto dsp1 = app.add_core("dsp1");
+  const auto actuator = app.add_core("actuator");
+
+  const auto job0 = app.add_packet(sensor, dsp0, 4, 256);
+  const auto job1 = app.add_packet(sensor, dsp1, 4, 256);
+  const auto res0 = app.add_packet(dsp0, actuator, 24, 64);
+  const auto res1 = app.add_packet(dsp1, actuator, 24, 64);
+  const auto ack = app.add_packet(actuator, sensor, 8, 16);
+  app.add_dependence(job0, res0);  // dsp0 computes after its job arrives.
+  app.add_dependence(job1, res1);
+  app.add_dependence(res0, ack);  // The actuator waits for both results.
+  app.add_dependence(res1, ack);
+  app.validate();
+
+  // --- 2. Pick a platform ---------------------------------------------------
+  const noc::Mesh mesh(2, 2);
+  core::ExplorerOptions options;
+  options.tech = energy::technology_0_07u();  // Leakage matters here.
+  options.seed = 42;
+
+  // --- 3. Explore -----------------------------------------------------------
+  const core::Explorer explorer(app, mesh, options);
+  const core::Comparison cmp = explorer.compare();
+
+  // --- 4. Report ------------------------------------------------------------
+  std::cout << "Application: 4 cores, " << app.num_packets() << " packets, "
+            << app.total_bits() << " bits total\n";
+  std::cout << "Mesh: 2x2, technology: " << options.tech.name << "\n\n";
+
+  for (const core::ModelOutcome* out : {&cmp.cwm, &cmp.cdcm}) {
+    std::cout << out->model << " best mapping "
+              << (out->used_exhaustive ? "(exhaustive search)" : "(SA)")
+              << ":\n"
+              << out->mapping.to_grid_string() << "\n"
+              << "  texec  = " << util::format_time_ns(out->sim.texec_ns)
+              << "\n"
+              << "  energy = "
+              << util::format_energy_j(out->sim.energy.total_j())
+              << " (dynamic "
+              << util::format_energy_j(out->sim.energy.dynamic_j)
+              << " + static "
+              << util::format_energy_j(out->sim.energy.static_j) << ")\n"
+              << "  contended packets: " << out->sim.num_contended_packets
+              << "\n\n";
+  }
+
+  std::cout << "CDCM vs CWM: execution time reduction = "
+            << util::format_percent(cmp.execution_time_reduction())
+            << ", energy saving = "
+            << util::format_percent(cmp.energy_saving()) << "\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "nocmap/core/explorer.hpp"
+
+#include <stdexcept>
+
+namespace nocmap::core {
+
+Explorer::Explorer(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
+                   ExplorerOptions options)
+    : cdcg_(cdcg), mesh_(mesh), cwg_(cdcg.to_cwg()), options_(std::move(options)) {
+  options_.tech.validate();
+  cdcg_.validate(/*require_connected=*/false);
+  if (cdcg_.num_cores() > mesh_.num_tiles()) {
+    throw std::invalid_argument("Explorer: more cores than tiles");
+  }
+}
+
+bool Explorer::would_use_exhaustive() const {
+  const std::uint64_t placements = search::placement_count(
+      mesh_.num_tiles(), static_cast<std::uint32_t>(cdcg_.num_cores()));
+  const std::uint64_t group =
+      mesh_.width() == mesh_.height() ? 8 : 4;
+  return placements / group <= options_.es_auto_threshold;
+}
+
+ModelOutcome Explorer::run(const mapping::CostFunction& cost,
+                           const std::string& model,
+                           const mapping::Mapping* sa_initial) const {
+  const bool exhaustive =
+      options_.method == SearchMethod::kExhaustive ||
+      (options_.method == SearchMethod::kAuto && would_use_exhaustive());
+
+  search::SearchResult sr = [&] {
+    if (exhaustive) {
+      return search::exhaustive_search(cost, mesh_, options_.es);
+    }
+    util::Rng rng(options_.seed);
+    return search::anneal(cost, mesh_, rng, options_.sa, sa_initial);
+  }();
+
+  ModelOutcome outcome{model, sr.best, sr.best_cost, {}, sr.evaluations,
+                       exhaustive};
+  // Ground truth: full CDCM simulation of the winner, traces included.
+  const mapping::CdcmCost evaluator(cdcg_, mesh_, options_.tech,
+                                    options_.routing);
+  outcome.sim = evaluator.evaluate(sr.best);
+  return outcome;
+}
+
+ModelOutcome Explorer::optimize_cwm() const {
+  const mapping::CwmCost cost(cwg_, mesh_, options_.tech, options_.routing);
+  return run(cost, "CWM");
+}
+
+ModelOutcome Explorer::optimize_cdcm() const {
+  const mapping::CdcmCost cost(cdcg_, mesh_, options_.tech, options_.routing);
+  return run(cost, "CDCM");
+}
+
+Comparison Explorer::compare() const {
+  ModelOutcome cwm = optimize_cwm();
+  if (!options_.seed_cdcm_with_cwm) {
+    return Comparison{std::move(cwm), optimize_cdcm()};
+  }
+  const mapping::CdcmCost cost(cdcg_, mesh_, options_.tech, options_.routing);
+  ModelOutcome cdcm = run(cost, "CDCM", &cwm.mapping);
+  return Comparison{std::move(cwm), std::move(cdcm)};
+}
+
+}  // namespace nocmap::core

@@ -1,0 +1,109 @@
+#pragma once
+/// \file explorer.hpp
+/// The FRW framework facade — the paper's experimental flow in one object.
+///
+/// Bind an application (CDCG), a mesh and a technology; the Explorer then
+///  1. projects the CDCG to a CWG and optimizes the CWM objective
+///     (Equation 3),
+///  2. optimizes the CDCM objective (Equation 10),
+///  3. evaluates *both* winning mappings with the CDCM wormhole simulator —
+///     the ground-truth timing/energy model — and reports the execution-time
+///     reduction (ETR) and energy-consumption saving (ECS) of CDCM over CWM.
+///
+/// Search uses exhaustive enumeration when the (symmetry-pruned) placement
+/// space is small and simulated annealing otherwise, exactly as in Section 5
+/// ("For both models exhaustive search (ES) and simulated annealing (SA)
+/// were applied, depending on the NoC size").
+
+#include <cstdint>
+#include <string>
+
+#include "nocmap/energy/technology.hpp"
+#include "nocmap/graph/cdcg.hpp"
+#include "nocmap/mapping/cost.hpp"
+#include "nocmap/noc/mesh.hpp"
+#include "nocmap/search/exhaustive.hpp"
+#include "nocmap/search/simulated_annealing.hpp"
+#include "nocmap/sim/schedule.hpp"
+
+namespace nocmap::core {
+
+enum class SearchMethod {
+  kAuto,                ///< ES if the pruned space fits the budget, else SA.
+  kSimulatedAnnealing,
+  kExhaustive,
+};
+
+struct ExplorerOptions {
+  energy::Technology tech = energy::technology_0_07u();
+  noc::RoutingAlgorithm routing = noc::RoutingAlgorithm::kXY;
+  SearchMethod method = SearchMethod::kAuto;
+  search::SaOptions sa;
+  search::EsOptions es;
+  /// kAuto picks ES when placements / |symmetry group| is at most this.
+  std::uint64_t es_auto_threshold = 500'000;
+  /// In compare(), seed the CDCM annealing run with the CWM winner: the
+  /// CDCM search space contains the CWM solution, so the timing-aware model
+  /// can only refine it (and the reported ECS cannot go negative due to
+  /// search noise alone). Disable for fully independent random starts.
+  bool seed_cdcm_with_cwm = true;
+  std::uint64_t seed = 1;  ///< Drives the SA runs (initial mapping + moves).
+};
+
+/// The outcome of optimizing one model.
+struct ModelOutcome {
+  std::string model;            ///< "CWM" or "CDCM".
+  mapping::Mapping mapping;     ///< Best mapping under that model's cost.
+  double objective_j = 0.0;     ///< The model's own cost of that mapping.
+  sim::SimulationResult sim;    ///< Ground-truth CDCM evaluation of it.
+  std::uint64_t evaluations = 0;
+  bool used_exhaustive = false;
+};
+
+/// CWM-best vs CDCM-best, both judged by the ground-truth simulator.
+struct Comparison {
+  ModelOutcome cwm;
+  ModelOutcome cdcm;
+
+  /// ETR: execution-time reduction of the CDCM mapping vs the CWM mapping.
+  /// The paper normalizes by the *CDCM* value (Section 4.1 reports
+  /// 100 ns -> 90 ns as 11.1%), so ETR = t_cwm / t_cdcm - 1.
+  double execution_time_reduction() const {
+    return cwm.sim.texec_ns / cdcm.sim.texec_ns - 1.0;
+  }
+  /// ECS: energy-consumption saving at the bound technology, same
+  /// normalization as ETR.
+  double energy_saving() const {
+    return cwm.sim.energy.total_j() / cdcm.sim.energy.total_j() - 1.0;
+  }
+};
+
+class Explorer {
+ public:
+  /// The CDCG and mesh must outlive the Explorer.
+  Explorer(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
+           ExplorerOptions options = {});
+
+  /// Optimize the CWM objective (Equation 3) and ground-truth-evaluate.
+  ModelOutcome optimize_cwm() const;
+  /// Optimize the CDCM objective (Equation 10) and ground-truth-evaluate.
+  ModelOutcome optimize_cdcm() const;
+  /// Both of the above.
+  Comparison compare() const;
+
+  /// True if kAuto would use exhaustive search on this instance.
+  bool would_use_exhaustive() const;
+
+  const graph::Cwg& cwg() const { return cwg_; }
+
+ private:
+  ModelOutcome run(const mapping::CostFunction& cost, const std::string& model,
+                   const mapping::Mapping* sa_initial = nullptr) const;
+
+  const graph::Cdcg& cdcg_;
+  const noc::Mesh& mesh_;
+  graph::Cwg cwg_;
+  ExplorerOptions options_;
+};
+
+}  // namespace nocmap::core

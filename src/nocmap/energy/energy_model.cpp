@@ -1,0 +1,59 @@
+#include "nocmap/energy/energy_model.hpp"
+
+#include <stdexcept>
+
+namespace nocmap::energy {
+
+double e_bit_hop(const Technology& tech) {
+  return tech.e_rbit_j + tech.e_lbit_j + tech.e_cbit_j;
+}
+
+double dynamic_bit_energy(const Technology& tech, std::uint32_t num_routers) {
+  if (num_routers < 1) {
+    throw std::invalid_argument(
+        "dynamic_bit_energy: a packet passes through at least one router");
+  }
+  return static_cast<double>(num_routers) * tech.e_rbit_j +
+         static_cast<double>(num_routers - 1) * tech.e_lbit_j +
+         2.0 * tech.e_cbit_j;
+}
+
+double dynamic_packet_energy(const Technology& tech, std::uint64_t bits,
+                             std::uint32_t num_routers) {
+  return static_cast<double>(bits) * dynamic_bit_energy(tech, num_routers);
+}
+
+double static_noc_power(const Technology& tech, std::uint32_t num_tiles) {
+  return static_cast<double>(num_tiles) * tech.p_srouter_j_per_ns;
+}
+
+double static_noc_energy(const Technology& tech, std::uint32_t num_tiles,
+                         double texec_ns) {
+  if (texec_ns < 0) {
+    throw std::invalid_argument("static_noc_energy: negative execution time");
+  }
+  return static_noc_power(tech, num_tiles) * texec_ns;
+}
+
+double routing_delay_ns(const Technology& tech, std::uint32_t num_routers) {
+  const double cycles =
+      static_cast<double>(num_routers) * (tech.tr_cycles + tech.tl_cycles) +
+      tech.tl_cycles;
+  return cycles * tech.clock_period_ns;
+}
+
+double packet_delay_ns(const Technology& tech, std::uint64_t num_flits) {
+  if (num_flits < 1) {
+    throw std::invalid_argument("packet_delay_ns: a packet has >= 1 flit");
+  }
+  return static_cast<double>(tech.tl_cycles) *
+         static_cast<double>(num_flits - 1) * tech.clock_period_ns;
+}
+
+double total_packet_delay_ns(const Technology& tech, std::uint32_t num_routers,
+                             std::uint64_t num_flits) {
+  return routing_delay_ns(tech, num_routers) +
+         packet_delay_ns(tech, num_flits);
+}
+
+}  // namespace nocmap::energy

@@ -1,0 +1,58 @@
+#pragma once
+/// \file energy_model.hpp
+/// The paper's energy and timing equations (Equations 1-2 and 5-9).
+///
+/// These are pure functions of the technology bundle and route/packet
+/// geometry. The *aggregations* over an application (Equation 3 for CWM,
+/// Equations 4+10 for CDCM) live in mapping/cost.hpp and sim/schedule.hpp,
+/// which know about mappings and scheduling.
+
+#include <cstdint>
+
+#include "nocmap/energy/technology.hpp"
+
+namespace nocmap::energy {
+
+/// Equation 1: dynamic energy of one bit crossing one router and one link
+/// (EBit = ERbit + ELbit + ECbit).
+double e_bit_hop(const Technology& tech);
+
+/// Equation 2: dynamic energy of one bit traversing the NoC through K
+/// routers: EBit_ij = K * ERbit + (K-1) * ELbit (+ 2 * ECbit for the
+/// injection and ejection local links; zero in all presets, kept for
+/// completeness). Requires K >= 1.
+double dynamic_bit_energy(const Technology& tech, std::uint32_t num_routers);
+
+/// Dynamic energy of a whole packet/communication of `bits` bits over K
+/// routers: bits * EBit_ij (used by both Equation 3 and Equation 4).
+double dynamic_packet_energy(const Technology& tech, std::uint64_t bits,
+                             std::uint32_t num_routers);
+
+/// Equation 5: static power of the whole NoC, PstNoC = n * PSRouter.
+double static_noc_power(const Technology& tech, std::uint32_t num_tiles);
+
+/// Equation 9: static energy, EStNoC = PstNoC * texec (texec in ns).
+double static_noc_energy(const Technology& tech, std::uint32_t num_tiles,
+                         double texec_ns);
+
+/// Equation 6: routing delay of a packet through K routers without
+/// contention, dR = (K * (tr + tl) + tl) * lambda, in ns.
+double routing_delay_ns(const Technology& tech, std::uint32_t num_routers);
+
+/// Equation 7: packet (serialization) delay for n flits,
+/// dP = (tl * (n - 1)) * lambda, in ns. Requires num_flits >= 1.
+double packet_delay_ns(const Technology& tech, std::uint64_t num_flits);
+
+/// Equation 8: total contention-free packet delay,
+/// d = (K * (tr + tl) + tl * n) * lambda, in ns.
+double total_packet_delay_ns(const Technology& tech, std::uint32_t num_routers,
+                             std::uint64_t num_flits);
+
+/// Static + dynamic split, as produced by the CDCM evaluator.
+struct EnergyBreakdown {
+  double dynamic_j = 0.0;
+  double static_j = 0.0;
+  double total_j() const { return dynamic_j + static_j; }
+};
+
+}  // namespace nocmap::energy

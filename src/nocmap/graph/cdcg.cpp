@@ -1,0 +1,177 @@
+#include "nocmap/graph/cdcg.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace nocmap::graph {
+
+CoreId Cdcg::add_core(std::string name) {
+  names_.push_back(std::move(name));
+  return static_cast<CoreId>(names_.size() - 1);
+}
+
+PacketId Cdcg::add_packet(CoreId src, CoreId dst, std::uint64_t comp_time,
+                          std::uint64_t bits) {
+  if (src >= names_.size() || dst >= names_.size()) {
+    throw std::invalid_argument("Cdcg: unknown core id");
+  }
+  if (src == dst) {
+    throw std::invalid_argument("Cdcg: self-communication is not modelled");
+  }
+  if (bits == 0) {
+    throw std::invalid_argument("Cdcg: packets must carry at least one bit");
+  }
+  packets_.push_back(Packet{src, dst, comp_time, bits});
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return static_cast<PacketId>(packets_.size() - 1);
+}
+
+void Cdcg::check_packet(PacketId id) const {
+  if (id >= packets_.size()) {
+    throw std::invalid_argument("Cdcg: unknown packet id " + std::to_string(id));
+  }
+}
+
+void Cdcg::add_dependence(PacketId from, PacketId to) {
+  check_packet(from);
+  check_packet(to);
+  if (from == to) {
+    throw std::invalid_argument("Cdcg: a packet cannot depend on itself");
+  }
+  if (std::find(succ_[from].begin(), succ_[from].end(), to) !=
+      succ_[from].end()) {
+    throw std::invalid_argument("Cdcg: duplicate dependence edge");
+  }
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+  ++num_edges_;
+}
+
+const std::string& Cdcg::core_name(CoreId core) const {
+  if (core >= names_.size()) {
+    throw std::invalid_argument("Cdcg: unknown core id " + std::to_string(core));
+  }
+  return names_[core];
+}
+
+const Packet& Cdcg::packet(PacketId id) const {
+  check_packet(id);
+  return packets_[id];
+}
+
+const std::vector<PacketId>& Cdcg::successors(PacketId id) const {
+  check_packet(id);
+  return succ_[id];
+}
+
+const std::vector<PacketId>& Cdcg::predecessors(PacketId id) const {
+  check_packet(id);
+  return pred_[id];
+}
+
+std::vector<PacketId> Cdcg::roots() const {
+  std::vector<PacketId> out;
+  for (PacketId p = 0; p < packets_.size(); ++p) {
+    if (pred_[p].empty()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<PacketId> Cdcg::sinks() const {
+  std::vector<PacketId> out;
+  for (PacketId p = 0; p < packets_.size(); ++p) {
+    if (succ_[p].empty()) out.push_back(p);
+  }
+  return out;
+}
+
+std::uint64_t Cdcg::total_bits() const {
+  std::uint64_t sum = 0;
+  for (const Packet& p : packets_) sum += p.bits;
+  return sum;
+}
+
+std::vector<PacketId> Cdcg::topological_order() const {
+  std::vector<std::size_t> indegree(packets_.size());
+  for (PacketId p = 0; p < packets_.size(); ++p) indegree[p] = pred_[p].size();
+
+  // Kahn's algorithm with a min-priority queue so the order is deterministic
+  // and independent of edge insertion order.
+  std::priority_queue<PacketId, std::vector<PacketId>, std::greater<>> ready;
+  for (PacketId p = 0; p < packets_.size(); ++p) {
+    if (indegree[p] == 0) ready.push(p);
+  }
+  std::vector<PacketId> order;
+  order.reserve(packets_.size());
+  while (!ready.empty()) {
+    PacketId p = ready.top();
+    ready.pop();
+    order.push_back(p);
+    for (PacketId s : succ_[p]) {
+      if (--indegree[s] == 0) ready.push(s);
+    }
+  }
+  if (order.size() != packets_.size()) {
+    throw std::logic_error("Cdcg: dependence cycle detected");
+  }
+  return order;
+}
+
+bool Cdcg::is_acyclic() const {
+  try {
+    (void)topological_order();
+    return true;
+  } catch (const std::logic_error&) {
+    return false;
+  }
+}
+
+void Cdcg::validate(bool require_connected) const {
+  if (!is_acyclic()) {
+    throw std::logic_error("Cdcg: dependence cycle detected");
+  }
+  if (require_connected) {
+    std::set<CoreId> used;
+    for (const Packet& p : packets_) {
+      used.insert(p.src);
+      used.insert(p.dst);
+    }
+    for (CoreId c = 0; c < names_.size(); ++c) {
+      if (!used.count(c)) {
+        throw std::logic_error("Cdcg: core '" + names_[c] +
+                               "' neither sends nor receives any packet");
+      }
+    }
+  }
+}
+
+Cwg Cdcg::to_cwg() const {
+  Cwg cwg;
+  for (const std::string& name : names_) cwg.add_core(name);
+  for (const Packet& p : packets_) cwg.add_traffic(p.src, p.dst, p.bits);
+  return cwg;
+}
+
+std::string Cdcg::to_dot() const {
+  std::ostringstream os;
+  os << "digraph CDCG {\n  Start [shape=circle];\n  End [shape=doublecircle];\n";
+  for (PacketId p = 0; p < packets_.size(); ++p) {
+    const Packet& pk = packets_[p];
+    os << "  p" << p << " [shape=box,label=\"" << pk.bits << " "
+       << names_[pk.src] << "->" << names_[pk.dst] << "\\nt:" << pk.comp_time
+       << "\"];\n";
+  }
+  for (PacketId p : roots()) os << "  Start -> p" << p << ";\n";
+  for (PacketId p = 0; p < packets_.size(); ++p) {
+    for (PacketId s : succ_[p]) os << "  p" << p << " -> p" << s << ";\n";
+  }
+  for (PacketId p : sinks()) os << "  p" << p << " -> End;\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace nocmap::graph

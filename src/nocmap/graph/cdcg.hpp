@@ -1,0 +1,112 @@
+#pragma once
+/// \file cdcg.hpp
+/// Communication Dependence and Computation Graph (CDCG) — Definition 2 of
+/// Marcon et al., DATE 2005.
+///
+/// Vertices are *packets*: 4-tuples p_abq = (ca, cb, t_aq, w_abq), the q-th
+/// packet from core ca to core cb, carrying w_abq bits and transmitted after
+/// the originating core has computed for t_aq. Two special vertices, Start
+/// and End, bound the graph. Directed edges are communication dependences: an
+/// edge p -> q means q's transmission may begin only after p has been fully
+/// delivered (then q's source core computes for t before injecting q).
+///
+/// Unlike the CWG, the CDCG carries enough information to *schedule* the
+/// application on a mapped NoC: the CDCM evaluator (sim/schedule.hpp) walks
+/// this graph to obtain execution time, contention, and total (static +
+/// dynamic) energy.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nocmap/graph/cwg.hpp"
+
+namespace nocmap::graph {
+
+/// Index of a packet vertex within a CDCG. Dense, starting at 0. The Start
+/// and End vertices are implicit: a packet with no predecessors depends on
+/// Start (ready at time 0); End is reached when every packet is delivered.
+using PacketId = std::uint32_t;
+
+/// One packet vertex: p = (src, dst, comp_time, bits).
+struct Packet {
+  CoreId src = 0;          ///< Originating core ca.
+  CoreId dst = 0;          ///< Destination core cb.
+  std::uint64_t comp_time = 0;  ///< t_aq: source computation time, in cycles
+                                ///< of the NoC clock (multiplied by the clock
+                                ///< period lambda during evaluation).
+  std::uint64_t bits = 0;  ///< w_abq: packet payload size in bits.
+
+  friend bool operator==(const Packet&, const Packet&) = default;
+};
+
+/// Communication Dependence and Computation Graph.
+class Cdcg {
+ public:
+  Cdcg() = default;
+
+  /// Create a core (shared identifier space with the projected CWG).
+  CoreId add_core(std::string name);
+
+  /// Add a packet vertex. Throws std::invalid_argument for unknown cores,
+  /// self-communication, or zero bits. (comp_time == 0 is legal: a packet
+  /// can be forwarded without computation.)
+  PacketId add_packet(CoreId src, CoreId dst, std::uint64_t comp_time,
+                      std::uint64_t bits);
+
+  /// Add a dependence edge `from -> to`. Throws for unknown ids, self-edges,
+  /// or duplicate edges.
+  void add_dependence(PacketId from, PacketId to);
+
+  std::size_t num_cores() const { return names_.size(); }
+  std::size_t num_packets() const { return packets_.size(); }
+  std::size_t num_dependences() const { return num_edges_; }
+
+  const std::string& core_name(CoreId core) const;
+  const Packet& packet(PacketId id) const;
+  const std::vector<Packet>& packets() const { return packets_; }
+
+  /// Successor packet ids of `id` (dependents).
+  const std::vector<PacketId>& successors(PacketId id) const;
+  /// Predecessor packet ids of `id` (dependencies).
+  const std::vector<PacketId>& predecessors(PacketId id) const;
+
+  /// Packets with no predecessors — the ones pointed to by Start.
+  std::vector<PacketId> roots() const;
+  /// Packets with no successors — the ones pointing to End.
+  std::vector<PacketId> sinks() const;
+
+  /// Total bits over all packets (equals the projected CWG total volume).
+  std::uint64_t total_bits() const;
+
+  /// True iff the dependence relation is acyclic. A cyclic CDCG can never
+  /// finish executing; validate() rejects it.
+  bool is_acyclic() const;
+
+  /// A topological order of all packets. Throws std::logic_error if cyclic.
+  std::vector<PacketId> topological_order() const;
+
+  /// Structural validation: acyclicity and (if require_connected) every core
+  /// sends or receives at least one packet. Throws std::logic_error with a
+  /// description on failure.
+  void validate(bool require_connected = true) const;
+
+  /// Project onto the volume-only model: accumulate all packets between each
+  /// core pair into CWG edge weights (Definition 1). This is exactly how a
+  /// CWM view of a CDCM-characterized application is obtained.
+  Cwg to_cwg() const;
+
+  /// Graphviz DOT rendering including explicit Start/End vertices.
+  std::string to_dot() const;
+
+ private:
+  void check_packet(PacketId id) const;
+
+  std::vector<std::string> names_;
+  std::vector<Packet> packets_;
+  std::vector<std::vector<PacketId>> succ_;
+  std::vector<std::vector<PacketId>> pred_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace nocmap::graph

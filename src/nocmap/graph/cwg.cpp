@@ -1,0 +1,82 @@
+#include "nocmap/graph/cwg.hpp"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace nocmap::graph {
+
+CoreId Cwg::add_core(std::string name) {
+  names_.push_back(std::move(name));
+  return static_cast<CoreId>(names_.size() - 1);
+}
+
+void Cwg::check_core(CoreId core) const {
+  if (core >= names_.size()) {
+    throw std::invalid_argument("Cwg: unknown core id " + std::to_string(core));
+  }
+}
+
+void Cwg::add_traffic(CoreId src, CoreId dst, std::uint64_t bits) {
+  check_core(src);
+  check_core(dst);
+  if (src == dst) {
+    throw std::invalid_argument("Cwg: self-communication is not modelled");
+  }
+  if (bits == 0) {
+    throw std::invalid_argument("Cwg: zero-bit traffic is not an edge");
+  }
+  weights_[{src, dst}] += bits;
+}
+
+const std::string& Cwg::name(CoreId core) const {
+  check_core(core);
+  return names_[core];
+}
+
+std::uint64_t Cwg::volume(CoreId src, CoreId dst) const {
+  check_core(src);
+  check_core(dst);
+  auto it = weights_.find({src, dst});
+  return it == weights_.end() ? 0 : it->second;
+}
+
+std::uint64_t Cwg::total_volume() const {
+  std::uint64_t sum = 0;
+  for (const auto& [edge, bits] : weights_) sum += bits;
+  return sum;
+}
+
+std::vector<CwgEdge> Cwg::edges() const {
+  std::vector<CwgEdge> out;
+  out.reserve(weights_.size());
+  for (const auto& [edge, bits] : weights_) {
+    out.push_back(CwgEdge{edge.first, edge.second, bits});
+  }
+  return out;
+}
+
+std::vector<CoreId> Cwg::connected_cores() const {
+  std::set<CoreId> seen;
+  for (const auto& [edge, bits] : weights_) {
+    seen.insert(edge.first);
+    seen.insert(edge.second);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::string Cwg::to_dot() const {
+  std::ostringstream os;
+  os << "digraph CWG {\n";
+  for (CoreId c = 0; c < names_.size(); ++c) {
+    os << "  c" << c << " [label=\"" << names_[c] << "\"];\n";
+  }
+  for (const auto& [edge, bits] : weights_) {
+    os << "  c" << edge.first << " -> c" << edge.second << " [label=\"" << bits
+       << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace nocmap::graph

@@ -1,0 +1,78 @@
+#pragma once
+/// \file cwg.hpp
+/// Communication Weighted Graph (CWG) — Definition 1 of Marcon et al.,
+/// DATE 2005.
+///
+/// A CWG is a directed graph <C, W>: vertices are the application's IP cores,
+/// and an edge (ca, cb) labelled w_ab carries the total number of bits of all
+/// packets sent from core ca to core cb. It captures communication *volume*
+/// only (no timing); it is equivalent to the APCG of Hu & Marculescu and the
+/// core graph of Murali & De Micheli. The CWM mapping cost (dynamic NoC
+/// energy, Equation 3) is computed from this graph.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nocmap::graph {
+
+/// Index of a core within an application. Dense, starting at 0.
+using CoreId = std::uint32_t;
+
+/// One directed communication (ca -> cb, total bits w_ab).
+struct CwgEdge {
+  CoreId src = 0;
+  CoreId dst = 0;
+  std::uint64_t bits = 0;
+
+  friend bool operator==(const CwgEdge&, const CwgEdge&) = default;
+};
+
+/// Communication Weighted Graph.
+///
+/// Cores are created with add_core() and identified by dense CoreIds.
+/// add_traffic() accumulates bits onto the (src, dst) edge, so callers can
+/// record packets one at a time; the CWG keeps only the aggregate, per the
+/// model's definition.
+class Cwg {
+ public:
+  Cwg() = default;
+
+  /// Create a core; `name` is used in reports and DOT export.
+  /// Returns the new core's id.
+  CoreId add_core(std::string name);
+
+  /// Accumulate `bits` onto edge (src, dst).
+  /// Throws std::invalid_argument for unknown ids, self-loops, or bits == 0.
+  void add_traffic(CoreId src, CoreId dst, std::uint64_t bits);
+
+  std::size_t num_cores() const { return names_.size(); }
+  std::size_t num_edges() const { return weights_.size(); }
+
+  const std::string& name(CoreId core) const;
+
+  /// w_ab: total bits from src to dst; 0 if there is no such edge.
+  std::uint64_t volume(CoreId src, CoreId dst) const;
+
+  /// Sum of all edge weights (total communicated bits of the application).
+  std::uint64_t total_volume() const;
+
+  /// All edges, ordered by (src, dst). Stable across runs.
+  std::vector<CwgEdge> edges() const;
+
+  /// Cores with at least one incident edge. (A well-formed application has
+  /// all cores communicating, but the model does not require it.)
+  std::vector<CoreId> connected_cores() const;
+
+  /// Graphviz DOT rendering (directed, edges labelled with bit volumes).
+  std::string to_dot() const;
+
+ private:
+  void check_core(CoreId core) const;
+
+  std::vector<std::string> names_;
+  std::map<std::pair<CoreId, CoreId>, std::uint64_t> weights_;
+};
+
+}  // namespace nocmap::graph

@@ -1,0 +1,56 @@
+#include "nocmap/mapping/cost.hpp"
+
+#include "nocmap/energy/energy_model.hpp"
+
+namespace nocmap::mapping {
+
+CwmCost::CwmCost(const graph::Cwg& cwg, const noc::Mesh& mesh,
+                 const energy::Technology& tech, noc::RoutingAlgorithm routing)
+    : edges_(cwg.edges()),
+      mesh_(mesh),
+      tech_(tech),
+      routing_(routing),
+      num_cores_(cwg.num_cores()) {
+  tech_.validate();
+}
+
+double CwmCost::cost(const Mapping& m) const {
+  double energy_j = 0.0;
+  for (const graph::CwgEdge& e : edges_) {
+    const noc::Route route = noc::compute_route(
+        mesh_, m.tile_of(e.src), m.tile_of(e.dst), routing_);
+    energy_j +=
+        energy::dynamic_packet_energy(tech_, e.bits, route.num_routers());
+  }
+  return energy_j;
+}
+
+double cwm_dynamic_energy(const graph::Cwg& cwg, const noc::Mesh& mesh,
+                          const Mapping& m, const energy::Technology& tech,
+                          noc::RoutingAlgorithm routing) {
+  return CwmCost(cwg, mesh, tech, routing).cost(m);
+}
+
+CdcmCost::CdcmCost(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
+                   const energy::Technology& tech,
+                   noc::RoutingAlgorithm routing)
+    : cdcg_(cdcg), mesh_(mesh), tech_(tech), routing_(routing) {
+  tech_.validate();
+  cdcg_.validate(/*require_connected=*/false);
+}
+
+double CdcmCost::cost(const Mapping& m) const {
+  sim::SimOptions options;
+  options.routing = routing_;
+  options.record_traces = false;  // Scalars only in the search loop.
+  return sim::simulate(cdcg_, mesh_, m, tech_, options).energy.total_j();
+}
+
+sim::SimulationResult CdcmCost::evaluate(const Mapping& m) const {
+  sim::SimOptions options;
+  options.routing = routing_;
+  options.record_traces = true;
+  return sim::simulate(cdcg_, mesh_, m, tech_, options);
+}
+
+}  // namespace nocmap::mapping

@@ -1,0 +1,100 @@
+#pragma once
+/// \file cost.hpp
+/// Mapping objective functions.
+///
+/// Both search engines (simulated annealing and exhaustive search) are
+/// parameterized by a CostFunction, mirroring the paper's framework: "Both
+/// algorithms start from an initial mapping, evaluate the mapping cost, and
+/// search for a new mapping that reduces the computed cost".
+///
+///  * CwmCost  — the CWM objective, Equation 3: the NoC dynamic energy
+///    computed from per-core-pair volumes (the CWG). Timing-blind.
+///  * CdcmCost — the CDCM objective, Equation 10: total (static + dynamic)
+///    NoC energy obtained by scheduling the CDCG on the mapped NoC with the
+///    wormhole simulator, which also yields texec and contention.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nocmap/energy/technology.hpp"
+#include "nocmap/graph/cdcg.hpp"
+#include "nocmap/graph/cwg.hpp"
+#include "nocmap/mapping/mapping.hpp"
+#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/routing.hpp"
+#include "nocmap/sim/schedule.hpp"
+
+namespace nocmap::mapping {
+
+/// Abstract mapping objective. Implementations must be pure functions of the
+/// mapping (given their bound application/NoC/technology), so search engines
+/// may cache and compare costs freely.
+class CostFunction {
+ public:
+  virtual ~CostFunction() = default;
+
+  /// The cost of `m`; lower is better. Units: Joule for both shipped
+  /// implementations.
+  virtual double cost(const Mapping& m) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Number of cores of the bound application (the search engines need it
+  /// to build candidate mappings).
+  virtual std::size_t num_cores() const = 0;
+};
+
+/// Equation 3 — EDyNoC(CWM) = sum over all communications of w_ab * EBit_ij.
+///
+/// Precomputes the CWG edge list; each evaluation walks the deterministic
+/// route of every edge and accumulates w_ab * (K*ERbit + (K-1)*ELbit).
+class CwmCost final : public CostFunction {
+ public:
+  /// The referenced objects must outlive the cost function.
+  CwmCost(const graph::Cwg& cwg, const noc::Mesh& mesh,
+          const energy::Technology& tech,
+          noc::RoutingAlgorithm routing = noc::RoutingAlgorithm::kXY);
+
+  double cost(const Mapping& m) const override;
+  std::string name() const override { return "CWM"; }
+  std::size_t num_cores() const override { return num_cores_; }
+
+ private:
+  std::vector<graph::CwgEdge> edges_;
+  const noc::Mesh& mesh_;
+  energy::Technology tech_;
+  noc::RoutingAlgorithm routing_;
+  std::size_t num_cores_;
+};
+
+/// Equation 10 — ENoC(CDCM) = EStNoC + EDyNoC(CDCM), from a full wormhole
+/// simulation of the CDCG on the mapped NoC.
+class CdcmCost final : public CostFunction {
+ public:
+  CdcmCost(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
+           const energy::Technology& tech,
+           noc::RoutingAlgorithm routing = noc::RoutingAlgorithm::kXY);
+
+  double cost(const Mapping& m) const override;
+  std::string name() const override { return "CDCM"; }
+  std::size_t num_cores() const override { return cdcg_.num_cores(); }
+
+  /// Full simulation (with traces) of a mapping — used for reporting after
+  /// the search picked a winner.
+  sim::SimulationResult evaluate(const Mapping& m) const;
+
+ private:
+  const graph::Cdcg& cdcg_;
+  const noc::Mesh& mesh_;
+  energy::Technology tech_;
+  noc::RoutingAlgorithm routing_;
+};
+
+/// Convenience free function: Equation 3 for a single mapping.
+double cwm_dynamic_energy(const graph::Cwg& cwg, const noc::Mesh& mesh,
+                          const Mapping& m, const energy::Technology& tech,
+                          noc::RoutingAlgorithm routing =
+                              noc::RoutingAlgorithm::kXY);
+
+}  // namespace nocmap::mapping

@@ -1,0 +1,121 @@
+#include "nocmap/mapping/mapping.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nocmap::mapping {
+
+Mapping::Mapping(const noc::Mesh& mesh, std::size_t num_cores)
+    : mesh_width_(mesh.width()), num_tiles_(mesh.num_tiles()) {
+  if (num_cores > num_tiles_) {
+    throw std::invalid_argument("Mapping: more cores than tiles");
+  }
+  if (num_cores == 0) {
+    throw std::invalid_argument("Mapping: application has no cores");
+  }
+  core_to_tile_.resize(num_cores);
+  tile_to_core_.assign(num_tiles_, std::nullopt);
+  for (std::size_t c = 0; c < num_cores; ++c) {
+    core_to_tile_[c] = static_cast<noc::TileId>(c);
+    tile_to_core_[c] = static_cast<graph::CoreId>(c);
+  }
+}
+
+Mapping Mapping::random(const noc::Mesh& mesh, std::size_t num_cores,
+                        util::Rng& rng) {
+  Mapping m(mesh, num_cores);
+  // Fisher-Yates over tiles: place each core on a random distinct tile.
+  std::vector<noc::TileId> tiles(mesh.num_tiles());
+  for (std::uint32_t t = 0; t < mesh.num_tiles(); ++t) tiles[t] = t;
+  rng.shuffle(tiles);
+  m.tile_to_core_.assign(m.num_tiles_, std::nullopt);
+  for (std::size_t c = 0; c < num_cores; ++c) {
+    m.core_to_tile_[c] = tiles[c];
+    m.tile_to_core_[tiles[c]] = static_cast<graph::CoreId>(c);
+  }
+  return m;
+}
+
+Mapping Mapping::from_assignment(
+    const noc::Mesh& mesh, const std::vector<noc::TileId>& core_to_tile) {
+  Mapping m(mesh, core_to_tile.size());
+  m.tile_to_core_.assign(m.num_tiles_, std::nullopt);
+  for (std::size_t c = 0; c < core_to_tile.size(); ++c) {
+    const noc::TileId t = core_to_tile[c];
+    if (t >= m.num_tiles_) {
+      throw std::invalid_argument("Mapping: tile out of range in assignment");
+    }
+    if (m.tile_to_core_[t]) {
+      throw std::invalid_argument("Mapping: assignment is not injective");
+    }
+    m.core_to_tile_[c] = t;
+    m.tile_to_core_[t] = static_cast<graph::CoreId>(c);
+  }
+  return m;
+}
+
+noc::TileId Mapping::tile_of(graph::CoreId core) const {
+  if (core >= core_to_tile_.size()) {
+    throw std::invalid_argument("Mapping: unknown core id");
+  }
+  return core_to_tile_[core];
+}
+
+std::optional<graph::CoreId> Mapping::core_on(noc::TileId tile) const {
+  if (tile >= num_tiles_) {
+    throw std::invalid_argument("Mapping: tile out of range");
+  }
+  return tile_to_core_[tile];
+}
+
+void Mapping::swap_tiles(noc::TileId a, noc::TileId b) {
+  if (a >= num_tiles_ || b >= num_tiles_) {
+    throw std::invalid_argument("Mapping: tile out of range");
+  }
+  if (a == b) return;
+  std::optional<graph::CoreId> ca = tile_to_core_[a];
+  std::optional<graph::CoreId> cb = tile_to_core_[b];
+  tile_to_core_[a] = cb;
+  tile_to_core_[b] = ca;
+  if (ca) core_to_tile_[*ca] = b;
+  if (cb) core_to_tile_[*cb] = a;
+}
+
+bool Mapping::is_valid() const {
+  std::size_t mapped = 0;
+  for (noc::TileId t = 0; t < num_tiles_; ++t) {
+    if (const auto core = tile_to_core_[t]) {
+      if (*core >= core_to_tile_.size()) return false;
+      if (core_to_tile_[*core] != t) return false;
+      ++mapped;
+    }
+  }
+  return mapped == core_to_tile_.size();
+}
+
+std::string Mapping::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t c = 0; c < core_to_tile_.size(); ++c) {
+    if (c) os << " ";
+    os << "c" << c << "@t" << core_to_tile_[c] + 1;
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string Mapping::to_grid_string() const {
+  std::ostringstream os;
+  for (noc::TileId t = 0; t < num_tiles_; ++t) {
+    if (t != 0 && t % mesh_width_ == 0) os << "\n";
+    if (const auto core = tile_to_core_[t]) {
+      os << "c" << *core;
+    } else {
+      os << ".";
+    }
+    if ((t + 1) % mesh_width_ != 0) os << "\t";
+  }
+  return os.str();
+}
+
+}  // namespace nocmap::mapping

@@ -1,0 +1,71 @@
+#pragma once
+/// \file mapping.hpp
+/// Core-to-tile mapping: the decision variable of the whole problem.
+///
+/// A Mapping is an injective association of every application core to a mesh
+/// tile (some tiles may stay empty when the application has fewer cores than
+/// the NoC has tiles). Search engines mutate mappings via swap moves; cost
+/// functions read them.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nocmap/graph/cwg.hpp"
+#include "nocmap/noc/mesh.hpp"
+#include "nocmap/util/rng.hpp"
+
+namespace nocmap::mapping {
+
+/// Injective core -> tile assignment over a fixed mesh.
+class Mapping {
+ public:
+  /// An identity-ish initial mapping: core i on tile i.
+  /// Throws std::invalid_argument if num_cores > mesh.num_tiles().
+  Mapping(const noc::Mesh& mesh, std::size_t num_cores);
+
+  /// A uniformly random injective mapping (the paper's initial state:
+  /// "Initially, all cores of C are randomly mapped onto the set of tiles").
+  static Mapping random(const noc::Mesh& mesh, std::size_t num_cores,
+                        util::Rng& rng);
+
+  /// Build from an explicit assignment: core i -> core_to_tile[i].
+  /// Throws std::invalid_argument if the assignment is not injective or
+  /// refers to tiles outside the mesh.
+  static Mapping from_assignment(const noc::Mesh& mesh,
+                                 const std::vector<noc::TileId>& core_to_tile);
+
+  std::size_t num_cores() const { return core_to_tile_.size(); }
+  std::uint32_t num_tiles() const { return num_tiles_; }
+
+  noc::TileId tile_of(graph::CoreId core) const;
+  /// The core mapped on `tile`, or nullopt if the tile is empty.
+  std::optional<graph::CoreId> core_on(noc::TileId tile) const;
+
+  /// Swap the contents of two tiles (either may be empty; swapping an empty
+  /// tile with an occupied one relocates the core). This is the canonical
+  /// simulated-annealing neighbourhood move.
+  void swap_tiles(noc::TileId a, noc::TileId b);
+
+  /// Internal consistency check (bijectivity between cores and their tiles).
+  /// Cheap; used in tests and debug assertions.
+  bool is_valid() const;
+
+  /// Compact rendering like "[A@t2 B@t1 ...]" given core names, or tile grid
+  /// rendering via to_grid_string().
+  std::string to_string() const;
+
+  /// Multi-line grid: one row per mesh row, each cell the core index or '.'.
+  std::string to_grid_string() const;
+
+  friend bool operator==(const Mapping&, const Mapping&) = default;
+
+ private:
+  std::uint32_t mesh_width_;
+  std::uint32_t num_tiles_;
+  std::vector<noc::TileId> core_to_tile_;
+  std::vector<std::optional<graph::CoreId>> tile_to_core_;
+};
+
+}  // namespace nocmap::mapping

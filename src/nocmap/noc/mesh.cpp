@@ -1,0 +1,158 @@
+#include "nocmap/noc/mesh.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nocmap::noc {
+
+namespace {
+
+// Direction slot encoding for link resources.
+enum Dir : std::uint32_t { kEast = 0, kWest = 1, kSouth = 2, kNorth = 3 };
+
+}  // namespace
+
+Mesh::Mesh(std::uint32_t width, std::uint32_t height)
+    : width_(width), height_(height) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("Mesh: dimensions must be positive");
+  }
+  if (width * height < 2) {
+    throw std::invalid_argument("Mesh: a 1-tile NoC has no network");
+  }
+}
+
+Coord Mesh::coord(TileId tile) const {
+  if (tile >= num_tiles()) {
+    throw std::invalid_argument("Mesh: tile out of range");
+  }
+  return Coord{static_cast<std::int32_t>(tile % width_),
+               static_cast<std::int32_t>(tile / width_)};
+}
+
+TileId Mesh::tile_at(Coord c) const {
+  if (!contains(c)) {
+    throw std::invalid_argument("Mesh: coordinate out of range");
+  }
+  return static_cast<TileId>(c.y) * width_ + static_cast<TileId>(c.x);
+}
+
+bool Mesh::contains(Coord c) const {
+  return c.x >= 0 && c.y >= 0 && c.x < static_cast<std::int32_t>(width_) &&
+         c.y < static_cast<std::int32_t>(height_);
+}
+
+std::uint32_t Mesh::manhattan(TileId a, TileId b) const {
+  const Coord ca = coord(a);
+  const Coord cb = coord(b);
+  return static_cast<std::uint32_t>(std::abs(ca.x - cb.x) +
+                                    std::abs(ca.y - cb.y));
+}
+
+std::vector<TileId> Mesh::neighbours(TileId tile) const {
+  const Coord c = coord(tile);
+  std::vector<TileId> out;
+  const Coord candidates[] = {
+      {c.x, c.y - 1}, {c.x, c.y + 1}, {c.x + 1, c.y}, {c.x - 1, c.y}};
+  for (const Coord& cand : candidates) {
+    if (contains(cand)) out.push_back(tile_at(cand));
+  }
+  return out;
+}
+
+std::uint32_t Mesh::num_resources() const {
+  // routers + 4 link slots per tile + local-in + local-out.
+  return num_tiles() * 7;
+}
+
+ResourceId Mesh::router_resource(TileId tile) const {
+  if (tile >= num_tiles()) {
+    throw std::invalid_argument("Mesh: tile out of range");
+  }
+  return tile;
+}
+
+ResourceId Mesh::link_resource(TileId src, TileId dst) const {
+  const Coord cs = coord(src);
+  const Coord cd = coord(dst);
+  std::uint32_t dir;
+  if (cd.x == cs.x + 1 && cd.y == cs.y) {
+    dir = kEast;
+  } else if (cd.x == cs.x - 1 && cd.y == cs.y) {
+    dir = kWest;
+  } else if (cd.x == cs.x && cd.y == cs.y + 1) {
+    dir = kSouth;
+  } else if (cd.x == cs.x && cd.y == cs.y - 1) {
+    dir = kNorth;
+  } else {
+    throw std::invalid_argument("Mesh: tiles are not adjacent");
+  }
+  return num_tiles() + src * 4 + dir;
+}
+
+ResourceId Mesh::local_in_resource(TileId tile) const {
+  if (tile >= num_tiles()) {
+    throw std::invalid_argument("Mesh: tile out of range");
+  }
+  return num_tiles() * 5 + tile;
+}
+
+ResourceId Mesh::local_out_resource(TileId tile) const {
+  if (tile >= num_tiles()) {
+    throw std::invalid_argument("Mesh: tile out of range");
+  }
+  return num_tiles() * 6 + tile;
+}
+
+ResourceInfo Mesh::describe(ResourceId id) const {
+  const std::uint32_t n = num_tiles();
+  if (id < n) {
+    return ResourceInfo{ResourceKind::kRouter, id, std::nullopt};
+  }
+  if (id < n * 5) {
+    const std::uint32_t slot = id - n;
+    const TileId src = slot / 4;
+    const std::uint32_t dir = slot % 4;
+    const Coord cs = coord(src);
+    Coord cd = cs;
+    switch (dir) {
+      case kEast: cd.x += 1; break;
+      case kWest: cd.x -= 1; break;
+      case kSouth: cd.y += 1; break;
+      case kNorth: cd.y -= 1; break;
+      default: break;
+    }
+    if (!contains(cd)) {
+      throw std::invalid_argument("Mesh: link slot points outside the mesh");
+    }
+    return ResourceInfo{ResourceKind::kLink, src, tile_at(cd)};
+  }
+  if (id < n * 6) {
+    return ResourceInfo{ResourceKind::kLocalIn, id - n * 5, std::nullopt};
+  }
+  if (id < n * 7) {
+    return ResourceInfo{ResourceKind::kLocalOut, id - n * 6, std::nullopt};
+  }
+  throw std::invalid_argument("Mesh: resource id out of range");
+}
+
+std::string Mesh::resource_name(ResourceId id) const {
+  const ResourceInfo info = describe(id);
+  const auto tile_name = [](TileId t) {
+    return "t" + std::to_string(t + 1);
+  };
+  switch (info.kind) {
+    case ResourceKind::kRouter:
+      return "router(" + tile_name(info.tile) + ")";
+    case ResourceKind::kLink:
+      return "link(" + tile_name(info.tile) + "->" + tile_name(*info.link_dst) +
+             ")";
+    case ResourceKind::kLocalIn:
+      return "local-in(" + tile_name(info.tile) + ")";
+    case ResourceKind::kLocalOut:
+      return "local-out(" + tile_name(info.tile) + ")";
+  }
+  return "?";
+}
+
+}  // namespace nocmap::noc

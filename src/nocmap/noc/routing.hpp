@@ -1,0 +1,47 @@
+#pragma once
+/// \file routing.hpp
+/// Deterministic routing over the mesh.
+///
+/// The paper evaluates CWM and CDCM on a wormhole mesh with deterministic XY
+/// routing. XY is the default everywhere in this library; YX and west-first
+/// variants are provided for the routing ablation bench (the models are
+/// routing-agnostic: any deterministic router can be plugged in).
+
+#include <cstdint>
+#include <vector>
+
+#include "nocmap/noc/mesh.hpp"
+
+namespace nocmap::noc {
+
+enum class RoutingAlgorithm : std::uint8_t {
+  kXY,         ///< Route fully in X, then fully in Y (paper default).
+  kYX,         ///< Route fully in Y, then fully in X.
+  kWestFirst,  ///< Turn-model west-first: all westward hops first, then
+               ///< adaptive-free deterministic ordering (Y before eastward).
+};
+
+/// A deterministic route between two tiles.
+///
+/// `routers` always contains K >= 1 entries, source first, destination last
+/// (K == 1 when src == dst, i.e. both cores share a tile — excluded by valid
+/// mappings but handled gracefully). `links[i]` connects routers[i] to
+/// routers[i+1], so links.size() == K - 1.
+struct Route {
+  std::vector<TileId> routers;
+  std::vector<ResourceId> links;
+
+  /// K: the number of routers the packet passes through (Equation 2 and 8).
+  std::uint32_t num_routers() const {
+    return static_cast<std::uint32_t>(routers.size());
+  }
+};
+
+/// Compute the route from `src` to `dst` under `algo`.
+/// The result is minimal (manhattan-length) for all three algorithms.
+Route compute_route(const Mesh& mesh, TileId src, TileId dst,
+                    RoutingAlgorithm algo = RoutingAlgorithm::kXY);
+
+const char* routing_algorithm_name(RoutingAlgorithm algo);
+
+}  // namespace nocmap::noc

@@ -1,0 +1,129 @@
+#include "nocmap/search/exhaustive.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace nocmap::search {
+
+namespace {
+
+/// The tile-permutations induced by the mesh's symmetry group.
+std::vector<std::vector<noc::TileId>> symmetry_maps(const noc::Mesh& mesh) {
+  const std::int32_t w = static_cast<std::int32_t>(mesh.width());
+  const std::int32_t h = static_cast<std::int32_t>(mesh.height());
+  // Each transform maps a coordinate to a coordinate.
+  std::vector<std::vector<noc::TileId>> maps;
+  auto add = [&](auto&& f) {
+    std::vector<noc::TileId> map(mesh.num_tiles());
+    for (noc::TileId t = 0; t < mesh.num_tiles(); ++t) {
+      map[t] = mesh.tile_at(f(mesh.coord(t)));
+    }
+    maps.push_back(std::move(map));
+  };
+  using noc::Coord;
+  add([](Coord c) { return c; });
+  add([&](Coord c) { return Coord{w - 1 - c.x, c.y}; });
+  add([&](Coord c) { return Coord{c.x, h - 1 - c.y}; });
+  add([&](Coord c) { return Coord{w - 1 - c.x, h - 1 - c.y}; });
+  if (w == h) {
+    add([&](Coord c) { return Coord{c.y, c.x}; });
+    add([&](Coord c) { return Coord{w - 1 - c.y, c.x}; });
+    add([&](Coord c) { return Coord{c.y, h - 1 - c.x}; });
+    add([&](Coord c) { return Coord{w - 1 - c.y, h - 1 - c.x}; });
+  }
+  return maps;
+}
+
+}  // namespace
+
+std::uint64_t placement_count(std::uint32_t num_tiles,
+                              std::uint32_t num_cores) {
+  std::uint64_t count = 1;
+  for (std::uint32_t i = 0; i < num_cores; ++i) {
+    const std::uint64_t factor = num_tiles - i;
+    if (count > std::numeric_limits<std::uint64_t>::max() / factor) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    count *= factor;
+  }
+  return count;
+}
+
+SearchResult exhaustive_search(const mapping::CostFunction& cost,
+                               const noc::Mesh& mesh,
+                               const EsOptions& options) {
+  const std::size_t num_cores = cost.num_cores();
+  const std::uint32_t num_tiles = mesh.num_tiles();
+  if (num_cores > num_tiles) {
+    throw std::invalid_argument("exhaustive_search: more cores than tiles");
+  }
+
+  // Tiles core 0 may occupy: one representative per symmetry orbit.
+  std::vector<noc::TileId> first_tiles;
+  if (options.use_symmetry) {
+    const auto maps = symmetry_maps(mesh);
+    for (noc::TileId t = 0; t < num_tiles; ++t) {
+      noc::TileId rep = t;
+      for (const auto& map : maps) rep = std::min(rep, map[t]);
+      if (rep == t) first_tiles.push_back(t);
+    }
+  } else {
+    for (noc::TileId t = 0; t < num_tiles; ++t) first_tiles.push_back(t);
+  }
+
+  SearchResult result{mapping::Mapping(mesh, num_cores),
+                      std::numeric_limits<double>::infinity(), 0.0, 0, true};
+  bool first_eval = true;
+
+  std::vector<noc::TileId> assignment(num_cores);
+  std::vector<bool> used(num_tiles, false);
+
+  // Depth-first enumeration of injective placements.
+  auto recurse = [&](auto&& self, std::size_t core) -> bool {
+    if (options.max_evaluations != 0 &&
+        result.evaluations >= options.max_evaluations) {
+      result.exhausted = false;
+      return false;  // Budget exceeded: stop everywhere.
+    }
+    if (core == num_cores) {
+      const mapping::Mapping m =
+          mapping::Mapping::from_assignment(mesh, assignment);
+      const double c = cost.cost(m);
+      ++result.evaluations;
+      if (first_eval) {
+        result.initial_cost = c;
+        first_eval = false;
+      }
+      if (c < result.best_cost) {
+        result.best_cost = c;
+        result.best = m;
+      }
+      return true;
+    }
+    if (core == 0) {
+      // Core 0 is restricted to symmetry-orbit representatives.
+      for (noc::TileId t : first_tiles) {
+        assignment[0] = t;
+        used[t] = true;
+        const bool keep_going = self(self, 1);
+        used[t] = false;
+        if (!keep_going) return false;
+      }
+      return true;
+    }
+    for (noc::TileId t = 0; t < num_tiles; ++t) {
+      if (used[t]) continue;
+      assignment[core] = t;
+      used[t] = true;
+      const bool keep_going = self(self, core + 1);
+      used[t] = false;
+      if (!keep_going) return false;
+    }
+    return true;
+  };
+  recurse(recurse, 0);
+  return result;
+}
+
+}  // namespace nocmap::search

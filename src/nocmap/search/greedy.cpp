@@ -1,0 +1,71 @@
+#include "nocmap/search/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace nocmap::search {
+
+mapping::Mapping greedy_mapping(const graph::Cwg& cwg, const noc::Mesh& mesh) {
+  const std::size_t n = cwg.num_cores();
+  if (n > mesh.num_tiles()) {
+    throw std::invalid_argument("greedy_mapping: more cores than tiles");
+  }
+
+  // Total undirected communication volume per core.
+  std::vector<std::uint64_t> degree(n, 0);
+  for (const graph::CwgEdge& e : cwg.edges()) {
+    degree[e.src] += e.bits;
+    degree[e.dst] += e.bits;
+  }
+  std::vector<graph::CoreId> order(n);
+  std::iota(order.begin(), order.end(), graph::CoreId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](graph::CoreId a, graph::CoreId b) {
+                     return degree[a] > degree[b];
+                   });
+
+  std::vector<std::optional<noc::TileId>> placed(n);
+  std::vector<bool> tile_used(mesh.num_tiles(), false);
+
+  // Centrality: negative total manhattan distance to all tiles.
+  auto centrality = [&](noc::TileId t) {
+    std::int64_t sum = 0;
+    for (noc::TileId other = 0; other < mesh.num_tiles(); ++other) {
+      sum -= mesh.manhattan(t, other);
+    }
+    return sum;
+  };
+
+  for (graph::CoreId core : order) {
+    noc::TileId best_tile = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (noc::TileId t = 0; t < mesh.num_tiles(); ++t) {
+      if (tile_used[t]) continue;
+      // Volume-weighted closeness to already-placed partners; centrality as
+      // a deterministic tie-break (scaled down so it never dominates).
+      double score = 1e-6 * static_cast<double>(centrality(t));
+      for (graph::CoreId other = 0; other < n; ++other) {
+        if (!placed[other]) continue;
+        const std::uint64_t vol =
+            cwg.volume(core, other) + cwg.volume(other, core);
+        if (vol == 0) continue;
+        score -= static_cast<double>(vol) *
+                 static_cast<double>(mesh.manhattan(t, *placed[other]));
+      }
+      if (score > best_score) {
+        best_score = score;
+        best_tile = t;
+      }
+    }
+    placed[core] = best_tile;
+    tile_used[best_tile] = true;
+  }
+
+  std::vector<noc::TileId> assignment(n);
+  for (graph::CoreId c = 0; c < n; ++c) assignment[c] = *placed[c];
+  return mapping::Mapping::from_assignment(mesh, assignment);
+}
+
+}  // namespace nocmap::search

@@ -1,0 +1,20 @@
+#pragma once
+/// \file greedy.hpp
+/// Greedy constructive mapping baseline.
+///
+/// Not part of the paper's comparison, but a standard NoC-mapping baseline
+/// (and a good SA seed): place cores in decreasing order of communication
+/// degree; the first core goes to the most central tile, every later core to
+/// the free tile minimizing volume-weighted distance to its already-placed
+/// partners.
+
+#include "nocmap/graph/cwg.hpp"
+#include "nocmap/mapping/mapping.hpp"
+#include "nocmap/noc/mesh.hpp"
+
+namespace nocmap::search {
+
+/// Build a greedy mapping from CWG volumes. Deterministic.
+mapping::Mapping greedy_mapping(const graph::Cwg& cwg, const noc::Mesh& mesh);
+
+}  // namespace nocmap::search

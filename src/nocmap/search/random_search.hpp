@@ -1,0 +1,20 @@
+#pragma once
+/// \file random_search.hpp
+/// Random-restart baseline: evaluate N uniformly random mappings, keep the
+/// best. This is the "random mapping solutions" baseline that Hu &
+/// Marculescu report 60%+ energy savings against; the library ships it so
+/// that claim can be checked, too.
+
+#include <cstdint>
+
+#include "nocmap/mapping/cost.hpp"
+#include "nocmap/search/search_result.hpp"
+#include "nocmap/util/rng.hpp"
+
+namespace nocmap::search {
+
+SearchResult random_search(const mapping::CostFunction& cost,
+                           const noc::Mesh& mesh, util::Rng& rng,
+                           std::uint64_t num_samples);
+
+}  // namespace nocmap::search

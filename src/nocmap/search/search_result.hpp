@@ -1,0 +1,22 @@
+#pragma once
+/// \file search_result.hpp
+/// Common result type for all mapping search engines.
+
+#include <cstdint>
+#include <optional>
+
+#include "nocmap/mapping/mapping.hpp"
+
+namespace nocmap::search {
+
+struct SearchResult {
+  mapping::Mapping best;          ///< Best mapping found.
+  double best_cost = 0.0;         ///< Its objective value.
+  double initial_cost = 0.0;      ///< Cost of the starting mapping.
+  std::uint64_t evaluations = 0;  ///< Number of cost-function calls.
+  bool exhausted = false;         ///< Exhaustive search: searched everything
+                                  ///< (false when the evaluation budget was
+                                  ///< hit first).
+};
+
+}  // namespace nocmap::search

@@ -1,0 +1,93 @@
+#include "nocmap/search/simulated_annealing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nocmap::search {
+
+SearchResult anneal(const mapping::CostFunction& cost, const noc::Mesh& mesh,
+                    util::Rng& rng, const SaOptions& options,
+                    const mapping::Mapping* initial) {
+  if (options.cooling <= 0.0 || options.cooling >= 1.0) {
+    throw std::invalid_argument("anneal: cooling must be in (0, 1)");
+  }
+  if (options.initial_acceptance <= 0.0 || options.initial_acceptance >= 1.0) {
+    throw std::invalid_argument("anneal: initial_acceptance must be in (0,1)");
+  }
+  if (initial && (initial->num_cores() != cost.num_cores() ||
+                  initial->num_tiles() != mesh.num_tiles())) {
+    throw std::invalid_argument("anneal: initial mapping does not fit");
+  }
+
+  mapping::Mapping current =
+      initial ? *initial : mapping::Mapping::random(mesh, cost.num_cores(), rng);
+  double current_cost = cost.cost(current);
+
+  SearchResult result{current, current_cost, current_cost, 1, false};
+
+  const std::uint32_t num_tiles = mesh.num_tiles();
+  auto random_pair = [&](noc::TileId& a, noc::TileId& b) {
+    a = static_cast<noc::TileId>(rng.index(num_tiles));
+    do {
+      b = static_cast<noc::TileId>(rng.index(num_tiles));
+    } while (b == a);
+  };
+
+  // --- Calibrate the initial temperature -----------------------------------
+  // Sample random moves from the initial state and pick T0 so that the mean
+  // uphill step is accepted with probability `initial_acceptance`.
+  double uphill_sum = 0.0;
+  std::uint32_t uphill_count = 0;
+  for (std::uint32_t i = 0; i < options.calibration_samples; ++i) {
+    noc::TileId a, b;
+    random_pair(a, b);
+    current.swap_tiles(a, b);
+    const double c = cost.cost(current);
+    ++result.evaluations;
+    if (c > current_cost) {
+      uphill_sum += c - current_cost;
+      ++uphill_count;
+    }
+    current.swap_tiles(a, b);  // Undo.
+  }
+  const double mean_uphill =
+      uphill_count ? uphill_sum / uphill_count : current_cost * 0.1;
+  // exp(-mean_uphill / T0) == initial_acceptance.
+  double temperature =
+      mean_uphill > 0 ? -mean_uphill / std::log(options.initial_acceptance)
+                      : 1.0;
+
+  // --- Annealing ladder -----------------------------------------------------
+  const std::uint64_t moves_per_step =
+      static_cast<std::uint64_t>(options.moves_per_tile) * num_tiles;
+  std::uint32_t stale_steps = 0;
+  for (std::uint32_t step = 0;
+       step < options.max_steps && stale_steps < options.max_stale_steps;
+       ++step) {
+    bool improved = false;
+    for (std::uint64_t move = 0; move < moves_per_step; ++move) {
+      noc::TileId a, b;
+      random_pair(a, b);
+      current.swap_tiles(a, b);
+      const double candidate_cost = cost.cost(current);
+      ++result.evaluations;
+      const double delta = candidate_cost - current_cost;
+      if (delta <= 0 ||
+          rng.uniform01() < std::exp(-delta / temperature)) {
+        current_cost = candidate_cost;
+        if (current_cost < result.best_cost) {
+          result.best_cost = current_cost;
+          result.best = current;
+          improved = true;
+        }
+      } else {
+        current.swap_tiles(a, b);  // Reject: undo.
+      }
+    }
+    stale_steps = improved ? 0 : stale_steps + 1;
+    temperature *= options.cooling;
+  }
+  return result;
+}
+
+}  // namespace nocmap::search

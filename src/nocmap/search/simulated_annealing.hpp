@@ -1,0 +1,46 @@
+#pragma once
+/// \file simulated_annealing.hpp
+/// Simulated-annealing mapping search — the search method of the paper's FRW
+/// framework.
+///
+/// The state space is the set of injective core->tile mappings; the
+/// neighbourhood move swaps the contents of two tiles (which relocates a
+/// core when one tile is empty). The temperature ladder is geometric; the
+/// initial temperature is calibrated from the cost spread of a random-walk
+/// sample so acceptance starts high regardless of the objective's scale
+/// (Joule here). The engine is objective-agnostic: pass a CwmCost to obtain
+/// the paper's CWM algorithm and a CdcmCost for the CDCM algorithm.
+
+#include <cstdint>
+
+#include "nocmap/mapping/cost.hpp"
+#include "nocmap/search/search_result.hpp"
+#include "nocmap/util/rng.hpp"
+
+namespace nocmap::search {
+
+struct SaOptions {
+  /// Moves attempted at each temperature step; scaled by the number of
+  /// tiles: moves = moves_per_tile * num_tiles.
+  std::uint32_t moves_per_tile = 20;
+  double cooling = 0.95;            ///< Geometric cooling factor per step.
+  double initial_acceptance = 0.9;  ///< Target acceptance ratio used to
+                                    ///< calibrate the initial temperature.
+  std::uint32_t calibration_samples = 50;  ///< Random moves sampled for
+                                           ///< temperature calibration.
+  /// Stop when this many consecutive temperature steps brought no
+  /// improvement of the best cost.
+  std::uint32_t max_stale_steps = 12;
+  /// Hard cap on temperature steps (safety net).
+  std::uint32_t max_steps = 400;
+};
+
+/// Run simulated annealing for `cost` on `mesh`. The initial mapping is
+/// random ("initially, all cores are randomly mapped onto the set of
+/// tiles") unless `initial` is given (e.g. a greedy construction); all
+/// randomness comes from `rng`.
+SearchResult anneal(const mapping::CostFunction& cost, const noc::Mesh& mesh,
+                    util::Rng& rng, const SaOptions& options = {},
+                    const mapping::Mapping* initial = nullptr);
+
+}  // namespace nocmap::search

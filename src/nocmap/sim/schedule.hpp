@@ -1,0 +1,115 @@
+#pragma once
+/// \file schedule.hpp
+/// The CDCM evaluator: an event-driven wormhole NoC scheduler.
+///
+/// This is the algorithm of Section 4 of the paper. Given a CDCG, a mesh, a
+/// mapping and a technology bundle, it executes the packet graph on the CRG:
+///
+///  * A packet becomes *ready* when all of its dependence predecessors have
+///    been fully delivered ("a vertex can only be executed if all of its
+///    input edges are free"); roots are ready at time 0 (pointed by Start).
+///  * After the source core's computation time (t_aq * lambda) the packet is
+///    injected: its header enters the core->router local link, then hops
+///    router by router along the deterministic route.
+///  * At each router the header claims the *outgoing inter-router link*. If
+///    that link is still occupied by another worm, the packet waits in the
+///    router's input buffer (unbounded by default, as in the paper's
+///    example) and the contention time is added from that point on. With
+///    FIFO arbitration, the worm whose header arrived first wins the link.
+///  * Ejection (router->core) never blocks: the destination core always
+///    accepts flits. (This matches the paper's worked example, where two
+///    worms overlap on a router->core link without any contention being
+///    reported.)
+///
+/// Per-hop occupancy bookkeeping reproduces the "cost variable lists" the
+/// paper annotates CRG vertices and edges with (Figure 3): a router is
+/// occupied from header arrival until its tail flit has been forwarded,
+/// [a, h + (n-1)*tl*lambda]; a link from header entry until the tail has
+/// traversed it, [h, h + n*tl*lambda], where h = max(a, link free time) + tr
+/// * lambda. The end-to-end latency of an uncontended packet equals
+/// Equation 8: (K*(tr+tl) + tl*n) * lambda.
+///
+/// The result carries execution time (texec = delivery of the last packet),
+/// the dynamic energy (Equation 4), static energy (Equation 9) and the full
+/// per-packet / per-resource traces used by the timeline renderer and the
+/// figure-reproduction benches.
+
+#include <cstdint>
+#include <vector>
+
+#include "nocmap/energy/energy_model.hpp"
+#include "nocmap/energy/technology.hpp"
+#include "nocmap/graph/cdcg.hpp"
+#include "nocmap/mapping/mapping.hpp"
+#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/routing.hpp"
+
+namespace nocmap::sim {
+
+/// One resource reservation of one packet, in path order.
+struct HopRecord {
+  noc::ResourceId resource = 0;
+  double start_ns = 0.0;
+  double end_ns = 0.0;
+};
+
+/// Full life of one packet through the NoC.
+struct PacketTrace {
+  graph::PacketId packet = 0;
+  double ready_ns = 0.0;      ///< All dependences delivered.
+  double inject_ns = 0.0;     ///< ready + computation time.
+  double delivered_ns = 0.0;  ///< Tail flit reaches the destination core.
+  double contention_ns = 0.0; ///< Total time spent blocked in input buffers.
+  std::uint32_t num_routers = 0;  ///< K for this packet's route.
+  std::vector<HopRecord> hops;    ///< local-in, (router, link)*, router,
+                                  ///< local-out — only when record_traces.
+};
+
+/// One entry of a resource's occupancy list ("cost variable list").
+struct Occupancy {
+  graph::PacketId packet = 0;
+  double start_ns = 0.0;
+  double end_ns = 0.0;
+  bool contended = false;  ///< This worm was blocked while holding/awaiting
+                           ///< the resource (the '*' marks in Figure 3a).
+};
+
+struct SimOptions {
+  noc::RoutingAlgorithm routing = noc::RoutingAlgorithm::kXY;
+  /// Record per-packet hop lists and per-resource occupancy lists. Disable
+  /// inside search loops; the scalar results are identical.
+  bool record_traces = true;
+  /// Router input buffer capacity in flits; 0 = unbounded (paper default).
+  /// Bounded buffers model backpressure to the first order: a blocked worm
+  /// that does not fit keeps its upstream link busy until it drains.
+  std::uint32_t buffer_flits = 0;
+  /// Model contention on core->router injection links (a single network
+  /// interface per core streams concurrent sends back-to-back). Off by
+  /// default: the paper's model lets local links overlap freely, and its
+  /// worked example never exercises injection contention. Same-source worms
+  /// still serialize on their first shared inter-router link either way.
+  bool contend_local_in = false;
+};
+
+struct SimulationResult {
+  double texec_ns = 0.0;                 ///< Application execution time.
+  energy::EnergyBreakdown energy;        ///< Equations 4, 9, 10.
+  double total_contention_ns = 0.0;      ///< Sum over packets.
+  std::size_t num_contended_packets = 0;
+  std::vector<PacketTrace> packets;      ///< Indexed by PacketId.
+  /// Occupancy lists indexed by ResourceId (empty when !record_traces); each
+  /// list is sorted by start time.
+  std::vector<std::vector<Occupancy>> occupancy;
+};
+
+/// Execute `cdcg` mapped by `mapping` onto `mesh` under `tech`.
+///
+/// Preconditions (checked): the mapping covers exactly cdcg.num_cores()
+/// cores on this mesh, and the CDCG is acyclic. Throws std::invalid_argument
+/// / std::logic_error on violations.
+SimulationResult simulate(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
+                          const mapping::Mapping& mapping,
+                          const energy::Technology& tech,
+                          const SimOptions& options = {});
+
+}  // namespace nocmap::sim

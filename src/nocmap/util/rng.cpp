@@ -1,0 +1,59 @@
+#include "nocmap/util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace nocmap::util {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == max()) return (*this)();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t bound = span + 1;
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return lo + draw % bound;
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) {
+  assert(0 <= lo && lo <= hi);
+  return static_cast<std::int64_t>(
+      uniform_u64(static_cast<std::uint64_t>(lo), static_cast<std::uint64_t>(hi)));
+}
+
+std::size_t Rng::index(std::size_t n) {
+  assert(n > 0);
+  return static_cast<std::size_t>(uniform_u64(0, n - 1));
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+std::uint64_t Rng::positive_with_mean(double mean) {
+  assert(mean >= 1.0);
+  if (mean <= 1.0) return 1;
+  // Geometric distribution on {1, 2, ...} with mean `mean`:
+  // success probability p = 1/mean.
+  const double p = 1.0 / mean;
+  const double u = uniform01();
+  const double draw = std::floor(std::log1p(-u) / std::log1p(-p));
+  return 1 + static_cast<std::uint64_t>(draw);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  shuffle(p);
+  return p;
+}
+
+}  // namespace nocmap::util

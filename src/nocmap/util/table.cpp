@@ -1,0 +1,95 @@
+#include "nocmap/util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nocmap::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("TextTable: header must not be empty");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row has " +
+                                std::to_string(cells.size()) +
+                                " cells, header has " +
+                                std::to_string(header_.size()));
+  }
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(width[c] - cells[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += hline();
+  out += line(header_);
+  out += hline();
+  for (const Row& row : rows_) {
+    out += row.separator ? hline() : line(row.cells);
+  }
+  out += hline();
+  return out;
+}
+
+std::string TextTable::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    return quoted + "\"";
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) os << ',';
+    os << escape(header_[c]);
+  }
+  os << '\n';
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (c) os << ',';
+      os << escape(row.cells[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.to_string();
+}
+
+}  // namespace nocmap::util

@@ -1,0 +1,52 @@
+#pragma once
+/// \file table.hpp
+/// Plain-text and CSV table rendering. The benchmark harnesses use this to
+/// print rows in the same layout as the paper's Table 1 and Table 2.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nocmap::util {
+
+/// A simple column-aligned text table with an optional title.
+///
+/// Usage:
+///   TextTable t({"NoC size", "ETR", "ECS 0.07u"});
+///   t.add_row({"3 x 2", "36 %", "15 %"});
+///   std::cout << t.to_string();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Append a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator line at this position.
+  void add_separator();
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render with box-drawing ASCII ('+', '-', '|').
+  std::string to_string() const;
+
+  /// Render as RFC-4180-ish CSV (cells containing commas or quotes are
+  /// quoted; separator rows are skipped).
+  std::string to_csv() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+}  // namespace nocmap::util

@@ -1,0 +1,81 @@
+#include "nocmap/workload/detail.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nocmap::workload::detail {
+
+void scale_bits_exact(std::vector<std::uint64_t>& bits, std::uint64_t total) {
+  if (bits.empty()) {
+    throw std::invalid_argument("scale_bits_exact: no packets");
+  }
+  if (total < bits.size()) {
+    throw std::invalid_argument(
+        "scale_bits_exact: total smaller than one bit per packet");
+  }
+  std::uint64_t weight_sum = 0;
+  for (std::uint64_t w : bits) {
+    if (w == 0) {
+      throw std::invalid_argument("scale_bits_exact: zero weight");
+    }
+    weight_sum += w;
+  }
+
+  // First pass: proportional share, at least 1 bit each.
+  std::uint64_t assigned = 0;
+  for (std::uint64_t& b : bits) {
+    // Use long double to avoid overflow for large totals (up to ~7e8 in
+    // Table 1, well within range).
+    const long double share =
+        static_cast<long double>(b) / static_cast<long double>(weight_sum);
+    b = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(share * static_cast<long double>(total)));
+    assigned += b;
+  }
+
+  // Second pass: push the remainder (positive or negative) onto the largest
+  // entries, never dropping anyone below 1 bit.
+  auto largest = [&]() {
+    return std::max_element(bits.begin(), bits.end());
+  };
+  while (assigned < total) {
+    *largest() += total - assigned;
+    assigned = total;
+  }
+  while (assigned > total) {
+    auto it = largest();
+    const std::uint64_t excess = assigned - total;
+    const std::uint64_t reducible = *it - 1;
+    const std::uint64_t cut = std::min(excess, reducible);
+    if (cut == 0) {
+      throw std::logic_error("scale_bits_exact: cannot reach target total");
+    }
+    *it -= cut;
+    assigned -= cut;
+  }
+}
+
+graph::Cdcg with_exact_bits(const graph::Cdcg& g,
+                            std::vector<std::uint64_t> weights,
+                            std::uint64_t total) {
+  if (weights.size() != g.num_packets()) {
+    throw std::invalid_argument(
+        "with_exact_bits: one weight per packet required");
+  }
+  scale_bits_exact(weights, total);
+  graph::Cdcg out;
+  for (graph::CoreId c = 0; c < g.num_cores(); ++c) {
+    out.add_core(g.core_name(c));
+  }
+  for (graph::PacketId p = 0; p < g.num_packets(); ++p) {
+    const graph::Packet& pk = g.packet(p);
+    out.add_packet(pk.src, pk.dst, pk.comp_time, weights[p]);
+  }
+  for (graph::PacketId p = 0; p < g.num_packets(); ++p) {
+    for (graph::PacketId s : g.successors(p)) out.add_dependence(p, s);
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace nocmap::workload::detail

@@ -1,0 +1,27 @@
+#pragma once
+/// \file detail.hpp
+/// Shared helpers for the workload builders.
+
+#include <cstdint>
+#include <vector>
+
+#include "nocmap/graph/cdcg.hpp"
+
+namespace nocmap::workload::detail {
+
+/// Rescale `bits` proportionally so the entries are all >= 1 and sum exactly
+/// to `total`. Used by every builder so an application's total bit volume
+/// matches its Table-1 row to the bit.
+///
+/// Throws std::invalid_argument if total < bits.size() (each packet must
+/// carry at least one bit) or bits is empty or contains a zero weight.
+void scale_bits_exact(std::vector<std::uint64_t>& bits, std::uint64_t total);
+
+/// Rebuild `g` with per-packet bit volumes given by `weights` rescaled to
+/// sum exactly to `total` (weights.size() must equal g.num_packets()).
+/// Validates the result. Every workload builder funnels through this.
+graph::Cdcg with_exact_bits(const graph::Cdcg& g,
+                            std::vector<std::uint64_t> weights,
+                            std::uint64_t total);
+
+}  // namespace nocmap::workload::detail

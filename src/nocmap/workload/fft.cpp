@@ -1,0 +1,88 @@
+#include "nocmap/workload/fft.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "nocmap/workload/detail.hpp"
+
+namespace nocmap::workload {
+
+graph::Cdcg fft8_app(const FftParams& params) {
+  if (params.output_packets < 1 || params.output_packets > 4) {
+    throw std::invalid_argument("fft8_app: output_packets must be in [1,4]");
+  }
+
+  graph::Cdcg cdcg;
+  std::vector<graph::CoreId> b(8);
+  for (int i = 0; i < 8; ++i) {
+    b[i] = cdcg.add_core("b" + std::to_string(i));
+  }
+  const graph::CoreId in_io = cdcg.add_core(params.split_io ? "io_in" : "io");
+  const graph::CoreId out_io =
+      params.split_io ? cdcg.add_core("io_out") : in_io;
+
+  std::vector<std::uint64_t> weights;
+
+  // Input DMA: the two halves of the sample vector.
+  const graph::PacketId in_lo = cdcg.add_packet(in_io, b[0], 2, 1);
+  weights.push_back(40);
+  const graph::PacketId in_hi = cdcg.add_packet(in_io, b[4], 2, 1);
+  weights.push_back(40);
+
+  // stage_packet[c]: the most recent butterfly packet core c participated
+  // in; the next packet a core originates depends on it.
+  std::vector<graph::PacketId> last(8);
+  std::vector<bool> has_last(8, false);
+
+  auto butterfly = [&](int lo, int hi, bool hi_sends) {
+    const int src = hi_sends ? hi : lo;
+    const int dst = hi_sends ? lo : hi;
+    // Butterfly cores are heterogeneous (different twiddle-factor
+    // pipelines), so stage waves are staggered, not lock-step.
+    const graph::PacketId p =
+        cdcg.add_packet(b[src], b[dst], 1 + src % 4, 1);
+    weights.push_back(6);
+    std::set<graph::PacketId> deps;
+    for (int c : {lo, hi}) {
+      if (has_last[c]) {
+        deps.insert(last[c]);
+      } else {
+        // Stage 0: gated on both input halves (the sample vector must be
+        // distributed before any butterfly fires).
+        deps.insert(in_lo);
+        deps.insert(in_hi);
+      }
+    }
+    for (graph::PacketId d : deps) cdcg.add_dependence(d, p);
+    last[lo] = last[hi] = p;
+    has_last[lo] = has_last[hi] = true;
+  };
+
+  // Three radix-2 stages, distances 4, 2, 1; sender side alternates so every
+  // core both sends and receives across the run.
+  for (int stage = 0; stage < 3; ++stage) {
+    const int d = 4 >> stage;
+    for (int lo = 0; lo < 8; ++lo) {
+      if ((lo & d) != 0) continue;
+      if ((lo / (2 * d)) * (2 * d) + (lo % d) != lo) continue;
+      butterfly(lo, lo + d, /*hi_sends=*/stage % 2 == 0);
+    }
+  }
+
+  // Result gather.
+  for (std::uint32_t i = 0; i < params.output_packets; ++i) {
+    const int src = static_cast<int>(2 * i);
+    const graph::PacketId p = cdcg.add_packet(b[src], out_io, 2, 1);
+    weights.push_back(20);
+    if (params.output_packets == 1) {
+      // Single aggregated spectrum: wait for every final butterfly.
+      for (int c = 0; c < 8; c += 2) cdcg.add_dependence(last[c], p);
+    } else {
+      cdcg.add_dependence(last[src], p);
+    }
+  }
+
+  return detail::with_exact_bits(cdcg, std::move(weights), params.total_bits);
+}
+
+}  // namespace nocmap::workload

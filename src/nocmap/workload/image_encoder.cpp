@@ -1,0 +1,132 @@
+#include "nocmap/workload/image_encoder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nocmap/workload/detail.hpp"
+
+namespace nocmap::workload {
+
+graph::Cdcg image_encoder_app(const ImageEncoderParams& params) {
+  if (params.blocks < 4) {
+    throw std::invalid_argument(
+        "image_encoder_app: need >= 4 blocks so both scanners and the "
+        "control loop are exercised");
+  }
+
+  graph::Cdcg cdcg;
+  std::vector<std::uint64_t> weights;
+
+  // Explicit dataflow dependences only; a core's concurrent sends are
+  // serialized physically by the simulator's injection-link model, so the
+  // scanners and stages stream at full rate.
+  auto emit = [&](graph::CoreId src, graph::CoreId dst, std::uint64_t comp,
+                  std::uint64_t weight, std::vector<graph::PacketId> deps) {
+    const graph::PacketId p = cdcg.add_packet(src, dst, comp, 1);
+    weights.push_back(weight);
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    for (graph::PacketId d : deps) cdcg.add_dependence(d, p);
+    return p;
+  };
+
+  // Two scanner cores stream image stripes concurrently (even blocks from
+  // scanner A, odd from scanner B) — two independent bulk streams whose
+  // collisions are decided by the mapping alone. A rate controller throttles
+  // the scanners through tiny packets.
+  if (!params.dual_lane) {
+    // --- Variant 1: 7 cores, scanners converge on a shared DCT -------------
+    const graph::CoreId scan[2] = {cdcg.add_core("scanA"),
+                                   cdcg.add_core("scanB")};
+    const graph::CoreId dct = cdcg.add_core("dct");
+    const graph::CoreId quant = cdcg.add_core("quant");
+    const graph::CoreId vlc = cdcg.add_core("vlc");
+    const graph::CoreId mem = cdcg.add_core("memory");
+    const graph::CoreId ctl = cdcg.add_core("control");
+
+    graph::PacketId stats = 0;
+    graph::PacketId coded = 0;
+    graph::PacketId throttle = 0;
+    bool throttled = false;
+    for (std::uint32_t blk = 0; blk < params.blocks; ++blk) {
+      const int lane = static_cast<int>(blk % 2);
+      // Scanners are heterogeneous (different stripe heights); scanner B's
+      // stripe after a throttle waits for the rate controller.
+      std::vector<graph::PacketId> raw_deps;
+      if (lane == 1 && throttled) {
+        raw_deps.push_back(throttle);
+        throttled = false;
+      }
+      const auto raw = emit(scan[lane], dct, 1 + 2 * lane, 48, raw_deps);
+      const auto freq = emit(dct, quant, 5, 40, {raw});
+      coded = emit(quant, vlc, 3, 12, {freq});
+      // Fourth per-block packet: compressed write, a quantization-table
+      // reload from memory (mem -> quant closes a triangle with quant ->
+      // vlc -> mem; the mesh is bipartite, so one of those three edges is
+      // always stretched — which one is a timing decision CWM cannot make),
+      // or the rate-control loop.
+      switch (blk % 4) {
+        case 1:
+          stats = emit(vlc, ctl, 1, 1, {coded});
+          break;
+        case 2:
+          emit(mem, quant, 2, 20, {coded});
+          break;
+        case 3:
+          throttle = emit(ctl, scan[1], 1, 1, {stats});
+          throttled = true;  // Gates scanner B's next stripe.
+          break;
+        default:
+          emit(vlc, mem, 2, 6, {coded});
+          break;
+      }
+    }
+    emit(vlc, mem, 2, 6, {coded});  // Final bitstream flush.
+    if (cdcg.num_packets() != 4u * params.blocks + 1) {
+      throw std::logic_error("image_encoder_app: packet count drifted");
+    }
+  } else {
+    // --- Variant 2: 9 cores, two full DCT+quant lanes converging on RLE ----
+    const graph::CoreId scan[2] = {cdcg.add_core("scanA"),
+                                   cdcg.add_core("scanB")};
+    const graph::CoreId dct[2] = {cdcg.add_core("dctA"), cdcg.add_core("dctB")};
+    const graph::CoreId quant[2] = {cdcg.add_core("quantA"),
+                                    cdcg.add_core("quantB")};
+    const graph::CoreId rle = cdcg.add_core("rle");
+    const graph::CoreId vlc = cdcg.add_core("vlc");
+    const graph::CoreId mem = cdcg.add_core("memory");
+
+    graph::PacketId packed = 0;
+    for (std::uint32_t blk = 0; blk < params.blocks; ++blk) {
+      const int lane = static_cast<int>(blk % 2);
+      const auto raw = emit(scan[lane], dct[lane], 1 + 2 * lane, 48, {});
+      const auto freq = emit(dct[lane], quant[lane], 5 + 3 * lane, 40, {raw});
+      const auto quantized = emit(quant[lane], rle, 3, 16, {freq});
+      packed = emit(rle, vlc, 2, 8, {quantized});
+      // Fifth per-block packet: bitstream write-out, or a backward fetch of
+      // reference data from memory into the DCT lanes (previous-frame block
+      // for delta coding). The fetch closes the odd cycle dct -> quant ->
+      // rle -> vlc -> mem -> dct; on a bipartite mesh one of its edges must
+      // be stretched, and choosing which is a timing decision.
+      switch (blk % 4) {
+        case 1:
+          emit(mem, dct[0], 2, 20, {packed});
+          break;
+        case 3:
+          emit(mem, dct[1], 2, 20, {packed});
+          break;
+        default:
+          emit(vlc, mem, 2, 6, {packed});
+          break;
+      }
+    }
+    emit(vlc, mem, 2, 6, {packed});  // Final bitstream flush.
+    if (cdcg.num_packets() != 5u * params.blocks + 1) {
+      throw std::logic_error("image_encoder_app: packet count drifted");
+    }
+  }
+
+  return detail::with_exact_bits(cdcg, std::move(weights), params.total_bits);
+}
+
+}  // namespace nocmap::workload

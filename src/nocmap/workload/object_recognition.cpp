@@ -1,0 +1,134 @@
+#include "nocmap/workload/object_recognition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nocmap/workload/detail.hpp"
+
+namespace nocmap::workload {
+
+namespace {
+
+/// Emits one packet with explicit dataflow dependences. Sends from the same
+/// core are *not* artificially serialized here: the wormhole simulator's
+/// injection-link model already streams a core's concurrent sends
+/// back-to-back, which keeps the pipelines saturated.
+class PipelineBuilder {
+ public:
+  explicit PipelineBuilder(graph::Cdcg& cdcg, std::vector<std::uint64_t>& w)
+      : cdcg_(cdcg), weights_(w) {}
+
+  graph::PacketId emit(graph::CoreId src, graph::CoreId dst,
+                       std::uint64_t comp, std::uint64_t weight,
+                       std::vector<graph::PacketId> deps) {
+    const graph::PacketId p = cdcg_.add_packet(src, dst, comp, 1);
+    weights_.push_back(weight);
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    for (graph::PacketId d : deps) cdcg_.add_dependence(d, p);
+    return p;
+  }
+
+ private:
+  graph::Cdcg& cdcg_;
+  std::vector<std::uint64_t>& weights_;
+};
+
+}  // namespace
+
+graph::Cdcg object_recognition_app(const ObjectRecognitionParams& params) {
+  if (params.frames < 4) {
+    throw std::invalid_argument(
+        "object_recognition_app: need >= 4 frames so both cameras and every "
+        "result consumer are exercised");
+  }
+
+  graph::Cdcg cdcg;
+  std::vector<std::uint64_t> weights;
+  PipelineBuilder pipe(cdcg, weights);
+
+  if (!params.split_pipeline) {
+    // --- Variant 1: 6 cores, stereo cameras over a shared frame buffer -----
+    // Both cameras stream raw frames into the frame-buffer core
+    // concurrently — whether those two bulk streams collide on their way to
+    // memory is decided purely by the mapping, which the volume-only CWM
+    // objective cannot see. Recognition itself runs detect -> track, and
+    // the controller closes tiny rate-control loops back to the cameras
+    // (every camera may run two frames ahead of its ack: double buffering).
+    const graph::CoreId cam_l = cdcg.add_core("cameraL");
+    const graph::CoreId cam_r = cdcg.add_core("cameraR");
+    const graph::CoreId mem = cdcg.add_core("memory");
+    const graph::CoreId detect = cdcg.add_core("detect");
+    const graph::CoreId track = cdcg.add_core("track");
+    const graph::CoreId ctl = cdcg.add_core("control");
+
+    std::vector<graph::PacketId> ack_of(params.frames);
+    for (std::uint32_t f = 0; f < params.frames; ++f) {
+      const graph::CoreId cam = (f % 2 == 0) ? cam_l : cam_r;
+      std::vector<graph::PacketId> gate;
+      if (f >= 4) gate.push_back(ack_of[f - 4]);  // Per-camera double buffer.
+      const auto raw = pipe.emit(cam, mem, 2, 48, gate);
+      const auto window = pipe.emit(mem, detect, 2, 24, {raw});
+      const auto objects = pipe.emit(detect, track, 5, 8, {window});
+      const auto trajectory = pipe.emit(track, ctl, 4, 2, {objects});
+      ack_of[f] = pipe.emit(ctl, cam, 1, 1, {trajectory});
+      // Sixth per-frame packet: the tracker's model writeback. Closes the
+      // triangle memory -> detect -> track -> memory; the bipartite mesh
+      // must stretch one of its edges, and which one is a timing decision.
+      pipe.emit(track, mem, 2, 16, {objects});
+    }
+    pipe.emit(ctl, mem, 1, 2, {ack_of[params.frames - 1]});  // Session log.
+
+    if (cdcg.num_packets() != 6u * params.frames + 1) {
+      throw std::logic_error("object_recognition_app: packet count drifted");
+    }
+  } else {
+    // --- Variant 2: 9 cores, stereo + split segmentation --------------------
+    const graph::CoreId cam_l = cdcg.add_core("cameraL");
+    const graph::CoreId cam_r = cdcg.add_core("cameraR");
+    const graph::CoreId mem = cdcg.add_core("memory");
+    const graph::CoreId seg_a = cdcg.add_core("segmentA");
+    const graph::CoreId seg_b = cdcg.add_core("segmentB");
+    const graph::CoreId feat = cdcg.add_core("feature");
+    const graph::CoreId cls = cdcg.add_core("classify");
+    const graph::CoreId db = cdcg.add_core("database");
+    const graph::CoreId ctl = cdcg.add_core("control");
+
+    graph::PacketId rotate = 0;
+    for (std::uint32_t f = 0; f < params.frames; ++f) {
+      // Both eyes stream concurrently into the frame buffer.
+      const auto raw_l = pipe.emit(cam_l, mem, 2, 48, {});
+      const auto raw_r = pipe.emit(cam_r, mem, 3, 48, {});
+      // The buffer feeds the two segmenters in parallel.
+      const auto half_a = pipe.emit(mem, seg_a, 2, 24, {raw_l});
+      const auto half_b = pipe.emit(mem, seg_b, 2, 24, {raw_r});
+      const auto reg_a = pipe.emit(seg_a, feat, 5, 10, {half_a});
+      const auto reg_b = pipe.emit(seg_b, feat, 7, 10, {half_b});
+      const auto vec = pipe.emit(feat, cls, 4, 4, {reg_a, reg_b});
+      // Eighth packet rotates between result consumers and control.
+      switch (f % 4) {
+        case 0:
+          rotate = pipe.emit(cls, db, 2, 16, {vec});
+          break;
+        case 1:
+          rotate = pipe.emit(db, cls, 2, 16, {rotate});
+          break;
+        case 2:
+          rotate = pipe.emit(cls, ctl, 1, 1, {vec});
+          break;
+        default:
+          // Feature writeback: closes the triangle memory -> segmentA ->
+          // feature -> memory (see variant 1 on why triangles matter).
+          rotate = pipe.emit(feat, mem, 2, 16, {vec});
+          break;
+      }
+    }
+    if (cdcg.num_packets() != 8u * params.frames) {
+      throw std::logic_error("object_recognition_app: packet count drifted");
+    }
+  }
+
+  return detail::with_exact_bits(cdcg, std::move(weights), params.total_bits);
+}
+
+}  // namespace nocmap::workload

@@ -1,0 +1,38 @@
+#include "nocmap/workload/paper_example.hpp"
+
+namespace nocmap::workload {
+
+graph::Cdcg paper_example_cdcg() {
+  graph::Cdcg cdcg;
+  const graph::CoreId a = cdcg.add_core("A");
+  const graph::CoreId b = cdcg.add_core("B");
+  const graph::CoreId e = cdcg.add_core("E");
+  const graph::CoreId f = cdcg.add_core("F");
+
+  const graph::PacketId ab1 = cdcg.add_packet(a, b, 6, 15);
+  const graph::PacketId ea1 = cdcg.add_packet(e, a, 10, 20);
+  [[maybe_unused]] const graph::PacketId bf1 = cdcg.add_packet(b, f, 10, 40);
+  const graph::PacketId af1 = cdcg.add_packet(a, f, 6, 15);
+  const graph::PacketId ea2 = cdcg.add_packet(e, a, 20, 15);
+  const graph::PacketId fb1 = cdcg.add_packet(f, b, 6, 15);
+
+  cdcg.add_dependence(ea1, ea2);
+  cdcg.add_dependence(ab1, af1);
+  cdcg.add_dependence(ea1, af1);
+  cdcg.add_dependence(af1, fb1);
+  return cdcg;
+}
+
+noc::Mesh paper_example_mesh() { return noc::Mesh(2, 2); }
+
+mapping::Mapping paper_mapping_a() {
+  // Cores in id order A, B, E, F on tiles t2, t1, t4, t3 (0-based: 1,0,3,2).
+  return mapping::Mapping::from_assignment(paper_example_mesh(), {1, 0, 3, 2});
+}
+
+mapping::Mapping paper_mapping_b() {
+  // A, B, E, F on tiles t4, t1, t2, t3 (0-based: 3, 0, 1, 2).
+  return mapping::Mapping::from_assignment(paper_example_mesh(), {3, 0, 1, 2});
+}
+
+}  // namespace nocmap::workload

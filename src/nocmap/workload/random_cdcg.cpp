@@ -1,0 +1,144 @@
+#include "nocmap/workload/random_cdcg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nocmap/workload/detail.hpp"
+
+namespace nocmap::workload {
+
+graph::Cdcg generate_random_cdcg(const RandomCdcgParams& params,
+                                 util::Rng& rng) {
+  if (params.num_cores < 2) {
+    throw std::invalid_argument("generate_random_cdcg: need >= 2 cores");
+  }
+  if (params.num_packets < params.num_cores) {
+    throw std::invalid_argument(
+        "generate_random_cdcg: need at least one packet per core "
+        "(num_packets >= num_cores)");
+  }
+  if (params.total_bits < params.num_packets) {
+    throw std::invalid_argument(
+        "generate_random_cdcg: need at least one bit per packet");
+  }
+  if (params.parallelism < 1.0) {
+    throw std::invalid_argument("generate_random_cdcg: parallelism >= 1");
+  }
+  if (params.hotspot_fraction < 0.0 || params.hotspot_fraction > 1.0) {
+    throw std::invalid_argument(
+        "generate_random_cdcg: hotspot_fraction in [0,1]");
+  }
+  if (params.bulk_fraction < 0.0 || params.bulk_fraction > 1.0) {
+    throw std::invalid_argument("generate_random_cdcg: bulk_fraction in [0,1]");
+  }
+  if (params.bulk_weight_ratio < 1.0) {
+    throw std::invalid_argument(
+        "generate_random_cdcg: bulk_weight_ratio >= 1");
+  }
+
+  graph::Cdcg cdcg;
+  for (std::uint32_t c = 0; c < params.num_cores; ++c) {
+    cdcg.add_core("c" + std::to_string(c));
+  }
+
+  // A few cores are "shared service" hot spots (memory-controller-like).
+  std::vector<graph::CoreId> order(params.num_cores);
+  for (std::uint32_t c = 0; c < params.num_cores; ++c) order[c] = c;
+  rng.shuffle(order);
+  const std::size_t num_hubs = std::max<std::size_t>(1, params.num_cores / 8);
+  const std::vector<graph::CoreId> hubs(order.begin(),
+                                        order.begin() + num_hubs);
+
+  auto comp_time = [&] {
+    return rng.positive_with_mean(params.mean_comp_cycles) - 1;  // Allows 0.
+  };
+  auto pick_dst = [&](graph::CoreId src) {
+    graph::CoreId dst;
+    do {
+      if (rng.chance(params.hotspot_fraction)) {
+        dst = hubs[rng.index(hubs.size())];
+      } else {
+        dst = static_cast<graph::CoreId>(rng.index(params.num_cores));
+      }
+    } while (dst == src);
+    return dst;
+  };
+
+  // Relative weights, rescaled to the exact total at the end.
+  std::vector<std::uint64_t> weights;
+  auto control_weight = [&] { weights.push_back(1 + rng.index(6)); };
+  auto bulk_weight = [&] {
+    weights.push_back(rng.positive_with_mean(3.0 * params.bulk_weight_ratio));
+  };
+
+  const std::uint32_t num_chains = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::lround(params.parallelism)));
+
+  // --- Phase 1: a random distribution tree covering every core -------------
+  // Guarantees each core sends or receives at least one packet; its leaves
+  // seed the control chains. Tree packets are control-sized.
+  std::vector<graph::PacketId> incoming(params.num_cores);  // By tree node.
+  for (std::uint32_t node = 1; node < params.num_cores; ++node) {
+    const std::uint32_t parent = (node - 1) / num_chains;
+    const graph::PacketId p =
+        cdcg.add_packet(order[parent], order[node], comp_time(), 1);
+    control_weight();
+    if (parent != 0) cdcg.add_dependence(incoming[parent], p);
+    incoming[node] = p;
+  }
+
+  // --- Phase 2: concurrent control chains with bulk side transfers ---------
+  std::vector<graph::PacketId> chain_tail(num_chains);
+  for (std::uint32_t k = 0; k < num_chains; ++k) {
+    chain_tail[k] = incoming[1 + (k % (params.num_cores - 1))];
+  }
+
+  const std::uint32_t remaining = params.num_packets - (params.num_cores - 1);
+  const std::uint32_t num_bulk = static_cast<std::uint32_t>(
+      std::lround(remaining * params.bulk_fraction));
+  const auto is_bulk_slot = [&](std::uint32_t i) {
+    if (num_bulk == 0) return false;
+    const std::uint32_t period = std::max(1u, remaining / num_bulk);
+    return i % period == period - 1 && i / period < num_bulk;
+  };
+
+  for (std::uint32_t i = 0; i < remaining; ++i) {
+    const std::uint32_t k = i % num_chains;
+    const graph::PacketId tail = chain_tail[k];
+    const graph::CoreId here = cdcg.packet(tail).dst;
+
+    if (is_bulk_slot(i)) {
+      // Bulk side transfer (DMA-like): hangs off the chain but does not
+      // advance it, so it is usually off the critical path.
+      const graph::PacketId p =
+          cdcg.add_packet(here, pick_dst(here), comp_time(), 1);
+      bulk_weight();
+      cdcg.add_dependence(tail, p);
+      continue;
+    }
+
+    // Control chain step (receive-compute-send).
+    const graph::PacketId p =
+        cdcg.add_packet(here, pick_dst(here), comp_time(), 1);
+    control_weight();
+    cdcg.add_dependence(tail, p);
+    // Occasionally join another, older chain (fork-join structure). Edges
+    // always point from older to newer packets, so acyclicity holds.
+    if (rng.chance(0.15)) {
+      const graph::PacketId other = chain_tail[rng.index(num_chains)];
+      if (other != tail) {
+        const auto& succs = cdcg.successors(other);
+        if (std::find(succs.begin(), succs.end(), p) == succs.end()) {
+          cdcg.add_dependence(other, p);
+        }
+      }
+    }
+    chain_tail[k] = p;
+  }
+
+  // --- Phase 3: exact bit volumes -------------------------------------------
+  return detail::with_exact_bits(cdcg, std::move(weights), params.total_bits);
+}
+
+}  // namespace nocmap::workload

@@ -1,0 +1,97 @@
+#include "nocmap/workload/romberg.hpp"
+
+#include <stdexcept>
+
+#include "nocmap/workload/detail.hpp"
+
+namespace nocmap::workload {
+
+graph::Cdcg romberg_app(const RombergParams& params) {
+  if (params.workers < 2) {
+    throw std::invalid_argument(
+        "romberg_app: need >= 2 workers (the boundary exchange is a ring)");
+  }
+  if (params.rounds < 1) {
+    throw std::invalid_argument("romberg_app: need at least one round");
+  }
+
+  graph::Cdcg cdcg;
+  const graph::CoreId master = cdcg.add_core("master");
+  std::vector<graph::CoreId> worker(params.workers);
+  for (std::uint32_t w = 0; w < params.workers; ++w) {
+    worker[w] = cdcg.add_core("worker" + std::to_string(w));
+  }
+  const std::uint32_t nw = params.workers;
+
+  // Communication structure (see header): a master-star of bulk partial-sum
+  // uploads plus a worker ring of small boundary exchanges. The ring forms
+  // the latency-critical chain, the star carries the volume — the tension
+  // between ring adjacency and star adjacency is what distinguishes a
+  // timing-aware mapping from a volume-only one.
+  std::vector<std::uint64_t> weights;
+
+  // Round 0: the master scatters interval descriptors (small).
+  std::vector<graph::PacketId> task(nw);
+  for (std::uint32_t w = 0; w < nw; ++w) {
+    task[w] = cdcg.add_packet(master, worker[w], 2, 1);
+    weights.push_back(2);
+  }
+
+  // Rounds 1..R: ring boundary exchange (small, gates the next round) and a
+  // bulk partial-sum upload to the master.
+  std::vector<graph::PacketId> exchange = task;  // Last packet delivered to w.
+  for (std::uint32_t r = 1; r <= params.rounds; ++r) {
+    std::vector<graph::PacketId> next_exchange(nw);
+    for (std::uint32_t w = 0; w < nw; ++w) {
+      // worker w sends its boundary values to its ring neighbour.
+      const std::uint32_t next = (w + 1) % nw;
+      // Heterogeneous sub-interval sizes: worker w integrates more strips
+      // than worker w-1, so the ring is staggered rather than lock-step.
+      const graph::PacketId ring =
+          cdcg.add_packet(worker[w], worker[next], 2 + 3 * w, 1);
+      weights.push_back(1);
+      cdcg.add_dependence(exchange[w], ring);
+      next_exchange[next] = ring;
+    }
+    for (std::uint32_t w = 0; w < nw; ++w) {
+      // After integrating the neighbour's boundary, upload the partial sum.
+      const graph::PacketId sum =
+          cdcg.add_packet(worker[w], master, 3 + 2 * w, 1);
+      // Bulk: the tableau column; heterogeneous sub-interval sizes give the
+      // workers distinct upload volumes.
+      weights.push_back(16 + 8 * w);
+      cdcg.add_dependence(next_exchange[w], sum);
+    }
+    exchange = next_exchange;
+  }
+
+  // Final gather: one bulk result row per worker.
+  std::vector<graph::PacketId> gather(nw);
+  for (std::uint32_t w = 0; w < nw; ++w) {
+    gather[w] = cdcg.add_packet(worker[w], master, 4, 1);
+    weights.push_back(16);
+    cdcg.add_dependence(exchange[w], gather[w]);
+  }
+
+  // Richardson-extrapolation row exchange: master <-> worker 0 chain, gated
+  // on every worker's final row (the tableau needs the whole column).
+  graph::PacketId prev = gather[0];
+  for (std::uint32_t e = 0; e < params.extrapolation_packets; ++e) {
+    const bool from_master = (e % 2 == 0);
+    const graph::PacketId p =
+        from_master ? cdcg.add_packet(master, worker[0], 3, 1)
+                    : cdcg.add_packet(worker[0], master, 3, 1);
+    weights.push_back(3);
+    cdcg.add_dependence(prev, p);
+    if (e == 0) {
+      for (std::uint32_t w = 1; w < nw; ++w) {
+        cdcg.add_dependence(gather[w], p);
+      }
+    }
+    prev = p;
+  }
+
+  return detail::with_exact_bits(cdcg, std::move(weights), params.total_bits);
+}
+
+}  // namespace nocmap::workload

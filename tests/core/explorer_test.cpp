@@ -1,0 +1,87 @@
+#include "nocmap/core/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nocmap/workload/paper_example.hpp"
+
+namespace nocmap::core {
+namespace {
+
+ExplorerOptions example_options() {
+  ExplorerOptions options;
+  options.tech = energy::example_technology();
+  options.seed = 7;
+  return options;
+}
+
+TEST(ExplorerTest, RejectsOversizedApplications) {
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  const noc::Mesh tiny(2, 1);
+  EXPECT_THROW(Explorer(cdcg, tiny, example_options()), std::invalid_argument);
+}
+
+TEST(ExplorerTest, PaperExampleUsesExhaustiveSearchUnderAuto) {
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  const noc::Mesh mesh = workload::paper_example_mesh();
+  const Explorer explorer(cdcg, mesh, example_options());
+  EXPECT_TRUE(explorer.would_use_exhaustive());
+}
+
+TEST(ExplorerTest, CdcmOutcomeIsTheGlobalOptimum) {
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  const noc::Mesh mesh = workload::paper_example_mesh();
+  const Explorer explorer(cdcg, mesh, example_options());
+  const ModelOutcome out = explorer.optimize_cdcm();
+  EXPECT_EQ(out.model, "CDCM");
+  EXPECT_TRUE(out.used_exhaustive);
+  EXPECT_DOUBLE_EQ(out.objective_j, 399e-12);
+  EXPECT_DOUBLE_EQ(out.sim.texec_ns, 90.0);
+  EXPECT_DOUBLE_EQ(out.sim.energy.total_j(), out.objective_j);
+}
+
+TEST(ExplorerTest, CwmObjectiveIsDynamicOnly) {
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  const noc::Mesh mesh = workload::paper_example_mesh();
+  const Explorer explorer(cdcg, mesh, example_options());
+  const ModelOutcome out = explorer.optimize_cwm();
+  EXPECT_EQ(out.model, "CWM");
+  EXPECT_DOUBLE_EQ(out.objective_j, 390e-12);  // Equation 3 optimum.
+  // Ground truth adds static energy on top.
+  EXPECT_GT(out.sim.energy.total_j(), out.objective_j);
+}
+
+TEST(ExplorerTest, ComparisonRatiosAreConsistent) {
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  const noc::Mesh mesh = workload::paper_example_mesh();
+  const Explorer explorer(cdcg, mesh, example_options());
+  const Comparison cmp = explorer.compare();
+  EXPECT_DOUBLE_EQ(
+      cmp.execution_time_reduction(),
+      cmp.cwm.sim.texec_ns / cmp.cdcm.sim.texec_ns - 1.0);
+  // CDCM can never lose on its own objective.
+  EXPECT_LE(cmp.cdcm.sim.energy.total_j(), cmp.cwm.sim.energy.total_j());
+  EXPECT_GE(cmp.energy_saving(), 0.0);
+  EXPECT_GE(cmp.execution_time_reduction(), -1e-12);
+}
+
+TEST(ExplorerTest, ForcedSimulatedAnnealingStillFindsTinyOptimum) {
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  const noc::Mesh mesh = workload::paper_example_mesh();
+  ExplorerOptions options = example_options();
+  options.method = SearchMethod::kSimulatedAnnealing;
+  const Explorer explorer(cdcg, mesh, options);
+  const ModelOutcome out = explorer.optimize_cdcm();
+  EXPECT_FALSE(out.used_exhaustive);
+  EXPECT_DOUBLE_EQ(out.objective_j, 399e-12);
+}
+
+TEST(ExplorerTest, CwgProjectionIsAvailable) {
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  const noc::Mesh mesh = workload::paper_example_mesh();
+  const Explorer explorer(cdcg, mesh, example_options());
+  EXPECT_EQ(explorer.cwg().num_cores(), 4u);
+  EXPECT_EQ(explorer.cwg().total_volume(), 120u);
+}
+
+}  // namespace
+}  // namespace nocmap::core

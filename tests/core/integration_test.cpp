@@ -1,0 +1,116 @@
+// End-to-end integration tests: suite workloads through the full FRW flow
+// (generation -> projection -> search under both models -> ground-truth
+// simulation -> ETR/ECS reporting), plus cross-model sanity on a mid-size
+// random application.
+
+#include <gtest/gtest.h>
+
+#include "nocmap/core/explorer.hpp"
+#include "nocmap/search/greedy.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+#include "nocmap/workload/suite.hpp"
+
+namespace nocmap::core {
+namespace {
+
+ExplorerOptions fast_options(std::uint64_t seed) {
+  ExplorerOptions options;
+  options.tech = energy::technology_0_07u();
+  options.seed = seed;
+  // Keep CI fast: small SA budget, capped ES.
+  options.sa.moves_per_tile = 8;
+  options.sa.max_stale_steps = 6;
+  options.es_auto_threshold = 5000;
+  return options;
+}
+
+TEST(IntegrationTest, SmallestSuiteRowEndToEnd) {
+  const auto entries = workload::table1_suite_for("3 x 2");
+  const noc::Mesh mesh(3, 2);
+  for (const auto& e : entries) {
+    const Explorer explorer(e.cdcg, mesh, fast_options(11));
+    const Comparison cmp = explorer.compare();
+    // CDCM's own objective can never be worse than what the CWM mapping
+    // scores under the true model — the CDCM search space includes the CWM
+    // winner (exhaustive/SA both cover it on this tiny mesh).
+    EXPECT_LE(cmp.cdcm.sim.energy.total_j(),
+              cmp.cwm.sim.energy.total_j() * (1.0 + 1e-9))
+        << e.name;
+    EXPECT_GT(cmp.cwm.sim.texec_ns, 0.0) << e.name;
+    EXPECT_GT(cmp.cdcm.sim.texec_ns, 0.0) << e.name;
+  }
+}
+
+TEST(IntegrationTest, MidSizeRandomApplicationImprovesUnderCdcm) {
+  util::Rng gen(404);
+  workload::RandomCdcgParams params;
+  params.num_cores = 16;
+  params.num_packets = 96;
+  params.total_bits = 200000;
+  params.parallelism = 6.0;
+  const graph::Cdcg cdcg = workload::generate_random_cdcg(params, gen);
+  const noc::Mesh mesh(4, 4);
+
+  const Explorer explorer(cdcg, mesh, fast_options(5));
+  const Comparison cmp = explorer.compare();
+  // The CDCM search is seeded with the CWM winner, so on its own objective
+  // (total energy) it can never lose. Execution time may trade off slightly
+  // against dynamic energy, hence the small tolerance.
+  EXPECT_GE(cmp.energy_saving(), 0.0);
+  EXPECT_GE(cmp.execution_time_reduction(), -0.05);
+  // Both outcomes used SA on a 16-tile mesh.
+  EXPECT_FALSE(cmp.cwm.used_exhaustive);
+  EXPECT_FALSE(cmp.cdcm.used_exhaustive);
+}
+
+TEST(IntegrationTest, GreedySeedIsConsistentWithSearchResults) {
+  // greedy_mapping is a baseline: the full CWM search should never do worse
+  // than the greedy construction on its own objective.
+  util::Rng gen(77);
+  workload::RandomCdcgParams params;
+  params.num_cores = 10;
+  params.num_packets = 50;
+  params.total_bits = 50000;
+  const graph::Cdcg cdcg = workload::generate_random_cdcg(params, gen);
+  const graph::Cwg cwg = cdcg.to_cwg();
+  const noc::Mesh mesh(4, 3);
+  const energy::Technology tech = energy::technology_0_07u();
+
+  const mapping::CwmCost cost(cwg, mesh, tech);
+  const double greedy = cost.cost(search::greedy_mapping(cwg, mesh));
+
+  // Full SA budget here (CWM evaluations are cheap); a tiny slack absorbs
+  // the stochastic gap on unlucky seeds.
+  ExplorerOptions options;
+  options.tech = tech;
+  options.seed = 3;
+  options.es_auto_threshold = 5000;
+  const Explorer explorer(cdcg, mesh, options);
+  const ModelOutcome cwm = explorer.optimize_cwm();
+  EXPECT_LE(cwm.objective_j, greedy * 1.05);
+}
+
+TEST(IntegrationTest, TechnologyPresetsHaveExpectedLeakageShares) {
+  const auto entries = workload::table1_suite_for("2 x 4");
+  const graph::Cdcg& cdcg = entries.front().cdcg;
+  const noc::Mesh mesh(2, 4);
+
+  ExplorerOptions opt35 = fast_options(9);
+  opt35.tech = energy::technology_0_35u();
+  ExplorerOptions opt07 = fast_options(9);
+  opt07.tech = energy::technology_0_07u();
+  const Explorer e35(cdcg, mesh, opt35);
+  const Explorer e07(cdcg, mesh, opt07);
+  const ModelOutcome m35 = e35.optimize_cdcm();
+  const ModelOutcome m07 = e07.optimize_cdcm();
+  EXPECT_GT(m35.sim.energy.total_j(), 0.0);
+  EXPECT_GT(m07.sim.energy.total_j(), 0.0);
+  // 0.35u leakage share is tiny; 0.07u substantial.
+  const double share35 = m35.sim.energy.static_j / m35.sim.energy.total_j();
+  const double share07 = m07.sim.energy.static_j / m07.sim.energy.total_j();
+  EXPECT_LT(share35, 0.05);
+  EXPECT_GT(share07, 0.15);
+}
+
+}  // namespace
+}  // namespace nocmap::core

@@ -1,0 +1,90 @@
+#include "nocmap/energy/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace nocmap::energy {
+namespace {
+
+Technology unit_tech() { return example_technology(); }  // 1 pJ, tr=2, tl=1.
+
+TEST(EnergyModelTest, EquationOneSumsComponents) {
+  Technology t = unit_tech();
+  t.e_cbit_j = 0.5e-12;
+  EXPECT_DOUBLE_EQ(e_bit_hop(t), 2.5e-12);
+}
+
+TEST(EnergyModelTest, EquationTwoBitEnergy) {
+  const Technology t = unit_tech();
+  // K routers, K-1 links: K * 1 pJ + (K-1) * 1 pJ.
+  EXPECT_DOUBLE_EQ(dynamic_bit_energy(t, 1), 1e-12);
+  EXPECT_DOUBLE_EQ(dynamic_bit_energy(t, 2), 3e-12);
+  EXPECT_DOUBLE_EQ(dynamic_bit_energy(t, 3), 5e-12);
+  EXPECT_THROW(dynamic_bit_energy(t, 0), std::invalid_argument);
+}
+
+TEST(EnergyModelTest, EquationTwoIncludesLocalLinksWhenModelled) {
+  Technology t = unit_tech();
+  t.e_cbit_j = 0.25e-12;
+  // Injection + ejection local links: + 2 * ECbit.
+  EXPECT_DOUBLE_EQ(dynamic_bit_energy(t, 2), 3.5e-12);
+}
+
+TEST(EnergyModelTest, PacketEnergyScalesWithBits) {
+  const Technology t = unit_tech();
+  EXPECT_DOUBLE_EQ(dynamic_packet_energy(t, 40, 2), 120e-12);
+  EXPECT_DOUBLE_EQ(dynamic_packet_energy(t, 15, 3), 75e-12);
+}
+
+TEST(EnergyModelTest, EquationFiveStaticPower) {
+  const Technology t = unit_tech();
+  EXPECT_DOUBLE_EQ(static_noc_power(t, 4), 0.1e-12);
+  EXPECT_DOUBLE_EQ(static_noc_power(t, 100), 2.5e-12);
+}
+
+TEST(EnergyModelTest, EquationNineStaticEnergy) {
+  const Technology t = unit_tech();
+  EXPECT_DOUBLE_EQ(static_noc_energy(t, 4, 100.0), 10e-12);
+  EXPECT_DOUBLE_EQ(static_noc_energy(t, 4, 0.0), 0.0);
+  EXPECT_THROW(static_noc_energy(t, 4, -1.0), std::invalid_argument);
+}
+
+TEST(EnergyModelTest, EquationSixRoutingDelay) {
+  const Technology t = unit_tech();
+  // (K*(tr+tl) + tl) * lambda = (K*3 + 1) ns.
+  EXPECT_DOUBLE_EQ(routing_delay_ns(t, 1), 4.0);
+  EXPECT_DOUBLE_EQ(routing_delay_ns(t, 2), 7.0);
+  EXPECT_DOUBLE_EQ(routing_delay_ns(t, 3), 10.0);
+}
+
+TEST(EnergyModelTest, EquationSevenPacketDelay) {
+  const Technology t = unit_tech();
+  EXPECT_DOUBLE_EQ(packet_delay_ns(t, 1), 0.0);
+  EXPECT_DOUBLE_EQ(packet_delay_ns(t, 20), 19.0);
+  EXPECT_THROW(packet_delay_ns(t, 0), std::invalid_argument);
+}
+
+TEST(EnergyModelTest, EquationEightTotalDelay) {
+  const Technology t = unit_tech();
+  // E->A in the paper: K = 2, 20 one-bit flits: 2*3 + 20 = 26 ns.
+  EXPECT_DOUBLE_EQ(total_packet_delay_ns(t, 2, 20), 26.0);
+  // A->F: K = 3, 15 flits: 3*3 + 15 = 24 ns.
+  EXPECT_DOUBLE_EQ(total_packet_delay_ns(t, 3, 15), 24.0);
+}
+
+TEST(EnergyModelTest, DelaysScaleWithClockPeriod) {
+  Technology t = unit_tech();
+  t.clock_period_ns = 5.0;
+  EXPECT_DOUBLE_EQ(routing_delay_ns(t, 2), 35.0);
+  EXPECT_DOUBLE_EQ(packet_delay_ns(t, 3), 10.0);
+  EXPECT_DOUBLE_EQ(total_packet_delay_ns(t, 2, 3), 45.0);
+}
+
+TEST(EnergyModelTest, BreakdownTotals) {
+  EnergyBreakdown e{3e-12, 1e-12};
+  EXPECT_DOUBLE_EQ(e.total_j(), 4e-12);
+}
+
+}  // namespace
+}  // namespace nocmap::energy

@@ -1,0 +1,74 @@
+#include "nocmap/energy/technology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace nocmap::energy {
+namespace {
+
+TEST(TechnologyTest, PresetsAreValid) {
+  EXPECT_NO_THROW(example_technology().validate());
+  EXPECT_NO_THROW(technology_0_35u().validate());
+  EXPECT_NO_THROW(technology_0_07u().validate());
+}
+
+TEST(TechnologyTest, ExampleMatchesPaperSection41) {
+  const Technology t = example_technology();
+  EXPECT_DOUBLE_EQ(t.e_rbit_j, 1e-12);
+  EXPECT_DOUBLE_EQ(t.e_lbit_j, 1e-12);
+  EXPECT_DOUBLE_EQ(t.e_cbit_j, 0.0);
+  EXPECT_EQ(t.tr_cycles, 2u);
+  EXPECT_EQ(t.tl_cycles, 1u);
+  EXPECT_DOUBLE_EQ(t.clock_period_ns, 1.0);
+  EXPECT_EQ(t.flit_width_bits, 1u);
+  // PstNoC = 0.1 pJ/ns on the 2x2 example NoC (Equation 5, n = 4).
+  EXPECT_DOUBLE_EQ(4.0 * t.p_srouter_j_per_ns, 0.1e-12);
+}
+
+TEST(TechnologyTest, DeepSubmicronHasRelativelyMoreLeakage) {
+  const Technology old_tech = technology_0_35u();
+  const Technology new_tech = technology_0_07u();
+  // Leakage relative to switching energy must grow dramatically with
+  // scaling; that is the whole point of the ECS0.07 column.
+  const double old_ratio = old_tech.p_srouter_j_per_ns / old_tech.e_rbit_j;
+  const double new_ratio = new_tech.p_srouter_j_per_ns / new_tech.e_rbit_j;
+  EXPECT_GT(new_ratio, 50.0 * old_ratio);
+  // And switching energy per bit shrinks.
+  EXPECT_LT(new_tech.e_rbit_j, old_tech.e_rbit_j);
+  EXPECT_LT(new_tech.e_lbit_j, old_tech.e_lbit_j);
+}
+
+TEST(TechnologyTest, FlitsRoundUp) {
+  Technology t = example_technology();
+  t.flit_width_bits = 16;
+  EXPECT_EQ(t.flits(1), 1u);
+  EXPECT_EQ(t.flits(16), 1u);
+  EXPECT_EQ(t.flits(17), 2u);
+  EXPECT_EQ(t.flits(160), 10u);
+}
+
+TEST(TechnologyTest, ValidateRejectsBadValues) {
+  Technology t = example_technology();
+  t.e_rbit_j = -1.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = example_technology();
+  t.clock_period_ns = 0.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = example_technology();
+  t.flit_width_bits = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = example_technology();
+  t.tl_cycles = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = example_technology();
+  t.p_srouter_j_per_ns = -1e-15;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nocmap::energy

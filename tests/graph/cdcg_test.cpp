@@ -1,0 +1,202 @@
+#include "nocmap/graph/cdcg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "nocmap/util/rng.hpp"
+
+namespace nocmap::graph {
+namespace {
+
+Cdcg chain_of_three() {
+  Cdcg g;
+  const CoreId a = g.add_core("a");
+  const CoreId b = g.add_core("b");
+  const CoreId c = g.add_core("c");
+  const PacketId p0 = g.add_packet(a, b, 1, 10);
+  const PacketId p1 = g.add_packet(b, c, 2, 20);
+  const PacketId p2 = g.add_packet(c, a, 3, 30);
+  g.add_dependence(p0, p1);
+  g.add_dependence(p1, p2);
+  return g;
+}
+
+TEST(CdcgTest, BasicAccessors) {
+  const Cdcg g = chain_of_three();
+  EXPECT_EQ(g.num_cores(), 3u);
+  EXPECT_EQ(g.num_packets(), 3u);
+  EXPECT_EQ(g.num_dependences(), 2u);
+  EXPECT_EQ(g.packet(1).src, 1u);
+  EXPECT_EQ(g.packet(1).dst, 2u);
+  EXPECT_EQ(g.packet(1).comp_time, 2u);
+  EXPECT_EQ(g.packet(1).bits, 20u);
+  EXPECT_EQ(g.total_bits(), 60u);
+}
+
+TEST(CdcgTest, RootsAndSinks) {
+  const Cdcg g = chain_of_three();
+  EXPECT_EQ(g.roots(), std::vector<PacketId>{0});
+  EXPECT_EQ(g.sinks(), std::vector<PacketId>{2});
+}
+
+TEST(CdcgTest, SuccessorsAndPredecessors) {
+  const Cdcg g = chain_of_three();
+  EXPECT_EQ(g.successors(0), std::vector<PacketId>{1});
+  EXPECT_EQ(g.predecessors(2), std::vector<PacketId>{1});
+  EXPECT_TRUE(g.predecessors(0).empty());
+  EXPECT_TRUE(g.successors(2).empty());
+}
+
+TEST(CdcgTest, RejectsInvalidPackets) {
+  Cdcg g;
+  const CoreId a = g.add_core("a");
+  const CoreId b = g.add_core("b");
+  EXPECT_THROW(g.add_packet(a, a, 1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_packet(a, b, 1, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_packet(a, 7, 1, 1), std::invalid_argument);
+  EXPECT_NO_THROW(g.add_packet(a, b, 0, 1));  // Zero computation is legal.
+}
+
+TEST(CdcgTest, RejectsInvalidDependences) {
+  Cdcg g;
+  const CoreId a = g.add_core("a");
+  const CoreId b = g.add_core("b");
+  const PacketId p0 = g.add_packet(a, b, 1, 1);
+  const PacketId p1 = g.add_packet(b, a, 1, 1);
+  g.add_dependence(p0, p1);
+  EXPECT_THROW(g.add_dependence(p0, p1), std::invalid_argument);  // Duplicate.
+  EXPECT_THROW(g.add_dependence(p0, p0), std::invalid_argument);  // Self.
+  EXPECT_THROW(g.add_dependence(p0, 42), std::invalid_argument);
+}
+
+TEST(CdcgTest, DetectsCycles) {
+  Cdcg g;
+  const CoreId a = g.add_core("a");
+  const CoreId b = g.add_core("b");
+  const PacketId p0 = g.add_packet(a, b, 1, 1);
+  const PacketId p1 = g.add_packet(b, a, 1, 1);
+  const PacketId p2 = g.add_packet(a, b, 1, 1);
+  g.add_dependence(p0, p1);
+  g.add_dependence(p1, p2);
+  EXPECT_TRUE(g.is_acyclic());
+  g.add_dependence(p2, p0);  // Closes the loop.
+  EXPECT_FALSE(g.is_acyclic());
+  EXPECT_THROW(g.topological_order(), std::logic_error);
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(CdcgTest, TopologicalOrderRespectsEdges) {
+  const Cdcg g = chain_of_three();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  std::vector<std::size_t> position(3);
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (PacketId p = 0; p < 3; ++p) {
+    for (PacketId s : g.successors(p)) {
+      EXPECT_LT(position[p], position[s]);
+    }
+  }
+}
+
+TEST(CdcgTest, TopologicalOrderIsDeterministicSmallestFirst) {
+  Cdcg g;
+  const CoreId a = g.add_core("a");
+  const CoreId b = g.add_core("b");
+  // Three independent packets: Kahn with a min-heap yields id order.
+  g.add_packet(a, b, 1, 1);
+  g.add_packet(b, a, 1, 1);
+  g.add_packet(a, b, 1, 1);
+  EXPECT_EQ(g.topological_order(), (std::vector<PacketId>{0, 1, 2}));
+}
+
+TEST(CdcgTest, ValidateFlagsDisconnectedCore) {
+  Cdcg g;
+  const CoreId a = g.add_core("a");
+  const CoreId b = g.add_core("b");
+  g.add_core("lonely");
+  g.add_packet(a, b, 1, 1);
+  EXPECT_THROW(g.validate(), std::logic_error);
+  EXPECT_NO_THROW(g.validate(/*require_connected=*/false));
+}
+
+TEST(CdcgTest, ProjectionToCwgAccumulatesPerPair) {
+  Cdcg g;
+  const CoreId a = g.add_core("a");
+  const CoreId b = g.add_core("b");
+  const CoreId c = g.add_core("c");
+  g.add_packet(a, b, 1, 10);
+  g.add_packet(a, b, 2, 15);  // Same pair: accumulates.
+  g.add_packet(b, c, 3, 7);
+  const Cwg cwg = g.to_cwg();
+  EXPECT_EQ(cwg.num_cores(), 3u);
+  EXPECT_EQ(cwg.volume(a, b), 25u);
+  EXPECT_EQ(cwg.volume(b, c), 7u);
+  EXPECT_EQ(cwg.total_volume(), g.total_bits());
+  EXPECT_EQ(cwg.name(0), "a");
+}
+
+TEST(CdcgTest, DotContainsStartEndAndPackets) {
+  const Cdcg g = chain_of_three();
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("Start"), std::string::npos);
+  EXPECT_NE(dot.find("End"), std::string::npos);
+  EXPECT_NE(dot.find("Start -> p0"), std::string::npos);
+  EXPECT_NE(dot.find("p2 -> End"), std::string::npos);
+  EXPECT_NE(dot.find("p0 -> p1"), std::string::npos);
+}
+
+// --- Property-style sweep: random DAGs ------------------------------------
+
+class CdcgPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CdcgPropertyTest, RandomDagInvariants) {
+  util::Rng rng(GetParam());
+  Cdcg g;
+  const std::size_t num_cores = 2 + rng.index(8);
+  for (std::size_t c = 0; c < num_cores; ++c) {
+    g.add_core("c" + std::to_string(c));
+  }
+  const std::size_t num_packets = 1 + rng.index(60);
+  for (std::size_t p = 0; p < num_packets; ++p) {
+    const CoreId src = static_cast<CoreId>(rng.index(num_cores));
+    CoreId dst;
+    do {
+      dst = static_cast<CoreId>(rng.index(num_cores));
+    } while (dst == src);
+    const PacketId id = g.add_packet(src, dst, rng.index(20), 1 + rng.index(999));
+    // Edges only from older to newer packets: acyclic by construction.
+    if (id > 0 && rng.chance(0.7)) {
+      const PacketId pred = static_cast<PacketId>(rng.index(id));
+      g.add_dependence(pred, id);
+    }
+  }
+
+  EXPECT_TRUE(g.is_acyclic());
+  const auto order = g.topological_order();
+  EXPECT_EQ(order.size(), g.num_packets());
+  // Topological order is a permutation respecting all edges.
+  std::vector<std::size_t> position(g.num_packets());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (PacketId p = 0; p < g.num_packets(); ++p) {
+    for (PacketId s : g.successors(p)) EXPECT_LT(position[p], position[s]);
+    // successor/predecessor views agree.
+    for (PacketId s : g.successors(p)) {
+      const auto& preds = g.predecessors(s);
+      EXPECT_NE(std::find(preds.begin(), preds.end(), p), preds.end());
+    }
+  }
+  // Projection conserves volume.
+  EXPECT_EQ(g.to_cwg().total_volume(), g.total_bits());
+  // Every root has no predecessors; every sink no successors.
+  for (PacketId r : g.roots()) EXPECT_TRUE(g.predecessors(r).empty());
+  for (PacketId s : g.sinks()) EXPECT_TRUE(g.successors(s).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdcgPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace nocmap::graph

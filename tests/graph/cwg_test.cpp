@@ -1,0 +1,106 @@
+#include "nocmap/graph/cwg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace nocmap::graph {
+namespace {
+
+TEST(CwgTest, AddCoreReturnsDenseIds) {
+  Cwg cwg;
+  EXPECT_EQ(cwg.add_core("a"), 0u);
+  EXPECT_EQ(cwg.add_core("b"), 1u);
+  EXPECT_EQ(cwg.num_cores(), 2u);
+  EXPECT_EQ(cwg.name(0), "a");
+  EXPECT_EQ(cwg.name(1), "b");
+}
+
+TEST(CwgTest, TrafficAccumulates) {
+  Cwg cwg;
+  const CoreId a = cwg.add_core("a");
+  const CoreId b = cwg.add_core("b");
+  cwg.add_traffic(a, b, 10);
+  cwg.add_traffic(a, b, 5);
+  EXPECT_EQ(cwg.volume(a, b), 15u);
+  EXPECT_EQ(cwg.num_edges(), 1u);  // Still one edge.
+}
+
+TEST(CwgTest, DirectionsAreDistinct) {
+  Cwg cwg;
+  const CoreId a = cwg.add_core("a");
+  const CoreId b = cwg.add_core("b");
+  cwg.add_traffic(a, b, 10);
+  cwg.add_traffic(b, a, 3);
+  EXPECT_EQ(cwg.volume(a, b), 10u);
+  EXPECT_EQ(cwg.volume(b, a), 3u);
+  EXPECT_EQ(cwg.num_edges(), 2u);
+}
+
+TEST(CwgTest, MissingEdgeHasZeroVolume) {
+  Cwg cwg;
+  const CoreId a = cwg.add_core("a");
+  const CoreId b = cwg.add_core("b");
+  EXPECT_EQ(cwg.volume(a, b), 0u);
+}
+
+TEST(CwgTest, RejectsSelfLoopZeroBitsAndUnknownCores) {
+  Cwg cwg;
+  const CoreId a = cwg.add_core("a");
+  const CoreId b = cwg.add_core("b");
+  EXPECT_THROW(cwg.add_traffic(a, a, 1), std::invalid_argument);
+  EXPECT_THROW(cwg.add_traffic(a, b, 0), std::invalid_argument);
+  EXPECT_THROW(cwg.add_traffic(a, 99, 1), std::invalid_argument);
+  EXPECT_THROW(cwg.volume(99, a), std::invalid_argument);
+  EXPECT_THROW(cwg.name(99), std::invalid_argument);
+}
+
+TEST(CwgTest, TotalVolumeSumsAllEdges) {
+  Cwg cwg;
+  const CoreId a = cwg.add_core("a");
+  const CoreId b = cwg.add_core("b");
+  const CoreId c = cwg.add_core("c");
+  cwg.add_traffic(a, b, 10);
+  cwg.add_traffic(b, c, 20);
+  cwg.add_traffic(c, a, 30);
+  EXPECT_EQ(cwg.total_volume(), 60u);
+}
+
+TEST(CwgTest, EdgesAreSortedAndStable) {
+  Cwg cwg;
+  const CoreId a = cwg.add_core("a");
+  const CoreId b = cwg.add_core("b");
+  const CoreId c = cwg.add_core("c");
+  cwg.add_traffic(c, a, 1);
+  cwg.add_traffic(a, b, 2);
+  cwg.add_traffic(b, c, 3);
+  const auto edges = cwg.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (CwgEdge{a, b, 2}));
+  EXPECT_EQ(edges[1], (CwgEdge{b, c, 3}));
+  EXPECT_EQ(edges[2], (CwgEdge{c, a, 1}));
+}
+
+TEST(CwgTest, ConnectedCoresSkipsIsolated) {
+  Cwg cwg;
+  const CoreId a = cwg.add_core("a");
+  const CoreId b = cwg.add_core("b");
+  cwg.add_core("isolated");
+  cwg.add_traffic(a, b, 1);
+  const auto connected = cwg.connected_cores();
+  EXPECT_EQ(connected, (std::vector<CoreId>{a, b}));
+}
+
+TEST(CwgTest, DotContainsCoresAndWeights) {
+  Cwg cwg;
+  const CoreId a = cwg.add_core("alpha");
+  const CoreId b = cwg.add_core("beta");
+  cwg.add_traffic(a, b, 42);
+  const std::string dot = cwg.to_dot();
+  EXPECT_NE(dot.find("digraph CWG"), std::string::npos);
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"42\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nocmap::graph

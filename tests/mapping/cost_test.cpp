@@ -1,0 +1,83 @@
+#include "nocmap/mapping/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nocmap/workload/paper_example.hpp"
+
+namespace nocmap::mapping {
+namespace {
+
+class CostTest : public ::testing::Test {
+ protected:
+  CostTest()
+      : cdcg_(workload::paper_example_cdcg()),
+        cwg_(cdcg_.to_cwg()),
+        mesh_(workload::paper_example_mesh()),
+        tech_(energy::example_technology()) {}
+
+  graph::Cdcg cdcg_;
+  graph::Cwg cwg_;
+  noc::Mesh mesh_;
+  energy::Technology tech_;
+};
+
+TEST_F(CostTest, CwmCostMatchesFreeFunction) {
+  const CwmCost cost(cwg_, mesh_, tech_);
+  const Mapping m = workload::paper_mapping_a();
+  EXPECT_DOUBLE_EQ(cost.cost(m), cwm_dynamic_energy(cwg_, mesh_, m, tech_));
+  EXPECT_EQ(cost.name(), "CWM");
+  EXPECT_EQ(cost.num_cores(), 4u);
+}
+
+TEST_F(CostTest, CwmCostIsEquationThree) {
+  // Hand computation on mapping (a): AB 15*3, EA 35*3, BF 40*3, AF 15*5,
+  // FB 15*3 pJ = 390 pJ.
+  const CwmCost cost(cwg_, mesh_, tech_);
+  EXPECT_DOUBLE_EQ(cost.cost(workload::paper_mapping_a()), 390e-12);
+}
+
+TEST_F(CostTest, CwmCostDependsOnPlacementDistance) {
+  // Put the two heaviest communicators (B->F is 40 bits) far apart on a
+  // 1x4 strip and compare with adjacent placement.
+  const noc::Mesh strip(4, 1);
+  const CwmCost cost(cwg_, strip, tech_);
+  // A B E F on tiles: B and F adjacent.
+  const Mapping close = Mapping::from_assignment(strip, {0, 1, 3, 2});
+  // B and F at opposite ends.
+  const Mapping far = Mapping::from_assignment(strip, {1, 0, 2, 3});
+  EXPECT_LT(cost.cost(close), cost.cost(far));
+}
+
+TEST_F(CostTest, CwmCostIsRoutingAware) {
+  // On a 2x2, XY and YX give equal hop counts for every pair, so costs
+  // match; on a 3x3 with transposed placements they can differ only via
+  // route *length*, which is identical — so this checks the plumbing
+  // compiles and equal-K invariance holds.
+  const CwmCost xy(cwg_, mesh_, tech_, noc::RoutingAlgorithm::kXY);
+  const CwmCost yx(cwg_, mesh_, tech_, noc::RoutingAlgorithm::kYX);
+  const Mapping m = workload::paper_mapping_a();
+  EXPECT_DOUBLE_EQ(xy.cost(m), yx.cost(m));
+}
+
+TEST_F(CostTest, CdcmCostEvaluateAgreesWithCost) {
+  const CdcmCost cost(cdcg_, mesh_, tech_);
+  const Mapping m = workload::paper_mapping_b();
+  const sim::SimulationResult full = cost.evaluate(m);
+  EXPECT_DOUBLE_EQ(cost.cost(m), full.energy.total_j());
+  EXPECT_EQ(cost.name(), "CDCM");
+  EXPECT_EQ(cost.num_cores(), 4u);
+  // evaluate() records traces; cost() path does not, but scalars agree.
+  EXPECT_FALSE(full.occupancy.empty());
+}
+
+TEST_F(CostTest, CdcmSeparatesMappingsThatCwmCannot) {
+  const CwmCost cwm(cwg_, mesh_, tech_);
+  const CdcmCost cdcm(cdcg_, mesh_, tech_);
+  const Mapping a = workload::paper_mapping_a();
+  const Mapping b = workload::paper_mapping_b();
+  EXPECT_DOUBLE_EQ(cwm.cost(a), cwm.cost(b));  // CWM is blind (Figure 2).
+  EXPECT_GT(cdcm.cost(a), cdcm.cost(b));       // CDCM sees the contention.
+}
+
+}  // namespace
+}  // namespace nocmap::mapping

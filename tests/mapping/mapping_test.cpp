@@ -1,0 +1,129 @@
+#include "nocmap/mapping/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace nocmap::mapping {
+namespace {
+
+TEST(MappingTest, IdentityConstruction) {
+  const noc::Mesh mesh(3, 2);
+  const Mapping m(mesh, 4);
+  EXPECT_EQ(m.num_cores(), 4u);
+  EXPECT_EQ(m.num_tiles(), 6u);
+  for (graph::CoreId c = 0; c < 4; ++c) EXPECT_EQ(m.tile_of(c), c);
+  EXPECT_EQ(m.core_on(0), std::optional<graph::CoreId>{0});
+  EXPECT_EQ(m.core_on(4), std::nullopt);
+  EXPECT_EQ(m.core_on(5), std::nullopt);
+  EXPECT_TRUE(m.is_valid());
+}
+
+TEST(MappingTest, RejectsTooManyCoresAndZeroCores) {
+  const noc::Mesh mesh(2, 2);
+  EXPECT_THROW(Mapping(mesh, 5), std::invalid_argument);
+  EXPECT_THROW(Mapping(mesh, 0), std::invalid_argument);
+  EXPECT_NO_THROW(Mapping(mesh, 4));
+}
+
+TEST(MappingTest, SwapOccupiedTiles) {
+  const noc::Mesh mesh(2, 2);
+  Mapping m(mesh, 4);
+  m.swap_tiles(0, 3);
+  EXPECT_EQ(m.tile_of(0), 3u);
+  EXPECT_EQ(m.tile_of(3), 0u);
+  EXPECT_EQ(m.core_on(0), std::optional<graph::CoreId>{3});
+  EXPECT_EQ(m.core_on(3), std::optional<graph::CoreId>{0});
+  EXPECT_TRUE(m.is_valid());
+}
+
+TEST(MappingTest, SwapWithEmptyTileRelocates) {
+  const noc::Mesh mesh(3, 2);
+  Mapping m(mesh, 2);  // Tiles 2..5 empty.
+  m.swap_tiles(0, 5);
+  EXPECT_EQ(m.tile_of(0), 5u);
+  EXPECT_EQ(m.core_on(0), std::nullopt);
+  EXPECT_EQ(m.core_on(5), std::optional<graph::CoreId>{0});
+  EXPECT_TRUE(m.is_valid());
+}
+
+TEST(MappingTest, SwapEmptyWithEmptyIsNoOp) {
+  const noc::Mesh mesh(3, 2);
+  Mapping m(mesh, 2);
+  const Mapping before = m;
+  m.swap_tiles(3, 4);
+  EXPECT_EQ(m, before);
+}
+
+TEST(MappingTest, SwapSameTileIsNoOp) {
+  const noc::Mesh mesh(2, 2);
+  Mapping m(mesh, 4);
+  const Mapping before = m;
+  m.swap_tiles(2, 2);
+  EXPECT_EQ(m, before);
+}
+
+TEST(MappingTest, SwapOutOfRangeThrows) {
+  const noc::Mesh mesh(2, 2);
+  Mapping m(mesh, 2);
+  EXPECT_THROW(m.swap_tiles(0, 4), std::invalid_argument);
+}
+
+TEST(MappingTest, FromAssignmentRoundTrips) {
+  const noc::Mesh mesh(2, 2);
+  const Mapping m = Mapping::from_assignment(mesh, {1, 0, 3, 2});
+  EXPECT_EQ(m.tile_of(0), 1u);
+  EXPECT_EQ(m.tile_of(1), 0u);
+  EXPECT_EQ(m.tile_of(2), 3u);
+  EXPECT_EQ(m.tile_of(3), 2u);
+  EXPECT_TRUE(m.is_valid());
+}
+
+TEST(MappingTest, FromAssignmentRejectsDuplicatesAndOutOfRange) {
+  const noc::Mesh mesh(2, 2);
+  EXPECT_THROW(Mapping::from_assignment(mesh, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(Mapping::from_assignment(mesh, {0, 4}), std::invalid_argument);
+}
+
+TEST(MappingTest, RandomMappingIsValidAndSeedDeterministic) {
+  const noc::Mesh mesh(4, 4);
+  util::Rng rng1(7), rng2(7), rng3(8);
+  const Mapping a = Mapping::random(mesh, 10, rng1);
+  const Mapping b = Mapping::random(mesh, 10, rng2);
+  const Mapping c = Mapping::random(mesh, 10, rng3);
+  EXPECT_TRUE(a.is_valid());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // Overwhelmingly likely.
+  std::set<noc::TileId> tiles;
+  for (graph::CoreId core = 0; core < 10; ++core) {
+    tiles.insert(a.tile_of(core));
+  }
+  EXPECT_EQ(tiles.size(), 10u);  // Injective.
+}
+
+TEST(MappingTest, RandomMappingCoversAllTilesAcrossDraws) {
+  const noc::Mesh mesh(2, 2);
+  util::Rng rng(3);
+  std::set<noc::TileId> seen;
+  for (int i = 0; i < 64; ++i) {
+    seen.insert(Mapping::random(mesh, 1, rng).tile_of(0));
+  }
+  EXPECT_EQ(seen.size(), 4u);  // A single core lands everywhere eventually.
+}
+
+TEST(MappingTest, ToStringAndGrid) {
+  const noc::Mesh mesh(2, 2);
+  const Mapping m = Mapping::from_assignment(mesh, {1, 0, 3, 2});
+  EXPECT_EQ(m.to_string(), "[c0@t2 c1@t1 c2@t4 c3@t3]");
+  EXPECT_EQ(m.to_grid_string(), "c1\tc0\nc3\tc2");
+}
+
+TEST(MappingTest, GridShowsEmptyTiles) {
+  const noc::Mesh mesh(2, 2);
+  const Mapping m = Mapping::from_assignment(mesh, {2});
+  EXPECT_EQ(m.to_grid_string(), ".\t.\nc0\t.");
+}
+
+}  // namespace
+}  // namespace nocmap::mapping

@@ -1,0 +1,65 @@
+#include "nocmap/search/random_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nocmap/workload/paper_example.hpp"
+
+namespace nocmap::search {
+namespace {
+
+struct Fixture {
+  graph::Cdcg cdcg = workload::paper_example_cdcg();
+  noc::Mesh mesh = workload::paper_example_mesh();
+  energy::Technology tech = energy::example_technology();
+};
+
+TEST(RandomSearchTest, RejectsZeroSamples) {
+  Fixture f;
+  const mapping::CdcmCost cost(f.cdcg, f.mesh, f.tech);
+  util::Rng rng(1);
+  EXPECT_THROW(random_search(cost, f.mesh, rng, 0), std::invalid_argument);
+}
+
+TEST(RandomSearchTest, EvaluationCountMatchesBudget) {
+  Fixture f;
+  const mapping::CdcmCost cost(f.cdcg, f.mesh, f.tech);
+  util::Rng rng(1);
+  const SearchResult result = random_search(cost, f.mesh, rng, 37);
+  EXPECT_EQ(result.evaluations, 37u);
+  EXPECT_TRUE(result.best.is_valid());
+}
+
+TEST(RandomSearchTest, BestNeverWorseThanFirst) {
+  Fixture f;
+  const mapping::CdcmCost cost(f.cdcg, f.mesh, f.tech);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    util::Rng rng(seed);
+    const SearchResult result = random_search(cost, f.mesh, rng, 20);
+    EXPECT_LE(result.best_cost, result.initial_cost);
+  }
+}
+
+TEST(RandomSearchTest, ManySamplesFindTheOptimumOnTinySpace) {
+  // Only 24 distinct mappings exist on the 2x2: 200 random draws find the
+  // 399 pJ optimum with near certainty.
+  Fixture f;
+  const mapping::CdcmCost cost(f.cdcg, f.mesh, f.tech);
+  util::Rng rng(11);
+  const SearchResult result = random_search(cost, f.mesh, rng, 200);
+  EXPECT_DOUBLE_EQ(result.best_cost, 399e-12);
+}
+
+TEST(RandomSearchTest, DeterministicGivenSeed) {
+  Fixture f;
+  const mapping::CdcmCost cost(f.cdcg, f.mesh, f.tech);
+  util::Rng a(5), b(5);
+  const SearchResult ra = random_search(cost, f.mesh, a, 25);
+  const SearchResult rb = random_search(cost, f.mesh, b, 25);
+  EXPECT_EQ(ra.best, rb.best);
+  EXPECT_DOUBLE_EQ(ra.best_cost, rb.best_cost);
+}
+
+}  // namespace
+}  // namespace nocmap::search

@@ -1,0 +1,163 @@
+// Property-based invariants of the wormhole scheduler, checked on randomly
+// generated applications and mappings.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "nocmap/energy/energy_model.hpp"
+#include "nocmap/sim/schedule.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+
+namespace nocmap::sim {
+namespace {
+
+struct Instance {
+  graph::Cdcg cdcg;
+  noc::Mesh mesh;
+  mapping::Mapping mapping;
+  energy::Technology tech;
+};
+
+Instance make_instance(std::uint64_t seed) {
+  util::Rng rng(seed);
+  workload::RandomCdcgParams params;
+  // At most 9 cores so the application always fits the smallest (3x3) mesh.
+  params.num_cores = 4 + static_cast<std::uint32_t>(rng.index(6));
+  params.num_packets = params.num_cores + static_cast<std::uint32_t>(rng.index(50));
+  params.total_bits = params.num_packets * (1 + rng.index(300));
+  params.parallelism = 2.0 + rng.uniform01() * 4.0;
+  graph::Cdcg cdcg = workload::generate_random_cdcg(params, rng);
+
+  const std::uint32_t w = 3 + static_cast<std::uint32_t>(rng.index(2));
+  const std::uint32_t h = 3 + static_cast<std::uint32_t>(rng.index(2));
+  noc::Mesh mesh(w, h);
+  auto m = mapping::Mapping::random(mesh, params.num_cores, rng);
+  energy::Technology tech = energy::example_technology();
+  tech.flit_width_bits = 1 + static_cast<std::uint32_t>(rng.index(16));
+  return Instance{std::move(cdcg), mesh, std::move(m), tech};
+}
+
+class SimPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimPropertyTest, DeliveryNeverBeatsEquationEight) {
+  const Instance inst = make_instance(GetParam());
+  const auto result = simulate(inst.cdcg, inst.mesh, inst.mapping, inst.tech);
+  for (graph::PacketId p = 0; p < inst.cdcg.num_packets(); ++p) {
+    const PacketTrace& tr = result.packets[p];
+    const double lower = energy::total_packet_delay_ns(
+        inst.tech, tr.num_routers, inst.tech.flits(inst.cdcg.packet(p).bits));
+    // Equality iff uncontended; otherwise strictly slower.
+    if (tr.contention_ns == 0.0) {
+      ASSERT_DOUBLE_EQ(tr.delivered_ns - tr.inject_ns, lower) << "packet " << p;
+    } else {
+      ASSERT_NEAR(tr.delivered_ns - tr.inject_ns, lower + tr.contention_ns,
+                  1e-9)
+          << "packet " << p;
+    }
+  }
+}
+
+TEST_P(SimPropertyTest, InterRouterLinksAreExclusive) {
+  const Instance inst = make_instance(GetParam());
+  const auto result = simulate(inst.cdcg, inst.mesh, inst.mapping, inst.tech);
+  for (noc::ResourceId r = 0; r < result.occupancy.size(); ++r) {
+    noc::ResourceInfo info{};
+    try {
+      info = inst.mesh.describe(r);
+    } catch (const std::invalid_argument&) {
+      continue;  // Unallocated link slot.
+    }
+    if (info.kind != noc::ResourceKind::kLink) continue;
+    const auto& occ = result.occupancy[r];
+    for (std::size_t i = 1; i < occ.size(); ++i) {
+      // Sorted by start; each worm's tail leaves before the next header
+      // enters (tr >= 0 gap tolerated down to exact adjacency).
+      ASSERT_LE(occ[i - 1].end_ns, occ[i].start_ns + 1e-9)
+          << inst.mesh.resource_name(r);
+    }
+  }
+}
+
+TEST_P(SimPropertyTest, DependencesAreRespected) {
+  const Instance inst = make_instance(GetParam());
+  const auto result = simulate(inst.cdcg, inst.mesh, inst.mapping, inst.tech);
+  const double lambda = inst.tech.clock_period_ns;
+  for (graph::PacketId p = 0; p < inst.cdcg.num_packets(); ++p) {
+    const PacketTrace& tr = result.packets[p];
+    for (graph::PacketId pred : inst.cdcg.predecessors(p)) {
+      ASSERT_GE(tr.ready_ns, result.packets[pred].delivered_ns);
+    }
+    ASSERT_DOUBLE_EQ(
+        tr.inject_ns,
+        tr.ready_ns +
+            static_cast<double>(inst.cdcg.packet(p).comp_time) * lambda);
+    ASSERT_GE(tr.delivered_ns, tr.inject_ns);
+  }
+}
+
+TEST_P(SimPropertyTest, ExecutionTimeIsLastDelivery) {
+  const Instance inst = make_instance(GetParam());
+  const auto result = simulate(inst.cdcg, inst.mesh, inst.mapping, inst.tech);
+  double latest = 0.0;
+  for (const PacketTrace& tr : result.packets) {
+    latest = std::max(latest, tr.delivered_ns);
+  }
+  EXPECT_DOUBLE_EQ(result.texec_ns, latest);
+}
+
+TEST_P(SimPropertyTest, DynamicEnergyMatchesEquationFour) {
+  const Instance inst = make_instance(GetParam());
+  const auto result = simulate(inst.cdcg, inst.mesh, inst.mapping, inst.tech);
+  double expected = 0.0;
+  for (graph::PacketId p = 0; p < inst.cdcg.num_packets(); ++p) {
+    expected += energy::dynamic_packet_energy(
+        inst.tech, inst.cdcg.packet(p).bits, result.packets[p].num_routers);
+  }
+  EXPECT_NEAR(result.energy.dynamic_j, expected, expected * 1e-12);
+  EXPECT_DOUBLE_EQ(
+      result.energy.static_j,
+      energy::static_noc_energy(inst.tech, inst.mesh.num_tiles(),
+                                result.texec_ns));
+}
+
+TEST_P(SimPropertyTest, ContentionAccountingIsConsistent) {
+  const Instance inst = make_instance(GetParam());
+  const auto result = simulate(inst.cdcg, inst.mesh, inst.mapping, inst.tech);
+  double total = 0.0;
+  std::size_t contended = 0;
+  for (const PacketTrace& tr : result.packets) {
+    ASSERT_GE(tr.contention_ns, 0.0);
+    total += tr.contention_ns;
+    contended += (tr.contention_ns > 0.0);
+  }
+  EXPECT_NEAR(result.total_contention_ns, total, 1e-9);
+  EXPECT_EQ(result.num_contended_packets, contended);
+}
+
+TEST_P(SimPropertyTest, WiderLinksNeverSlowThingsDown) {
+  const Instance inst = make_instance(GetParam());
+  energy::Technology wide = inst.tech;
+  wide.flit_width_bits = inst.tech.flit_width_bits * 4;
+  const auto base = simulate(inst.cdcg, inst.mesh, inst.mapping, inst.tech);
+  const auto faster = simulate(inst.cdcg, inst.mesh, inst.mapping, wide);
+  EXPECT_LE(faster.texec_ns, base.texec_ns + 1e-9);
+}
+
+TEST_P(SimPropertyTest, StaticEnergyScalesWithLeakage) {
+  const Instance inst = make_instance(GetParam());
+  energy::Technology leaky = inst.tech;
+  leaky.p_srouter_j_per_ns *= 10.0;
+  const auto base = simulate(inst.cdcg, inst.mesh, inst.mapping, inst.tech);
+  const auto hot = simulate(inst.cdcg, inst.mesh, inst.mapping, leaky);
+  EXPECT_DOUBLE_EQ(hot.texec_ns, base.texec_ns);  // Timing unaffected.
+  EXPECT_DOUBLE_EQ(hot.energy.dynamic_j, base.energy.dynamic_j);
+  EXPECT_NEAR(hot.energy.static_j, base.energy.static_j * 10.0,
+              base.energy.static_j * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace nocmap::sim

@@ -1,0 +1,146 @@
+#include "nocmap/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace nocmap::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) differing += (a() != b());
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, SplitIsIndependentOfParentConsumption) {
+  // The child stream depends only on the parent state at split time.
+  Rng parent1(7);
+  Rng child1 = parent1.split();
+  Rng parent2(7);
+  Rng child2 = parent2.split();
+  (void)parent1();  // Consuming the parent later must not affect the child.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child1(), child2());
+}
+
+TEST(RngTest, SplitStreamDiffersFromParent) {
+  Rng parent(99);
+  Rng child = parent.split();
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) differing += (parent() != child());
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, UniformU64RespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, UniformU64DegenerateRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_u64(7, 7), 7u);
+}
+
+TEST(RngTest, UniformU64CoversFullRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_u64(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, IndexIsUnbiasedEnough) {
+  Rng rng(11);
+  std::map<std::size_t, int> histogram;
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.index(3)];
+  for (const auto& [value, count] : histogram) {
+    EXPECT_LT(value, 3u);
+    EXPECT_NEAR(count, kDraws / 3.0, kDraws * 0.02);
+  }
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRangeScales) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, PositiveWithMeanIsPositiveAndRoughlyCalibrated) {
+  Rng rng(23);
+  double sum = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t v = rng.positive_with_mean(8.0);
+    ASSERT_GE(v, 1u);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / kDraws, 8.0, 0.4);
+}
+
+TEST(RngTest, PositiveWithMeanOneIsAlwaysOne) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.positive_with_mean(1.0), 1u);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(31);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+  EXPECT_NE(v, shuffled);  // Astronomically unlikely to be identity.
+}
+
+TEST(RngTest, PermutationCoversAllIndices) {
+  Rng rng(37);
+  const auto p = rng.permutation(20);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(*seen.rbegin(), 19u);
+}
+
+TEST(RngTest, PermutationOfZeroAndOne) {
+  Rng rng(41);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  EXPECT_EQ(rng.permutation(1), std::vector<std::size_t>{0});
+}
+
+}  // namespace
+}  // namespace nocmap::util

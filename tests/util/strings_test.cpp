@@ -1,0 +1,42 @@
+#include "nocmap/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocmap::util {
+namespace {
+
+TEST(StringsTest, FormatFixed) {
+  EXPECT_EQ(format_fixed(1.2345, 2), "1.23");
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(StringsTest, FormatPercent) {
+  EXPECT_EQ(format_percent(0.4), "40.0 %");
+  EXPECT_EQ(format_percent(0.0065, 2), "0.65 %");
+  EXPECT_EQ(format_percent(1.0, 0), "100 %");
+}
+
+TEST(StringsTest, FormatGrouped) {
+  EXPECT_EQ(format_grouped(0), "0");
+  EXPECT_EQ(format_grouped(999), "999");
+  EXPECT_EQ(format_grouped(1000), "1,000");
+  EXPECT_EQ(format_grouped(680006120), "680,006,120");
+}
+
+TEST(StringsTest, FormatEnergyPicksUnit) {
+  EXPECT_EQ(format_energy_j(390e-12), "390.000 pJ");
+  EXPECT_EQ(format_energy_j(1.5e-9), "1.500 nJ");
+  EXPECT_EQ(format_energy_j(2e-6), "2.000 uJ");
+  EXPECT_EQ(format_energy_j(0.0), "0.000 pJ");
+}
+
+TEST(StringsTest, FormatTimePicksUnit) {
+  EXPECT_EQ(format_time_ns(90), "90.000 ns");
+  EXPECT_EQ(format_time_ns(1500), "1.500 us");
+  EXPECT_EQ(format_time_ns(2.5e6), "2.500 ms");
+  EXPECT_EQ(format_time_ns(3e9), "3.000 s");
+}
+
+}  // namespace
+}  // namespace nocmap::util

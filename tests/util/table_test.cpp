@@ -1,0 +1,79 @@
+#include "nocmap/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace nocmap::util {
+namespace {
+
+TEST(TextTableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTableTest, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"NoC", "ETR"});
+  t.add_row({"3 x 2", "36 %"});
+  t.add_row({"12 x 10", "48 %"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| NoC     | ETR  |"), std::string::npos);
+  EXPECT_NE(s.find("| 3 x 2   | 36 % |"), std::string::npos);
+  EXPECT_NE(s.find("| 12 x 10 | 48 % |"), std::string::npos);
+}
+
+TEST(TextTableTest, TitleIsPrinted) {
+  TextTable t({"x"});
+  t.set_title("Table 2");
+  EXPECT_EQ(t.to_string().rfind("Table 2\n", 0), 0u);
+}
+
+TEST(TextTableTest, SeparatorProducesRule) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  // Header rule + separator + closing rule = at least 4 '+--' lines.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = s.find("+---", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4);
+}
+
+TEST(TextTableTest, CsvEscapesSpecialCells) {
+  TextTable t({"name", "value"});
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "quote\"inside"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\",\"quote\"\"inside\"\n"),
+            std::string::npos);
+}
+
+TEST(TextTableTest, CsvSkipsSeparators) {
+  TextTable t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  EXPECT_EQ(t.to_csv(), "a\n1\n2\n");
+}
+
+TEST(TextTableTest, NumRowsCountsDataAndSeparators) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1"});
+  t.add_separator();
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace nocmap::util

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nocmap/workload/fft.hpp"
+#include "nocmap/workload/image_encoder.hpp"
+#include "nocmap/workload/object_recognition.hpp"
+#include "nocmap/workload/romberg.hpp"
+
+namespace nocmap::workload {
+namespace {
+
+// --- Romberg ----------------------------------------------------------------
+
+TEST(RombergTest, Variant1MatchesTable1Row) {
+  RombergParams p;  // Defaults are variant 1.
+  const graph::Cdcg g = romberg_app(p);
+  EXPECT_EQ(g.num_cores(), 5u);
+  EXPECT_EQ(g.num_packets(), 43u);
+  EXPECT_EQ(g.total_bits(), 78817u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(RombergTest, Variant2MatchesTable1Row) {
+  RombergParams p;
+  p.rounds = 1;
+  p.extrapolation_packets = 0;
+  p.total_bits = 1600;
+  const graph::Cdcg g = romberg_app(p);
+  EXPECT_EQ(g.num_cores(), 5u);
+  EXPECT_EQ(g.num_packets(), 16u);
+  EXPECT_EQ(g.total_bits(), 1600u);
+}
+
+TEST(RombergTest, InitialTasksAreTheOnlyRoots) {
+  RombergParams p;
+  const graph::Cdcg g = romberg_app(p);
+  EXPECT_EQ(g.roots().size(), p.workers);
+  for (graph::PacketId r : g.roots()) {
+    EXPECT_EQ(g.packet(r).src, 0u);  // Master is core 0.
+  }
+}
+
+TEST(RombergTest, RingAndStarStructure) {
+  RombergParams p;
+  const graph::Cdcg g = romberg_app(p);
+  // Per round: every worker sends one small ring packet to its neighbour
+  // and one bulk sum to the master (core 0).
+  int ring_packets = 0, star_packets = 0;
+  std::uint64_t ring_bits = 0, star_bits = 0;
+  for (graph::PacketId i = 0; i < g.num_packets(); ++i) {
+    const graph::Packet& pk = g.packet(i);
+    if (pk.src != 0 && pk.dst != 0) {
+      ++ring_packets;
+      ring_bits += pk.bits;
+    } else if (pk.dst == 0) {
+      ++star_packets;
+      star_bits += pk.bits;
+    }
+  }
+  EXPECT_EQ(ring_packets, 16);  // 4 workers x 4 rounds.
+  EXPECT_GE(star_packets, 20);  // 16 sums + 4 gathers (+ extrapolation).
+  // The star carries the bulk of the volume; the ring is control-sized.
+  EXPECT_GT(star_bits, 5 * ring_bits);
+}
+
+TEST(RombergTest, RingNeighboursAreCyclic) {
+  RombergParams p;
+  const graph::Cdcg g = romberg_app(p);
+  // Worker w (core w+1) sends its ring packets to worker (w+1)%4.
+  for (graph::PacketId i = 0; i < g.num_packets(); ++i) {
+    const graph::Packet& pk = g.packet(i);
+    if (pk.src != 0 && pk.dst != 0) {
+      const std::uint32_t w = pk.src - 1;
+      EXPECT_EQ(pk.dst, 1 + (w + 1) % p.workers);
+    }
+  }
+}
+
+TEST(RombergTest, ParameterValidation) {
+  RombergParams p;
+  p.workers = 1;  // The boundary exchange needs a ring of >= 2 workers.
+  EXPECT_THROW(romberg_app(p), std::invalid_argument);
+  p = RombergParams{};
+  p.rounds = 0;
+  EXPECT_THROW(romberg_app(p), std::invalid_argument);
+}
+
+// --- FFT --------------------------------------------------------------------
+
+TEST(FftTest, Variant1MatchesTable1Row) {
+  FftParams p;  // Shared IO, 4 outputs.
+  const graph::Cdcg g = fft8_app(p);
+  EXPECT_EQ(g.num_cores(), 9u);
+  EXPECT_EQ(g.num_packets(), 18u);
+  EXPECT_EQ(g.total_bits(), 1860u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(FftTest, Variant2MatchesTable1Row) {
+  FftParams p;
+  p.split_io = true;
+  p.output_packets = 1;
+  p.total_bits = 3100;
+  const graph::Cdcg g = fft8_app(p);
+  EXPECT_EQ(g.num_cores(), 10u);
+  EXPECT_EQ(g.num_packets(), 15u);
+  EXPECT_EQ(g.total_bits(), 3100u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(FftTest, ButterflyStructure) {
+  FftParams p;
+  const graph::Cdcg g = fft8_app(p);
+  // The two input packets are the only roots.
+  EXPECT_EQ(g.roots().size(), 2u);
+  // 12 butterfly packets between the 8 compute cores (ids 0..7).
+  int butterflies = 0;
+  for (graph::PacketId i = 0; i < g.num_packets(); ++i) {
+    const graph::Packet& pk = g.packet(i);
+    if (pk.src < 8 && pk.dst < 8) ++butterflies;
+  }
+  EXPECT_EQ(butterflies, 12);
+  // Every butterfly core participates.
+  std::set<graph::CoreId> used;
+  for (graph::PacketId i = 0; i < g.num_packets(); ++i) {
+    used.insert(g.packet(i).src);
+    used.insert(g.packet(i).dst);
+  }
+  EXPECT_GE(used.size(), 9u);
+}
+
+TEST(FftTest, OutputPacketRangeIsChecked) {
+  FftParams p;
+  p.output_packets = 0;
+  EXPECT_THROW(fft8_app(p), std::invalid_argument);
+  p.output_packets = 5;
+  EXPECT_THROW(fft8_app(p), std::invalid_argument);
+}
+
+// --- Object recognition ------------------------------------------------------
+
+TEST(ObjectRecognitionTest, Variant1MatchesTable1Row) {
+  ObjectRecognitionParams p;  // Linear pipeline defaults.
+  const graph::Cdcg g = object_recognition_app(p);
+  EXPECT_EQ(g.num_cores(), 6u);
+  EXPECT_EQ(g.num_packets(), 43u);
+  EXPECT_EQ(g.total_bits(), 49003u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(ObjectRecognitionTest, Variant2MatchesTable1Row) {
+  ObjectRecognitionParams p;
+  p.split_pipeline = true;
+  p.frames = 4;
+  p.total_bits = 43120;
+  const graph::Cdcg g = object_recognition_app(p);
+  EXPECT_EQ(g.num_cores(), 9u);
+  EXPECT_EQ(g.num_packets(), 32u);
+  EXPECT_EQ(g.total_bits(), 43120u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(ObjectRecognitionTest, PipelineShrinksDataDownstream) {
+  ObjectRecognitionParams p;
+  const graph::Cdcg g = object_recognition_app(p);
+  // Within one frame, each stage carries fewer bits than the previous one.
+  for (int s = 1; s < 5; ++s) {
+    EXPECT_LT(g.packet(s).bits, g.packet(s - 1).bits);
+  }
+}
+
+TEST(ObjectRecognitionTest, RateControlLoopGatesFrameFourLater) {
+  ObjectRecognitionParams p;
+  const graph::Cdcg g = object_recognition_app(p);
+  // Frame f is packets 6f..6f+5 (raw, window, objects, trajectory, ack,
+  // writeback). Double buffering per camera: frame 4's raw (packet 24)
+  // depends on frame 0's ack (packet 4).
+  const auto& preds = g.predecessors(24);
+  EXPECT_NE(std::find(preds.begin(), preds.end(), 4u), preds.end());
+  // Frames 0..3 are ungated (the pipeline ramps up at full rate).
+  EXPECT_TRUE(g.predecessors(0).empty());
+  EXPECT_TRUE(g.predecessors(6).empty());
+  // The ack is control-sized.
+  EXPECT_LE(g.packet(4).bits, g.packet(0).bits / 8);
+}
+
+TEST(ObjectRecognitionTest, ParameterValidation) {
+  ObjectRecognitionParams p;
+  p.frames = 1;
+  EXPECT_THROW(object_recognition_app(p), std::invalid_argument);
+  p = ObjectRecognitionParams{};
+  p.split_pipeline = true;
+  p.frames = 2;
+  EXPECT_THROW(object_recognition_app(p), std::invalid_argument);
+}
+
+// --- Image encoder ------------------------------------------------------------
+
+TEST(ImageEncoderTest, Variant1MatchesTable1Row) {
+  ImageEncoderParams p;  // Single lane defaults.
+  const graph::Cdcg g = image_encoder_app(p);
+  EXPECT_EQ(g.num_cores(), 7u);
+  EXPECT_EQ(g.num_packets(), 33u);
+  EXPECT_EQ(g.total_bits(), 23235u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(ImageEncoderTest, Variant2MatchesTable1Row) {
+  ImageEncoderParams p;
+  p.dual_lane = true;
+  p.blocks = 10;
+  p.total_bits = 23244;
+  const graph::Cdcg g = image_encoder_app(p);
+  EXPECT_EQ(g.num_cores(), 9u);
+  EXPECT_EQ(g.num_packets(), 51u);
+  EXPECT_EQ(g.total_bits(), 23244u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(ImageEncoderTest, BothScannersFeedTheSharedDct) {
+  ImageEncoderParams p;  // Variant 1: scanA=0, scanB=1, dct=2.
+  const graph::Cdcg g = image_encoder_app(p);
+  int from_scan_a = 0, from_scan_b = 0;
+  for (graph::PacketId i = 0; i < g.num_packets(); ++i) {
+    const graph::Packet& pk = g.packet(i);
+    if (pk.dst != 2) continue;
+    if (pk.src == 0) ++from_scan_a;
+    if (pk.src == 1) ++from_scan_b;
+  }
+  EXPECT_EQ(from_scan_a, 4);
+  EXPECT_EQ(from_scan_b, 4);
+}
+
+TEST(ImageEncoderTest, ControlLoopThrottlesScannerB) {
+  ImageEncoderParams p;
+  const graph::Cdcg g = image_encoder_app(p);
+  // The controller (core 6) sends tiny throttles to scanner B (core 1), and
+  // a later stripe of scanner B depends on one of them.
+  bool found_gated_scan = false;
+  int throttles = 0;
+  for (graph::PacketId i = 0; i < g.num_packets(); ++i) {
+    const graph::Packet& pk = g.packet(i);
+    if (pk.src != 6) continue;
+    ++throttles;
+    EXPECT_EQ(pk.dst, 1u);
+    for (graph::PacketId s : g.successors(i)) {
+      found_gated_scan |= (g.packet(s).src == 1);
+    }
+  }
+  EXPECT_EQ(throttles, 2);  // blk % 4 == 3 out of 8 blocks.
+  EXPECT_TRUE(found_gated_scan);
+}
+
+TEST(ImageEncoderTest, FinalPacketFlushesToMemory) {
+  ImageEncoderParams p;
+  const graph::Cdcg g = image_encoder_app(p);
+  const graph::Packet& last =
+      g.packet(static_cast<graph::PacketId>(g.num_packets() - 1));
+  EXPECT_EQ(last.src, 4u);  // vlc in variant 1.
+  EXPECT_EQ(last.dst, 5u);  // memory in variant 1.
+}
+
+TEST(ImageEncoderTest, QuantTableReloadClosesATriangle) {
+  ImageEncoderParams p;  // quant=3, vlc=4, memory=5 in variant 1.
+  const graph::Cdcg g = image_encoder_app(p);
+  const graph::Cwg cwg = g.to_cwg();
+  // quant -> vlc -> memory -> quant is an odd cycle: on a bipartite mesh
+  // one of these edges must span more than one hop (see the builder docs).
+  EXPECT_GT(cwg.volume(3, 4), 0u);
+  EXPECT_GT(cwg.volume(4, 5), 0u);
+  EXPECT_GT(cwg.volume(5, 3), 0u);
+}
+
+TEST(ImageEncoderTest, ParameterValidation) {
+  ImageEncoderParams p;
+  p.blocks = 3;
+  EXPECT_THROW(image_encoder_app(p), std::invalid_argument);
+}
+
+// All builders produce deterministic graphs (no hidden randomness).
+TEST(EmbeddedAppsTest, BuildersAreDeterministic) {
+  const graph::Cdcg a = romberg_app(RombergParams{});
+  const graph::Cdcg b = romberg_app(RombergParams{});
+  ASSERT_EQ(a.num_packets(), b.num_packets());
+  for (graph::PacketId i = 0; i < a.num_packets(); ++i) {
+    EXPECT_EQ(a.packet(i), b.packet(i));
+  }
+}
+
+}  // namespace
+}  // namespace nocmap::workload

@@ -1,0 +1,120 @@
+#include "nocmap/workload/random_cdcg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace nocmap::workload {
+namespace {
+
+TEST(RandomCdcgTest, ParameterValidation) {
+  util::Rng rng(1);
+  RandomCdcgParams p;
+  p.num_cores = 1;
+  EXPECT_THROW(generate_random_cdcg(p, rng), std::invalid_argument);
+  p = RandomCdcgParams{};
+  p.num_packets = p.num_cores - 1;
+  EXPECT_THROW(generate_random_cdcg(p, rng), std::invalid_argument);
+  p = RandomCdcgParams{};
+  p.total_bits = p.num_packets - 1;
+  EXPECT_THROW(generate_random_cdcg(p, rng), std::invalid_argument);
+  p = RandomCdcgParams{};
+  p.parallelism = 0.5;
+  EXPECT_THROW(generate_random_cdcg(p, rng), std::invalid_argument);
+  p = RandomCdcgParams{};
+  p.hotspot_fraction = 1.5;
+  EXPECT_THROW(generate_random_cdcg(p, rng), std::invalid_argument);
+}
+
+TEST(RandomCdcgTest, DeterministicGivenSeed) {
+  RandomCdcgParams p;
+  util::Rng a(99), b(99);
+  const graph::Cdcg ga = generate_random_cdcg(p, a);
+  const graph::Cdcg gb = generate_random_cdcg(p, b);
+  ASSERT_EQ(ga.num_packets(), gb.num_packets());
+  for (graph::PacketId i = 0; i < ga.num_packets(); ++i) {
+    EXPECT_EQ(ga.packet(i), gb.packet(i));
+    EXPECT_EQ(ga.successors(i), gb.successors(i));
+  }
+}
+
+TEST(RandomCdcgTest, DifferentSeedsGiveDifferentGraphs) {
+  RandomCdcgParams p;
+  util::Rng a(1), b(2);
+  const graph::Cdcg ga = generate_random_cdcg(p, a);
+  const graph::Cdcg gb = generate_random_cdcg(p, b);
+  bool any_difference = ga.num_dependences() != gb.num_dependences();
+  for (graph::PacketId i = 0; !any_difference && i < ga.num_packets(); ++i) {
+    any_difference = !(ga.packet(i) == gb.packet(i));
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RandomCdcgTest, TinyEdgeCaseTwoCores) {
+  RandomCdcgParams p;
+  p.num_cores = 2;
+  p.num_packets = 2;
+  p.total_bits = 2;
+  util::Rng rng(3);
+  const graph::Cdcg g = generate_random_cdcg(p, rng);
+  EXPECT_EQ(g.num_cores(), 2u);
+  EXPECT_EQ(g.num_packets(), 2u);
+  EXPECT_EQ(g.total_bits(), 2u);
+}
+
+// Property sweep: exact statistics and structural invariants per seed.
+class RandomCdcgPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCdcgPropertyTest, ExactStatisticsAndInvariants) {
+  util::Rng rng(GetParam());
+  RandomCdcgParams p;
+  p.num_cores = 3 + static_cast<std::uint32_t>(rng.index(20));
+  p.num_packets = p.num_cores + static_cast<std::uint32_t>(rng.index(100));
+  p.total_bits = p.num_packets + rng.index(1000000);
+  p.hotspot_fraction = rng.uniform01();
+  p.parallelism = 1.0 + rng.uniform01() * 7.0;
+
+  const graph::Cdcg g = generate_random_cdcg(p, rng);
+
+  // Exact Table-1-style statistics.
+  EXPECT_EQ(g.num_cores(), p.num_cores);
+  EXPECT_EQ(g.num_packets(), p.num_packets);
+  EXPECT_EQ(g.total_bits(), p.total_bits);
+
+  // Structurally sound: acyclic and fully connected (validate throws
+  // otherwise).
+  EXPECT_NO_THROW(g.validate());
+
+  // Every packet carries at least one bit.
+  for (graph::PacketId i = 0; i < g.num_packets(); ++i) {
+    EXPECT_GE(g.packet(i).bits, 1u);
+  }
+
+  // Every core participates.
+  std::set<graph::CoreId> used;
+  for (graph::PacketId i = 0; i < g.num_packets(); ++i) {
+    used.insert(g.packet(i).src);
+    used.insert(g.packet(i).dst);
+  }
+  EXPECT_EQ(used.size(), p.num_cores);
+
+  // Receive-compute-send: every non-root packet has a predecessor whose
+  // destination is the packet's source.
+  for (graph::PacketId i = 0; i < g.num_packets(); ++i) {
+    const auto& preds = g.predecessors(i);
+    if (preds.empty()) continue;
+    bool has_data_parent = false;
+    for (graph::PacketId pr : preds) {
+      has_data_parent |= (g.packet(pr).dst == g.packet(i).src);
+    }
+    EXPECT_TRUE(has_data_parent) << "packet " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCdcgPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace nocmap::workload
