@@ -37,7 +37,13 @@ struct Packet {
                                 ///< period lambda during evaluation).
   std::uint64_t bits = 0;  ///< w_abq: packet payload size in bits.
 
-  friend bool operator==(const Packet&, const Packet&) = default;
+  friend bool operator==(const Packet& a, const Packet& b) {
+    return a.src == b.src && a.dst == b.dst && a.comp_time == b.comp_time &&
+           a.bits == b.bits;
+  }
+  friend bool operator!=(const Packet& a, const Packet& b) {
+    return !(a == b);
+  }
 };
 
 /// Communication Dependence and Computation Graph.

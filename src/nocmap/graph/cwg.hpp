@@ -26,7 +26,12 @@ struct CwgEdge {
   CoreId dst = 0;
   std::uint64_t bits = 0;
 
-  friend bool operator==(const CwgEdge&, const CwgEdge&) = default;
+  friend bool operator==(const CwgEdge& a, const CwgEdge& b) {
+    return a.src == b.src && a.dst == b.dst && a.bits == b.bits;
+  }
+  friend bool operator!=(const CwgEdge& a, const CwgEdge& b) {
+    return !(a == b);
+  }
 };
 
 /// Communication Weighted Graph.

@@ -59,7 +59,13 @@ class Mapping {
   /// Multi-line grid: one row per mesh row, each cell the core index or '.'.
   std::string to_grid_string() const;
 
-  friend bool operator==(const Mapping&, const Mapping&) = default;
+  friend bool operator==(const Mapping& a, const Mapping& b) {
+    return a.mesh_width_ == b.mesh_width_ && a.num_tiles_ == b.num_tiles_ &&
+           a.core_to_tile_ == b.core_to_tile_;
+  }
+  friend bool operator!=(const Mapping& a, const Mapping& b) {
+    return !(a == b);
+  }
 
  private:
   std::uint32_t mesh_width_;

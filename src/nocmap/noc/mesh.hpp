@@ -34,7 +34,10 @@ using ResourceId = std::uint32_t;
 struct Coord {
   std::int32_t x = 0;
   std::int32_t y = 0;
-  friend bool operator==(const Coord&, const Coord&) = default;
+  friend bool operator==(const Coord& a, const Coord& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const Coord& a, const Coord& b) { return !(a == b); }
 };
 
 /// What a ResourceId refers to; used by annotation/reporting code.

@@ -1,0 +1,575 @@
+/// \file nocmap_cli.cpp
+/// The `nocmap` command-line driver.
+///
+/// One binary wrapping the FRW exploration flow (core::Explorer) and the
+/// Table-1 workload suite behind four subcommands:
+///
+///   nocmap explore    optimize one workload under CWM and CDCM and compare
+///   nocmap bench      run the Table-1 suite, print Table-2-style ETR/ECS rows
+///   nocmap workloads  list the built-in workloads and their statistics
+///   nocmap sweep      repeat explore over a seed range and aggregate
+///
+/// Every subcommand renders through util::TextTable and switches to CSV with
+/// --csv, so results pipe straight into plotting scripts. Exit codes: 0 on
+/// success, 1 on a runtime failure, 2 on a usage error.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nocmap/nocmap.hpp"
+
+namespace {
+
+using namespace nocmap;
+
+/// Thrown on bad argv; main() prints the message plus a usage hint, exits 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+constexpr const char* kTopUsage =
+    R"(nocmap — energy- and timing-aware NoC mapping (Marcon et al., DATE 2005)
+
+Usage: nocmap <subcommand> [options]
+
+Subcommands:
+  explore     Optimize one workload under the CWM (Equation 3) and CDCM
+              (Equation 10) objectives and compare both mappings with the
+              ground-truth wormhole simulator (ETR / ECS).
+  bench       Run the paper's 18-application Table-1 suite and print
+              Table-2-style ETR/ECS rows.
+  workloads   List the built-in workloads (Table-1 statistics).
+  sweep       Repeat explore over a range of seeds and aggregate.
+
+Global:
+  -h, --help     Show this message (or subcommand help after a subcommand).
+  --version      Print the library version.
+
+Run `nocmap <subcommand> --help` for per-subcommand options.
+)";
+
+constexpr const char* kExploreUsage =
+    R"(Usage: nocmap explore [options]
+
+Optimize one workload under both application models and report the
+execution-time reduction (ETR) and energy-consumption saving (ECS) of the
+timing-aware CDCM mapping over the volume-only CWM mapping.
+
+Options:
+  --workload NAME   Workload to map (default: paper-example). NAME is
+                    "paper-example", any `nocmap workloads` suite name
+                    (e.g. romberg-v1, random-big-2), or "random" to generate
+                    a fresh random CDCG (see --cores/--packets/--bits).
+  --mesh WxH        Mesh size, e.g. 4x4 (default: the workload's own size;
+                    2x2 for paper-example).
+  --tech NAME       Technology preset: example | 0.35u | 0.07u
+                    (default: example for paper-example, 0.07u otherwise).
+  --method NAME     Search method: auto | sa | es (default: auto — ES when
+                    the symmetry-pruned space is small, SA otherwise).
+  --routing NAME    Routing algorithm: xy | yx | west-first (default: xy).
+  --seed N          RNG seed driving the SA runs (default: 1).
+  --no-seed-cdcm    Do not seed the CDCM search with the CWM winner.
+  --cores N         (--workload random) number of cores (default: 8).
+  --packets N       (--workload random) number of packets (default: 32).
+  --bits N          (--workload random) total bit volume (default: 4096).
+  --csv             Emit CSV instead of aligned text tables.
+  -h, --help        Show this message.
+)";
+
+constexpr const char* kBenchUsage =
+    R"(Usage: nocmap bench [options]
+
+Run the full Table-1 suite (or one NoC size of it) through the Explorer and
+print one ETR/ECS row per application — the reproduction of Table 2.
+
+Options:
+  --noc WxH         Only the applications of one NoC size (e.g. 3x2, 10x10).
+  --tech NAME       Technology preset: example | 0.35u | 0.07u
+                    (default: 0.07u).
+  --method NAME     Search method: auto | sa | es (default: auto).
+  --routing NAME    Routing algorithm: xy | yx | west-first (default: xy).
+  --seed N          RNG seed driving the SA runs (default: 1).
+  --csv             Emit CSV instead of aligned text tables.
+  -h, --help        Show this message.
+)";
+
+constexpr const char* kWorkloadsUsage =
+    R"(Usage: nocmap workloads [options]
+
+List the built-in Table-1 suite: application name, target NoC size, and the
+core / packet / bit-volume statistics the paper reports.
+
+Options:
+  --csv             Emit CSV instead of an aligned text table.
+  -h, --help        Show this message.
+)";
+
+constexpr const char* kSweepUsage =
+    R"(Usage: nocmap sweep [options]
+
+Run `explore` once per seed in [--seed, --seed + --seeds) and aggregate the
+ETR/ECS spread — the cheap way to separate model effects from search noise.
+
+Options:
+  --seeds N         Number of seeds to run (default: 5).
+  --seed N          First seed (default: 1).
+  All `nocmap explore` workload/mesh/tech/method/routing options apply.
+  --csv             Emit CSV instead of aligned text tables.
+  -h, --help        Show this message.
+)";
+
+// --- Option parsing ----------------------------------------------------------
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
+  // Digits only: std::stoull alone would wrap "-1" to UINT64_MAX.
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    throw UsageError(flag + " expects a non-negative integer, got '" + value +
+                     "'");
+  }
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    throw UsageError(flag + " value out of range: '" + value + "'");
+  }
+}
+
+/// "4x4", "4X4" or "4 x 4" -> (4, 4).
+std::pair<std::uint32_t, std::uint32_t> parse_mesh(const std::string& flag,
+                                                   const std::string& value) {
+  std::string s;
+  for (char c : value) {
+    if (c == ' ') continue;
+    s.push_back(c == 'X' ? 'x' : c);
+  }
+  std::size_t sep = s.find('x');
+  if (sep == std::string::npos || sep == 0 || sep + 1 == s.size()) {
+    throw UsageError(flag + " expects WxH (e.g. 4x4), got '" + value + "'");
+  }
+  auto w = parse_u64(flag, s.substr(0, sep));
+  auto h = parse_u64(flag, s.substr(sep + 1));
+  // Bound each dimension before any uint32 narrowing, and the tile count to
+  // something a mapping search could conceivably handle.
+  constexpr std::uint64_t kMaxTiles = 1'000'000;
+  if (w > kMaxTiles || h > kMaxTiles || w * h > kMaxTiles) {
+    throw UsageError(flag + " mesh too large (at most 1,000,000 tiles), got '" +
+                     value + "'");
+  }
+  if (w == 0 || h == 0 || w * h < 2) {
+    throw UsageError(flag + " needs at least two tiles, got '" + value + "'");
+  }
+  return {static_cast<std::uint32_t>(w), static_cast<std::uint32_t>(h)};
+}
+
+energy::Technology parse_tech(const std::string& value) {
+  if (value == "example") return energy::example_technology();
+  if (value == "0.35u" || value == "0.35") return energy::technology_0_35u();
+  if (value == "0.07u" || value == "0.07") return energy::technology_0_07u();
+  throw UsageError("--tech expects example | 0.35u | 0.07u, got '" + value +
+                   "'");
+}
+
+core::SearchMethod parse_method(const std::string& value) {
+  if (value == "auto") return core::SearchMethod::kAuto;
+  if (value == "sa") return core::SearchMethod::kSimulatedAnnealing;
+  if (value == "es") return core::SearchMethod::kExhaustive;
+  throw UsageError("--method expects auto | sa | es, got '" + value + "'");
+}
+
+noc::RoutingAlgorithm parse_routing(const std::string& value) {
+  if (value == "xy") return noc::RoutingAlgorithm::kXY;
+  if (value == "yx") return noc::RoutingAlgorithm::kYX;
+  if (value == "west-first") return noc::RoutingAlgorithm::kWestFirst;
+  throw UsageError("--routing expects xy | yx | west-first, got '" + value +
+                   "'");
+}
+
+/// Options shared by explore / bench / sweep.
+struct RunOptions {
+  std::string workload = "paper-example";
+  std::optional<std::pair<std::uint32_t, std::uint32_t>> mesh;
+  std::optional<energy::Technology> tech;
+  core::SearchMethod method = core::SearchMethod::kAuto;
+  noc::RoutingAlgorithm routing = noc::RoutingAlgorithm::kXY;
+  std::uint64_t seed = 1;
+  bool seed_cdcm_with_cwm = true;
+  std::uint64_t random_cores = 8;
+  std::uint64_t random_packets = 32;
+  std::uint64_t random_bits = 4096;
+  std::optional<std::string> noc_filter;  // bench only
+  std::uint64_t num_seeds = 5;            // sweep only
+  bool csv = false;
+};
+
+/// Parse argv[2..] for a subcommand. `usage` is printed for -h/--help;
+/// `allowed` is the set of flags this subcommand actually consumes — anything
+/// else is a usage error rather than a silently ignored no-op.
+RunOptions parse_run_options(int argc, char** argv, const char* usage,
+                             const std::vector<std::string>& allowed) {
+  RunOptions opts;
+  auto value = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) throw UsageError(flag + " expects a value");
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "-h" || a == "--help") {
+      std::cout << usage;
+      std::exit(0);
+    }
+    if (a != "--csv" &&
+        std::find(allowed.begin(), allowed.end(), a) == allowed.end()) {
+      std::string hint = "option '" + a + "' is not valid for `nocmap " +
+                         std::string(argv[1]) + "`";
+      throw UsageError(hint);
+    }
+    if (a == "--workload") {
+      opts.workload = value(i, a);
+    } else if (a == "--mesh") {
+      opts.mesh = parse_mesh(a, value(i, a));
+    } else if (a == "--tech") {
+      opts.tech = parse_tech(value(i, a));
+    } else if (a == "--method") {
+      opts.method = parse_method(value(i, a));
+    } else if (a == "--routing") {
+      opts.routing = parse_routing(value(i, a));
+    } else if (a == "--seed") {
+      opts.seed = parse_u64(a, value(i, a));
+    } else if (a == "--seeds") {
+      opts.num_seeds = parse_u64(a, value(i, a));
+      if (opts.num_seeds == 0) throw UsageError("--seeds must be >= 1");
+    } else if (a == "--no-seed-cdcm") {
+      opts.seed_cdcm_with_cwm = false;
+    } else if (a == "--cores") {
+      opts.random_cores = parse_u64(a, value(i, a));
+    } else if (a == "--packets") {
+      opts.random_packets = parse_u64(a, value(i, a));
+    } else if (a == "--bits") {
+      opts.random_bits = parse_u64(a, value(i, a));
+    } else if (a == "--noc") {
+      auto wh = parse_mesh(a, value(i, a));
+      opts.noc_filter =
+          std::to_string(wh.first) + " x " + std::to_string(wh.second);
+    } else if (a == "--csv") {
+      opts.csv = true;
+    } else {
+      throw UsageError("unknown option '" + a + "'");
+    }
+  }
+  return opts;
+}
+
+// --- Workload resolution -----------------------------------------------------
+
+/// A workload bound to its target mesh, ready for the Explorer.
+struct BoundWorkload {
+  std::string name;
+  graph::Cdcg cdcg;
+  noc::Mesh mesh;
+  energy::Technology tech;
+};
+
+BoundWorkload resolve_workload(const RunOptions& opts) {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  graph::Cdcg cdcg;
+  energy::Technology default_tech = energy::technology_0_07u();
+
+  if (opts.workload == "paper-example") {
+    cdcg = workload::paper_example_cdcg();
+    width = 2;
+    height = 2;
+    default_tech = energy::example_technology();
+  } else if (opts.workload == "random") {
+    constexpr std::uint64_t kMaxRandomSize = 1'000'000;
+    if (opts.random_cores > kMaxRandomSize ||
+        opts.random_packets > kMaxRandomSize) {
+      throw UsageError("--cores/--packets are limited to 1,000,000");
+    }
+    workload::RandomCdcgParams params;
+    params.num_cores = static_cast<std::uint32_t>(opts.random_cores);
+    params.num_packets = static_cast<std::uint32_t>(opts.random_packets);
+    params.total_bits = opts.random_bits;
+    util::Rng rng(opts.seed);
+    cdcg = workload::generate_random_cdcg(params, rng);
+    // Smallest near-square mesh that fits the cores.
+    std::uint32_t tiles = params.num_cores < 2 ? 2 : params.num_cores;
+    width = 1;
+    while (width * width < tiles) ++width;
+    height = (tiles + width - 1) / width;
+  } else {
+    bool found = false;
+    for (workload::SuiteEntry& e : workload::table1_suite()) {
+      if (e.name == opts.workload) {
+        cdcg = std::move(e.cdcg);
+        width = e.noc_width;
+        height = e.noc_height;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw UsageError("unknown workload '" + opts.workload +
+                       "' (see `nocmap workloads`)");
+    }
+  }
+
+  if (opts.mesh) {
+    width = opts.mesh->first;
+    height = opts.mesh->second;
+  }
+  if (cdcg.num_cores() > static_cast<std::size_t>(width) * height) {
+    throw UsageError("workload '" + opts.workload + "' has " +
+                     std::to_string(cdcg.num_cores()) +
+                     " cores but the mesh only has " +
+                     std::to_string(width * height) + " tiles");
+  }
+  return BoundWorkload{opts.workload, std::move(cdcg), noc::Mesh(width, height),
+                       opts.tech ? *opts.tech : default_tech};
+}
+
+core::ExplorerOptions explorer_options(const RunOptions& opts,
+                                       const energy::Technology& tech) {
+  core::ExplorerOptions eo;
+  eo.tech = tech;
+  eo.routing = opts.routing;
+  eo.method = opts.method;
+  eo.seed = opts.seed;
+  eo.seed_cdcm_with_cwm = opts.seed_cdcm_with_cwm;
+  return eo;
+}
+
+void print_table(const util::TextTable& table, bool csv) {
+  std::cout << (csv ? table.to_csv() : table.to_string());
+}
+
+/// Cell formatting that adapts to the output mode: human units in table
+/// mode, raw machine-parseable numbers in CSV mode (units move into the
+/// header via head()).
+class Fmt {
+ public:
+  explicit Fmt(bool csv) : csv_(csv) {}
+
+  std::string head(const std::string& plain, const std::string& unit) const {
+    return csv_ ? plain + "_" + unit : plain;
+  }
+  std::string count(std::uint64_t v) const {
+    return csv_ ? std::to_string(v) : util::format_grouped(v);
+  }
+  std::string energy(double joule) const {
+    if (!csv_) return util::format_energy_j(joule);
+    std::ostringstream os;
+    os.precision(9);
+    os << joule;
+    return os.str();
+  }
+  std::string time(double ns) const {
+    return csv_ ? util::format_fixed(ns, 3) : util::format_time_ns(ns);
+  }
+  std::string percent(double fraction) const {
+    return csv_ ? util::format_fixed(fraction * 100.0, 2)
+                : util::format_percent(fraction);
+  }
+
+ private:
+  bool csv_;
+};
+
+// --- Subcommands -------------------------------------------------------------
+
+int cmd_explore(const RunOptions& opts) {
+  BoundWorkload wl = resolve_workload(opts);
+  core::Explorer explorer(wl.cdcg, wl.mesh, explorer_options(opts, wl.tech));
+  core::Comparison cmp = explorer.compare();
+  Fmt fmt(opts.csv);
+
+  util::TextTable table(
+      {"Model", "Method", "Evaluations", fmt.head("Objective", "J"),
+       fmt.head("Texec", "ns"), fmt.head("Dynamic E", "J"),
+       fmt.head("Static E", "J"), fmt.head("Total E", "J"),
+       fmt.head("Contention", "ns")});
+  table.set_title("nocmap explore — " + wl.name + " on " +
+                  std::to_string(wl.mesh.width()) + "x" +
+                  std::to_string(wl.mesh.height()) + ", " + wl.tech.name);
+  for (const core::ModelOutcome* outcome : {&cmp.cwm, &cmp.cdcm}) {
+    table.add_row({outcome->model, outcome->used_exhaustive ? "ES" : "SA",
+                   fmt.count(outcome->evaluations),
+                   fmt.energy(outcome->objective_j),
+                   fmt.time(outcome->sim.texec_ns),
+                   fmt.energy(outcome->sim.energy.dynamic_j),
+                   fmt.energy(outcome->sim.energy.static_j),
+                   fmt.energy(outcome->sim.energy.total_j()),
+                   fmt.time(outcome->sim.total_contention_ns)});
+  }
+  print_table(table, opts.csv);
+
+  util::TextTable summary({"Metric", fmt.head("Value", "pct")});
+  summary.add_row({"ETR (execution-time reduction)",
+                   fmt.percent(cmp.execution_time_reduction())});
+  summary.add_row({"ECS (energy saving, " + wl.tech.name + ")",
+                   fmt.percent(cmp.energy_saving())});
+  print_table(summary, opts.csv);
+  return 0;
+}
+
+int cmd_bench(const RunOptions& opts) {
+  std::vector<workload::SuiteEntry> suite =
+      opts.noc_filter ? workload::table1_suite_for(*opts.noc_filter)
+                      : workload::table1_suite();
+  energy::Technology tech = opts.tech ? *opts.tech : energy::technology_0_07u();
+
+  Fmt fmt(opts.csv);
+  util::TextTable table({"Application", "NoC", "Cores", "Packets", "Bits",
+                         "Method", fmt.head("ETR", "pct"),
+                         fmt.head("ECS", "pct")});
+  table.set_title("nocmap bench — Table-1 suite, " + tech.name);
+
+  std::string current_size;
+  for (const workload::SuiteEntry& entry : suite) {
+    if (!current_size.empty() && entry.noc_size_label() != current_size) {
+      table.add_separator();
+    }
+    current_size = entry.noc_size_label();
+
+    noc::Mesh mesh(entry.noc_width, entry.noc_height);
+    core::Explorer explorer(entry.cdcg, mesh, explorer_options(opts, tech));
+    core::Comparison cmp = explorer.compare();
+    table.add_row({entry.name, entry.noc_size_label(),
+                   std::to_string(entry.paper_cores),
+                   std::to_string(entry.paper_packets),
+                   fmt.count(entry.paper_bits),
+                   cmp.cdcm.used_exhaustive ? "ES" : "SA",
+                   fmt.percent(cmp.execution_time_reduction()),
+                   fmt.percent(cmp.energy_saving())});
+  }
+  print_table(table, opts.csv);
+  return 0;
+}
+
+int cmd_workloads(const RunOptions& opts) {
+  Fmt fmt(opts.csv);
+  util::TextTable table(
+      {"Name", "NoC", "Cores", "Packets", "Bits", "ES feasible"});
+  table.set_title("nocmap workloads — the Table-1 suite");
+  {
+    graph::Cdcg example = workload::paper_example_cdcg();
+    table.add_row({"paper-example", "2 x 2",
+                   std::to_string(example.num_cores()),
+                   std::to_string(example.num_packets()),
+                   fmt.count(example.total_bits()), "yes"});
+    table.add_separator();
+  }
+  for (const workload::SuiteEntry& entry : workload::table1_suite()) {
+    table.add_row({entry.name, entry.noc_size_label(),
+                   std::to_string(entry.paper_cores),
+                   std::to_string(entry.paper_packets),
+                   fmt.count(entry.paper_bits),
+                   workload::small_enough_for_exhaustive(entry.noc_width,
+                                                         entry.noc_height)
+                       ? "yes"
+                       : "no"});
+  }
+  print_table(table, opts.csv);
+  return 0;
+}
+
+int cmd_sweep(const RunOptions& opts) {
+  BoundWorkload wl = resolve_workload(opts);
+  Fmt fmt(opts.csv);
+
+  util::TextTable table({"Seed", "Method", fmt.head("CWM Texec", "ns"),
+                         fmt.head("CDCM Texec", "ns"), fmt.head("ETR", "pct"),
+                         fmt.head("ECS", "pct")});
+  table.set_title("nocmap sweep — " + wl.name + " on " +
+                  std::to_string(wl.mesh.width()) + "x" +
+                  std::to_string(wl.mesh.height()) + ", " + wl.tech.name +
+                  ", " + std::to_string(opts.num_seeds) + " seeds");
+
+  double etr_sum = 0.0, etr_min = 0.0, etr_max = 0.0;
+  double ecs_sum = 0.0;
+  for (std::uint64_t k = 0; k < opts.num_seeds; ++k) {
+    RunOptions run = opts;
+    run.seed = opts.seed + k;
+    core::Explorer explorer(wl.cdcg, wl.mesh, explorer_options(run, wl.tech));
+    core::Comparison cmp = explorer.compare();
+    double etr = cmp.execution_time_reduction();
+    double ecs = cmp.energy_saving();
+    etr_sum += etr;
+    ecs_sum += ecs;
+    if (k == 0 || etr < etr_min) etr_min = etr;
+    if (k == 0 || etr > etr_max) etr_max = etr;
+    table.add_row({std::to_string(run.seed),
+                   cmp.cdcm.used_exhaustive ? "ES" : "SA",
+                   fmt.time(cmp.cwm.sim.texec_ns),
+                   fmt.time(cmp.cdcm.sim.texec_ns), fmt.percent(etr),
+                   fmt.percent(ecs)});
+  }
+  print_table(table, opts.csv);
+
+  double n = static_cast<double>(opts.num_seeds);
+  util::TextTable summary({"Metric", fmt.head("Value", "pct")});
+  summary.add_row({"mean ETR", fmt.percent(etr_sum / n)});
+  summary.add_row({"min ETR", fmt.percent(etr_min)});
+  summary.add_row({"max ETR", fmt.percent(etr_max)});
+  summary.add_row({"mean ECS", fmt.percent(ecs_sum / n)});
+  print_table(summary, opts.csv);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << kTopUsage;
+    return 2;
+  }
+  std::string sub = argv[1];
+  try {
+    if (sub == "-h" || sub == "--help" || sub == "help") {
+      std::cout << kTopUsage;
+      return 0;
+    }
+    if (sub == "--version") {
+      std::cout << "nocmap 0.1.0 (Marcon et al., DATE 2005 reproduction)\n";
+      return 0;
+    }
+    const std::vector<std::string> explore_flags = {
+        "--workload", "--mesh",          "--tech",  "--method",  "--routing",
+        "--seed",     "--no-seed-cdcm",  "--cores", "--packets", "--bits"};
+    if (sub == "explore") {
+      return cmd_explore(
+          parse_run_options(argc, argv, kExploreUsage, explore_flags));
+    }
+    if (sub == "bench") {
+      return cmd_bench(parse_run_options(
+          argc, argv, kBenchUsage,
+          {"--noc", "--tech", "--method", "--routing", "--seed"}));
+    }
+    if (sub == "workloads") {
+      return cmd_workloads(parse_run_options(argc, argv, kWorkloadsUsage, {}));
+    }
+    if (sub == "sweep") {
+      std::vector<std::string> sweep_flags = explore_flags;
+      sweep_flags.push_back("--seeds");
+      return cmd_sweep(
+          parse_run_options(argc, argv, kSweepUsage, sweep_flags));
+    }
+    throw UsageError("unknown subcommand '" + sub + "'");
+  } catch (const UsageError& e) {
+    std::cerr << "nocmap: " << e.what() << "\n\n"
+              << "Run `nocmap --help` for usage.\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "nocmap: error: " << e.what() << "\n";
+    return 1;
+  }
+}
