@@ -1,0 +1,91 @@
+/// \file bench_cost_eval.cpp
+/// Evaluation-engine microbenchmark: evaluations/second for the CWM
+/// objective (legacy full recompute vs hop-table full vs incremental delta)
+/// and the CDCM objective (one-shot simulate() vs reusable Simulator arena)
+/// across square meshes, plus a heap-allocation probe that verifies
+/// Simulator::run() allocates nothing in the steady state.
+///
+/// Usage: bench_cost_eval [--quick] [--max-mesh N] [--out FILE]
+///
+/// Writes the JSON report (default BENCH_eval.json, the file tracked at the
+/// repo root) and prints a summary table.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+
+#include "nocmap/core/eval_bench.hpp"
+
+// --- Global allocation probe -------------------------------------------------
+// Counts every heap allocation in the process; eval_bench snapshots the
+// counter around steady-state Simulator::run() batches.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+int main(int argc, char** argv) {
+  nocmap::core::EvalBenchOptions options;
+  options.min_time_s = 0.25;
+  options.alloc_count = &allocation_count;
+  std::string out_path = "BENCH_eval.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.min_time_s = 0.05;
+      options.max_mesh = 5;
+    } else if (arg == "--max-mesh" && i + 1 < argc) {
+      options.max_mesh = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_cost_eval [--quick] [--max-mesh N] "
+                   "[--out FILE]\n";
+      return 2;
+    }
+  }
+
+  const nocmap::core::EvalBenchReport report =
+      nocmap::core::run_eval_bench(options);
+
+  std::printf("%-6s %14s %14s %14s %9s %12s %12s %8s %7s\n", "mesh",
+              "cwm_legacy/s", "cwm_full/s", "cwm_delta/s", "speedup",
+              "cdcm_1shot/s", "cdcm_reuse/s", "speedup", "allocs");
+  for (const nocmap::core::EvalBenchRow& r : report.rows) {
+    std::printf("%ux%-4u %14.0f %14.0f %14.0f %8.1fx %12.0f %12.0f %7.1fx %7lld\n",
+                r.mesh_width, r.mesh_height, r.cwm_legacy_per_s,
+                r.cwm_full_per_s, r.cwm_delta_per_s, r.cwm_delta_speedup(),
+                r.cdcm_oneshot_per_s, r.cdcm_reuse_per_s,
+                r.cdcm_reuse_speedup(),
+                static_cast<long long>(r.cdcm_allocs_per_run));
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_cost_eval: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << report.to_json();
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

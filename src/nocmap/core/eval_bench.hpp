@@ -1,0 +1,68 @@
+#pragma once
+/// \file eval_bench.hpp
+/// Microbenchmark of the evaluation engine: evaluations/second for the CWM
+/// and CDCM objectives under swap-move search, across a range of mesh sizes.
+///
+/// Three CWM variants are timed — the seed-era full recompute that walks
+/// compute_route() per edge (kept here as the baseline), the hop-table full
+/// evaluation, and the incremental swap-delta protocol — plus two CDCM
+/// variants: the one-shot sim::simulate() wrapper (pays arena construction
+/// per call) and the reusable Simulator::run() arena. The report serializes
+/// to the JSON tracked as BENCH_eval.json at the repo root, so successive
+/// PRs can follow the perf trajectory.
+///
+/// Used by bench/bench_cost_eval.cpp (full budgets, allocation probe) and by
+/// `nocmap bench --perf` (quick budgets, CI smoke).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nocmap::core {
+
+struct EvalBenchOptions {
+  std::uint32_t min_mesh = 3;   ///< Smallest (square) mesh side.
+  std::uint32_t max_mesh = 8;   ///< Largest (square) mesh side.
+  double min_time_s = 0.2;      ///< Wall-clock budget per measurement.
+  std::uint64_t seed = 1;       ///< Workload + move-sequence seed.
+  /// Optional live allocation counter (global operator-new hook installed by
+  /// the calling binary). When set, the benchmark reports the number of
+  /// heap allocations per steady-state Simulator::run(); when null the
+  /// field is reported as -1 (not measured).
+  std::uint64_t (*alloc_count)() = nullptr;
+};
+
+/// One mesh size's measurements. Rates are evaluations per second.
+struct EvalBenchRow {
+  std::uint32_t mesh_width = 0;
+  std::uint32_t mesh_height = 0;
+  std::uint32_t num_cores = 0;
+  std::uint32_t num_packets = 0;
+  double cwm_legacy_per_s = 0.0;   ///< Seed path: compute_route per edge.
+  double cwm_full_per_s = 0.0;     ///< Hop-table full evaluation.
+  double cwm_delta_per_s = 0.0;    ///< swap_delta + apply_swap.
+  double cdcm_oneshot_per_s = 0.0; ///< sim::simulate() per evaluation.
+  double cdcm_reuse_per_s = 0.0;   ///< Simulator::run() arena reuse.
+  std::int64_t cdcm_allocs_per_run = -1;  ///< -1 when not measured.
+
+  double cwm_delta_speedup() const {
+    return cwm_legacy_per_s > 0 ? cwm_delta_per_s / cwm_legacy_per_s : 0.0;
+  }
+  double cdcm_reuse_speedup() const {
+    return cdcm_oneshot_per_s > 0 ? cdcm_reuse_per_s / cdcm_oneshot_per_s
+                                  : 0.0;
+  }
+};
+
+struct EvalBenchReport {
+  std::vector<EvalBenchRow> rows;
+
+  /// Pretty-printed JSON document ({"bench": "eval_engine", "rows": [...]}).
+  std::string to_json() const;
+};
+
+/// Run the microbenchmark. Deterministic workloads and move sequences per
+/// options.seed; timings are wall-clock, of course, not deterministic.
+EvalBenchReport run_eval_bench(const EvalBenchOptions& options = {});
+
+}  // namespace nocmap::core

@@ -1,8 +1,31 @@
 #include "nocmap/core/explorer.hpp"
 
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 namespace nocmap::core {
+
+namespace {
+
+/// RNG stream of chain `chain` under `seed`. Chain 0 is Rng(seed) itself so
+/// single-chain runs reproduce the historical sequences; other chains hash
+/// the seed through SplitMix64 *before* mixing in the chain index, so the
+/// streams are decorrelated both across chains and across nearby seeds
+/// (hashing seed + chain directly would make (s, c+1) and (s+1, c)
+/// collide — adjacent rows of a seed sweep would share whole chains).
+util::Rng chain_rng(std::uint64_t seed, std::uint32_t chain) {
+  if (chain == 0) return util::Rng(seed);
+  util::Rng outer(seed);
+  util::Rng inner(outer() + chain);
+  return inner.split();
+}
+
+}  // namespace
 
 Explorer::Explorer(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
                    ExplorerOptions options)
@@ -22,7 +45,62 @@ bool Explorer::would_use_exhaustive() const {
   return placements / group <= options_.es_auto_threshold;
 }
 
-ModelOutcome Explorer::run(const mapping::CostFunction& cost,
+search::SearchResult Explorer::run_sa_chains(
+    const CostFactory& make_cost, const mapping::Mapping* sa_initial) const {
+  const std::uint32_t chains = std::max<std::uint32_t>(1, options_.sa_chains);
+  std::vector<std::optional<search::SearchResult>> results(chains);
+
+  auto run_chain = [&](std::uint32_t chain) {
+    const std::unique_ptr<mapping::CostFunction> cost = make_cost();
+    util::Rng rng = chain_rng(options_.seed, chain);
+    results[chain] =
+        search::anneal(*cost, mesh_, rng, options_.sa, sa_initial);
+  };
+
+  const std::uint32_t workers =
+      std::min(std::max<std::uint32_t>(1, options_.threads), chains);
+  if (workers <= 1) {
+    for (std::uint32_t chain = 0; chain < chains; ++chain) run_chain(chain);
+  } else {
+    std::atomic<std::uint32_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::uint32_t chain = next.fetch_add(1);
+          if (chain >= chains) return;
+          try {
+            run_chain(chain);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // Best of N; ties break to the lowest chain index, so the winner depends
+  // only on (seed, chains). Evaluations aggregate the whole ensemble's work.
+  std::size_t winner = 0;
+  std::uint64_t total_evaluations = 0;
+  for (std::size_t chain = 0; chain < chains; ++chain) {
+    total_evaluations += results[chain]->evaluations;
+    if (results[chain]->best_cost < results[winner]->best_cost) {
+      winner = chain;
+    }
+  }
+  search::SearchResult best = std::move(*results[winner]);
+  best.evaluations = total_evaluations;
+  return best;
+}
+
+ModelOutcome Explorer::run(const CostFactory& make_cost,
                            const std::string& model,
                            const mapping::Mapping* sa_initial) const {
   const bool exhaustive =
@@ -31,10 +109,10 @@ ModelOutcome Explorer::run(const mapping::CostFunction& cost,
 
   search::SearchResult sr = [&] {
     if (exhaustive) {
-      return search::exhaustive_search(cost, mesh_, options_.es);
+      const std::unique_ptr<mapping::CostFunction> cost = make_cost();
+      return search::exhaustive_search(*cost, mesh_, options_.es);
     }
-    util::Rng rng(options_.seed);
-    return search::anneal(cost, mesh_, rng, options_.sa, sa_initial);
+    return run_sa_chains(make_cost, sa_initial);
   }();
 
   ModelOutcome outcome{model, sr.best, sr.best_cost, {}, sr.evaluations,
@@ -47,13 +125,21 @@ ModelOutcome Explorer::run(const mapping::CostFunction& cost,
 }
 
 ModelOutcome Explorer::optimize_cwm() const {
-  const mapping::CwmCost cost(cwg_, mesh_, options_.tech, options_.routing);
-  return run(cost, "CWM");
+  return run(
+      [this] {
+        return std::make_unique<mapping::CwmCost>(cwg_, mesh_, options_.tech,
+                                                  options_.routing);
+      },
+      "CWM");
 }
 
 ModelOutcome Explorer::optimize_cdcm() const {
-  const mapping::CdcmCost cost(cdcg_, mesh_, options_.tech, options_.routing);
-  return run(cost, "CDCM");
+  return run(
+      [this] {
+        return std::make_unique<mapping::CdcmCost>(cdcg_, mesh_, options_.tech,
+                                                   options_.routing);
+      },
+      "CDCM");
 }
 
 Comparison Explorer::compare() const {
@@ -61,8 +147,12 @@ Comparison Explorer::compare() const {
   if (!options_.seed_cdcm_with_cwm) {
     return Comparison{std::move(cwm), optimize_cdcm()};
   }
-  const mapping::CdcmCost cost(cdcg_, mesh_, options_.tech, options_.routing);
-  ModelOutcome cdcm = run(cost, "CDCM", &cwm.mapping);
+  ModelOutcome cdcm = run(
+      [this] {
+        return std::make_unique<mapping::CdcmCost>(cdcg_, mesh_, options_.tech,
+                                                   options_.routing);
+      },
+      "CDCM", &cwm.mapping);
   return Comparison{std::move(cwm), std::move(cdcm)};
 }
 

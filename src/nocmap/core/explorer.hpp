@@ -16,6 +16,8 @@
 /// were applied, depending on the NoC size").
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "nocmap/energy/technology.hpp"
@@ -48,6 +50,18 @@ struct ExplorerOptions {
   /// search noise alone). Disable for fully independent random starts.
   bool seed_cdcm_with_cwm = true;
   std::uint64_t seed = 1;  ///< Drives the SA runs (initial mapping + moves).
+  /// Independent SA chains per model (best-of-N restarts). Chain 0 draws
+  /// from Rng(seed) — so sa_chains == 1 reproduces the single-chain
+  /// behaviour exactly — and chain i > 0 from a stream hashed out of
+  /// (seed, i). The lowest-cost chain wins, ties broken by chain index, so
+  /// the outcome depends only on (seed, sa_chains), never on `threads`.
+  std::uint32_t sa_chains = 1;
+  /// Worker threads running the SA chains (and available to callers like
+  /// the CLI bench for application-level parallelism). Each worker owns its
+  /// cost function — and hence its own simulator arena — so no evaluation
+  /// state is shared. Purely a throughput knob: results are identical for
+  /// any value. 0 is treated as 1.
+  std::uint32_t threads = 1;
 };
 
 /// The outcome of optimizing one model.
@@ -97,8 +111,15 @@ class Explorer {
   const graph::Cwg& cwg() const { return cwg_; }
 
  private:
-  ModelOutcome run(const mapping::CostFunction& cost, const std::string& model,
+  /// Builds one cost-function instance per search worker (cost functions own
+  /// mutable evaluation arenas and are not shared across threads).
+  using CostFactory =
+      std::function<std::unique_ptr<mapping::CostFunction>()>;
+
+  ModelOutcome run(const CostFactory& make_cost, const std::string& model,
                    const mapping::Mapping* sa_initial = nullptr) const;
+  search::SearchResult run_sa_chains(const CostFactory& make_cost,
+                                     const mapping::Mapping* sa_initial) const;
 
   const graph::Cdcg& cdcg_;
   const noc::Mesh& mesh_;

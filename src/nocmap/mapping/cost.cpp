@@ -1,28 +1,89 @@
 #include "nocmap/mapping/cost.hpp"
 
+#include <stdexcept>
+
 #include "nocmap/energy/energy_model.hpp"
 
 namespace nocmap::mapping {
 
+double CostFunction::swap_delta(const Mapping&, noc::TileId,
+                                noc::TileId) const {
+  throw std::logic_error("swap_delta: not implemented by " + name());
+}
+
+void CostFunction::apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const {
+  m.swap_tiles(a, b);
+}
+
 CwmCost::CwmCost(const graph::Cwg& cwg, const noc::Mesh& mesh,
                  const energy::Technology& tech, noc::RoutingAlgorithm routing)
     : edges_(cwg.edges()),
-      mesh_(mesh),
+      incident_(cwg.num_cores()),
+      table_(mesh, routing),
       tech_(tech),
       routing_(routing),
       num_cores_(cwg.num_cores()) {
   tech_.validate();
+  for (const graph::CwgEdge& e : edges_) {
+    incident_[e.src].push_back(IncidentEdge{e.dst, e.bits, /*outgoing=*/true});
+    incident_[e.dst].push_back(IncidentEdge{e.src, e.bits, /*outgoing=*/false});
+  }
 }
 
 double CwmCost::cost(const Mapping& m) const {
   double energy_j = 0.0;
   for (const graph::CwgEdge& e : edges_) {
-    const noc::Route route = noc::compute_route(
-        mesh_, m.tile_of(e.src), m.tile_of(e.dst), routing_);
-    energy_j +=
-        energy::dynamic_packet_energy(tech_, e.bits, route.num_routers());
+    const std::uint32_t k = table_.hops(m.tile_of(e.src), m.tile_of(e.dst));
+    energy_j += energy::dynamic_packet_energy(tech_, e.bits, k);
   }
   return energy_j;
+}
+
+// Repricing of one incident edge when its `core`-side endpoint moves from
+// tile `from` to tile `to` (the far endpoint stays put).
+double CwmCost::edge_delta(const Mapping& m, const IncidentEdge& e,
+                           noc::TileId from, noc::TileId to) const {
+  const noc::TileId far = m.tile_of(e.other);
+  const std::uint32_t k_old =
+      e.outgoing ? table_.hops(from, far) : table_.hops(far, from);
+  const std::uint32_t k_new =
+      e.outgoing ? table_.hops(to, far) : table_.hops(far, to);
+  if (k_old == k_new) return 0.0;
+  return energy::dynamic_packet_energy(tech_, e.bits, k_new) -
+         energy::dynamic_packet_energy(tech_, e.bits, k_old);
+}
+
+double CwmCost::swap_delta(const Mapping& m, noc::TileId a,
+                           noc::TileId b) const {
+  if (a == b) return 0.0;
+  const std::optional<graph::CoreId> ca = m.core_on(a);
+  const std::optional<graph::CoreId> cb = m.core_on(b);
+  double delta = 0.0;
+  if (ca) {
+    for (const IncidentEdge& e : incident_[*ca]) {
+      if (cb && e.other == *cb) {
+        // Both endpoints move: a<->b. Reprice the edge with both new tiles.
+        const std::uint32_t k_old =
+            e.outgoing ? table_.hops(a, b) : table_.hops(b, a);
+        const std::uint32_t k_new =
+            e.outgoing ? table_.hops(b, a) : table_.hops(a, b);
+        if (k_old != k_new) {
+          delta += energy::dynamic_packet_energy(tech_, e.bits, k_new) -
+                   energy::dynamic_packet_energy(tech_, e.bits, k_old);
+        }
+        continue;
+      }
+      delta += edge_delta(m, e, a, b);
+    }
+  }
+  if (cb) {
+    for (const IncidentEdge& e : incident_[*cb]) {
+      // ca<->cb edges were fully repriced in the loop above.
+      if (ca && e.other == *ca) continue;
+      delta += edge_delta(m, e, b, a);
+    }
+  }
+  return delta;
 }
 
 double cwm_dynamic_energy(const graph::Cwg& cwg, const noc::Mesh& mesh,
@@ -37,20 +98,20 @@ CdcmCost::CdcmCost(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
     : cdcg_(cdcg), mesh_(mesh), tech_(tech), routing_(routing) {
   tech_.validate();
   cdcg_.validate(/*require_connected=*/false);
+  sim::SimOptions options;
+  options.routing = routing_;
+  options.record_traces = true;  // Only honoured by the traced path.
+  simulator_ =
+      std::make_unique<sim::Simulator>(cdcg_, mesh_, tech_, options);
 }
 
 double CdcmCost::cost(const Mapping& m) const {
-  sim::SimOptions options;
-  options.routing = routing_;
-  options.record_traces = false;  // Scalars only in the search loop.
-  return sim::simulate(cdcg_, mesh_, m, tech_, options).energy.total_j();
+  // Scalar arena run: no traces, no allocations in the steady state.
+  return simulator_->run(m).energy.total_j();
 }
 
 sim::SimulationResult CdcmCost::evaluate(const Mapping& m) const {
-  sim::SimOptions options;
-  options.routing = routing_;
-  options.record_traces = true;
-  return sim::simulate(cdcg_, mesh_, m, tech_, options);
+  return simulator_->run_traced(m);
 }
 
 }  // namespace nocmap::mapping

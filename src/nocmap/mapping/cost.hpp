@@ -12,6 +12,12 @@
 ///  * CdcmCost — the CDCM objective, Equation 10: total (static + dynamic)
 ///    NoC energy obtained by scheduling the CDCG on the mapped NoC with the
 ///    wormhole simulator, which also yields texec and contention.
+///
+/// Both implementations are allocation-free per evaluation: CwmCost prices
+/// routes through a precomputed hop table (noc::RouteTable), and CdcmCost
+/// owns a reusable sim::Simulator arena. CwmCost additionally implements the
+/// incremental swap-delta protocol below, which simulated annealing uses to
+/// price a move in O(deg(a) + deg(b)) instead of O(|E|).
 
 #include <cstdint>
 #include <memory>
@@ -22,14 +28,19 @@
 #include "nocmap/graph/cwg.hpp"
 #include "nocmap/mapping/mapping.hpp"
 #include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/route_table.hpp"
 #include "nocmap/noc/routing.hpp"
-#include "nocmap/sim/schedule.hpp"
+#include "nocmap/sim/simulator.hpp"
 
 namespace nocmap::mapping {
 
 /// Abstract mapping objective. Implementations must be pure functions of the
 /// mapping (given their bound application/NoC/technology), so search engines
 /// may cache and compare costs freely.
+///
+/// Objects are not required to be thread-safe across concurrent cost() calls
+/// (CdcmCost mutates its simulator arena); parallel searches construct one
+/// cost function per worker.
 class CostFunction {
  public:
   virtual ~CostFunction() = default;
@@ -43,12 +54,38 @@ class CostFunction {
   /// Number of cores of the bound application (the search engines need it
   /// to build candidate mappings).
   virtual std::size_t num_cores() const = 0;
+
+  // --- Incremental (delta) evaluation --------------------------------------
+  //
+  // Implementations that can price the canonical swap move faster than a
+  // full cost() advertise it via has_swap_delta(); search engines then drive
+  // the hot loop as
+  //     double d = f.swap_delta(m, a, b);   // m is NOT modified
+  //     if (accept) f.apply_swap(m, a, b);  // commit the move
+  // and maintain the running cost as `cost += d`, resynchronizing with a
+  // full cost() periodically to bound floating-point drift.
+
+  /// True when swap_delta()/apply_swap() are implemented.
+  virtual bool has_swap_delta() const { return false; }
+
+  /// cost(m') - cost(m), where m' is m with the contents of tiles `a` and
+  /// `b` swapped. `m` is left unchanged. Only callable when
+  /// has_swap_delta(); the default throws std::logic_error.
+  virtual double swap_delta(const Mapping& m, noc::TileId a,
+                            noc::TileId b) const;
+
+  /// Commit the swap: mutate `m` and update any internal incremental state.
+  /// The default implementation just performs m.swap_tiles(a, b), which is
+  /// sufficient for stateless implementations.
+  virtual void apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const;
 };
 
 /// Equation 3 — EDyNoC(CWM) = sum over all communications of w_ab * EBit_ij.
 ///
-/// Precomputes the CWG edge list; each evaluation walks the deterministic
-/// route of every edge and accumulates w_ab * (K*ERbit + (K-1)*ELbit).
+/// Precomputes the CWG edge list, the per-pair hop table and per-core
+/// incident-edge lists; each full evaluation is a flat loop of hop-table
+/// lookups (no Route construction), and swap_delta() reprices only the edges
+/// incident to the two affected tiles.
 class CwmCost final : public CostFunction {
  public:
   /// The referenced objects must outlive the cost function.
@@ -60,9 +97,26 @@ class CwmCost final : public CostFunction {
   std::string name() const override { return "CWM"; }
   std::size_t num_cores() const override { return num_cores_; }
 
+  bool has_swap_delta() const override { return true; }
+  double swap_delta(const Mapping& m, noc::TileId a,
+                    noc::TileId b) const override;
+
+  const noc::RouteTable& route_table() const { return table_; }
+
  private:
+  /// One edge as seen from one endpoint core.
+  struct IncidentEdge {
+    graph::CoreId other = 0;
+    std::uint64_t bits = 0;
+    bool outgoing = false;  ///< true: core -> other; false: other -> core.
+  };
+
+  double edge_delta(const Mapping& m, const IncidentEdge& e,
+                    noc::TileId from, noc::TileId to) const;
+
   std::vector<graph::CwgEdge> edges_;
-  const noc::Mesh& mesh_;
+  std::vector<std::vector<IncidentEdge>> incident_;  ///< Indexed by core.
+  noc::RouteTable table_;
   energy::Technology tech_;
   noc::RoutingAlgorithm routing_;
   std::size_t num_cores_;
@@ -70,6 +124,10 @@ class CwmCost final : public CostFunction {
 
 /// Equation 10 — ENoC(CDCM) = EStNoC + EDyNoC(CDCM), from a full wormhole
 /// simulation of the CDCG on the mapped NoC.
+///
+/// Owns one sim::Simulator arena, so repeated cost() calls reuse the route
+/// table, packet state and event storage (no steady-state allocations). Not
+/// thread-safe: give each search worker its own CdcmCost.
 class CdcmCost final : public CostFunction {
  public:
   CdcmCost(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
@@ -89,6 +147,10 @@ class CdcmCost final : public CostFunction {
   const noc::Mesh& mesh_;
   energy::Technology tech_;
   noc::RoutingAlgorithm routing_;
+  /// The arena. unique_ptr keeps the class movable-constructible in spirit
+  /// and the header light; mutable because cost() is semantically const but
+  /// reuses the buffers.
+  mutable std::unique_ptr<sim::Simulator> simulator_;
 };
 
 /// Convenience free function: Equation 3 for a single mapping.

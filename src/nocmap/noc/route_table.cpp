@@ -1,0 +1,43 @@
+#include "nocmap/noc/route_table.hpp"
+
+namespace nocmap::noc {
+
+RouteTable::RouteTable(const Mesh& mesh, RoutingAlgorithm algo)
+    : num_tiles_(mesh.num_tiles()), algo_(algo) {
+  const std::size_t num_pairs =
+      static_cast<std::size_t>(num_tiles_) * num_tiles_;
+  offsets_.reserve(num_pairs + 1);
+  hops_.reserve(num_pairs);
+
+  // Exact pool sizes: sum of manhattan distances + one router per pair.
+  std::size_t total_routers = 0;
+  for (TileId src = 0; src < num_tiles_; ++src) {
+    for (TileId dst = 0; dst < num_tiles_; ++dst) {
+      total_routers += mesh.manhattan(src, dst) + 1;
+    }
+  }
+  routers_.reserve(total_routers);
+  links_.reserve(total_routers - num_pairs);
+
+  offsets_.push_back(0);
+  for (TileId src = 0; src < num_tiles_; ++src) {
+    for (TileId dst = 0; dst < num_tiles_; ++dst) {
+      const Route r = compute_route(mesh, src, dst, algo);
+      routers_.insert(routers_.end(), r.routers.begin(), r.routers.end());
+      links_.insert(links_.end(), r.links.begin(), r.links.end());
+      offsets_.push_back(static_cast<std::uint32_t>(routers_.size()));
+      hops_.push_back(r.num_routers());
+    }
+  }
+}
+
+Route RouteTable::route(TileId src, TileId dst) const {
+  const RouteSpan<TileId> rs = routers(src, dst);
+  const RouteSpan<ResourceId> ls = links(src, dst);
+  Route r;
+  r.routers.assign(rs.begin(), rs.end());
+  r.links.assign(ls.begin(), ls.end());
+  return r;
+}
+
+}  // namespace nocmap::noc

@@ -1,0 +1,84 @@
+#pragma once
+/// \file route_table.hpp
+/// Precomputed routes for every ordered tile pair.
+///
+/// The search engines evaluate millions of candidate mappings, and every
+/// evaluation needs the route of every communication. Recomputing routes with
+/// compute_route() allocates two vectors per call; for a fixed (mesh, routing
+/// algorithm) pair the routes never change, so we precompute all of them once
+/// and store them in CSR form: one shared `routers` pool, one shared `links`
+/// pool, and a per-pair offset table. Lookups are O(1) and allocation-free.
+///
+/// compute_route() remains the reference implementation; the table is
+/// validated against it pair-by-pair in tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/routing.hpp"
+
+namespace nocmap::noc {
+
+/// Non-owning view of one precomputed route segment (routers or links).
+/// Minimal std::span substitute (the library targets C++17).
+template <typename T>
+struct RouteSpan {
+  const T* data = nullptr;
+  std::uint32_t size = 0;
+
+  const T* begin() const { return data; }
+  const T* end() const { return data + size; }
+  const T& operator[](std::uint32_t i) const { return data[i]; }
+};
+
+/// All routes of a (mesh, algorithm) pair, in flat CSR storage.
+///
+/// Pair (src, dst) is indexed as src * num_tiles + dst. The routers pool
+/// stores K entries per pair (source first, destination last; K == 1 when
+/// src == dst) and the links pool the corresponding K - 1 link resources, so
+/// a single offsets array serves both pools.
+class RouteTable {
+ public:
+  /// Precompute every ordered pair. O(num_tiles^2 * diameter) time and space.
+  explicit RouteTable(const Mesh& mesh,
+                      RoutingAlgorithm algo = RoutingAlgorithm::kXY);
+
+  std::uint32_t num_tiles() const { return num_tiles_; }
+  RoutingAlgorithm algorithm() const { return algo_; }
+
+  /// K: number of routers on the (src, dst) route (Equations 2 and 8).
+  std::uint32_t hops(TileId src, TileId dst) const {
+    return hops_[pair(src, dst)];
+  }
+
+  /// The routers of the (src, dst) route, source first.
+  RouteSpan<TileId> routers(TileId src, TileId dst) const {
+    const std::size_t p = pair(src, dst);
+    return {routers_.data() + offsets_[p], offsets_[p + 1] - offsets_[p]};
+  }
+
+  /// The links of the (src, dst) route; links(s, d).size == hops(s, d) - 1.
+  RouteSpan<ResourceId> links(TileId src, TileId dst) const {
+    const std::size_t p = pair(src, dst);
+    return {links_.data() + (offsets_[p] - static_cast<std::uint32_t>(p)),
+            offsets_[p + 1] - offsets_[p] - 1};
+  }
+
+  /// Materialize one route as a Route (testing / reporting convenience).
+  Route route(TileId src, TileId dst) const;
+
+ private:
+  std::size_t pair(TileId src, TileId dst) const {
+    return static_cast<std::size_t>(src) * num_tiles_ + dst;
+  }
+
+  std::uint32_t num_tiles_;
+  RoutingAlgorithm algo_;
+  std::vector<std::uint32_t> offsets_;  ///< num_tiles^2 + 1 router offsets.
+  std::vector<std::uint32_t> hops_;     ///< Per-pair K (== offset delta).
+  std::vector<TileId> routers_;         ///< Concatenated router sequences.
+  std::vector<ResourceId> links_;       ///< Concatenated link sequences.
+};
+
+}  // namespace nocmap::noc

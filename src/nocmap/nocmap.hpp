@@ -23,6 +23,7 @@
 ///   core::Comparison cmp = explorer.compare();
 ///   // cmp.execution_time_reduction(), cmp.cdcm.sim.texec_ns, ...
 
+#include "nocmap/core/eval_bench.hpp"
 #include "nocmap/core/explorer.hpp"
 #include "nocmap/energy/energy_model.hpp"
 #include "nocmap/energy/technology.hpp"
@@ -31,12 +32,14 @@
 #include "nocmap/mapping/cost.hpp"
 #include "nocmap/mapping/mapping.hpp"
 #include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/route_table.hpp"
 #include "nocmap/noc/routing.hpp"
 #include "nocmap/search/exhaustive.hpp"
 #include "nocmap/search/greedy.hpp"
 #include "nocmap/search/random_search.hpp"
 #include "nocmap/search/simulated_annealing.hpp"
 #include "nocmap/sim/schedule.hpp"
+#include "nocmap/sim/simulator.hpp"
 #include "nocmap/sim/timeline.hpp"
 #include "nocmap/util/rng.hpp"
 #include "nocmap/util/strings.hpp"

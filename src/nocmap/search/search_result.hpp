@@ -13,7 +13,10 @@ struct SearchResult {
   mapping::Mapping best;          ///< Best mapping found.
   double best_cost = 0.0;         ///< Its objective value.
   double initial_cost = 0.0;      ///< Cost of the starting mapping.
-  std::uint64_t evaluations = 0;  ///< Number of cost-function calls.
+  std::uint64_t evaluations = 0;  ///< Objective queries: full cost() calls
+                                  ///< plus incremental swap_delta() pricings
+                                  ///< (engines using the delta protocol do
+                                  ///< much less work per query).
   bool exhausted = false;         ///< Exhaustive search: searched everything
                                   ///< (false when the evaluation budget was
                                   ///< hit first).

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace nocmap::search {
 
@@ -14,10 +16,20 @@ SearchResult anneal(const mapping::CostFunction& cost, const noc::Mesh& mesh,
   if (options.initial_acceptance <= 0.0 || options.initial_acceptance >= 1.0) {
     throw std::invalid_argument("anneal: initial_acceptance must be in (0,1)");
   }
+  if (mesh.num_tiles() < 2) {
+    // The swap move needs two distinct tiles; with one tile random_pair
+    // could never terminate.
+    throw std::invalid_argument("anneal: the mesh must have at least 2 tiles");
+  }
   if (initial && (initial->num_cores() != cost.num_cores() ||
                   initial->num_tiles() != mesh.num_tiles())) {
     throw std::invalid_argument("anneal: initial mapping does not fit");
   }
+
+  // Incremental move pricing when the objective supports it: a move costs
+  // O(affected edges) instead of a full re-evaluation, and rejected moves
+  // never touch the mapping at all.
+  const bool use_delta = options.use_swap_delta && cost.has_swap_delta();
 
   mapping::Mapping current =
       initial ? *initial : mapping::Mapping::random(mesh, cost.num_cores(), rng);
@@ -33,6 +45,18 @@ SearchResult anneal(const mapping::CostFunction& cost, const noc::Mesh& mesh,
     } while (b == a);
   };
 
+  // Price the move (a, b) without committing it. The full-recompute path
+  // reproduces the original engine exactly (swap, evaluate, swap back is
+  // deferred to the caller via `candidate_cost`).
+  double candidate_cost = 0.0;
+  auto price_move = [&](noc::TileId a, noc::TileId b) {
+    ++result.evaluations;
+    if (use_delta) return cost.swap_delta(current, a, b);
+    current.swap_tiles(a, b);
+    candidate_cost = cost.cost(current);
+    return candidate_cost - current_cost;
+  };
+
   // --- Calibrate the initial temperature -----------------------------------
   // Sample random moves from the initial state and pick T0 so that the mean
   // uphill step is accepted with probability `initial_acceptance`.
@@ -41,14 +65,12 @@ SearchResult anneal(const mapping::CostFunction& cost, const noc::Mesh& mesh,
   for (std::uint32_t i = 0; i < options.calibration_samples; ++i) {
     noc::TileId a, b;
     random_pair(a, b);
-    current.swap_tiles(a, b);
-    const double c = cost.cost(current);
-    ++result.evaluations;
-    if (c > current_cost) {
-      uphill_sum += c - current_cost;
+    const double delta = price_move(a, b);
+    if (delta > 0) {
+      uphill_sum += delta;
       ++uphill_count;
     }
-    current.swap_tiles(a, b);  // Undo.
+    if (!use_delta) current.swap_tiles(a, b);  // Undo.
   }
   const double mean_uphill =
       uphill_count ? uphill_sum / uphill_count : current_cost * 0.1;
@@ -60,29 +82,58 @@ SearchResult anneal(const mapping::CostFunction& cost, const noc::Mesh& mesh,
   // --- Annealing ladder -----------------------------------------------------
   const std::uint64_t moves_per_step =
       static_cast<std::uint64_t>(options.moves_per_tile) * num_tiles;
+  // Accepted moves of the current step, used to rebuild the step's best
+  // state by undoing the suffix — so `result.best` is copied at most once
+  // per improving step instead of on every improvement.
+  std::vector<std::pair<noc::TileId, noc::TileId>> accepted;
   std::uint32_t stale_steps = 0;
   for (std::uint32_t step = 0;
        step < options.max_steps && stale_steps < options.max_stale_steps;
        ++step) {
     bool improved = false;
+    accepted.clear();
+    std::size_t best_at = 0;  // 1-based index into `accepted`; 0 = none.
     for (std::uint64_t move = 0; move < moves_per_step; ++move) {
       noc::TileId a, b;
       random_pair(a, b);
-      current.swap_tiles(a, b);
-      const double candidate_cost = cost.cost(current);
-      ++result.evaluations;
-      const double delta = candidate_cost - current_cost;
+      const double delta = price_move(a, b);
       if (delta <= 0 ||
           rng.uniform01() < std::exp(-delta / temperature)) {
-        current_cost = candidate_cost;
+        if (use_delta) {
+          cost.apply_swap(current, a, b);
+          current_cost += delta;
+        } else {
+          current_cost = candidate_cost;  // Already swapped by price_move.
+        }
+        accepted.emplace_back(a, b);
         if (current_cost < result.best_cost) {
           result.best_cost = current_cost;
-          result.best = current;
+          best_at = accepted.size();
           improved = true;
         }
-      } else {
+      } else if (!use_delta) {
         current.swap_tiles(a, b);  // Reject: undo.
       }
+    }
+    if (best_at != 0) {
+      // Materialize the step's best: swap moves are involutions, so undoing
+      // the accepted suffix in reverse recovers the state at the best point.
+      mapping::Mapping snapshot = current;
+      for (std::size_t i = accepted.size(); i > best_at; --i) {
+        snapshot.swap_tiles(accepted[i - 1].first, accepted[i - 1].second);
+      }
+      result.best = std::move(snapshot);
+      if (use_delta) {
+        // The running cost accumulated deltas; pin the reported best to a
+        // fresh full evaluation.
+        result.best_cost = cost.cost(result.best);
+        ++result.evaluations;
+      }
+    }
+    if (use_delta) {
+      // Bound floating-point drift of the accumulated running cost.
+      current_cost = cost.cost(current);
+      ++result.evaluations;
     }
     stale_steps = improved ? 0 : stale_steps + 1;
     temperature *= options.cooling;

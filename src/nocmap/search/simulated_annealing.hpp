@@ -33,6 +33,13 @@ struct SaOptions {
   std::uint32_t max_stale_steps = 12;
   /// Hard cap on temperature steps (safety net).
   std::uint32_t max_steps = 400;
+  /// Use the cost function's incremental swap_delta() protocol when it
+  /// advertises one (CostFunction::has_swap_delta). The running cost is
+  /// resynchronized with a full evaluation at every temperature step to
+  /// bound floating-point drift. Disable to force full re-evaluation of
+  /// every move (reference behaviour; also what bench_cost_eval measures
+  /// as the baseline).
+  bool use_swap_delta = true;
 };
 
 /// Run simulated annealing for `cost` on `mesh`. The initial mapping is

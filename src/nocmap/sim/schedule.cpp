@@ -1,209 +1,17 @@
 #include "nocmap/sim/schedule.hpp"
 
-#include <algorithm>
-#include <queue>
-#include <stdexcept>
+#include "nocmap/sim/simulator.hpp"
 
 namespace nocmap::sim {
-
-namespace {
-
-/// A header-arrival event: the header of `packet` reaches router
-/// `route[hop]` at `time_ns`. Ordered by time, ties broken by packet id so
-/// the simulation is deterministic regardless of construction order.
-struct Event {
-  double time_ns;
-  graph::PacketId packet;
-  std::uint32_t hop;  // Index into the packet's router list.
-
-  bool operator>(const Event& other) const {
-    if (time_ns != other.time_ns) return time_ns > other.time_ns;
-    if (packet != other.packet) return packet > other.packet;
-    return hop > other.hop;
-  }
-};
-
-struct PacketState {
-  noc::Route route;
-  std::uint64_t flits = 0;
-  std::size_t pending_preds = 0;
-  double ready_ns = 0.0;  // Running max of predecessor deliveries.
-  // Once a worm has been blocked, every downstream resource it touches is
-  // reported as contended (the paper stars all entries "from the contention
-  // point until reaching the target tile", Figure 3a).
-  bool contended_downstream = false;
-};
-
-}  // namespace
 
 SimulationResult simulate(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
                           const mapping::Mapping& mapping,
                           const energy::Technology& tech,
                           const SimOptions& options) {
-  tech.validate();
-  if (mapping.num_cores() != cdcg.num_cores()) {
-    throw std::invalid_argument(
-        "simulate: mapping and CDCG disagree on the number of cores");
-  }
-  if (mapping.num_tiles() != mesh.num_tiles()) {
-    throw std::invalid_argument("simulate: mapping built for another mesh");
-  }
-  cdcg.validate(/*require_connected=*/false);
-
-  const double lambda = tech.clock_period_ns;
-  const double tr = static_cast<double>(tech.tr_cycles) * lambda;
-  const double tl = static_cast<double>(tech.tl_cycles) * lambda;
-  const std::size_t num_packets = cdcg.num_packets();
-
-  SimulationResult result;
-  result.packets.resize(num_packets);
-  if (options.record_traces) {
-    result.occupancy.resize(mesh.num_resources());
-  }
-
-  // Per-resource "busy until" times. Only inter-router links arbitrate by
-  // default; local-in links arbitrate when contend_local_in is set.
-  std::vector<double> link_free(mesh.num_resources(), 0.0);
-
-  std::vector<PacketState> state(num_packets);
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
-
-  auto record = [&](graph::PacketId p, noc::ResourceId r, double start,
-                    double end, bool contended) {
-    if (!options.record_traces) return;
-    result.packets[p].hops.push_back(HopRecord{r, start, end});
-    result.occupancy[r].push_back(Occupancy{p, start, end, contended});
-  };
-
-  // Inject a ready packet: claim the local-in link and schedule the header's
-  // arrival at the source router.
-  auto inject = [&](graph::PacketId p) {
-    PacketState& ps = state[p];
-    const graph::Packet& pk = cdcg.packet(p);
-    PacketTrace& trace = result.packets[p];
-    trace.packet = p;
-    trace.ready_ns = ps.ready_ns;
-    double start = ps.ready_ns + static_cast<double>(pk.comp_time) * lambda;
-    const noc::ResourceId local_in =
-        mesh.local_in_resource(ps.route.routers.front());
-    bool contended = false;
-    if (options.contend_local_in && start < link_free[local_in]) {
-      trace.contention_ns += link_free[local_in] - start;
-      start = link_free[local_in];
-      contended = true;
-    }
-    trace.inject_ns = start;
-    const double n_tl = static_cast<double>(ps.flits) * tl;
-    link_free[local_in] = start + n_tl;
-    record(p, local_in, start, start + n_tl, contended);
-    events.push(Event{start + tl, p, 0});
-  };
-
-  // --- Set up routes, flit counts, dependence counters ---------------------
-  for (graph::PacketId p = 0; p < num_packets; ++p) {
-    const graph::Packet& pk = cdcg.packet(p);
-    state[p].route = noc::compute_route(mesh, mapping.tile_of(pk.src),
-                                        mapping.tile_of(pk.dst),
-                                        options.routing);
-    state[p].flits = tech.flits(pk.bits);
-    state[p].pending_preds = cdcg.predecessors(p).size();
-    result.packets[p].num_routers = state[p].route.num_routers();
-    // Dynamic energy depends only on volume and hop count (Equation 4).
-    result.energy.dynamic_j += energy::dynamic_packet_energy(
-        tech, pk.bits, state[p].route.num_routers());
-  }
-  for (graph::PacketId p = 0; p < num_packets; ++p) {
-    if (state[p].pending_preds == 0) inject(p);
-  }
-
-  // --- Event loop -----------------------------------------------------------
-  std::size_t delivered_count = 0;
-  while (!events.empty()) {
-    const Event ev = events.top();
-    events.pop();
-    PacketState& ps = state[ev.packet];
-    PacketTrace& trace = result.packets[ev.packet];
-    const double arrival = ev.time_ns;
-    const double n_tl = static_cast<double>(ps.flits) * tl;
-    const noc::TileId here = ps.route.routers[ev.hop];
-    const bool last_router = (ev.hop + 1 == ps.route.routers.size());
-
-    double header_out;  // Header enters the next (link / local-out).
-    if (!last_router) {
-      const noc::ResourceId link = ps.route.links[ev.hop];
-      double wait = 0.0;
-      if (arrival < link_free[link]) {
-        wait = link_free[link] - arrival;
-        ps.contended_downstream = true;
-        trace.contention_ns += wait;
-        result.total_contention_ns += wait;
-        if (options.buffer_flits != 0 && ps.flits > options.buffer_flits &&
-            ev.hop > 0) {
-          // Bounded buffers: the part of the worm that does not fit keeps the
-          // upstream link busy until the worm starts draining (first-order
-          // backpressure model).
-          const noc::ResourceId upstream = ps.route.links[ev.hop - 1];
-          link_free[upstream] =
-              std::max(link_free[upstream], link_free[link] + tr);
-        }
-      }
-      header_out = arrival + wait + tr;
-      link_free[link] = header_out + n_tl;
-      record(ev.packet, link, header_out, header_out + n_tl,
-             ps.contended_downstream);
-      events.push(Event{header_out + tl, ev.packet, ev.hop + 1});
-    } else {
-      // Ejection to the destination core: never blocks.
-      header_out = arrival + tr;
-      const noc::ResourceId local_out = mesh.local_out_resource(here);
-      record(ev.packet, local_out, header_out, header_out + n_tl,
-             ps.contended_downstream);
-      trace.delivered_ns = header_out + n_tl;
-    }
-    // Router occupancy: header arrival until the tail flit is forwarded.
-    {
-      const double n_minus_1_tl = static_cast<double>(ps.flits - 1) * tl;
-      // Insert in path order: the router record belongs *before* the link
-      // record appended above.
-      if (options.record_traces) {
-        const noc::ResourceId router = mesh.router_resource(here);
-        HopRecord rec{router, arrival, header_out + n_minus_1_tl};
-        auto& hops = trace.hops;
-        hops.insert(hops.end() - 1, rec);
-        result.occupancy[router].push_back(Occupancy{
-            ev.packet, rec.start_ns, rec.end_ns, ps.contended_downstream});
-      }
-    }
-
-    if (last_router) {
-      ++delivered_count;
-      result.texec_ns = std::max(result.texec_ns, trace.delivered_ns);
-      if (trace.contention_ns > 0) ++result.num_contended_packets;
-      for (graph::PacketId succ : cdcg.successors(ev.packet)) {
-        PacketState& ss = state[succ];
-        ss.ready_ns = std::max(ss.ready_ns, trace.delivered_ns);
-        if (--ss.pending_preds == 0) inject(succ);
-      }
-    }
-  }
-
-  if (delivered_count != num_packets) {
-    throw std::logic_error("simulate: not all packets were delivered");
-  }
-
-  if (options.record_traces) {
-    for (auto& list : result.occupancy) {
-      std::sort(list.begin(), list.end(),
-                [](const Occupancy& a, const Occupancy& b) {
-                  if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
-                  return a.packet < b.packet;
-                });
-    }
-  }
-
-  result.energy.static_j =
-      energy::static_noc_energy(tech, mesh.num_tiles(), result.texec_ns);
-  return result;
+  // One-shot convenience wrapper: bind an arena, run once, discard it. Search
+  // loops should construct a Simulator themselves (or use CdcmCost, which
+  // owns one) so route tables and buffers are reused across evaluations.
+  return Simulator(cdcg, mesh, tech, options).run_traced(mapping);
 }
 
 }  // namespace nocmap::sim

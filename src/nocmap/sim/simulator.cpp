@@ -1,0 +1,233 @@
+#include "nocmap/sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nocmap::sim {
+
+Simulator::Simulator(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
+                     const energy::Technology& tech, SimOptions options)
+    : cdcg_(cdcg),
+      mesh_(mesh),
+      tech_(tech),
+      options_(options),
+      routes_(mesh, options.routing),
+      lambda_(tech.clock_period_ns),
+      tr_(static_cast<double>(tech.tr_cycles) * tech.clock_period_ns),
+      tl_(static_cast<double>(tech.tl_cycles) * tech.clock_period_ns) {
+  tech_.validate();
+  cdcg_.validate(/*require_connected=*/false);
+
+  const std::size_t num_packets = cdcg_.num_packets();
+  flits_.reserve(num_packets);
+  comp_ns_.reserve(num_packets);
+  num_preds_.reserve(num_packets);
+  for (graph::PacketId p = 0; p < num_packets; ++p) {
+    const graph::Packet& pk = cdcg_.packet(p);
+    flits_.push_back(static_cast<double>(tech_.flits(pk.bits)));
+    comp_ns_.push_back(static_cast<double>(pk.comp_time) * lambda_);
+    num_preds_.push_back(
+        static_cast<std::uint32_t>(cdcg_.predecessors(p).size()));
+  }
+
+  state_.resize(num_packets);
+  link_free_.resize(mesh_.num_resources(), 0.0);
+  heap_.reserve(num_packets + 1);
+}
+
+void Simulator::push_event(Event e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+void Simulator::inject(graph::PacketId p, bool full, SimulationResult& out) {
+  PacketState& ps = state_[p];
+  double start = ps.ready_ns + comp_ns_[p];
+  const noc::ResourceId local_in = mesh_.local_in_resource(ps.routers[0]);
+  bool contended = false;
+  if (options_.contend_local_in && start < link_free_[local_in]) {
+    ps.contention_ns += link_free_[local_in] - start;
+    start = link_free_[local_in];
+    contended = true;
+  }
+  const double n_tl = flits_[p] * tl_;
+  link_free_[local_in] = start + n_tl;
+  if (full) {
+    PacketTrace& trace = out.packets[p];
+    trace.packet = p;
+    trace.ready_ns = ps.ready_ns;
+    trace.inject_ns = start;
+    if (options_.record_traces) {
+      trace.hops.push_back(HopRecord{local_in, start, start + n_tl});
+      out.occupancy[local_in].push_back(
+          Occupancy{p, start, start + n_tl, contended});
+    }
+  }
+  push_event(Event{start + tl_, p, 0});
+}
+
+const SimulationResult& Simulator::run(const mapping::Mapping& mapping) {
+  run_impl(mapping, /*full=*/false, scalar_result_);
+  return scalar_result_;
+}
+
+SimulationResult Simulator::run_traced(const mapping::Mapping& mapping) {
+  SimulationResult out;
+  run_impl(mapping, /*full=*/true, out);
+  return out;
+}
+
+void Simulator::run_impl(const mapping::Mapping& mapping, bool full,
+                         SimulationResult& out) {
+  if (mapping.num_cores() != cdcg_.num_cores()) {
+    throw std::invalid_argument(
+        "simulate: mapping and CDCG disagree on the number of cores");
+  }
+  if (mapping.num_tiles() != mesh_.num_tiles()) {
+    throw std::invalid_argument("simulate: mapping built for another mesh");
+  }
+
+  const std::size_t num_packets = cdcg_.num_packets();
+  out.texec_ns = 0.0;
+  out.energy = energy::EnergyBreakdown{};
+  out.total_contention_ns = 0.0;
+  out.num_contended_packets = 0;
+  if (full) {
+    out.packets.assign(num_packets, PacketTrace{});
+    if (options_.record_traces) {
+      out.occupancy.assign(mesh_.num_resources(), {});
+    }
+  }
+
+  std::fill(link_free_.begin(), link_free_.end(), 0.0);
+  heap_.clear();
+
+  // --- Bind routes to this mapping; reset per-run packet state --------------
+  for (graph::PacketId p = 0; p < num_packets; ++p) {
+    const graph::Packet& pk = cdcg_.packet(p);
+    const noc::TileId src = mapping.tile_of(pk.src);
+    const noc::TileId dst = mapping.tile_of(pk.dst);
+    PacketState& ps = state_[p];
+    const noc::RouteSpan<noc::TileId> routers = routes_.routers(src, dst);
+    const noc::RouteSpan<noc::ResourceId> links = routes_.links(src, dst);
+    ps.routers = routers.data;
+    ps.links = links.data;
+    ps.num_routers = routers.size;
+    ps.pending_preds = num_preds_[p];
+    ps.ready_ns = 0.0;
+    ps.delivered_ns = 0.0;
+    ps.contention_ns = 0.0;
+    ps.contended_downstream = false;
+    if (full) out.packets[p].num_routers = ps.num_routers;
+    // Dynamic energy depends only on volume and hop count (Equation 4).
+    out.energy.dynamic_j +=
+        energy::dynamic_packet_energy(tech_, pk.bits, ps.num_routers);
+  }
+  for (graph::PacketId p = 0; p < num_packets; ++p) {
+    if (state_[p].pending_preds == 0) inject(p, full, out);
+  }
+
+  // --- Event loop -----------------------------------------------------------
+  std::size_t delivered_count = 0;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const Event ev = heap_.back();
+    heap_.pop_back();
+    PacketState& ps = state_[ev.packet];
+    const double arrival = ev.time_ns;
+    const double n_tl = flits_[ev.packet] * tl_;
+    const noc::TileId here = ps.routers[ev.hop];
+    const bool last_router = (ev.hop + 1 == ps.num_routers);
+
+    double header_out;  // Header enters the next (link / local-out).
+    if (!last_router) {
+      const noc::ResourceId link = ps.links[ev.hop];
+      double wait = 0.0;
+      if (arrival < link_free_[link]) {
+        wait = link_free_[link] - arrival;
+        ps.contended_downstream = true;
+        ps.contention_ns += wait;
+        out.total_contention_ns += wait;
+        if (options_.buffer_flits != 0 &&
+            flits_[ev.packet] > static_cast<double>(options_.buffer_flits) &&
+            ev.hop > 0) {
+          // Bounded buffers: the part of the worm that does not fit keeps the
+          // upstream link busy until the worm starts draining (first-order
+          // backpressure model).
+          const noc::ResourceId upstream = ps.links[ev.hop - 1];
+          link_free_[upstream] =
+              std::max(link_free_[upstream], link_free_[link] + tr_);
+        }
+      }
+      header_out = arrival + wait + tr_;
+      link_free_[link] = header_out + n_tl;
+      if (full && options_.record_traces) {
+        out.packets[ev.packet].hops.push_back(
+            HopRecord{link, header_out, header_out + n_tl});
+        out.occupancy[link].push_back(Occupancy{
+            ev.packet, header_out, header_out + n_tl,
+            ps.contended_downstream});
+      }
+      push_event(Event{header_out + tl_, ev.packet, ev.hop + 1});
+    } else {
+      // Ejection to the destination core: never blocks.
+      header_out = arrival + tr_;
+      ps.delivered_ns = header_out + n_tl;
+      if (full && options_.record_traces) {
+        const noc::ResourceId local_out = mesh_.local_out_resource(here);
+        out.packets[ev.packet].hops.push_back(
+            HopRecord{local_out, header_out, header_out + n_tl});
+        out.occupancy[local_out].push_back(Occupancy{
+            ev.packet, header_out, header_out + n_tl,
+            ps.contended_downstream});
+      }
+    }
+    // Router occupancy: header arrival until the tail flit is forwarded.
+    if (full && options_.record_traces) {
+      const double n_minus_1_tl = (flits_[ev.packet] - 1.0) * tl_;
+      // Insert in path order: the router record belongs *before* the link
+      // record appended above.
+      const noc::ResourceId router = mesh_.router_resource(here);
+      HopRecord rec{router, arrival, header_out + n_minus_1_tl};
+      auto& hops = out.packets[ev.packet].hops;
+      hops.insert(hops.end() - 1, rec);
+      out.occupancy[router].push_back(Occupancy{
+          ev.packet, rec.start_ns, rec.end_ns, ps.contended_downstream});
+    }
+
+    if (last_router) {
+      ++delivered_count;
+      out.texec_ns = std::max(out.texec_ns, ps.delivered_ns);
+      if (ps.contention_ns > 0) ++out.num_contended_packets;
+      if (full) {
+        PacketTrace& trace = out.packets[ev.packet];
+        trace.delivered_ns = ps.delivered_ns;
+        trace.contention_ns = ps.contention_ns;
+      }
+      for (graph::PacketId succ : cdcg_.successors(ev.packet)) {
+        PacketState& ss = state_[succ];
+        ss.ready_ns = std::max(ss.ready_ns, ps.delivered_ns);
+        if (--ss.pending_preds == 0) inject(succ, full, out);
+      }
+    }
+  }
+
+  if (delivered_count != num_packets) {
+    throw std::logic_error("simulate: not all packets were delivered");
+  }
+
+  if (full && options_.record_traces) {
+    for (auto& list : out.occupancy) {
+      std::sort(list.begin(), list.end(),
+                [](const Occupancy& a, const Occupancy& b) {
+                  if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                  return a.packet < b.packet;
+                });
+    }
+  }
+
+  out.energy.static_j =
+      energy::static_noc_energy(tech_, mesh_.num_tiles(), out.texec_ns);
+}
+
+}  // namespace nocmap::sim

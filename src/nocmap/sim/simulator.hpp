@@ -1,0 +1,111 @@
+#pragma once
+/// \file simulator.hpp
+/// Reusable CDCM evaluation arena.
+///
+/// sim::simulate() is correct but pays construction costs on every call: it
+/// recomputes every packet's route (two heap allocations per packet) and
+/// allocates fresh state/event/result storage. Inside a search loop the
+/// (CDCG, mesh, technology, options) tuple is fixed and only the mapping
+/// changes, so all of that state can be bound once and reused.
+///
+/// Simulator does exactly that: the constructor precomputes the RouteTable
+/// and sizes every per-packet / per-resource buffer; run(mapping) replays the
+/// wormhole schedule reusing those buffers and returns a scalars-only result
+/// (no per-packet vectors, no occupancy lists) — zero heap allocations in the
+/// steady state. run_traced(mapping) produces the full SimulationResult of
+/// simulate(), which is now a thin wrapper over this class. Both paths share
+/// one event loop, so scalar and traced results always agree.
+///
+/// A Simulator instance is NOT thread-safe (it mutates its arena); give each
+/// thread its own instance. CdcmCost owns one per cost-function object.
+
+#include <cstdint>
+#include <vector>
+
+#include "nocmap/graph/cdcg.hpp"
+#include "nocmap/mapping/mapping.hpp"
+#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/route_table.hpp"
+#include "nocmap/sim/schedule.hpp"
+
+namespace nocmap::sim {
+
+class Simulator {
+ public:
+  /// Binds the application, NoC and technology; validates them once and
+  /// precomputes the route table. The referenced objects must outlive the
+  /// Simulator.
+  Simulator(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
+            const energy::Technology& tech, SimOptions options = {});
+
+  /// Evaluate `mapping`, reusing all internal buffers. The returned result
+  /// carries the scalar fields only (texec, energy, contention); its
+  /// `packets` and `occupancy` vectors stay empty. The reference is valid
+  /// until the next run()/run_traced() call on this instance.
+  const SimulationResult& run(const mapping::Mapping& mapping);
+
+  /// Evaluate `mapping` and return the full result by value: per-packet
+  /// records always, hop/occupancy traces when options.record_traces. This
+  /// is the semantics of sim::simulate().
+  SimulationResult run_traced(const mapping::Mapping& mapping);
+
+  const noc::RouteTable& route_table() const { return routes_; }
+  const SimOptions& options() const { return options_; }
+
+ private:
+  /// A header-arrival event: the header of `packet` reaches the `hop`-th
+  /// router of its route at `time_ns`. Ordered by time, ties broken by
+  /// packet id so the simulation is deterministic regardless of
+  /// construction order.
+  struct Event {
+    double time_ns;
+    graph::PacketId packet;
+    std::uint32_t hop;
+
+    bool operator>(const Event& other) const {
+      if (time_ns != other.time_ns) return time_ns > other.time_ns;
+      if (packet != other.packet) return packet > other.packet;
+      return hop > other.hop;
+    }
+  };
+
+  /// Per-packet per-run state; the route is a view into the RouteTable.
+  struct PacketState {
+    const noc::TileId* routers = nullptr;
+    const noc::ResourceId* links = nullptr;
+    std::uint32_t num_routers = 0;
+    std::uint32_t pending_preds = 0;
+    double ready_ns = 0.0;       ///< Running max of predecessor deliveries.
+    double delivered_ns = 0.0;
+    double contention_ns = 0.0;
+    // Once a worm has been blocked, every downstream resource it touches is
+    // reported as contended (the paper stars all entries "from the
+    // contention point until reaching the target tile", Figure 3a).
+    bool contended_downstream = false;
+  };
+
+  void run_impl(const mapping::Mapping& mapping, bool full,
+                SimulationResult& out);
+  void push_event(Event e);
+  void inject(graph::PacketId p, bool full, SimulationResult& out);
+
+  const graph::Cdcg& cdcg_;
+  const noc::Mesh& mesh_;
+  energy::Technology tech_;
+  SimOptions options_;
+  noc::RouteTable routes_;
+
+  // Bound once per (cdcg, tech): timing constants and immutable packet data.
+  double lambda_, tr_, tl_;
+  std::vector<double> flits_;          ///< Per-packet flit count (as double).
+  std::vector<double> comp_ns_;        ///< Per-packet t_aq * lambda.
+  std::vector<std::uint32_t> num_preds_;
+
+  // Arena, reused across runs.
+  std::vector<PacketState> state_;
+  std::vector<double> link_free_;      ///< Per-resource "busy until".
+  std::vector<Event> heap_;            ///< Binary min-heap (push/pop_heap).
+  SimulationResult scalar_result_;     ///< Backs run()'s return value.
+};
+
+}  // namespace nocmap::sim

@@ -14,14 +14,19 @@
 /// success, 1 on a runtime failure, 2 on a usage error.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -77,6 +82,9 @@ Options:
                     the symmetry-pruned space is small, SA otherwise).
   --routing NAME    Routing algorithm: xy | yx | west-first (default: xy).
   --seed N          RNG seed driving the SA runs (default: 1).
+  --threads N       Worker threads for the SA chains (default: 1). Purely a
+                    throughput knob: results are identical for any N.
+  --chains N        Independent SA chains per model, best-of-N (default: 1).
   --no-seed-cdcm    Do not seed the CDCM search with the CWM winner.
   --cores N         (--workload random) number of cores (default: 8).
   --packets N       (--workload random) number of packets (default: 32).
@@ -89,7 +97,9 @@ constexpr const char* kBenchUsage =
     R"(Usage: nocmap bench [options]
 
 Run the full Table-1 suite (or one NoC size of it) through the Explorer and
-print one ETR/ECS row per application — the reproduction of Table 2.
+print one ETR/ECS row per application — the reproduction of Table 2. With
+--perf, run the evaluation-engine microbenchmark instead and write its JSON
+report.
 
 Options:
   --noc WxH         Only the applications of one NoC size (e.g. 3x2, 10x10).
@@ -98,6 +108,13 @@ Options:
   --method NAME     Search method: auto | sa | es (default: auto).
   --routing NAME    Routing algorithm: xy | yx | west-first (default: xy).
   --seed N          RNG seed driving the SA runs (default: 1).
+  --threads N       Worker threads: applications are explored in parallel
+                    (default: 1). The printed table is identical for any N.
+  --chains N        Independent SA chains per model, best-of-N (default: 1).
+  --perf            Run the evaluation-engine microbenchmark (CWM full vs
+                    delta, CDCM one-shot vs reusable arena, 3x3..8x8) and
+                    write the JSON report instead of the suite.
+  --out FILE        --perf report path (default: BENCH_eval.json).
   --csv             Emit CSV instead of aligned text tables.
   -h, --help        Show this message.
 )";
@@ -122,7 +139,8 @@ ETR/ECS spread — the cheap way to separate model effects from search noise.
 Options:
   --seeds N         Number of seeds to run (default: 5).
   --seed N          First seed (default: 1).
-  All `nocmap explore` workload/mesh/tech/method/routing options apply.
+  All `nocmap explore` workload/mesh/tech/method/routing/threads/chains
+  options apply.
   --csv             Emit CSV instead of aligned text tables.
   -h, --help        Show this message.
 )";
@@ -205,7 +223,11 @@ struct RunOptions {
   std::uint64_t random_cores = 8;
   std::uint64_t random_packets = 32;
   std::uint64_t random_bits = 4096;
+  std::uint64_t threads = 1;
+  std::uint64_t chains = 1;
   std::optional<std::string> noc_filter;  // bench only
+  bool perf = false;                      // bench only
+  std::string out_path = "BENCH_eval.json";  // bench --perf only
   std::uint64_t num_seeds = 5;            // sweep only
   bool csv = false;
 };
@@ -255,6 +277,20 @@ RunOptions parse_run_options(int argc, char** argv, const char* usage,
       opts.random_packets = parse_u64(a, value(i, a));
     } else if (a == "--bits") {
       opts.random_bits = parse_u64(a, value(i, a));
+    } else if (a == "--threads") {
+      opts.threads = parse_u64(a, value(i, a));
+      if (opts.threads == 0 || opts.threads > 1024) {
+        throw UsageError("--threads must be in [1, 1024]");
+      }
+    } else if (a == "--chains") {
+      opts.chains = parse_u64(a, value(i, a));
+      if (opts.chains == 0 || opts.chains > 4096) {
+        throw UsageError("--chains must be in [1, 4096]");
+      }
+    } else if (a == "--perf") {
+      opts.perf = true;
+    } else if (a == "--out") {
+      opts.out_path = value(i, a);
     } else if (a == "--noc") {
       auto wh = parse_mesh(a, value(i, a));
       opts.noc_filter =
@@ -345,7 +381,43 @@ core::ExplorerOptions explorer_options(const RunOptions& opts,
   eo.method = opts.method;
   eo.seed = opts.seed;
   eo.seed_cdcm_with_cwm = opts.seed_cdcm_with_cwm;
+  eo.threads = static_cast<std::uint32_t>(opts.threads);
+  eo.sa_chains = static_cast<std::uint32_t>(opts.chains);
   return eo;
+}
+
+/// Run `job(i)` for i in [0, count) on up to `threads` workers. Results are
+/// produced by index, so the output order — and everything the caller
+/// renders — is independent of the thread count.
+void parallel_for_index(std::uint64_t threads, std::size_t count,
+                        const std::function<void(std::size_t)>& job) {
+  const std::size_t workers =
+      std::min<std::size_t>(std::max<std::uint64_t>(threads, 1), count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) job(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count) return;
+        try {
+          job(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void print_table(const util::TextTable& table, bool csv) {
@@ -421,7 +493,44 @@ int cmd_explore(const RunOptions& opts) {
   return 0;
 }
 
+int cmd_bench_perf(const RunOptions& opts) {
+  core::EvalBenchOptions options;
+  // Quick budgets: this entry point doubles as the CI smoke step. The
+  // full-budget run is the bench_cost_eval binary.
+  options.min_time_s = 0.05;
+  options.seed = opts.seed;
+  const core::EvalBenchReport report = core::run_eval_bench(options);
+
+  Fmt fmt(opts.csv);
+  util::TextTable table(
+      {"Mesh", "Cores", fmt.head("CWM legacy", "eval_s"),
+       fmt.head("CWM full", "eval_s"), fmt.head("CWM delta", "eval_s"),
+       fmt.head("CDCM 1-shot", "eval_s"), fmt.head("CDCM reuse", "eval_s")});
+  table.set_title("nocmap bench --perf — evaluations/second");
+  for (const core::EvalBenchRow& r : report.rows) {
+    table.add_row({std::to_string(r.mesh_width) + "x" +
+                       std::to_string(r.mesh_height),
+                   std::to_string(r.num_cores),
+                   fmt.count(static_cast<std::uint64_t>(r.cwm_legacy_per_s)),
+                   fmt.count(static_cast<std::uint64_t>(r.cwm_full_per_s)),
+                   fmt.count(static_cast<std::uint64_t>(r.cwm_delta_per_s)),
+                   fmt.count(static_cast<std::uint64_t>(r.cdcm_oneshot_per_s)),
+                   fmt.count(static_cast<std::uint64_t>(r.cdcm_reuse_per_s))});
+  }
+  print_table(table, opts.csv);
+
+  std::ofstream out(opts.out_path);
+  if (!out) {
+    throw std::runtime_error("cannot write " + opts.out_path);
+  }
+  out << report.to_json();
+  // stderr: stdout must stay parseable under --csv.
+  std::cerr << "wrote " << opts.out_path << "\n";
+  return 0;
+}
+
 int cmd_bench(const RunOptions& opts) {
+  if (opts.perf) return cmd_bench_perf(opts);
   std::vector<workload::SuiteEntry> suite =
       opts.noc_filter ? workload::table1_suite_for(*opts.noc_filter)
                       : workload::table1_suite();
@@ -433,16 +542,29 @@ int cmd_bench(const RunOptions& opts) {
                          fmt.head("ECS", "pct")});
   table.set_title("nocmap bench — Table-1 suite, " + tech.name);
 
+  // Explore every application, in parallel when --threads allows: each entry
+  // is an independent Explorer run with its own seed-derived randomness, so
+  // the collected rows do not depend on the thread count. The worker budget
+  // is spent at the application level; each Explorer runs its chains
+  // serially (otherwise --threads would multiply into threads^2 workers).
+  RunOptions per_app = opts;
+  if (suite.size() > 1) per_app.threads = 1;
+  std::vector<std::optional<core::Comparison>> comparisons(suite.size());
+  parallel_for_index(opts.threads, suite.size(), [&](std::size_t i) {
+    const workload::SuiteEntry& entry = suite[i];
+    noc::Mesh mesh(entry.noc_width, entry.noc_height);
+    core::Explorer explorer(entry.cdcg, mesh, explorer_options(per_app, tech));
+    comparisons[i] = explorer.compare();
+  });
+
   std::string current_size;
-  for (const workload::SuiteEntry& entry : suite) {
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const workload::SuiteEntry& entry = suite[i];
+    const core::Comparison& cmp = *comparisons[i];
     if (!current_size.empty() && entry.noc_size_label() != current_size) {
       table.add_separator();
     }
     current_size = entry.noc_size_label();
-
-    noc::Mesh mesh(entry.noc_width, entry.noc_height);
-    core::Explorer explorer(entry.cdcg, mesh, explorer_options(opts, tech));
-    core::Comparison cmp = explorer.compare();
     table.add_row({entry.name, entry.noc_size_label(),
                    std::to_string(entry.paper_cores),
                    std::to_string(entry.paper_packets),
@@ -544,7 +666,8 @@ int main(int argc, char** argv) {
     }
     const std::vector<std::string> explore_flags = {
         "--workload", "--mesh",          "--tech",  "--method",  "--routing",
-        "--seed",     "--no-seed-cdcm",  "--cores", "--packets", "--bits"};
+        "--seed",     "--no-seed-cdcm",  "--cores", "--packets", "--bits",
+        "--threads",  "--chains"};
     if (sub == "explore") {
       return cmd_explore(
           parse_run_options(argc, argv, kExploreUsage, explore_flags));
@@ -552,7 +675,8 @@ int main(int argc, char** argv) {
     if (sub == "bench") {
       return cmd_bench(parse_run_options(
           argc, argv, kBenchUsage,
-          {"--noc", "--tech", "--method", "--routing", "--seed"}));
+          {"--noc", "--tech", "--method", "--routing", "--seed", "--threads",
+           "--chains", "--perf", "--out"}));
     }
     if (sub == "workloads") {
       return cmd_workloads(parse_run_options(argc, argv, kWorkloadsUsage, {}));

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "nocmap/core/explorer.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+
+namespace nocmap::core {
+namespace {
+
+graph::Cdcg small_workload() {
+  workload::RandomCdcgParams params;
+  params.num_cores = 8;
+  params.num_packets = 40;
+  params.total_bits = 40000;
+  util::Rng rng(1234);
+  return workload::generate_random_cdcg(params, rng);
+}
+
+ExplorerOptions sa_options(std::uint32_t chains, std::uint32_t threads) {
+  ExplorerOptions options;
+  options.method = SearchMethod::kSimulatedAnnealing;
+  options.seed = 42;
+  options.sa_chains = chains;
+  options.threads = threads;
+  // Small budget: these tests compare outcomes, not search quality.
+  options.sa.max_steps = 30;
+  options.sa.moves_per_tile = 5;
+  return options;
+}
+
+void expect_identical(const Comparison& a, const Comparison& b) {
+  EXPECT_EQ(a.cwm.mapping, b.cwm.mapping);
+  EXPECT_EQ(a.cdcm.mapping, b.cdcm.mapping);
+  EXPECT_DOUBLE_EQ(a.cwm.objective_j, b.cwm.objective_j);
+  EXPECT_DOUBLE_EQ(a.cdcm.objective_j, b.cdcm.objective_j);
+  EXPECT_DOUBLE_EQ(a.cwm.sim.texec_ns, b.cwm.sim.texec_ns);
+  EXPECT_DOUBLE_EQ(a.cdcm.sim.texec_ns, b.cdcm.sim.texec_ns);
+  EXPECT_DOUBLE_EQ(a.execution_time_reduction(),
+                   b.execution_time_reduction());
+  EXPECT_DOUBLE_EQ(a.energy_saving(), b.energy_saving());
+  EXPECT_EQ(a.cwm.evaluations, b.cwm.evaluations);
+  EXPECT_EQ(a.cdcm.evaluations, b.cdcm.evaluations);
+}
+
+// The headline determinism guarantee: ETR/ECS depend only on (seed, chains),
+// never on the worker-thread count.
+TEST(ExplorerThreadsTest, CompareIsIdenticalForOneAndFourThreads) {
+  const graph::Cdcg cdcg = small_workload();
+  const noc::Mesh mesh(3, 3);
+
+  const Explorer sequential(cdcg, mesh, sa_options(/*chains=*/3,
+                                                   /*threads=*/1));
+  const Explorer threaded(cdcg, mesh, sa_options(/*chains=*/3,
+                                                 /*threads=*/4));
+  expect_identical(sequential.compare(), threaded.compare());
+}
+
+TEST(ExplorerThreadsTest, SingleChainMatchesLegacySingleThreadedRun) {
+  const graph::Cdcg cdcg = small_workload();
+  const noc::Mesh mesh(3, 3);
+
+  // chains == 1 must reproduce the historical Rng(seed) sequence exactly,
+  // with any number of threads.
+  const Explorer legacy(cdcg, mesh, sa_options(1, 1));
+  const Explorer threaded(cdcg, mesh, sa_options(1, 8));
+  expect_identical(legacy.compare(), threaded.compare());
+}
+
+TEST(ExplorerThreadsTest, MoreChainsNeverHurtTheObjective) {
+  const graph::Cdcg cdcg = small_workload();
+  const noc::Mesh mesh(3, 3);
+
+  const ModelOutcome one =
+      Explorer(cdcg, mesh, sa_options(1, 1)).optimize_cwm();
+  const ModelOutcome many =
+      Explorer(cdcg, mesh, sa_options(4, 4)).optimize_cwm();
+  // Chain 0 of the ensemble is the single-chain run; best-of-N can only
+  // improve on it.
+  EXPECT_LE(many.objective_j, one.objective_j);
+  // Evaluations aggregate all chains' work.
+  EXPECT_GT(many.evaluations, one.evaluations);
+}
+
+TEST(ExplorerThreadsTest, ChainCountChangesTheEnsembleDeterministically) {
+  const graph::Cdcg cdcg = small_workload();
+  const noc::Mesh mesh(3, 3);
+
+  const Explorer a(cdcg, mesh, sa_options(4, 2));
+  const Explorer b(cdcg, mesh, sa_options(4, 3));
+  expect_identical(a.compare(), b.compare());
+}
+
+}  // namespace
+}  // namespace nocmap::core

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nocmap/energy/energy_model.hpp"
+#include "nocmap/mapping/cost.hpp"
+#include "nocmap/workload/paper_example.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+
+namespace nocmap::mapping {
+namespace {
+
+// Seed-era reference: Equation 3 via compute_route per edge.
+double reference_cwm_cost(const graph::Cwg& cwg, const noc::Mesh& mesh,
+                          const Mapping& m, const energy::Technology& tech) {
+  double energy_j = 0.0;
+  for (const graph::CwgEdge& e : cwg.edges()) {
+    const noc::Route route =
+        noc::compute_route(mesh, m.tile_of(e.src), m.tile_of(e.dst));
+    energy_j +=
+        energy::dynamic_packet_energy(tech, e.bits, route.num_routers());
+  }
+  return energy_j;
+}
+
+graph::Cwg random_cwg(std::uint32_t cores, std::uint64_t seed) {
+  workload::RandomCdcgParams params;
+  params.num_cores = cores;
+  params.num_packets = cores * 4;
+  params.total_bits = params.num_packets * 128;
+  util::Rng rng(seed);
+  return workload::generate_random_cdcg(params, rng).to_cwg();
+}
+
+TEST(CwmCostDeltaTest, FullCostMatchesComputeRouteReference) {
+  const graph::Cwg cwg = random_cwg(10, 3);
+  const noc::Mesh mesh(4, 4);
+  const energy::Technology tech = energy::technology_0_07u();
+  const CwmCost cost(cwg, mesh, tech);
+
+  util::Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Mapping m = Mapping::random(mesh, cwg.num_cores(), rng);
+    const double expected = reference_cwm_cost(cwg, mesh, m, tech);
+    EXPECT_NEAR(cost.cost(m), expected, expected * 1e-12);
+  }
+}
+
+TEST(CwmCostDeltaTest, SwapDeltaMatchesFreshEvaluation) {
+  const graph::Cwg cwg = random_cwg(12, 5);
+  const noc::Mesh mesh(4, 4);  // 16 tiles, 12 cores: some tiles empty.
+  const CwmCost cost(cwg, mesh, energy::technology_0_07u());
+
+  util::Rng rng(29);
+  Mapping m = Mapping::random(mesh, cwg.num_cores(), rng);
+  for (int trial = 0; trial < 200; ++trial) {
+    const noc::TileId a = static_cast<noc::TileId>(rng.index(16));
+    const noc::TileId b = static_cast<noc::TileId>(rng.index(16));
+    const double before = cost.cost(m);
+    const double delta = cost.swap_delta(m, a, b);
+
+    Mapping swapped = m;
+    swapped.swap_tiles(a, b);
+    const double after = cost.cost(swapped);
+
+    EXPECT_NEAR(delta, after - before, std::abs(before) * 1e-12)
+        << "swap (" << a << ", " << b << ") at trial " << trial;
+    // swap_delta must not touch the mapping.
+    EXPECT_DOUBLE_EQ(cost.cost(m), before);
+
+    m = swapped;  // Random walk.
+  }
+}
+
+// The SA usage pattern: a long accumulated-delta walk must stay within 1e-9
+// relative of a fresh evaluation.
+TEST(CwmCostDeltaTest, AccumulatedDeltasTrackFullCostOverRandomWalk) {
+  const graph::Cwg cwg = random_cwg(20, 11);
+  const noc::Mesh mesh(5, 5);
+  const CwmCost cost(cwg, mesh, energy::technology_0_07u());
+
+  util::Rng rng(41);
+  Mapping m = Mapping::random(mesh, cwg.num_cores(), rng);
+  double running = cost.cost(m);
+  for (int move = 0; move < 2000; ++move) {
+    const noc::TileId a = static_cast<noc::TileId>(rng.index(25));
+    const noc::TileId b = static_cast<noc::TileId>(rng.index(25));
+    running += cost.swap_delta(m, a, b);
+    cost.apply_swap(m, a, b);
+    if (move % 100 == 99) {
+      const double fresh = cost.cost(m);
+      EXPECT_NEAR(running, fresh, std::abs(fresh) * 1e-9) << "move " << move;
+    }
+  }
+}
+
+TEST(CwmCostDeltaTest, SwapWithSelfAndEmptyTilesIsConsistent) {
+  const graph::Cwg cwg = random_cwg(4, 7);
+  const noc::Mesh mesh(3, 3);  // 9 tiles, 4 cores: mostly empty tiles.
+  const CwmCost cost(cwg, mesh, energy::technology_0_07u());
+  util::Rng rng(2);
+  const Mapping m = Mapping::random(mesh, cwg.num_cores(), rng);
+
+  // Self-swap is a no-op.
+  EXPECT_DOUBLE_EQ(cost.swap_delta(m, 3, 3), 0.0);
+
+  // Empty <-> empty swap changes nothing.
+  for (noc::TileId a = 0; a < 9; ++a) {
+    for (noc::TileId b = 0; b < 9; ++b) {
+      if (m.core_on(a) || m.core_on(b)) continue;
+      EXPECT_DOUBLE_EQ(cost.swap_delta(m, a, b), 0.0);
+    }
+  }
+}
+
+TEST(CwmCostDeltaTest, PaperExampleNeighbourDeltas) {
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  const graph::Cwg cwg = cdcg.to_cwg();
+  const noc::Mesh mesh = workload::paper_example_mesh();
+  const CwmCost cost(cwg, mesh, energy::example_technology());
+
+  Mapping m(mesh, cwg.num_cores());
+  const double base = cost.cost(m);
+  for (noc::TileId a = 0; a < 4; ++a) {
+    for (noc::TileId b = 0; b < 4; ++b) {
+      Mapping swapped = m;
+      swapped.swap_tiles(a, b);
+      EXPECT_NEAR(cost.swap_delta(m, a, b), cost.cost(swapped) - base,
+                  1e-24);
+    }
+  }
+}
+
+TEST(CostDeltaProtocolTest, CapabilityFlags) {
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  const noc::Mesh mesh = workload::paper_example_mesh();
+  const energy::Technology tech = energy::example_technology();
+
+  const CwmCost cwm(cdcg.to_cwg(), mesh, tech);
+  EXPECT_TRUE(cwm.has_swap_delta());
+
+  const CdcmCost cdcm(cdcg, mesh, tech);
+  EXPECT_FALSE(cdcm.has_swap_delta());
+  Mapping m(mesh, cdcg.num_cores());
+  EXPECT_THROW(cdcm.swap_delta(m, 0, 1), std::logic_error);
+}
+
+TEST(CostDeltaProtocolTest, DefaultApplySwapMutatesTheMapping) {
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  const noc::Mesh mesh = workload::paper_example_mesh();
+  const CdcmCost cdcm(cdcg, mesh, energy::example_technology());
+
+  Mapping m(mesh, cdcg.num_cores());
+  Mapping expected = m;
+  expected.swap_tiles(0, 2);
+  cdcm.apply_swap(m, 0, 2);
+  EXPECT_EQ(m, expected);
+}
+
+}  // namespace
+}  // namespace nocmap::mapping

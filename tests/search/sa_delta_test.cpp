@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nocmap/search/simulated_annealing.hpp"
+#include "nocmap/workload/paper_example.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+
+namespace nocmap::search {
+namespace {
+
+struct RandomFixture {
+  graph::Cdcg cdcg;
+  noc::Mesh mesh{4, 4};
+  energy::Technology tech = energy::technology_0_07u();
+  graph::Cwg cwg;
+
+  explicit RandomFixture(std::uint64_t seed = 1) {
+    workload::RandomCdcgParams params;
+    params.num_cores = 14;
+    params.num_packets = 70;
+    params.total_bits = 70000;
+    util::Rng rng(seed);
+    cdcg = workload::generate_random_cdcg(params, rng);
+    cwg = cdcg.to_cwg();
+  }
+};
+
+TEST(SaDeltaTest, ReportedBestCostMatchesFreshEvaluation) {
+  RandomFixture f;
+  const mapping::CwmCost cost(f.cwg, f.mesh, f.tech);
+  util::Rng rng(3);
+  const SearchResult result = anneal(cost, f.mesh, rng);
+  // With the delta path the engine accumulates move deltas; the reported
+  // best cost is pinned to a full evaluation of the best mapping.
+  EXPECT_NEAR(result.best_cost, cost.cost(result.best),
+              std::abs(result.best_cost) * 1e-9);
+  EXPECT_TRUE(result.best.is_valid());
+}
+
+TEST(SaDeltaTest, DeltaPathIsDeterministicGivenSeed) {
+  RandomFixture f;
+  const mapping::CwmCost cost(f.cwg, f.mesh, f.tech);
+  util::Rng rng1(19), rng2(19);
+  const SearchResult a = anneal(cost, f.mesh, rng1);
+  const SearchResult b = anneal(cost, f.mesh, rng2);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(SaDeltaTest, DeltaAndFullRecomputeReachComparableQuality) {
+  RandomFixture f;
+  const mapping::CwmCost cost(f.cwg, f.mesh, f.tech);
+
+  SaOptions with_delta;  // use_swap_delta = true by default.
+  util::Rng rng1(7);
+  const SearchResult fast = anneal(cost, f.mesh, rng1, with_delta);
+
+  SaOptions without_delta;
+  without_delta.use_swap_delta = false;
+  util::Rng rng2(7);
+  const SearchResult slow = anneal(cost, f.mesh, rng2, without_delta);
+
+  // Different arithmetic paths may diverge in accept decisions, but both
+  // engines search the same landscape with the same budget: neither may be
+  // grossly worse than the other.
+  EXPECT_NEAR(fast.best_cost, cost.cost(fast.best),
+              std::abs(fast.best_cost) * 1e-9);
+  EXPECT_DOUBLE_EQ(slow.best_cost, cost.cost(slow.best));
+  EXPECT_LT(fast.best_cost, slow.best_cost * 1.25);
+  EXPECT_LT(slow.best_cost, fast.best_cost * 1.25);
+}
+
+TEST(SaDeltaTest, DeltaFindsThePaperExampleOptimum) {
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  const noc::Mesh mesh = workload::paper_example_mesh();
+  const graph::Cwg cwg = cdcg.to_cwg();
+  const mapping::CwmCost cost(cwg, mesh, energy::example_technology());
+  ASSERT_TRUE(cost.has_swap_delta());
+  util::Rng rng(5);
+  const SearchResult result = anneal(cost, mesh, rng);
+  EXPECT_DOUBLE_EQ(result.best_cost, 390e-12);
+}
+
+TEST(SaDeltaTest, NeverWorseThanItsOwnStart) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    RandomFixture f(seed + 100);
+    const mapping::CwmCost cost(f.cwg, f.mesh, f.tech);
+    util::Rng rng(seed);
+    const SearchResult result = anneal(cost, f.mesh, rng);
+    EXPECT_LE(result.best_cost,
+              result.initial_cost * (1.0 + 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace nocmap::search
