@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/core/explorer.hpp"
 #include "nocmap/sim/schedule.hpp"
 #include "nocmap/util/strings.hpp"

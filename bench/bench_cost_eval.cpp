@@ -8,7 +8,8 @@
 /// Usage: bench_cost_eval [--quick] [--max-mesh N] [--out FILE]
 ///
 /// Writes the JSON report (default BENCH_eval.json, the file tracked at the
-/// repo root) and prints a summary table.
+/// repo root) and prints a summary table. The report schema (fields, units,
+/// what CI validates) is documented in docs/bench-format.md.
 
 #include <atomic>
 #include <cstdio>

@@ -16,6 +16,7 @@
 #include <map>
 #include <vector>
 
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/mapping/cost.hpp"
 #include "nocmap/workload/random_cdcg.hpp"
 #include "nocmap/workload/suite.hpp"

@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/mapping/cost.hpp"
 #include "nocmap/search/exhaustive.hpp"
 #include "nocmap/search/simulated_annealing.hpp"

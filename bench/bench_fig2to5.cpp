@@ -7,6 +7,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/mapping/cost.hpp"
 #include "nocmap/sim/timeline.hpp"
 #include "nocmap/util/table.hpp"

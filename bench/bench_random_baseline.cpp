@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/core/explorer.hpp"
 #include "nocmap/mapping/cost.hpp"
 #include "nocmap/search/random_search.hpp"

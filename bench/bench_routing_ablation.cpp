@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/core/explorer.hpp"
 #include "nocmap/util/strings.hpp"
 #include "nocmap/util/table.hpp"

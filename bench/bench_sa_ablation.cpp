@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/mapping/cost.hpp"
 #include "nocmap/search/simulated_annealing.hpp"
 #include "nocmap/util/strings.hpp"

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/core/explorer.hpp"
 #include "nocmap/util/strings.hpp"
 #include "nocmap/util/table.hpp"

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/nocmap.hpp"
 
 int main(int argc, char** argv) {

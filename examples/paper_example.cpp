@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/nocmap.hpp"
 
 int main() {

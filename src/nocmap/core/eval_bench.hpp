@@ -12,7 +12,8 @@
 /// PRs can follow the perf trajectory.
 ///
 /// Used by bench/bench_cost_eval.cpp (full budgets, allocation probe) and by
-/// `nocmap bench --perf` (quick budgets, CI smoke).
+/// `nocmap bench --perf` (quick budgets, CI smoke). The JSON schema is
+/// documented in docs/bench-format.md.
 
 #include <cstdint>
 #include <string>

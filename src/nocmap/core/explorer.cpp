@@ -1,5 +1,6 @@
 #include "nocmap/core/explorer.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
@@ -27,21 +28,31 @@ util::Rng chain_rng(std::uint64_t seed, std::uint32_t chain) {
 
 }  // namespace
 
-Explorer::Explorer(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
+Explorer::Explorer(const graph::Cdcg& cdcg, const noc::Topology& topo,
                    ExplorerOptions options)
-    : cdcg_(cdcg), mesh_(mesh), cwg_(cdcg.to_cwg()), options_(std::move(options)) {
+    : cdcg_(cdcg),
+      topo_(topo),
+      cwg_(cdcg.to_cwg()),
+      options_(std::move(options)) {
   options_.tech.validate();
   cdcg_.validate(/*require_connected=*/false);
-  if (cdcg_.num_cores() > mesh_.num_tiles()) {
+  if (cdcg_.num_cores() > topo_.num_tiles()) {
     throw std::invalid_argument("Explorer: more cores than tiles");
   }
 }
 
 bool Explorer::would_use_exhaustive() const {
   const std::uint64_t placements = search::placement_count(
-      mesh_.num_tiles(), static_cast<std::uint32_t>(cdcg_.num_cores()));
-  const std::uint64_t group =
-      mesh_.width() == mesh_.height() ? 8 : 4;
+      topo_.num_tiles(), static_cast<std::uint32_t>(cdcg_.num_cores()));
+  // Exhaustive search only restricts core 0's tile to one representative
+  // per symmetry orbit, so the realized pruning can never exceed the
+  // first-tile collapse — num_tiles at best — no matter how large the
+  // group is (on a torus, ring rotations alone already collapse the first
+  // tile, and the dihedral factor buys nothing more). Capping keeps the
+  // historical mesh behaviour (group 4/8 < num_tiles) bit-identical while
+  // stopping torus auto-ES from blowing the evaluation budget by 8x.
+  const std::uint64_t group = std::min<std::uint64_t>(
+      topo_.symmetry_maps().size(), topo_.num_tiles());
   return placements / group <= options_.es_auto_threshold;
 }
 
@@ -54,7 +65,7 @@ search::SearchResult Explorer::run_sa_chains(
     const std::unique_ptr<mapping::CostFunction> cost = make_cost();
     util::Rng rng = chain_rng(options_.seed, chain);
     results[chain] =
-        search::anneal(*cost, mesh_, rng, options_.sa, sa_initial);
+        search::anneal(*cost, topo_, rng, options_.sa, sa_initial);
   };
 
   const std::uint32_t workers =
@@ -110,7 +121,7 @@ ModelOutcome Explorer::run(const CostFactory& make_cost,
   search::SearchResult sr = [&] {
     if (exhaustive) {
       const std::unique_ptr<mapping::CostFunction> cost = make_cost();
-      return search::exhaustive_search(*cost, mesh_, options_.es);
+      return search::exhaustive_search(*cost, topo_, options_.es);
     }
     return run_sa_chains(make_cost, sa_initial);
   }();
@@ -118,7 +129,7 @@ ModelOutcome Explorer::run(const CostFactory& make_cost,
   ModelOutcome outcome{model, sr.best, sr.best_cost, {}, sr.evaluations,
                        exhaustive};
   // Ground truth: full CDCM simulation of the winner, traces included.
-  const mapping::CdcmCost evaluator(cdcg_, mesh_, options_.tech,
+  const mapping::CdcmCost evaluator(cdcg_, topo_, options_.tech,
                                     options_.routing);
   outcome.sim = evaluator.evaluate(sr.best);
   return outcome;
@@ -127,7 +138,7 @@ ModelOutcome Explorer::run(const CostFactory& make_cost,
 ModelOutcome Explorer::optimize_cwm() const {
   return run(
       [this] {
-        return std::make_unique<mapping::CwmCost>(cwg_, mesh_, options_.tech,
+        return std::make_unique<mapping::CwmCost>(cwg_, topo_, options_.tech,
                                                   options_.routing);
       },
       "CWM");
@@ -136,7 +147,7 @@ ModelOutcome Explorer::optimize_cwm() const {
 ModelOutcome Explorer::optimize_cdcm() const {
   return run(
       [this] {
-        return std::make_unique<mapping::CdcmCost>(cdcg_, mesh_, options_.tech,
+        return std::make_unique<mapping::CdcmCost>(cdcg_, topo_, options_.tech,
                                                    options_.routing);
       },
       "CDCM");
@@ -149,7 +160,7 @@ Comparison Explorer::compare() const {
   }
   ModelOutcome cdcm = run(
       [this] {
-        return std::make_unique<mapping::CdcmCost>(cdcg_, mesh_, options_.tech,
+        return std::make_unique<mapping::CdcmCost>(cdcg_, topo_, options_.tech,
                                                    options_.routing);
       },
       "CDCM", &cwm.mapping);

@@ -2,7 +2,8 @@
 /// \file explorer.hpp
 /// The FRW framework facade — the paper's experimental flow in one object.
 ///
-/// Bind an application (CDCG), a mesh and a technology; the Explorer then
+/// Bind an application (CDCG), a topology and a technology; the Explorer
+/// then
 ///  1. projects the CDCG to a CWG and optimizes the CWM objective
 ///     (Equation 3),
 ///  2. optimizes the CDCM objective (Equation 10),
@@ -23,7 +24,7 @@
 #include "nocmap/energy/technology.hpp"
 #include "nocmap/graph/cdcg.hpp"
 #include "nocmap/mapping/cost.hpp"
-#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/topology.hpp"
 #include "nocmap/search/exhaustive.hpp"
 #include "nocmap/search/simulated_annealing.hpp"
 #include "nocmap/sim/schedule.hpp"
@@ -94,8 +95,8 @@ struct Comparison {
 
 class Explorer {
  public:
-  /// The CDCG and mesh must outlive the Explorer.
-  Explorer(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
+  /// The CDCG and topology must outlive the Explorer.
+  Explorer(const graph::Cdcg& cdcg, const noc::Topology& topo,
            ExplorerOptions options = {});
 
   /// Optimize the CWM objective (Equation 3) and ground-truth-evaluate.
@@ -122,7 +123,7 @@ class Explorer {
                                      const mapping::Mapping* sa_initial) const;
 
   const graph::Cdcg& cdcg_;
-  const noc::Mesh& mesh_;
+  const noc::Topology& topo_;
   graph::Cwg cwg_;
   ExplorerOptions options_;
 };

@@ -15,11 +15,11 @@ void CostFunction::apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const {
   m.swap_tiles(a, b);
 }
 
-CwmCost::CwmCost(const graph::Cwg& cwg, const noc::Mesh& mesh,
+CwmCost::CwmCost(const graph::Cwg& cwg, const noc::Topology& topo,
                  const energy::Technology& tech, noc::RoutingAlgorithm routing)
     : edges_(cwg.edges()),
       incident_(cwg.num_cores()),
-      table_(mesh, routing),
+      table_(topo, routing),
       tech_(tech),
       routing_(routing),
       num_cores_(cwg.num_cores()) {
@@ -86,23 +86,23 @@ double CwmCost::swap_delta(const Mapping& m, noc::TileId a,
   return delta;
 }
 
-double cwm_dynamic_energy(const graph::Cwg& cwg, const noc::Mesh& mesh,
+double cwm_dynamic_energy(const graph::Cwg& cwg, const noc::Topology& topo,
                           const Mapping& m, const energy::Technology& tech,
                           noc::RoutingAlgorithm routing) {
-  return CwmCost(cwg, mesh, tech, routing).cost(m);
+  return CwmCost(cwg, topo, tech, routing).cost(m);
 }
 
-CdcmCost::CdcmCost(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
+CdcmCost::CdcmCost(const graph::Cdcg& cdcg, const noc::Topology& topo,
                    const energy::Technology& tech,
                    noc::RoutingAlgorithm routing)
-    : cdcg_(cdcg), mesh_(mesh), tech_(tech), routing_(routing) {
+    : cdcg_(cdcg), topo_(topo), tech_(tech), routing_(routing) {
   tech_.validate();
   cdcg_.validate(/*require_connected=*/false);
   sim::SimOptions options;
   options.routing = routing_;
   options.record_traces = true;  // Only honoured by the traced path.
   simulator_ =
-      std::make_unique<sim::Simulator>(cdcg_, mesh_, tech_, options);
+      std::make_unique<sim::Simulator>(cdcg_, topo_, tech_, options);
 }
 
 double CdcmCost::cost(const Mapping& m) const {

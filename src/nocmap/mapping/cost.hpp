@@ -27,7 +27,7 @@
 #include "nocmap/graph/cdcg.hpp"
 #include "nocmap/graph/cwg.hpp"
 #include "nocmap/mapping/mapping.hpp"
-#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/topology.hpp"
 #include "nocmap/noc/route_table.hpp"
 #include "nocmap/noc/routing.hpp"
 #include "nocmap/sim/simulator.hpp"
@@ -82,14 +82,15 @@ class CostFunction {
 
 /// Equation 3 — EDyNoC(CWM) = sum over all communications of w_ab * EBit_ij.
 ///
-/// Precomputes the CWG edge list, the per-pair hop table and per-core
+/// Precomputes the CWG edge list, the per-pair hop table (for the bound
+/// topology and routing algorithm) and per-core
 /// incident-edge lists; each full evaluation is a flat loop of hop-table
 /// lookups (no Route construction), and swap_delta() reprices only the edges
 /// incident to the two affected tiles.
 class CwmCost final : public CostFunction {
  public:
   /// The referenced objects must outlive the cost function.
-  CwmCost(const graph::Cwg& cwg, const noc::Mesh& mesh,
+  CwmCost(const graph::Cwg& cwg, const noc::Topology& topo,
           const energy::Technology& tech,
           noc::RoutingAlgorithm routing = noc::RoutingAlgorithm::kXY);
 
@@ -130,7 +131,7 @@ class CwmCost final : public CostFunction {
 /// thread-safe: give each search worker its own CdcmCost.
 class CdcmCost final : public CostFunction {
  public:
-  CdcmCost(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
+  CdcmCost(const graph::Cdcg& cdcg, const noc::Topology& topo,
            const energy::Technology& tech,
            noc::RoutingAlgorithm routing = noc::RoutingAlgorithm::kXY);
 
@@ -144,7 +145,7 @@ class CdcmCost final : public CostFunction {
 
  private:
   const graph::Cdcg& cdcg_;
-  const noc::Mesh& mesh_;
+  const noc::Topology& topo_;
   energy::Technology tech_;
   noc::RoutingAlgorithm routing_;
   /// The arena. unique_ptr keeps the class movable-constructible in spirit
@@ -154,7 +155,7 @@ class CdcmCost final : public CostFunction {
 };
 
 /// Convenience free function: Equation 3 for a single mapping.
-double cwm_dynamic_energy(const graph::Cwg& cwg, const noc::Mesh& mesh,
+double cwm_dynamic_energy(const graph::Cwg& cwg, const noc::Topology& topo,
                           const Mapping& m, const energy::Technology& tech,
                           noc::RoutingAlgorithm routing =
                               noc::RoutingAlgorithm::kXY);

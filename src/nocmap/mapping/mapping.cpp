@@ -5,8 +5,8 @@
 
 namespace nocmap::mapping {
 
-Mapping::Mapping(const noc::Mesh& mesh, std::size_t num_cores)
-    : mesh_width_(mesh.width()), num_tiles_(mesh.num_tiles()) {
+Mapping::Mapping(const noc::Topology& topo, std::size_t num_cores)
+    : mesh_width_(topo.width()), num_tiles_(topo.num_tiles()) {
   if (num_cores > num_tiles_) {
     throw std::invalid_argument("Mapping: more cores than tiles");
   }
@@ -21,12 +21,12 @@ Mapping::Mapping(const noc::Mesh& mesh, std::size_t num_cores)
   }
 }
 
-Mapping Mapping::random(const noc::Mesh& mesh, std::size_t num_cores,
+Mapping Mapping::random(const noc::Topology& topo, std::size_t num_cores,
                         util::Rng& rng) {
-  Mapping m(mesh, num_cores);
+  Mapping m(topo, num_cores);
   // Fisher-Yates over tiles: place each core on a random distinct tile.
-  std::vector<noc::TileId> tiles(mesh.num_tiles());
-  for (std::uint32_t t = 0; t < mesh.num_tiles(); ++t) tiles[t] = t;
+  std::vector<noc::TileId> tiles(topo.num_tiles());
+  for (std::uint32_t t = 0; t < topo.num_tiles(); ++t) tiles[t] = t;
   rng.shuffle(tiles);
   m.tile_to_core_.assign(m.num_tiles_, std::nullopt);
   for (std::size_t c = 0; c < num_cores; ++c) {
@@ -37,8 +37,8 @@ Mapping Mapping::random(const noc::Mesh& mesh, std::size_t num_cores,
 }
 
 Mapping Mapping::from_assignment(
-    const noc::Mesh& mesh, const std::vector<noc::TileId>& core_to_tile) {
-  Mapping m(mesh, core_to_tile.size());
+    const noc::Topology& topo, const std::vector<noc::TileId>& core_to_tile) {
+  Mapping m(topo, core_to_tile.size());
   m.tile_to_core_.assign(m.num_tiles_, std::nullopt);
   for (std::size_t c = 0; c < core_to_tile.size(); ++c) {
     const noc::TileId t = core_to_tile[c];

@@ -2,8 +2,8 @@
 /// \file mapping.hpp
 /// Core-to-tile mapping: the decision variable of the whole problem.
 ///
-/// A Mapping is an injective association of every application core to a mesh
-/// tile (some tiles may stay empty when the application has fewer cores than
+/// A Mapping is an injective association of every application core to a
+/// topology tile (some tiles may stay empty when the application has fewer cores than
 /// the NoC has tiles). Search engines mutate mappings via swap moves; cost
 /// functions read them.
 
@@ -13,27 +13,29 @@
 #include <vector>
 
 #include "nocmap/graph/cwg.hpp"
-#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/topology.hpp"
 #include "nocmap/util/rng.hpp"
 
 namespace nocmap::mapping {
 
-/// Injective core -> tile assignment over a fixed mesh.
+/// Injective core -> tile assignment over a fixed topology (the mapping
+/// only remembers the tile count and grid width; it works for any
+/// noc::Topology instance of that shape).
 class Mapping {
  public:
   /// An identity-ish initial mapping: core i on tile i.
-  /// Throws std::invalid_argument if num_cores > mesh.num_tiles().
-  Mapping(const noc::Mesh& mesh, std::size_t num_cores);
+  /// Throws std::invalid_argument if num_cores > topo.num_tiles().
+  Mapping(const noc::Topology& topo, std::size_t num_cores);
 
   /// A uniformly random injective mapping (the paper's initial state:
   /// "Initially, all cores of C are randomly mapped onto the set of tiles").
-  static Mapping random(const noc::Mesh& mesh, std::size_t num_cores,
+  static Mapping random(const noc::Topology& topo, std::size_t num_cores,
                         util::Rng& rng);
 
   /// Build from an explicit assignment: core i -> core_to_tile[i].
   /// Throws std::invalid_argument if the assignment is not injective or
-  /// refers to tiles outside the mesh.
-  static Mapping from_assignment(const noc::Mesh& mesh,
+  /// refers to tiles outside the topology.
+  static Mapping from_assignment(const noc::Topology& topo,
                                  const std::vector<noc::TileId>& core_to_tile);
 
   std::size_t num_cores() const { return core_to_tile_.size(); }
@@ -56,7 +58,8 @@ class Mapping {
   /// rendering via to_grid_string().
   std::string to_string() const;
 
-  /// Multi-line grid: one row per mesh row, each cell the core index or '.'.
+  /// Multi-line grid: one row per topology row, each cell the core index
+  /// or '.'.
   std::string to_grid_string() const;
 
   friend bool operator==(const Mapping& a, const Mapping& b) {

@@ -1,0 +1,139 @@
+#include "nocmap/noc/express_mesh.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nocmap/noc/routing.hpp"
+
+namespace nocmap::noc {
+
+namespace {
+
+std::uint64_t pair_key(TileId src, TileId dst) {
+  return (static_cast<std::uint64_t>(src) << 32) | dst;
+}
+
+}  // namespace
+
+ExpressMesh::ExpressMesh(std::uint32_t width, std::uint32_t height,
+                         std::uint32_t interval)
+    : Topology(width, height), base_(width, height), interval_(interval) {
+  if (interval < 2) {
+    throw std::invalid_argument("ExpressMesh: interval must be >= 2");
+  }
+  const std::int32_t w = static_cast<std::int32_t>(width);
+  const std::int32_t h = static_cast<std::int32_t>(height);
+  const std::int32_t k = static_cast<std::int32_t>(interval);
+  auto add_pair = (
+      [&](Coord a, Coord b) {
+        const TileId ta = tile_at(a);
+        const TileId tb = tile_at(b);
+        express_by_pair_.emplace(pair_key(ta, tb),
+                                 base_.num_resources() +
+                                     static_cast<ResourceId>(express_.size()));
+        express_.push_back(ExpressLink{ta, tb});
+        express_by_pair_.emplace(pair_key(tb, ta),
+                                 base_.num_resources() +
+                                     static_cast<ResourceId>(express_.size()));
+        express_.push_back(ExpressLink{tb, ta});
+      });
+  // Horizontal links row by row, then vertical ones column band by band.
+  for (std::int32_t y = 0; y < h; ++y) {
+    for (std::int32_t x = 0; x + k <= w - 1; x += k) {
+      add_pair(Coord{x, y}, Coord{x + k, y});
+    }
+  }
+  for (std::int32_t y = 0; y + k <= h - 1; y += k) {
+    for (std::int32_t x = 0; x < w; ++x) {
+      add_pair(Coord{x, y}, Coord{x, y + k});
+    }
+  }
+}
+
+std::string ExpressMesh::label() const {
+  return std::to_string(width()) + "x" + std::to_string(height()) + " xmesh(" +
+         std::to_string(interval_) + ")";
+}
+
+std::uint32_t ExpressMesh::axis_distance(std::int32_t from, std::int32_t to,
+                                         std::uint32_t size) const {
+  std::uint32_t hops = 0;
+  while (from != to) {
+    from = axis_step(from, to, size);
+    ++hops;
+  }
+  return hops;
+}
+
+std::int32_t ExpressMesh::axis_step(std::int32_t from, std::int32_t to,
+                                    std::uint32_t size) const {
+  const std::int32_t k = static_cast<std::int32_t>(interval_);
+  const std::int32_t dir = to > from ? 1 : -1;
+  const std::int32_t jump = from + dir * k;
+  // Express hops start at aligned positions, must stay on the axis and must
+  // not overshoot the target (monotone routing).
+  if (from % k == 0 && jump >= 0 &&
+      jump <= static_cast<std::int32_t>(size) - 1 &&
+      std::abs(to - from) >= k) {
+    return jump;
+  }
+  return from + dir;
+}
+
+std::uint32_t ExpressMesh::distance(TileId a, TileId b) const {
+  const Coord ca = coord(a);
+  const Coord cb = coord(b);
+  return axis_distance(ca.x, cb.x, width()) +
+         axis_distance(ca.y, cb.y, height());
+}
+
+std::vector<TileId> ExpressMesh::neighbours(TileId tile) const {
+  std::vector<TileId> out = base_.neighbours(tile);
+  for (const ExpressLink& link : express_) {
+    if (link.src == tile) out.push_back(link.dst);
+  }
+  return out;
+}
+
+std::uint32_t ExpressMesh::num_resources() const {
+  return base_.num_resources() + num_express_links();
+}
+
+ResourceId ExpressMesh::link_resource(TileId src, TileId dst) const {
+  const auto it = express_by_pair_.find(pair_key(src, dst));
+  if (it != express_by_pair_.end()) return it->second;
+  return base_.link_resource(src, dst);
+}
+
+ResourceId ExpressMesh::local_in_resource(TileId tile) const {
+  return base_.local_in_resource(tile);
+}
+
+ResourceId ExpressMesh::local_out_resource(TileId tile) const {
+  return base_.local_out_resource(tile);
+}
+
+ResourceInfo ExpressMesh::describe(ResourceId id) const {
+  if (id < base_.num_resources()) return base_.describe(id);
+  const std::uint32_t index = id - base_.num_resources();
+  if (index >= express_.size()) {
+    throw std::invalid_argument("ExpressMesh: resource id out of range");
+  }
+  return ResourceInfo{ResourceKind::kLink, express_[index].src,
+                      express_[index].dst};
+}
+
+Route ExpressMesh::route(TileId src, TileId dst, RoutingAlgorithm algo) const {
+  if (src >= num_tiles() || dst >= num_tiles()) {
+    throw std::invalid_argument("compute_route: tile out of range");
+  }
+  const Coord s = coord(src);
+  const Coord target = coord(dst);
+  const int x_dir = target.x > s.x ? 1 : (target.x < s.x ? -1 : 0);
+  return dimension_ordered_route(
+      src, dst, algo, x_dir,
+      [&](std::int32_t x) { return axis_step(x, target.x, width()); },
+      [&](std::int32_t y) { return axis_step(y, target.y, height()); });
+}
+
+}  // namespace nocmap::noc

@@ -1,0 +1,95 @@
+#pragma once
+/// \file express_mesh.hpp
+/// Express-link mesh: the 2-D mesh plus configurable long-range skip links
+/// (express channels in the sense of Dally's express cubes).
+///
+/// For an interval k >= 2, a bidirectional express link pair connects tiles
+/// k apart along every row and column, starting at aligned positions
+/// (columns/rows 0, k, 2k, ... with the far end still on the grid). With no
+/// express link fitting the grid (k > max(W, H) - 1) the topology is
+/// resource-for-resource identical to the Mesh (tested).
+///
+/// Routing stays dimension-ordered and *monotone*: while traversing an
+/// axis, the walker takes an express hop whenever one starts at the current
+/// tile, heads toward the destination and does not overshoot it; otherwise
+/// it takes the unit link. distance() is defined as the length of that
+/// greedy monotone walk (per axis), which is provably minimal among
+/// monotone paths — but a shorter *non-monotone* path may exist (stepping
+/// back to an aligned tile to catch an express link). Monotone routing is
+/// what keeps the deterministic routers simple and livelock-free; see
+/// docs/topologies.md for the discussion.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/topology.hpp"
+
+namespace nocmap::noc {
+
+/// A W x H mesh with express links every `interval` tiles.
+///
+/// Resource id layout: the mesh's 7 * num_tiles ids first — routers, the 4
+/// per-tile mesh link slots, local-in, local-out, with *identical numbering*
+/// (the mesh ids are delegated to an embedded Mesh) — then one id per
+/// directed express link, appended at 7 * num_tiles in enumeration order
+/// (horizontal row by row, then vertical column band by band; each
+/// bidirectional pair contributes forward then backward).
+class ExpressMesh : public Topology {
+ public:
+  /// Throws std::invalid_argument unless the grid is valid (as Mesh) and
+  /// interval >= 2.
+  ExpressMesh(std::uint32_t width, std::uint32_t height,
+              std::uint32_t interval = 2);
+
+  std::uint32_t interval() const { return interval_; }
+  /// Number of *directed* express links.
+  std::uint32_t num_express_links() const {
+    return static_cast<std::uint32_t>(express_.size());
+  }
+
+  // --- Topology contract ---------------------------------------------------
+
+  const char* kind() const override { return "xmesh"; }
+  /// "WxH xmesh(k)".
+  std::string label() const override;
+
+  /// Monotone distance: per axis, the length of the greedy monotone walk
+  /// (unit steps plus aligned express hops that do not overshoot).
+  std::uint32_t distance(TileId a, TileId b) const override;
+  /// Mesh neighbours (N, S, E, W) followed by express neighbours in
+  /// enumeration order.
+  std::vector<TileId> neighbours(TileId tile) const override;
+
+  std::uint32_t num_resources() const override;
+  ResourceId link_resource(TileId src, TileId dst) const override;
+  ResourceId local_in_resource(TileId tile) const override;
+  ResourceId local_out_resource(TileId tile) const override;
+  ResourceInfo describe(ResourceId id) const override;
+
+  Route route(TileId src, TileId dst, RoutingAlgorithm algo) const override;
+
+ private:
+  struct ExpressLink {
+    TileId src = 0;
+    TileId dst = 0;
+  };
+
+  /// Length of the greedy monotone walk from `from` to `to` along one axis
+  /// of size `size` (positions, not tiles).
+  std::uint32_t axis_distance(std::int32_t from, std::int32_t to,
+                              std::uint32_t size) const;
+  /// The next position of that walk (one unit or one express hop).
+  std::int32_t axis_step(std::int32_t from, std::int32_t to,
+                         std::uint32_t size) const;
+
+  Mesh base_;                ///< Delegate for the mesh-resource id range.
+  std::uint32_t interval_;
+  std::vector<ExpressLink> express_;  ///< Directed, in id order.
+  /// (src << 32 | dst) -> express resource id, for O(1) link_resource().
+  std::unordered_map<std::uint64_t, ResourceId> express_by_pair_;
+};
+
+}  // namespace nocmap::noc

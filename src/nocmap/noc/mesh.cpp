@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nocmap/noc/routing.hpp"
+
 namespace nocmap::noc {
 
 namespace {
@@ -13,33 +15,10 @@ enum Dir : std::uint32_t { kEast = 0, kWest = 1, kSouth = 2, kNorth = 3 };
 }  // namespace
 
 Mesh::Mesh(std::uint32_t width, std::uint32_t height)
-    : width_(width), height_(height) {
-  if (width == 0 || height == 0) {
-    throw std::invalid_argument("Mesh: dimensions must be positive");
-  }
-  if (width * height < 2) {
-    throw std::invalid_argument("Mesh: a 1-tile NoC has no network");
-  }
-}
+    : Topology(width, height) {}
 
-Coord Mesh::coord(TileId tile) const {
-  if (tile >= num_tiles()) {
-    throw std::invalid_argument("Mesh: tile out of range");
-  }
-  return Coord{static_cast<std::int32_t>(tile % width_),
-               static_cast<std::int32_t>(tile / width_)};
-}
-
-TileId Mesh::tile_at(Coord c) const {
-  if (!contains(c)) {
-    throw std::invalid_argument("Mesh: coordinate out of range");
-  }
-  return static_cast<TileId>(c.y) * width_ + static_cast<TileId>(c.x);
-}
-
-bool Mesh::contains(Coord c) const {
-  return c.x >= 0 && c.y >= 0 && c.x < static_cast<std::int32_t>(width_) &&
-         c.y < static_cast<std::int32_t>(height_);
+std::string Mesh::label() const {
+  return std::to_string(width()) + "x" + std::to_string(height());
 }
 
 std::uint32_t Mesh::manhattan(TileId a, TileId b) const {
@@ -63,13 +42,6 @@ std::vector<TileId> Mesh::neighbours(TileId tile) const {
 std::uint32_t Mesh::num_resources() const {
   // routers + 4 link slots per tile + local-in + local-out.
   return num_tiles() * 7;
-}
-
-ResourceId Mesh::router_resource(TileId tile) const {
-  if (tile >= num_tiles()) {
-    throw std::invalid_argument("Mesh: tile out of range");
-  }
-  return tile;
 }
 
 ResourceId Mesh::link_resource(TileId src, TileId dst) const {
@@ -136,23 +108,17 @@ ResourceInfo Mesh::describe(ResourceId id) const {
   throw std::invalid_argument("Mesh: resource id out of range");
 }
 
-std::string Mesh::resource_name(ResourceId id) const {
-  const ResourceInfo info = describe(id);
-  const auto tile_name = [](TileId t) {
-    return "t" + std::to_string(t + 1);
-  };
-  switch (info.kind) {
-    case ResourceKind::kRouter:
-      return "router(" + tile_name(info.tile) + ")";
-    case ResourceKind::kLink:
-      return "link(" + tile_name(info.tile) + "->" + tile_name(*info.link_dst) +
-             ")";
-    case ResourceKind::kLocalIn:
-      return "local-in(" + tile_name(info.tile) + ")";
-    case ResourceKind::kLocalOut:
-      return "local-out(" + tile_name(info.tile) + ")";
+Route Mesh::route(TileId src, TileId dst, RoutingAlgorithm algo) const {
+  if (src >= num_tiles() || dst >= num_tiles()) {
+    throw std::invalid_argument("compute_route: tile out of range");
   }
-  return "?";
+  const Coord s = coord(src);
+  const Coord target = coord(dst);
+  const int x_dir = target.x > s.x ? 1 : (target.x < s.x ? -1 : 0);
+  return dimension_ordered_route(
+      src, dst, algo, x_dir,
+      [&](std::int32_t x) { return x + (target.x > x ? 1 : -1); },
+      [&](std::int32_t y) { return y + (target.y > y ? 1 : -1); });
 }
 
 }  // namespace nocmap::noc

@@ -1,11 +1,12 @@
 #pragma once
 /// \file mesh.hpp
-/// Regular 2-D mesh NoC topology — the Communication Resource Graph (CRG) of
-/// Definition 3 in Marcon et al., DATE 2005.
+/// Regular 2-D mesh NoC topology — the paper's own Communication Resource
+/// Graph instance (Definition 3 in Marcon et al., DATE 2005), now one
+/// concrete noc::Topology.
 ///
-/// Vertices are tiles (one router per tile, one IP core slot per tile); edges
-/// are the physical resources a packet traverses. We distinguish three kinds
-/// of resources, mirroring the paper's energy decomposition
+/// Vertices are tiles (one router per tile, one IP core slot per tile);
+/// edges are the physical resources a packet traverses. We distinguish three
+/// kinds of resources, mirroring the paper's energy decomposition
 /// (ERbit / ELbit / ECbit):
 ///   * routers               (one per tile),
 ///   * inter-router links    (directed, between 4-neighbour tiles),
@@ -13,98 +14,56 @@
 ///
 /// Every resource has a dense ResourceId so the CDCM scheduler can keep its
 /// per-resource occupancy lists ("cost variable lists" in the paper) in flat
-/// arrays.
+/// arrays. The mesh keeps the exact id layout and route hop order it had
+/// before the Topology abstraction existed, so all mesh results are
+/// bit-identical to the pre-refactor era.
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "nocmap/noc/topology.hpp"
+
 namespace nocmap::noc {
 
-/// Index of a tile (= router) in row-major order: tile (x, y) has id
-/// y * width + x. Matches the paper's tau_1..tau_n numbering when counting
-/// from tau_1 = tile 0 at the top-left, left-to-right, top-to-bottom.
-using TileId = std::uint32_t;
-
-/// Dense id over *all* NoC resources (routers, links, local links).
-using ResourceId = std::uint32_t;
-
-/// Grid coordinates of a tile. x grows rightwards, y grows downwards.
-struct Coord {
-  std::int32_t x = 0;
-  std::int32_t y = 0;
-  friend bool operator==(const Coord& a, const Coord& b) {
-    return a.x == b.x && a.y == b.y;
-  }
-  friend bool operator!=(const Coord& a, const Coord& b) { return !(a == b); }
-};
-
-/// What a ResourceId refers to; used by annotation/reporting code.
-enum class ResourceKind : std::uint8_t {
-  kRouter,        ///< The router of a tile.
-  kLink,          ///< A directed inter-router link.
-  kLocalIn,       ///< Core -> router injection link of a tile.
-  kLocalOut,      ///< Router -> core ejection link of a tile.
-};
-
-/// Decoded resource description.
-struct ResourceInfo {
-  ResourceKind kind = ResourceKind::kRouter;
-  TileId tile = 0;                    ///< Router / local-link tile.
-  std::optional<TileId> link_dst;     ///< For kLink: the downstream tile.
-};
-
 /// A W x H mesh. Immutable after construction.
-class Mesh {
+///
+/// Resource id layout: [routers | links | local-in | local-out]. Links are
+/// indexed by (src tile, direction), with 4 direction slots per tile; slots
+/// that would leave the mesh are still allocated (keeps the arithmetic
+/// trivial) but never referenced by any route.
+class Mesh : public Topology {
  public:
   /// Throws std::invalid_argument unless width >= 1, height >= 1 and
   /// width * height >= 2 (a 1-tile NoC has no communication resources).
   Mesh(std::uint32_t width, std::uint32_t height);
 
-  std::uint32_t width() const { return width_; }
-  std::uint32_t height() const { return height_; }
-  std::uint32_t num_tiles() const { return width_ * height_; }
-
-  Coord coord(TileId tile) const;
-  TileId tile_at(Coord c) const;
-  bool contains(Coord c) const;
-
   /// |x1-x2| + |y1-y2|; the minimal hop distance between the two routers.
+  /// Kept under its historical name; distance() is the generic spelling.
   std::uint32_t manhattan(TileId a, TileId b) const;
 
+  // --- Topology contract ---------------------------------------------------
+
+  const char* kind() const override { return "mesh"; }
+  /// Bare "WxH" — the historical label, so mesh output never changed when
+  /// the Topology abstraction was introduced.
+  std::string label() const override;
+
+  std::uint32_t distance(TileId a, TileId b) const override {
+    return manhattan(a, b);
+  }
   /// The 2-4 neighbouring tiles of `tile` (N, S, E, W order, omitting
   /// out-of-range ones).
-  std::vector<TileId> neighbours(TileId tile) const;
+  std::vector<TileId> neighbours(TileId tile) const override;
 
-  // --- Resource id space -------------------------------------------------
-  //
-  // Layout: [routers | links | local-in | local-out]. Links are indexed by
-  // (src tile, direction), with 4 direction slots per tile; slots that would
-  // leave the mesh are still allocated (keeps the arithmetic trivial) but
-  // never referenced by any route.
+  /// routers + 4 link slots per tile + local-in + local-out = 7 * num_tiles.
+  std::uint32_t num_resources() const override;
+  ResourceId link_resource(TileId src, TileId dst) const override;
+  ResourceId local_in_resource(TileId tile) const override;
+  ResourceId local_out_resource(TileId tile) const override;
+  ResourceInfo describe(ResourceId id) const override;
 
-  /// Total size of the resource id space.
-  std::uint32_t num_resources() const;
-
-  ResourceId router_resource(TileId tile) const;
-  /// Directed link from `src` to adjacent tile `dst`.
-  /// Throws std::invalid_argument if the tiles are not 4-neighbours.
-  ResourceId link_resource(TileId src, TileId dst) const;
-  ResourceId local_in_resource(TileId tile) const;
-  ResourceId local_out_resource(TileId tile) const;
-
-  /// Decode a ResourceId. Throws std::invalid_argument for ids that are out
-  /// of range or refer to an unallocated link slot.
-  ResourceInfo describe(ResourceId id) const;
-
-  /// Human-readable resource name, e.g. "router(t5)", "link(t5->t6)",
-  /// "local-in(t2)". Tiles print 1-based as in the paper (t1..tn).
-  std::string resource_name(ResourceId id) const;
-
- private:
-  std::uint32_t width_;
-  std::uint32_t height_;
+  Route route(TileId src, TileId dst, RoutingAlgorithm algo) const override;
 };
 
 }  // namespace nocmap::noc

@@ -2,18 +2,19 @@
 
 namespace nocmap::noc {
 
-RouteTable::RouteTable(const Mesh& mesh, RoutingAlgorithm algo)
-    : num_tiles_(mesh.num_tiles()), algo_(algo) {
+RouteTable::RouteTable(const Topology& topo, RoutingAlgorithm algo)
+    : num_tiles_(topo.num_tiles()), algo_(algo) {
   const std::size_t num_pairs =
       static_cast<std::size_t>(num_tiles_) * num_tiles_;
   offsets_.reserve(num_pairs + 1);
   hops_.reserve(num_pairs);
 
-  // Exact pool sizes: sum of manhattan distances + one router per pair.
+  // Exact pool sizes: sum of route distances + one router per pair (routes
+  // are minimal w.r.t. Topology::distance for every algorithm).
   std::size_t total_routers = 0;
   for (TileId src = 0; src < num_tiles_; ++src) {
     for (TileId dst = 0; dst < num_tiles_; ++dst) {
-      total_routers += mesh.manhattan(src, dst) + 1;
+      total_routers += topo.distance(src, dst) + 1;
     }
   }
   routers_.reserve(total_routers);
@@ -22,7 +23,7 @@ RouteTable::RouteTable(const Mesh& mesh, RoutingAlgorithm algo)
   offsets_.push_back(0);
   for (TileId src = 0; src < num_tiles_; ++src) {
     for (TileId dst = 0; dst < num_tiles_; ++dst) {
-      const Route r = compute_route(mesh, src, dst, algo);
+      const Route r = compute_route(topo, src, dst, algo);
       routers_.insert(routers_.end(), r.routers.begin(), r.routers.end());
       links_.insert(links_.end(), r.links.begin(), r.links.end());
       offsets_.push_back(static_cast<std::uint32_t>(routers_.size()));

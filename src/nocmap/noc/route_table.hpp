@@ -4,19 +4,20 @@
 ///
 /// The search engines evaluate millions of candidate mappings, and every
 /// evaluation needs the route of every communication. Recomputing routes with
-/// compute_route() allocates two vectors per call; for a fixed (mesh, routing
-/// algorithm) pair the routes never change, so we precompute all of them once
-/// and store them in CSR form: one shared `routers` pool, one shared `links`
-/// pool, and a per-pair offset table. Lookups are O(1) and allocation-free.
+/// compute_route() allocates two vectors per call; for a fixed (topology,
+/// routing algorithm) pair the routes never change, so we precompute all of
+/// them once and store them in CSR form: one shared `routers` pool, one
+/// shared `links` pool, and a per-pair offset table. Lookups are O(1) and
+/// allocation-free.
 ///
 /// compute_route() remains the reference implementation; the table is
-/// validated against it pair-by-pair in tests.
+/// validated against it pair-by-pair in tests, for every topology kind.
 
 #include <cstdint>
 #include <vector>
 
-#include "nocmap/noc/mesh.hpp"
 #include "nocmap/noc/routing.hpp"
+#include "nocmap/noc/topology.hpp"
 
 namespace nocmap::noc {
 
@@ -32,7 +33,7 @@ struct RouteSpan {
   const T& operator[](std::uint32_t i) const { return data[i]; }
 };
 
-/// All routes of a (mesh, algorithm) pair, in flat CSR storage.
+/// All routes of a (topology, algorithm) pair, in flat CSR storage.
 ///
 /// Pair (src, dst) is indexed as src * num_tiles + dst. The routers pool
 /// stores K entries per pair (source first, destination last; K == 1 when
@@ -41,7 +42,7 @@ struct RouteSpan {
 class RouteTable {
  public:
   /// Precompute every ordered pair. O(num_tiles^2 * diameter) time and space.
-  explicit RouteTable(const Mesh& mesh,
+  explicit RouteTable(const Topology& topo,
                       RoutingAlgorithm algo = RoutingAlgorithm::kXY);
 
   std::uint32_t num_tiles() const { return num_tiles_; }

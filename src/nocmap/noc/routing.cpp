@@ -4,74 +4,9 @@
 
 namespace nocmap::noc {
 
-namespace {
-
-// Append the tile at `c` to the route, linking from the previous tile.
-void append_hop(const Mesh& mesh, Route& route, TileId next) {
-  const TileId prev = route.routers.back();
-  route.links.push_back(mesh.link_resource(prev, next));
-  route.routers.push_back(next);
-}
-
-// Walk from the current route head towards `target` along one axis at a
-// time. `dx_first` selects X-before-Y.
-void walk(const Mesh& mesh, Route& route, Coord target, bool dx_first) {
-  Coord cur = mesh.coord(route.routers.back());
-  auto step_x = [&] {
-    while (cur.x != target.x) {
-      cur.x += (target.x > cur.x) ? 1 : -1;
-      append_hop(mesh, route, mesh.tile_at(cur));
-    }
-  };
-  auto step_y = [&] {
-    while (cur.y != target.y) {
-      cur.y += (target.y > cur.y) ? 1 : -1;
-      append_hop(mesh, route, mesh.tile_at(cur));
-    }
-  };
-  if (dx_first) {
-    step_x();
-    step_y();
-  } else {
-    step_y();
-    step_x();
-  }
-}
-
-}  // namespace
-
-Route compute_route(const Mesh& mesh, TileId src, TileId dst,
+Route compute_route(const Topology& topo, TileId src, TileId dst,
                     RoutingAlgorithm algo) {
-  if (src >= mesh.num_tiles() || dst >= mesh.num_tiles()) {
-    throw std::invalid_argument("compute_route: tile out of range");
-  }
-  Route route;
-  route.routers.push_back(src);
-  if (src == dst) return route;
-
-  const Coord target = mesh.coord(dst);
-  switch (algo) {
-    case RoutingAlgorithm::kXY:
-      walk(mesh, route, target, /*dx_first=*/true);
-      break;
-    case RoutingAlgorithm::kYX:
-      walk(mesh, route, target, /*dx_first=*/false);
-      break;
-    case RoutingAlgorithm::kWestFirst: {
-      // West-first turn model: if the destination lies to the west, all
-      // westward hops must happen first (no turns into west later). Our
-      // deterministic instance routes west, then Y, then east — which
-      // degenerates to YX when dst is east, and X-then-Y when dst is west.
-      Coord cur = mesh.coord(src);
-      while (cur.x > target.x) {
-        cur.x -= 1;
-        append_hop(mesh, route, mesh.tile_at(cur));
-      }
-      walk(mesh, route, target, /*dx_first=*/false);
-      break;
-    }
-  }
-  return route;
+  return topo.route(src, dst, algo);
 }
 
 const char* routing_algorithm_name(RoutingAlgorithm algo) {
@@ -79,8 +14,44 @@ const char* routing_algorithm_name(RoutingAlgorithm algo) {
     case RoutingAlgorithm::kXY: return "XY";
     case RoutingAlgorithm::kYX: return "YX";
     case RoutingAlgorithm::kWestFirst: return "west-first";
+    case RoutingAlgorithm::kOddEven: return "odd-even";
   }
   return "?";
 }
+
+RoutingAlgorithm routing_algorithm_from_name(const std::string& name) {
+  if (name == "xy") return RoutingAlgorithm::kXY;
+  if (name == "yx") return RoutingAlgorithm::kYX;
+  if (name == "west-first") return RoutingAlgorithm::kWestFirst;
+  if (name == "odd-even") return RoutingAlgorithm::kOddEven;
+  throw std::invalid_argument(
+      "routing_algorithm_from_name: expected xy | yx | west-first | "
+      "odd-even, got '" +
+      name + "'");
+}
+
+namespace detail {
+
+bool x_before_y(RoutingAlgorithm algo, int x_dir, std::int32_t src_x) {
+  switch (algo) {
+    case RoutingAlgorithm::kXY:
+      return true;
+    case RoutingAlgorithm::kYX:
+      return false;
+    case RoutingAlgorithm::kWestFirst:
+      // Westward travel must come first; with nothing westward, Y leads so
+      // the route never turns into west later.
+      return x_dir < 0;
+    case RoutingAlgorithm::kOddEven:
+      // Eastbound: Y then X uses only the unrestricted NE/SE turns.
+      // Westbound: the vertical->west turn (NW/SW) is legal only in even
+      // columns, so odd source columns lead with X (WN/WS turns are free).
+      if (x_dir >= 0) return false;
+      return src_x % 2 != 0;
+  }
+  return true;
+}
+
+}  // namespace detail
 
 }  // namespace nocmap::noc

@@ -1,47 +1,73 @@
 #pragma once
 /// \file routing.hpp
-/// Deterministic routing over the mesh.
+/// Deterministic routing over any noc::Topology.
 ///
 /// The paper evaluates CWM and CDCM on a wormhole mesh with deterministic XY
-/// routing. XY is the default everywhere in this library; YX and west-first
-/// variants are provided for the routing ablation bench (the models are
-/// routing-agnostic: any deterministic router can be plugged in).
+/// routing. XY is the default everywhere in this library; YX, west-first and
+/// odd-even variants are provided for the routing ablation bench and the
+/// topology sweeps (the models are routing-agnostic: any deterministic
+/// router can be plugged in). The RoutingAlgorithm enum and the Route struct
+/// live in topology.hpp, since route() is part of the Topology contract.
+///
+/// Minimality guarantee, spelled out per algorithm (each route has exactly
+/// Topology::distance(src, dst) links):
+///
+///  * kXY        — minimal on Mesh, Torus and ExpressMesh. Travels the X
+///                 axis fully (wrap or express hops where profitable), then
+///                 the Y axis.
+///  * kYX        — minimal on Mesh, Torus and ExpressMesh. Y axis first.
+///  * kWestFirst — minimal on Mesh, Torus and ExpressMesh. All westward
+///                 travel happens first (X then Y when the destination lies
+///                 west; Y then X otherwise), so no route ever turns into
+///                 the west direction. On a Torus, "west" means the chosen
+///                 wrap-aware travel direction is -x.
+///  * kOddEven   — minimal on Mesh, Torus and ExpressMesh. Deterministic
+///                 instance of Chiu's odd-even turn model (no EN/ES turns in
+///                 even columns, no NW/SW turns in odd columns): eastbound
+///                 packets route Y first then X (only unrestricted NE/SE
+///                 turns); westbound packets route Y first then X from even
+///                 source columns and X first then Y from odd ones.
+///
+/// Note that on ExpressMesh, distance() — and therefore "minimal" — is the
+/// *monotone* distance (routes never step away from the destination); a
+/// shorter non-monotone path via an express link behind the source may
+/// exist. See express_mesh.hpp.
+///
+/// Deadlock fine print (this library models energy/latency, not virtual
+/// channels — see docs/topologies.md for the full discussion): XY/YX and the
+/// two turn models are deadlock-free on the Mesh; on the Torus, wrap links
+/// close cyclic channel dependences that real hardware breaks with dateline
+/// virtual channels, which the simulator does not model; on ExpressMesh the
+/// turn-model arguments apply to the baseline channels only.
 
 #include <cstdint>
-#include <vector>
+#include <string>
 
-#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/topology.hpp"
 
 namespace nocmap::noc {
 
-enum class RoutingAlgorithm : std::uint8_t {
-  kXY,         ///< Route fully in X, then fully in Y (paper default).
-  kYX,         ///< Route fully in Y, then fully in X.
-  kWestFirst,  ///< Turn-model west-first: all westward hops first, then
-               ///< adaptive-free deterministic ordering (Y before eastward).
-};
-
-/// A deterministic route between two tiles.
-///
-/// `routers` always contains K >= 1 entries, source first, destination last
-/// (K == 1 when src == dst, i.e. both cores share a tile — excluded by valid
-/// mappings but handled gracefully). `links[i]` connects routers[i] to
-/// routers[i+1], so links.size() == K - 1.
-struct Route {
-  std::vector<TileId> routers;
-  std::vector<ResourceId> links;
-
-  /// K: the number of routers the packet passes through (Equation 2 and 8).
-  std::uint32_t num_routers() const {
-    return static_cast<std::uint32_t>(routers.size());
-  }
-};
-
-/// Compute the route from `src` to `dst` under `algo`.
-/// The result is minimal (manhattan-length) for all three algorithms.
-Route compute_route(const Mesh& mesh, TileId src, TileId dst,
+/// Compute the route from `src` to `dst` under `algo`. Forwards to
+/// topo.route(); kept as the reference entry point RouteTable is validated
+/// against in tests.
+Route compute_route(const Topology& topo, TileId src, TileId dst,
                     RoutingAlgorithm algo = RoutingAlgorithm::kXY);
 
+/// Stable display name: "XY", "YX", "west-first", "odd-even".
 const char* routing_algorithm_name(RoutingAlgorithm algo);
+
+/// Parse a CLI-style name ("xy", "yx", "west-first", "odd-even";
+/// case-sensitive). Throws std::invalid_argument on anything else.
+RoutingAlgorithm routing_algorithm_from_name(const std::string& name);
+
+namespace detail {
+
+/// The axis-order decision shared by every topology's route(): whether the
+/// X axis is traversed before the Y axis. `x_dir` is the chosen X travel
+/// direction (-1 west, +1 east, 0 none — wrap-aware on a torus) and `src_x`
+/// the source column (odd-even's turn rules depend on its parity).
+bool x_before_y(RoutingAlgorithm algo, int x_dir, std::int32_t src_x);
+
+}  // namespace detail
 
 }  // namespace nocmap::noc

@@ -1,0 +1,179 @@
+#include "nocmap/noc/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nocmap/noc/express_mesh.hpp"
+#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/routing.hpp"
+#include "nocmap/noc/torus.hpp"
+
+namespace nocmap::noc {
+
+Topology::Topology(std::uint32_t width, std::uint32_t height)
+    : width_(width), height_(height) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("Topology: dimensions must be positive");
+  }
+  if (width * height < 2) {
+    throw std::invalid_argument("Topology: a 1-tile NoC has no network");
+  }
+}
+
+Coord Topology::coord(TileId tile) const {
+  if (tile >= num_tiles()) {
+    throw std::invalid_argument("Topology: tile out of range");
+  }
+  return Coord{static_cast<std::int32_t>(tile % width_),
+               static_cast<std::int32_t>(tile / width_)};
+}
+
+TileId Topology::tile_at(Coord c) const {
+  if (!contains(c)) {
+    throw std::invalid_argument("Topology: coordinate out of range");
+  }
+  return static_cast<TileId>(c.y) * width_ + static_cast<TileId>(c.x);
+}
+
+bool Topology::contains(Coord c) const {
+  return c.x >= 0 && c.y >= 0 && c.x < static_cast<std::int32_t>(width_) &&
+         c.y < static_cast<std::int32_t>(height_);
+}
+
+std::string Topology::label() const {
+  return std::to_string(width_) + "x" + std::to_string(height_) + " " + kind();
+}
+
+ResourceId Topology::router_resource(TileId tile) const {
+  if (tile >= num_tiles()) {
+    throw std::invalid_argument("Topology: tile out of range");
+  }
+  return tile;
+}
+
+std::string Topology::resource_name(ResourceId id) const {
+  const ResourceInfo info = describe(id);
+  const auto tile_name = [](TileId t) {
+    return "t" + std::to_string(t + 1);
+  };
+  switch (info.kind) {
+    case ResourceKind::kRouter:
+      return "router(" + tile_name(info.tile) + ")";
+    case ResourceKind::kLink:
+      return "link(" + tile_name(info.tile) + "->" + tile_name(*info.link_dst) +
+             ")";
+    case ResourceKind::kLocalIn:
+      return "local-in(" + tile_name(info.tile) + ")";
+    case ResourceKind::kLocalOut:
+      return "local-out(" + tile_name(info.tile) + ")";
+  }
+  return "?";
+}
+
+std::vector<std::vector<TileId>> Topology::dihedral_candidates() const {
+  const std::int32_t w = static_cast<std::int32_t>(width_);
+  const std::int32_t h = static_cast<std::int32_t>(height_);
+  std::vector<std::vector<TileId>> maps;
+  auto add = [&](auto&& f) {
+    std::vector<TileId> map(num_tiles());
+    for (TileId t = 0; t < num_tiles(); ++t) {
+      map[t] = tile_at(f(coord(t)));
+    }
+    maps.push_back(std::move(map));
+  };
+  add([](Coord c) { return c; });
+  add([&](Coord c) { return Coord{w - 1 - c.x, c.y}; });
+  add([&](Coord c) { return Coord{c.x, h - 1 - c.y}; });
+  add([&](Coord c) { return Coord{w - 1 - c.x, h - 1 - c.y}; });
+  if (w == h) {
+    add([&](Coord c) { return Coord{c.y, c.x}; });
+    add([&](Coord c) { return Coord{w - 1 - c.y, c.x}; });
+    add([&](Coord c) { return Coord{c.y, h - 1 - c.x}; });
+    add([&](Coord c) { return Coord{w - 1 - c.y, h - 1 - c.x}; });
+  }
+  return maps;
+}
+
+std::vector<std::vector<TileId>> Topology::keep_automorphisms(
+    std::vector<std::vector<TileId>> candidates) const {
+  // Per-tile sorted adjacency, so candidate maps can be checked by set
+  // equality: f is an automorphism iff f(N(t)) == N(f(t)) for every tile.
+  std::vector<std::vector<TileId>> adj(num_tiles());
+  for (TileId t = 0; t < num_tiles(); ++t) {
+    adj[t] = neighbours(t);
+    std::sort(adj[t].begin(), adj[t].end());
+  }
+  std::vector<std::vector<TileId>> kept;
+  for (std::vector<TileId>& map : candidates) {
+    bool ok = true;
+    std::vector<TileId> image;
+    for (TileId t = 0; t < num_tiles() && ok; ++t) {
+      image.clear();
+      for (TileId n : adj[t]) image.push_back(map[n]);
+      std::sort(image.begin(), image.end());
+      ok = (image == adj[map[t]]);
+    }
+    if (ok) kept.push_back(std::move(map));
+  }
+  return kept;
+}
+
+std::vector<std::vector<TileId>> Topology::symmetry_maps() const {
+  return keep_automorphisms(dihedral_candidates());
+}
+
+Route Topology::dimension_ordered_route(TileId src, TileId dst,
+                                        RoutingAlgorithm algo, int x_dir,
+                                        const AxisStepper& step_x,
+                                        const AxisStepper& step_y) const {
+  if (src >= num_tiles() || dst >= num_tiles()) {
+    throw std::invalid_argument("compute_route: tile out of range");
+  }
+  Route r;
+  r.routers.push_back(src);
+  if (src == dst) return r;
+
+  Coord cur = coord(src);
+  const Coord target = coord(dst);
+  auto append = [&](Coord next) {
+    const TileId next_tile = tile_at(next);
+    r.links.push_back(link_resource(r.routers.back(), next_tile));
+    r.routers.push_back(next_tile);
+    cur = next;
+  };
+  auto walk_x = [&] {
+    while (cur.x != target.x) append(Coord{step_x(cur.x), cur.y});
+  };
+  auto walk_y = [&] {
+    while (cur.y != target.y) append(Coord{cur.x, step_y(cur.y)});
+  };
+  if (detail::x_before_y(algo, x_dir, coord(src).x)) {
+    walk_x();
+    walk_y();
+  } else {
+    walk_y();
+    walk_x();
+  }
+  return r;
+}
+
+std::unique_ptr<Topology> make_topology(const std::string& kind,
+                                        std::uint32_t width,
+                                        std::uint32_t height,
+                                        const TopologyOptions& options) {
+  if (kind == "mesh") return std::make_unique<Mesh>(width, height);
+  if (kind == "torus") return std::make_unique<Torus>(width, height);
+  if (kind == "xmesh") {
+    return std::make_unique<ExpressMesh>(width, height,
+                                         options.express_interval);
+  }
+  throw std::invalid_argument("make_topology: unknown kind '" + kind +
+                              "' (expected mesh | torus | xmesh)");
+}
+
+const std::vector<std::string>& topology_kinds() {
+  static const std::vector<std::string> kKinds = {"mesh", "torus", "xmesh"};
+  return kKinds;
+}
+
+}  // namespace nocmap::noc

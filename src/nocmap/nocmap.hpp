@@ -31,9 +31,12 @@
 #include "nocmap/graph/cwg.hpp"
 #include "nocmap/mapping/cost.hpp"
 #include "nocmap/mapping/mapping.hpp"
+#include "nocmap/noc/express_mesh.hpp"
 #include "nocmap/noc/mesh.hpp"
 #include "nocmap/noc/route_table.hpp"
 #include "nocmap/noc/routing.hpp"
+#include "nocmap/noc/topology.hpp"
+#include "nocmap/noc/torus.hpp"
 #include "nocmap/search/exhaustive.hpp"
 #include "nocmap/search/greedy.hpp"
 #include "nocmap/search/random_search.hpp"

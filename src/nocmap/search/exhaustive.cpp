@@ -6,37 +6,6 @@
 
 namespace nocmap::search {
 
-namespace {
-
-/// The tile-permutations induced by the mesh's symmetry group.
-std::vector<std::vector<noc::TileId>> symmetry_maps(const noc::Mesh& mesh) {
-  const std::int32_t w = static_cast<std::int32_t>(mesh.width());
-  const std::int32_t h = static_cast<std::int32_t>(mesh.height());
-  // Each transform maps a coordinate to a coordinate.
-  std::vector<std::vector<noc::TileId>> maps;
-  auto add = [&](auto&& f) {
-    std::vector<noc::TileId> map(mesh.num_tiles());
-    for (noc::TileId t = 0; t < mesh.num_tiles(); ++t) {
-      map[t] = mesh.tile_at(f(mesh.coord(t)));
-    }
-    maps.push_back(std::move(map));
-  };
-  using noc::Coord;
-  add([](Coord c) { return c; });
-  add([&](Coord c) { return Coord{w - 1 - c.x, c.y}; });
-  add([&](Coord c) { return Coord{c.x, h - 1 - c.y}; });
-  add([&](Coord c) { return Coord{w - 1 - c.x, h - 1 - c.y}; });
-  if (w == h) {
-    add([&](Coord c) { return Coord{c.y, c.x}; });
-    add([&](Coord c) { return Coord{w - 1 - c.y, c.x}; });
-    add([&](Coord c) { return Coord{c.y, h - 1 - c.x}; });
-    add([&](Coord c) { return Coord{w - 1 - c.y, h - 1 - c.x}; });
-  }
-  return maps;
-}
-
-}  // namespace
-
 std::uint64_t placement_count(std::uint32_t num_tiles,
                               std::uint32_t num_cores) {
   std::uint64_t count = 1;
@@ -51,10 +20,10 @@ std::uint64_t placement_count(std::uint32_t num_tiles,
 }
 
 SearchResult exhaustive_search(const mapping::CostFunction& cost,
-                               const noc::Mesh& mesh,
+                               const noc::Topology& topo,
                                const EsOptions& options) {
   const std::size_t num_cores = cost.num_cores();
-  const std::uint32_t num_tiles = mesh.num_tiles();
+  const std::uint32_t num_tiles = topo.num_tiles();
   if (num_cores > num_tiles) {
     throw std::invalid_argument("exhaustive_search: more cores than tiles");
   }
@@ -62,7 +31,8 @@ SearchResult exhaustive_search(const mapping::CostFunction& cost,
   // Tiles core 0 may occupy: one representative per symmetry orbit.
   std::vector<noc::TileId> first_tiles;
   if (options.use_symmetry) {
-    const auto maps = symmetry_maps(mesh);
+    // One representative per orbit of the topology's symmetry group.
+    const auto maps = topo.symmetry_maps();
     for (noc::TileId t = 0; t < num_tiles; ++t) {
       noc::TileId rep = t;
       for (const auto& map : maps) rep = std::min(rep, map[t]);
@@ -72,7 +42,7 @@ SearchResult exhaustive_search(const mapping::CostFunction& cost,
     for (noc::TileId t = 0; t < num_tiles; ++t) first_tiles.push_back(t);
   }
 
-  SearchResult result{mapping::Mapping(mesh, num_cores),
+  SearchResult result{mapping::Mapping(topo, num_cores),
                       std::numeric_limits<double>::infinity(), 0.0, 0, true};
   bool first_eval = true;
 
@@ -88,7 +58,7 @@ SearchResult exhaustive_search(const mapping::CostFunction& cost,
     }
     if (core == num_cores) {
       const mapping::Mapping m =
-          mapping::Mapping::from_assignment(mesh, assignment);
+          mapping::Mapping::from_assignment(topo, assignment);
       const double c = cost.cost(m);
       ++result.evaluations;
       if (first_eval) {

@@ -1,15 +1,16 @@
 #pragma once
 /// \file exhaustive.hpp
-/// Exhaustive mapping search with optional mesh-symmetry pruning.
+/// Exhaustive mapping search with optional topology-symmetry pruning.
 ///
 /// The paper uses exhaustive search (ES) on small NoCs "to compare the
 /// quality of solutions against an absolute optimum", reporting that ES and
 /// SA reach the same results up to 3x4 / 2x5 meshes. The search space for n
-/// cores on m tiles is m!/(m-n)! placements; both objectives are invariant
-/// under the mesh's symmetry group (4 elements for W != H: identity,
-/// horizontal/vertical flips, 180-degree rotation; 8 for square meshes), so
-/// by default only one representative per orbit is enumerated — an exact
-/// pruning that shrinks the space by almost the group size.
+/// cores on m tiles is m!/(m-n)! placements; the CWM objective is invariant
+/// under the topology's symmetry group (Topology::symmetry_maps — 4
+/// elements for a W != H mesh, 8 for a square one, multiplied by the ring
+/// rotations on a torus), so by default only one representative per orbit
+/// is enumerated — a pruning that shrinks the space by almost the group
+/// size.
 
 #include <cstdint>
 
@@ -25,10 +26,10 @@ struct EsOptions {
   std::uint64_t max_evaluations = 0;
 };
 
-/// Enumerate placements of cost.num_cores() cores on mesh's tiles and return
-/// the optimum (or the best found before the budget ran out).
+/// Enumerate placements of cost.num_cores() cores on topo's tiles and
+/// return the optimum (or the best found before the budget ran out).
 SearchResult exhaustive_search(const mapping::CostFunction& cost,
-                               const noc::Mesh& mesh,
+                               const noc::Topology& topo,
                                const EsOptions& options = {});
 
 /// The number of placements ES would enumerate without symmetry pruning:

@@ -7,9 +7,10 @@
 
 namespace nocmap::search {
 
-mapping::Mapping greedy_mapping(const graph::Cwg& cwg, const noc::Mesh& mesh) {
+mapping::Mapping greedy_mapping(const graph::Cwg& cwg,
+                                const noc::Topology& topo) {
   const std::size_t n = cwg.num_cores();
-  if (n > mesh.num_tiles()) {
+  if (n > topo.num_tiles()) {
     throw std::invalid_argument("greedy_mapping: more cores than tiles");
   }
 
@@ -27,13 +28,13 @@ mapping::Mapping greedy_mapping(const graph::Cwg& cwg, const noc::Mesh& mesh) {
                    });
 
   std::vector<std::optional<noc::TileId>> placed(n);
-  std::vector<bool> tile_used(mesh.num_tiles(), false);
+  std::vector<bool> tile_used(topo.num_tiles(), false);
 
-  // Centrality: negative total manhattan distance to all tiles.
+  // Centrality: negative total hop distance to all tiles.
   auto centrality = [&](noc::TileId t) {
     std::int64_t sum = 0;
-    for (noc::TileId other = 0; other < mesh.num_tiles(); ++other) {
-      sum -= mesh.manhattan(t, other);
+    for (noc::TileId other = 0; other < topo.num_tiles(); ++other) {
+      sum -= topo.distance(t, other);
     }
     return sum;
   };
@@ -41,7 +42,7 @@ mapping::Mapping greedy_mapping(const graph::Cwg& cwg, const noc::Mesh& mesh) {
   for (graph::CoreId core : order) {
     noc::TileId best_tile = 0;
     double best_score = -std::numeric_limits<double>::infinity();
-    for (noc::TileId t = 0; t < mesh.num_tiles(); ++t) {
+    for (noc::TileId t = 0; t < topo.num_tiles(); ++t) {
       if (tile_used[t]) continue;
       // Volume-weighted closeness to already-placed partners; centrality as
       // a deterministic tie-break (scaled down so it never dominates).
@@ -52,7 +53,7 @@ mapping::Mapping greedy_mapping(const graph::Cwg& cwg, const noc::Mesh& mesh) {
             cwg.volume(core, other) + cwg.volume(other, core);
         if (vol == 0) continue;
         score -= static_cast<double>(vol) *
-                 static_cast<double>(mesh.manhattan(t, *placed[other]));
+                 static_cast<double>(topo.distance(t, *placed[other]));
       }
       if (score > best_score) {
         best_score = score;
@@ -65,7 +66,7 @@ mapping::Mapping greedy_mapping(const graph::Cwg& cwg, const noc::Mesh& mesh) {
 
   std::vector<noc::TileId> assignment(n);
   for (graph::CoreId c = 0; c < n; ++c) assignment[c] = *placed[c];
-  return mapping::Mapping::from_assignment(mesh, assignment);
+  return mapping::Mapping::from_assignment(topo, assignment);
 }
 
 }  // namespace nocmap::search

@@ -10,11 +10,12 @@
 
 #include "nocmap/graph/cwg.hpp"
 #include "nocmap/mapping/mapping.hpp"
-#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/topology.hpp"
 
 namespace nocmap::search {
 
 /// Build a greedy mapping from CWG volumes. Deterministic.
-mapping::Mapping greedy_mapping(const graph::Cwg& cwg, const noc::Mesh& mesh);
+mapping::Mapping greedy_mapping(const graph::Cwg& cwg,
+                                const noc::Topology& topo);
 
 }  // namespace nocmap::search

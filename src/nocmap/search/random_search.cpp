@@ -5,16 +5,16 @@
 namespace nocmap::search {
 
 SearchResult random_search(const mapping::CostFunction& cost,
-                           const noc::Mesh& mesh, util::Rng& rng,
+                           const noc::Topology& topo, util::Rng& rng,
                            std::uint64_t num_samples) {
   if (num_samples == 0) {
     throw std::invalid_argument("random_search: need at least one sample");
   }
-  mapping::Mapping m = mapping::Mapping::random(mesh, cost.num_cores(), rng);
+  mapping::Mapping m = mapping::Mapping::random(topo, cost.num_cores(), rng);
   double c = cost.cost(m);
   SearchResult result{m, c, c, 1, false};
   for (std::uint64_t i = 1; i < num_samples; ++i) {
-    m = mapping::Mapping::random(mesh, cost.num_cores(), rng);
+    m = mapping::Mapping::random(topo, cost.num_cores(), rng);
     c = cost.cost(m);
     ++result.evaluations;
     if (c < result.best_cost) {

@@ -14,7 +14,7 @@
 namespace nocmap::search {
 
 SearchResult random_search(const mapping::CostFunction& cost,
-                           const noc::Mesh& mesh, util::Rng& rng,
+                           const noc::Topology& topo, util::Rng& rng,
                            std::uint64_t num_samples);
 
 }  // namespace nocmap::search

@@ -7,8 +7,9 @@
 
 namespace nocmap::search {
 
-SearchResult anneal(const mapping::CostFunction& cost, const noc::Mesh& mesh,
-                    util::Rng& rng, const SaOptions& options,
+SearchResult anneal(const mapping::CostFunction& cost,
+                    const noc::Topology& topo, util::Rng& rng,
+                    const SaOptions& options,
                     const mapping::Mapping* initial) {
   if (options.cooling <= 0.0 || options.cooling >= 1.0) {
     throw std::invalid_argument("anneal: cooling must be in (0, 1)");
@@ -16,13 +17,14 @@ SearchResult anneal(const mapping::CostFunction& cost, const noc::Mesh& mesh,
   if (options.initial_acceptance <= 0.0 || options.initial_acceptance >= 1.0) {
     throw std::invalid_argument("anneal: initial_acceptance must be in (0,1)");
   }
-  if (mesh.num_tiles() < 2) {
+  if (topo.num_tiles() < 2) {
     // The swap move needs two distinct tiles; with one tile random_pair
     // could never terminate.
-    throw std::invalid_argument("anneal: the mesh must have at least 2 tiles");
+    throw std::invalid_argument(
+        "anneal: the topology must have at least 2 tiles");
   }
   if (initial && (initial->num_cores() != cost.num_cores() ||
-                  initial->num_tiles() != mesh.num_tiles())) {
+                  initial->num_tiles() != topo.num_tiles())) {
     throw std::invalid_argument("anneal: initial mapping does not fit");
   }
 
@@ -32,12 +34,13 @@ SearchResult anneal(const mapping::CostFunction& cost, const noc::Mesh& mesh,
   const bool use_delta = options.use_swap_delta && cost.has_swap_delta();
 
   mapping::Mapping current =
-      initial ? *initial : mapping::Mapping::random(mesh, cost.num_cores(), rng);
+      initial ? *initial
+              : mapping::Mapping::random(topo, cost.num_cores(), rng);
   double current_cost = cost.cost(current);
 
   SearchResult result{current, current_cost, current_cost, 1, false};
 
-  const std::uint32_t num_tiles = mesh.num_tiles();
+  const std::uint32_t num_tiles = topo.num_tiles();
   auto random_pair = [&](noc::TileId& a, noc::TileId& b) {
     a = static_cast<noc::TileId>(rng.index(num_tiles));
     do {

@@ -42,12 +42,13 @@ struct SaOptions {
   bool use_swap_delta = true;
 };
 
-/// Run simulated annealing for `cost` on `mesh`. The initial mapping is
+/// Run simulated annealing for `cost` on `topo`. The initial mapping is
 /// random ("initially, all cores are randomly mapped onto the set of
 /// tiles") unless `initial` is given (e.g. a greedy construction); all
 /// randomness comes from `rng`.
-SearchResult anneal(const mapping::CostFunction& cost, const noc::Mesh& mesh,
-                    util::Rng& rng, const SaOptions& options = {},
+SearchResult anneal(const mapping::CostFunction& cost,
+                    const noc::Topology& topo, util::Rng& rng,
+                    const SaOptions& options = {},
                     const mapping::Mapping* initial = nullptr);
 
 }  // namespace nocmap::search

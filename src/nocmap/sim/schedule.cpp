@@ -4,14 +4,14 @@
 
 namespace nocmap::sim {
 
-SimulationResult simulate(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
+SimulationResult simulate(const graph::Cdcg& cdcg, const noc::Topology& topo,
                           const mapping::Mapping& mapping,
                           const energy::Technology& tech,
                           const SimOptions& options) {
   // One-shot convenience wrapper: bind an arena, run once, discard it. Search
   // loops should construct a Simulator themselves (or use CdcmCost, which
   // owns one) so route tables and buffers are reused across evaluations.
-  return Simulator(cdcg, mesh, tech, options).run_traced(mapping);
+  return Simulator(cdcg, topo, tech, options).run_traced(mapping);
 }
 
 }  // namespace nocmap::sim

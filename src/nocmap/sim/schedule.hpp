@@ -2,8 +2,8 @@
 /// \file schedule.hpp
 /// The CDCM evaluator: an event-driven wormhole NoC scheduler.
 ///
-/// This is the algorithm of Section 4 of the paper. Given a CDCG, a mesh, a
-/// mapping and a technology bundle, it executes the packet graph on the CRG:
+/// This is the algorithm of Section 4 of the paper. Given a CDCG, a
+/// topology, a mapping and a technology bundle, it executes the packet graph on the CRG:
 ///
 ///  * A packet becomes *ready* when all of its dependence predecessors have
 ///    been fully delivered ("a vertex can only be executed if all of its
@@ -41,7 +41,7 @@
 #include "nocmap/energy/technology.hpp"
 #include "nocmap/graph/cdcg.hpp"
 #include "nocmap/mapping/mapping.hpp"
-#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/topology.hpp"
 #include "nocmap/noc/routing.hpp"
 
 namespace nocmap::sim {
@@ -102,12 +102,12 @@ struct SimulationResult {
   std::vector<std::vector<Occupancy>> occupancy;
 };
 
-/// Execute `cdcg` mapped by `mapping` onto `mesh` under `tech`.
+/// Execute `cdcg` mapped by `mapping` onto `topo` under `tech`.
 ///
 /// Preconditions (checked): the mapping covers exactly cdcg.num_cores()
-/// cores on this mesh, and the CDCG is acyclic. Throws std::invalid_argument
-/// / std::logic_error on violations.
-SimulationResult simulate(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
+/// cores on this topology, and the CDCG is acyclic. Throws
+/// std::invalid_argument / std::logic_error on violations.
+SimulationResult simulate(const graph::Cdcg& cdcg, const noc::Topology& topo,
                           const mapping::Mapping& mapping,
                           const energy::Technology& tech,
                           const SimOptions& options = {});

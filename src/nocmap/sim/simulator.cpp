@@ -5,13 +5,13 @@
 
 namespace nocmap::sim {
 
-Simulator::Simulator(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
+Simulator::Simulator(const graph::Cdcg& cdcg, const noc::Topology& topo,
                      const energy::Technology& tech, SimOptions options)
     : cdcg_(cdcg),
-      mesh_(mesh),
+      topo_(topo),
       tech_(tech),
       options_(options),
-      routes_(mesh, options.routing),
+      routes_(topo, options.routing),
       lambda_(tech.clock_period_ns),
       tr_(static_cast<double>(tech.tr_cycles) * tech.clock_period_ns),
       tl_(static_cast<double>(tech.tl_cycles) * tech.clock_period_ns) {
@@ -31,8 +31,14 @@ Simulator::Simulator(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
   }
 
   state_.resize(num_packets);
-  link_free_.resize(mesh_.num_resources(), 0.0);
+  link_free_.resize(topo_.num_resources(), 0.0);
   heap_.reserve(num_packets + 1);
+  local_in_.reserve(topo_.num_tiles());
+  local_out_.reserve(topo_.num_tiles());
+  for (noc::TileId t = 0; t < topo_.num_tiles(); ++t) {
+    local_in_.push_back(topo_.local_in_resource(t));
+    local_out_.push_back(topo_.local_out_resource(t));
+  }
 }
 
 void Simulator::push_event(Event e) {
@@ -43,7 +49,7 @@ void Simulator::push_event(Event e) {
 void Simulator::inject(graph::PacketId p, bool full, SimulationResult& out) {
   PacketState& ps = state_[p];
   double start = ps.ready_ns + comp_ns_[p];
-  const noc::ResourceId local_in = mesh_.local_in_resource(ps.routers[0]);
+  const noc::ResourceId local_in = local_in_[ps.routers[0]];
   bool contended = false;
   if (options_.contend_local_in && start < link_free_[local_in]) {
     ps.contention_ns += link_free_[local_in] - start;
@@ -83,8 +89,9 @@ void Simulator::run_impl(const mapping::Mapping& mapping, bool full,
     throw std::invalid_argument(
         "simulate: mapping and CDCG disagree on the number of cores");
   }
-  if (mapping.num_tiles() != mesh_.num_tiles()) {
-    throw std::invalid_argument("simulate: mapping built for another mesh");
+  if (mapping.num_tiles() != topo_.num_tiles()) {
+    throw std::invalid_argument(
+        "simulate: mapping built for another topology");
   }
 
   const std::size_t num_packets = cdcg_.num_packets();
@@ -95,7 +102,7 @@ void Simulator::run_impl(const mapping::Mapping& mapping, bool full,
   if (full) {
     out.packets.assign(num_packets, PacketTrace{});
     if (options_.record_traces) {
-      out.occupancy.assign(mesh_.num_resources(), {});
+      out.occupancy.assign(topo_.num_resources(), {});
     }
   }
 
@@ -174,7 +181,7 @@ void Simulator::run_impl(const mapping::Mapping& mapping, bool full,
       header_out = arrival + tr_;
       ps.delivered_ns = header_out + n_tl;
       if (full && options_.record_traces) {
-        const noc::ResourceId local_out = mesh_.local_out_resource(here);
+        const noc::ResourceId local_out = local_out_[here];
         out.packets[ev.packet].hops.push_back(
             HopRecord{local_out, header_out, header_out + n_tl});
         out.occupancy[local_out].push_back(Occupancy{
@@ -187,7 +194,7 @@ void Simulator::run_impl(const mapping::Mapping& mapping, bool full,
       const double n_minus_1_tl = (flits_[ev.packet] - 1.0) * tl_;
       // Insert in path order: the router record belongs *before* the link
       // record appended above.
-      const noc::ResourceId router = mesh_.router_resource(here);
+      const noc::ResourceId router = topo_.router_resource(here);
       HopRecord rec{router, arrival, header_out + n_minus_1_tl};
       auto& hops = out.packets[ev.packet].hops;
       hops.insert(hops.end() - 1, rec);
@@ -227,7 +234,7 @@ void Simulator::run_impl(const mapping::Mapping& mapping, bool full,
   }
 
   out.energy.static_j =
-      energy::static_noc_energy(tech_, mesh_.num_tiles(), out.texec_ns);
+      energy::static_noc_energy(tech_, topo_.num_tiles(), out.texec_ns);
 }
 
 }  // namespace nocmap::sim

@@ -5,7 +5,7 @@
 /// sim::simulate() is correct but pays construction costs on every call: it
 /// recomputes every packet's route (two heap allocations per packet) and
 /// allocates fresh state/event/result storage. Inside a search loop the
-/// (CDCG, mesh, technology, options) tuple is fixed and only the mapping
+/// (CDCG, topology, technology, options) tuple is fixed and only the mapping
 /// changes, so all of that state can be bound once and reused.
 ///
 /// Simulator does exactly that: the constructor precomputes the RouteTable
@@ -24,7 +24,7 @@
 
 #include "nocmap/graph/cdcg.hpp"
 #include "nocmap/mapping/mapping.hpp"
-#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/topology.hpp"
 #include "nocmap/noc/route_table.hpp"
 #include "nocmap/sim/schedule.hpp"
 
@@ -35,7 +35,7 @@ class Simulator {
   /// Binds the application, NoC and technology; validates them once and
   /// precomputes the route table. The referenced objects must outlive the
   /// Simulator.
-  Simulator(const graph::Cdcg& cdcg, const noc::Mesh& mesh,
+  Simulator(const graph::Cdcg& cdcg, const noc::Topology& topo,
             const energy::Technology& tech, SimOptions options = {});
 
   /// Evaluate `mapping`, reusing all internal buffers. The returned result
@@ -90,7 +90,7 @@ class Simulator {
   void inject(graph::PacketId p, bool full, SimulationResult& out);
 
   const graph::Cdcg& cdcg_;
-  const noc::Mesh& mesh_;
+  const noc::Topology& topo_;
   energy::Technology tech_;
   SimOptions options_;
   noc::RouteTable routes_;
@@ -100,6 +100,10 @@ class Simulator {
   std::vector<double> flits_;          ///< Per-packet flit count (as double).
   std::vector<double> comp_ns_;        ///< Per-packet t_aq * lambda.
   std::vector<std::uint32_t> num_preds_;
+  /// Per-tile local-link resource ids, precomputed so the event loop never
+  /// pays a virtual call into the topology.
+  std::vector<noc::ResourceId> local_in_;
+  std::vector<noc::ResourceId> local_out_;
 
   // Arena, reused across runs.
   std::vector<PacketState> state_;

@@ -21,7 +21,7 @@ std::string packet_label(const graph::Cdcg& cdcg, graph::PacketId p) {
 
 std::string render_annotations(const SimulationResult& result,
                                const graph::Cdcg& cdcg,
-                               const noc::Mesh& mesh) {
+                               const noc::Topology& topo) {
   if (result.occupancy.empty() && cdcg.num_packets() != 0) {
     throw std::logic_error(
         "render_annotations: simulation was run without record_traces");
@@ -30,7 +30,7 @@ std::string render_annotations(const SimulationResult& result,
   for (noc::ResourceId r = 0; r < result.occupancy.size(); ++r) {
     const auto& list = result.occupancy[r];
     if (list.empty()) continue;
-    os << mesh.resource_name(r) << ":\n";
+    os << topo.resource_name(r) << ":\n";
     for (const Occupancy& occ : list) {
       os << "  " << (occ.contended ? "*" : " ")
          << packet_label(cdcg, occ.packet) << ":[" << occ.start_ns << ","

@@ -12,7 +12,7 @@
 #include <string>
 
 #include "nocmap/graph/cdcg.hpp"
-#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/topology.hpp"
 #include "nocmap/sim/schedule.hpp"
 
 namespace nocmap::sim {
@@ -21,7 +21,8 @@ namespace nocmap::sim {
 /// occupancy entry are listed. Requires the simulation to have been run with
 /// record_traces = true (throws std::logic_error otherwise).
 std::string render_annotations(const SimulationResult& result,
-                               const graph::Cdcg& cdcg, const noc::Mesh& mesh);
+                               const graph::Cdcg& cdcg,
+                               const noc::Topology& topo);
 
 /// Figure-4/5-style timing diagram, one lane per packet.
 /// `columns` is the width of the plotting area in characters.

@@ -21,6 +21,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
@@ -80,7 +81,13 @@ Options:
                     (default: example for paper-example, 0.07u otherwise).
   --method NAME     Search method: auto | sa | es (default: auto — ES when
                     the symmetry-pruned space is small, SA otherwise).
-  --routing NAME    Routing algorithm: xy | yx | west-first (default: xy).
+  --topology NAME   NoC topology: mesh | torus | xmesh (default: mesh).
+                    torus adds wrap-around links on dimensions of size >= 3;
+                    xmesh adds express links every --express-interval tiles.
+  --express-interval N
+                    xmesh express-link spacing, k >= 2 (default: 2).
+  --routing NAME    Routing algorithm: xy | yx | west-first | odd-even
+                    (default: xy).
   --seed N          RNG seed driving the SA runs (default: 1).
   --threads N       Worker threads for the SA chains (default: 1). Purely a
                     throughput knob: results are identical for any N.
@@ -106,7 +113,12 @@ Options:
   --tech NAME       Technology preset: example | 0.35u | 0.07u
                     (default: 0.07u).
   --method NAME     Search method: auto | sa | es (default: auto).
-  --routing NAME    Routing algorithm: xy | yx | west-first (default: xy).
+  --topology NAME   NoC topology: mesh | torus | xmesh (default: mesh); each
+                    application keeps its Table-1 grid size.
+  --express-interval N
+                    xmesh express-link spacing, k >= 2 (default: 2).
+  --routing NAME    Routing algorithm: xy | yx | west-first | odd-even
+                    (default: xy).
   --seed N          RNG seed driving the SA runs (default: 1).
   --threads N       Worker threads: applications are explored in parallel
                     (default: 1). The printed table is identical for any N.
@@ -133,14 +145,25 @@ Options:
 constexpr const char* kSweepUsage =
     R"(Usage: nocmap sweep [options]
 
-Run `explore` once per seed in [--seed, --seed + --seeds) and aggregate the
-ETR/ECS spread — the cheap way to separate model effects from search noise.
+Run `explore` once per (topology, routing, seed) combination and aggregate
+the ETR/ECS spread — the cheap way to separate model effects from search
+noise, and the way to compare topologies on equal footing.
 
 Options:
-  --seeds N         Number of seeds to run (default: 5).
+  --seeds N         Number of seeds to run (default: 5; 1 in suite mode).
   --seed N          First seed (default: 1).
-  All `nocmap explore` workload/mesh/tech/method/routing/threads/chains
-  options apply.
+  --workload NAME   As in explore, plus "suite": run the full 18-application
+                    Table-1 suite (each application on its own NoC size).
+  --topology LIST   Comma-separated topologies to sweep, e.g.
+                    mesh,torus,xmesh (default: mesh).
+  --routing LIST    Comma-separated routing algorithms, e.g. xy,odd-even
+                    (default: xy).
+  --threads N       Explore the sweep rows in parallel (default: 1); the
+                    emitted rows are identical for any N.
+  All other `nocmap explore` mesh/tech/method/chains options apply.
+  With one topology, one routing and a non-suite workload the historical
+  per-seed table is printed; otherwise one row per (topology, routing,
+  application, seed) plus per-combination aggregates.
   --csv             Emit CSV instead of aligned text tables.
   -h, --help        Show this message.
 )";
@@ -204,11 +227,46 @@ core::SearchMethod parse_method(const std::string& value) {
 }
 
 noc::RoutingAlgorithm parse_routing(const std::string& value) {
-  if (value == "xy") return noc::RoutingAlgorithm::kXY;
-  if (value == "yx") return noc::RoutingAlgorithm::kYX;
-  if (value == "west-first") return noc::RoutingAlgorithm::kWestFirst;
-  throw UsageError("--routing expects xy | yx | west-first, got '" + value +
-                   "'");
+  try {
+    return noc::routing_algorithm_from_name(value);
+  } catch (const std::invalid_argument&) {
+    throw UsageError("--routing expects xy | yx | west-first | odd-even, got '" +
+                     value + "'");
+  }
+}
+
+/// "a,b,c" -> {"a", "b", "c"}; empty items are usage errors.
+std::vector<std::string> split_list(const std::string& flag,
+                                    const std::string& value) {
+  std::vector<std::string> items;
+  std::string item;
+  std::istringstream is(value);
+  while (std::getline(is, item, ',')) {
+    if (item.empty()) throw UsageError(flag + ": empty list item");
+    items.push_back(item);
+  }
+  if (items.empty()) throw UsageError(flag + " expects a value");
+  return items;
+}
+
+std::vector<std::string> parse_topologies(const std::string& value) {
+  std::vector<std::string> kinds = split_list("--topology", value);
+  for (const std::string& kind : kinds) {
+    const auto& known = noc::topology_kinds();
+    if (std::find(known.begin(), known.end(), kind) == known.end()) {
+      throw UsageError("--topology expects mesh | torus | xmesh, got '" +
+                       kind + "'");
+    }
+  }
+  return kinds;
+}
+
+std::vector<noc::RoutingAlgorithm> parse_routings(const std::string& value) {
+  std::vector<noc::RoutingAlgorithm> algos;
+  for (const std::string& name : split_list("--routing", value)) {
+    algos.push_back(parse_routing(name));
+  }
+  return algos;
 }
 
 /// Options shared by explore / bench / sweep.
@@ -217,7 +275,11 @@ struct RunOptions {
   std::optional<std::pair<std::uint32_t, std::uint32_t>> mesh;
   std::optional<energy::Technology> tech;
   core::SearchMethod method = core::SearchMethod::kAuto;
-  noc::RoutingAlgorithm routing = noc::RoutingAlgorithm::kXY;
+  /// Sweep accepts comma-separated lists; every other subcommand requires a
+  /// single entry (enforced by require_single_noc()).
+  std::vector<std::string> topologies = {"mesh"};
+  std::vector<noc::RoutingAlgorithm> routings = {noc::RoutingAlgorithm::kXY};
+  std::uint64_t express_interval = 2;
   std::uint64_t seed = 1;
   bool seed_cdcm_with_cwm = true;
   std::uint64_t random_cores = 8;
@@ -229,6 +291,7 @@ struct RunOptions {
   bool perf = false;                      // bench only
   std::string out_path = "BENCH_eval.json";  // bench --perf only
   std::uint64_t num_seeds = 5;            // sweep only
+  bool seeds_set = false;                 // sweep only
   bool csv = false;
 };
 
@@ -262,12 +325,20 @@ RunOptions parse_run_options(int argc, char** argv, const char* usage,
       opts.tech = parse_tech(value(i, a));
     } else if (a == "--method") {
       opts.method = parse_method(value(i, a));
+    } else if (a == "--topology") {
+      opts.topologies = parse_topologies(value(i, a));
+    } else if (a == "--express-interval") {
+      opts.express_interval = parse_u64(a, value(i, a));
+      if (opts.express_interval < 2 || opts.express_interval > 1'000'000) {
+        throw UsageError("--express-interval must be in [2, 1,000,000]");
+      }
     } else if (a == "--routing") {
-      opts.routing = parse_routing(value(i, a));
+      opts.routings = parse_routings(value(i, a));
     } else if (a == "--seed") {
       opts.seed = parse_u64(a, value(i, a));
     } else if (a == "--seeds") {
       opts.num_seeds = parse_u64(a, value(i, a));
+      opts.seeds_set = true;
       if (opts.num_seeds == 0) throw UsageError("--seeds must be >= 1");
     } else if (a == "--no-seed-cdcm") {
       opts.seed_cdcm_with_cwm = false;
@@ -306,11 +377,26 @@ RunOptions parse_run_options(int argc, char** argv, const char* usage,
 
 // --- Workload resolution -----------------------------------------------------
 
-/// A workload bound to its target mesh, ready for the Explorer.
+/// Single-entry check for subcommands without sweep semantics.
+void require_single_noc(const RunOptions& opts, const char* sub) {
+  if (opts.topologies.size() != 1 || opts.routings.size() != 1) {
+    throw UsageError(std::string("`nocmap ") + sub +
+                     "` takes a single --topology and --routing "
+                     "(comma-separated lists are for `nocmap sweep`)");
+  }
+}
+
+noc::TopologyOptions topology_options(const RunOptions& opts) {
+  noc::TopologyOptions to;
+  to.express_interval = static_cast<std::uint32_t>(opts.express_interval);
+  return to;
+}
+
+/// A workload bound to its target topology, ready for the Explorer.
 struct BoundWorkload {
   std::string name;
   graph::Cdcg cdcg;
-  noc::Mesh mesh;
+  std::unique_ptr<noc::Topology> topo;
   energy::Technology tech;
 };
 
@@ -369,7 +455,9 @@ BoundWorkload resolve_workload(const RunOptions& opts) {
                      " cores but the mesh only has " +
                      std::to_string(width * height) + " tiles");
   }
-  return BoundWorkload{opts.workload, std::move(cdcg), noc::Mesh(width, height),
+  return BoundWorkload{opts.workload, std::move(cdcg),
+                       noc::make_topology(opts.topologies.front(), width,
+                                          height, topology_options(opts)),
                        opts.tech ? *opts.tech : default_tech};
 }
 
@@ -377,7 +465,7 @@ core::ExplorerOptions explorer_options(const RunOptions& opts,
                                        const energy::Technology& tech) {
   core::ExplorerOptions eo;
   eo.tech = tech;
-  eo.routing = opts.routing;
+  eo.routing = opts.routings.front();
   eo.method = opts.method;
   eo.seed = opts.seed;
   eo.seed_cdcm_with_cwm = opts.seed_cdcm_with_cwm;
@@ -459,8 +547,9 @@ class Fmt {
 // --- Subcommands -------------------------------------------------------------
 
 int cmd_explore(const RunOptions& opts) {
+  require_single_noc(opts, "explore");
   BoundWorkload wl = resolve_workload(opts);
-  core::Explorer explorer(wl.cdcg, wl.mesh, explorer_options(opts, wl.tech));
+  core::Explorer explorer(wl.cdcg, *wl.topo, explorer_options(opts, wl.tech));
   core::Comparison cmp = explorer.compare();
   Fmt fmt(opts.csv);
 
@@ -470,8 +559,7 @@ int cmd_explore(const RunOptions& opts) {
        fmt.head("Static E", "J"), fmt.head("Total E", "J"),
        fmt.head("Contention", "ns")});
   table.set_title("nocmap explore — " + wl.name + " on " +
-                  std::to_string(wl.mesh.width()) + "x" +
-                  std::to_string(wl.mesh.height()) + ", " + wl.tech.name);
+                  wl.topo->label() + ", " + wl.tech.name);
   for (const core::ModelOutcome* outcome : {&cmp.cwm, &cmp.cdcm}) {
     table.add_row({outcome->model, outcome->used_exhaustive ? "ES" : "SA",
                    fmt.count(outcome->evaluations),
@@ -494,6 +582,11 @@ int cmd_explore(const RunOptions& opts) {
 }
 
 int cmd_bench_perf(const RunOptions& opts) {
+  if (opts.topologies != std::vector<std::string>{"mesh"}) {
+    throw UsageError(
+        "--topology is not supported with --perf: the evaluation-engine "
+        "microbenchmark measures the mesh path");
+  }
   core::EvalBenchOptions options;
   // Quick budgets: this entry point doubles as the CI smoke step. The
   // full-budget run is the bench_cost_eval binary.
@@ -531,6 +624,7 @@ int cmd_bench_perf(const RunOptions& opts) {
 
 int cmd_bench(const RunOptions& opts) {
   if (opts.perf) return cmd_bench_perf(opts);
+  require_single_noc(opts, "bench");
   std::vector<workload::SuiteEntry> suite =
       opts.noc_filter ? workload::table1_suite_for(*opts.noc_filter)
                       : workload::table1_suite();
@@ -540,7 +634,10 @@ int cmd_bench(const RunOptions& opts) {
   util::TextTable table({"Application", "NoC", "Cores", "Packets", "Bits",
                          "Method", fmt.head("ETR", "pct"),
                          fmt.head("ECS", "pct")});
-  table.set_title("nocmap bench — Table-1 suite, " + tech.name);
+  // The historical title is kept byte-for-byte on the mesh path.
+  const std::string& topology = opts.topologies.front();
+  table.set_title("nocmap bench — Table-1 suite, " + tech.name +
+                  (topology == "mesh" ? "" : ", " + topology));
 
   // Explore every application, in parallel when --threads allows: each entry
   // is an independent Explorer run with its own seed-derived randomness, so
@@ -552,8 +649,10 @@ int cmd_bench(const RunOptions& opts) {
   std::vector<std::optional<core::Comparison>> comparisons(suite.size());
   parallel_for_index(opts.threads, suite.size(), [&](std::size_t i) {
     const workload::SuiteEntry& entry = suite[i];
-    noc::Mesh mesh(entry.noc_width, entry.noc_height);
-    core::Explorer explorer(entry.cdcg, mesh, explorer_options(per_app, tech));
+    const std::unique_ptr<noc::Topology> topo = noc::make_topology(
+        topology, entry.noc_width, entry.noc_height, topology_options(opts));
+    core::Explorer explorer(entry.cdcg, *topo,
+                            explorer_options(per_app, tech));
     comparisons[i] = explorer.compare();
   });
 
@@ -604,24 +703,25 @@ int cmd_workloads(const RunOptions& opts) {
   return 0;
 }
 
-int cmd_sweep(const RunOptions& opts) {
+/// The historical single-(topology, routing) seed sweep; kept as its own
+/// path so the mesh/XY output stays byte-identical to the pre-topology era.
+int cmd_sweep_seeds(const RunOptions& opts) {
   BoundWorkload wl = resolve_workload(opts);
   Fmt fmt(opts.csv);
 
   util::TextTable table({"Seed", "Method", fmt.head("CWM Texec", "ns"),
                          fmt.head("CDCM Texec", "ns"), fmt.head("ETR", "pct"),
                          fmt.head("ECS", "pct")});
-  table.set_title("nocmap sweep — " + wl.name + " on " +
-                  std::to_string(wl.mesh.width()) + "x" +
-                  std::to_string(wl.mesh.height()) + ", " + wl.tech.name +
-                  ", " + std::to_string(opts.num_seeds) + " seeds");
+  table.set_title("nocmap sweep — " + wl.name + " on " + wl.topo->label() +
+                  ", " + wl.tech.name + ", " +
+                  std::to_string(opts.num_seeds) + " seeds");
 
   double etr_sum = 0.0, etr_min = 0.0, etr_max = 0.0;
   double ecs_sum = 0.0;
   for (std::uint64_t k = 0; k < opts.num_seeds; ++k) {
     RunOptions run = opts;
     run.seed = opts.seed + k;
-    core::Explorer explorer(wl.cdcg, wl.mesh, explorer_options(run, wl.tech));
+    core::Explorer explorer(wl.cdcg, *wl.topo, explorer_options(run, wl.tech));
     core::Comparison cmp = explorer.compare();
     double etr = cmp.execution_time_reduction();
     double ecs = cmp.energy_saving();
@@ -647,6 +747,131 @@ int cmd_sweep(const RunOptions& opts) {
   return 0;
 }
 
+int cmd_sweep(const RunOptions& opts) {
+  const bool suite_mode = opts.workload == "suite";
+  if (!suite_mode && opts.topologies.size() == 1 &&
+      opts.routings.size() == 1) {
+    return cmd_sweep_seeds(opts);
+  }
+
+  // --- Cross-topology sweep: (topology x routing x application x seed) ------
+  // One workload entry (possibly the whole Table-1 suite), each application
+  // on its own grid size rebuilt per topology kind.
+  struct SweepApp {
+    std::string name;
+    const graph::Cdcg* cdcg = nullptr;
+    std::uint32_t width = 0;
+    std::uint32_t height = 0;
+  };
+  std::vector<workload::SuiteEntry> suite;
+  std::optional<BoundWorkload> single;
+  std::vector<SweepApp> apps;
+  energy::Technology tech =
+      opts.tech ? *opts.tech : energy::technology_0_07u();
+  if (suite_mode) {
+    suite = workload::table1_suite();
+    for (const workload::SuiteEntry& e : suite) {
+      apps.push_back(SweepApp{e.name, &e.cdcg, e.noc_width, e.noc_height});
+    }
+  } else {
+    single = resolve_workload(opts);
+    tech = single->tech;
+    apps.push_back(SweepApp{single->name, &single->cdcg,
+                            single->topo->width(), single->topo->height()});
+  }
+
+  // The full suite already multiplies out to many rows; default to a single
+  // seed there unless the user asked for more.
+  const std::uint64_t num_seeds =
+      (suite_mode && !opts.seeds_set) ? 1 : opts.num_seeds;
+
+  struct SweepRow {
+    std::string topology;
+    noc::RoutingAlgorithm routing{};
+    std::size_t app = 0;
+    std::uint64_t seed = 0;
+    std::optional<core::Comparison> cmp;
+  };
+  std::vector<SweepRow> rows;
+  for (const std::string& topology : opts.topologies) {
+    for (const noc::RoutingAlgorithm routing : opts.routings) {
+      for (std::size_t app = 0; app < apps.size(); ++app) {
+        for (std::uint64_t k = 0; k < num_seeds; ++k) {
+          rows.push_back(
+              SweepRow{topology, routing, app, opts.seed + k, std::nullopt});
+        }
+      }
+    }
+  }
+
+  // Like bench: spend the worker budget at the row level (each row derives
+  // its randomness from its own seed, so the output is thread-invariant).
+  RunOptions per_row = opts;
+  if (rows.size() > 1) per_row.threads = 1;
+  parallel_for_index(opts.threads, rows.size(), [&](std::size_t i) {
+    SweepRow& row = rows[i];
+    const SweepApp& app = apps[row.app];
+    const std::unique_ptr<noc::Topology> topo = noc::make_topology(
+        row.topology, app.width, app.height, topology_options(opts));
+    RunOptions run = per_row;
+    run.seed = row.seed;
+    run.routings = {row.routing};
+    core::Explorer explorer(*app.cdcg, *topo, explorer_options(run, tech));
+    row.cmp = explorer.compare();
+  });
+
+  Fmt fmt(opts.csv);
+  util::TextTable table({"Topology", "Routing", "Application", "Seed",
+                         "Method", fmt.head("CWM Texec", "ns"),
+                         fmt.head("CDCM Texec", "ns"), fmt.head("ETR", "pct"),
+                         fmt.head("ECS", "pct")});
+  table.set_title("nocmap sweep — " +
+                  (suite_mode ? std::string("Table-1 suite")
+                              : apps.front().name) +
+                  ", " + tech.name);
+  std::string current_combo;
+  for (const SweepRow& row : rows) {
+    const std::string combo =
+        row.topology + "/" + noc::routing_algorithm_name(row.routing);
+    if (!current_combo.empty() && combo != current_combo) {
+      table.add_separator();
+    }
+    current_combo = combo;
+    const core::Comparison& cmp = *row.cmp;
+    table.add_row({row.topology, noc::routing_algorithm_name(row.routing),
+                   apps[row.app].name, std::to_string(row.seed),
+                   cmp.cdcm.used_exhaustive ? "ES" : "SA",
+                   fmt.time(cmp.cwm.sim.texec_ns),
+                   fmt.time(cmp.cdcm.sim.texec_ns),
+                   fmt.percent(cmp.execution_time_reduction()),
+                   fmt.percent(cmp.energy_saving())});
+  }
+  print_table(table, opts.csv);
+
+  // Per-(topology, routing) aggregates, in row order.
+  util::TextTable summary({"Topology", "Routing", "Rows",
+                           fmt.head("mean ETR", "pct"),
+                           fmt.head("mean ECS", "pct")});
+  for (const std::string& topology : opts.topologies) {
+    for (const noc::RoutingAlgorithm routing : opts.routings) {
+      double etr_sum = 0.0, ecs_sum = 0.0;
+      std::uint64_t n = 0;
+      for (const SweepRow& row : rows) {
+        if (row.topology != topology || row.routing != routing) continue;
+        etr_sum += row.cmp->execution_time_reduction();
+        ecs_sum += row.cmp->energy_saving();
+        ++n;
+      }
+      summary.add_row({topology, noc::routing_algorithm_name(routing),
+                       std::to_string(n),
+                       fmt.percent(etr_sum / static_cast<double>(n)),
+                       fmt.percent(ecs_sum / static_cast<double>(n))});
+    }
+  }
+  print_table(summary, opts.csv);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -666,6 +891,7 @@ int main(int argc, char** argv) {
     }
     const std::vector<std::string> explore_flags = {
         "--workload", "--mesh",          "--tech",  "--method",  "--routing",
+        "--topology", "--express-interval",
         "--seed",     "--no-seed-cdcm",  "--cores", "--packets", "--bits",
         "--threads",  "--chains"};
     if (sub == "explore") {
@@ -675,8 +901,9 @@ int main(int argc, char** argv) {
     if (sub == "bench") {
       return cmd_bench(parse_run_options(
           argc, argv, kBenchUsage,
-          {"--noc", "--tech", "--method", "--routing", "--seed", "--threads",
-           "--chains", "--perf", "--out"}));
+          {"--noc", "--tech", "--method", "--routing", "--topology",
+           "--express-interval", "--seed", "--threads", "--chains", "--perf",
+           "--out"}));
     }
     if (sub == "workloads") {
       return cmd_workloads(parse_run_options(argc, argv, kWorkloadsUsage, {}));

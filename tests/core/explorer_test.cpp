@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/workload/paper_example.hpp"
 
 namespace nocmap::core {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "nocmap/core/explorer.hpp"
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/workload/random_cdcg.hpp"
 
 namespace nocmap::core {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "nocmap/core/explorer.hpp"
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/search/greedy.hpp"
 #include "nocmap/workload/random_cdcg.hpp"
 #include "nocmap/workload/suite.hpp"

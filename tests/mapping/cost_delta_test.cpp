@@ -4,6 +4,7 @@
 
 #include "nocmap/energy/energy_model.hpp"
 #include "nocmap/mapping/cost.hpp"
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/workload/paper_example.hpp"
 #include "nocmap/workload/random_cdcg.hpp"
 

@@ -1,4 +1,5 @@
 #include "nocmap/mapping/mapping.hpp"
+#include "nocmap/noc/mesh.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,3 +1,4 @@
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/noc/route_table.hpp"
 
 #include <gtest/gtest.h>

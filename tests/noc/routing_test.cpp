@@ -1,3 +1,4 @@
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/noc/routing.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/search/exhaustive.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/search/greedy.hpp"
 
 #include <gtest/gtest.h>

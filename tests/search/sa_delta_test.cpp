@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/search/simulated_annealing.hpp"
 #include "nocmap/workload/paper_example.hpp"
 #include "nocmap/workload/random_cdcg.hpp"

@@ -1,3 +1,4 @@
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/search/simulated_annealing.hpp"
 
 #include <gtest/gtest.h>

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "nocmap/mapping/cost.hpp"
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/sim/schedule.hpp"
 #include "nocmap/workload/paper_example.hpp"
 

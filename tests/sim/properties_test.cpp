@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "nocmap/energy/energy_model.hpp"
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/sim/schedule.hpp"
 #include "nocmap/workload/random_cdcg.hpp"
 

@@ -1,3 +1,4 @@
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/sim/simulator.hpp"
 
 #include <gtest/gtest.h>

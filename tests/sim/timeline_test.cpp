@@ -1,3 +1,4 @@
+#include "nocmap/noc/mesh.hpp"
 #include "nocmap/sim/timeline.hpp"
 
 #include <gtest/gtest.h>
