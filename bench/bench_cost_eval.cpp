@@ -1,11 +1,16 @@
 /// \file bench_cost_eval.cpp
 /// Evaluation-engine microbenchmark: evaluations/second for the CWM
 /// objective (legacy full recompute vs hop-table full vs incremental delta)
-/// and the CDCM objective (one-shot simulate() vs reusable Simulator arena)
-/// across square meshes, plus a heap-allocation probe that verifies
+/// and the CDCM ladder (one-shot simulate(), reusable Simulator arena,
+/// CdcmCost swap-delta, BatchEvaluator at 1 and T threads, hybrid
+/// CWM->CDCM objective) across square meshes — or any grid/topology via
+/// --sizes/--topology — plus a heap-allocation probe that verifies
 /// Simulator::run() allocates nothing in the steady state.
 ///
-/// Usage: bench_cost_eval [--quick] [--max-mesh N] [--out FILE]
+/// Usage: bench_cost_eval [--quick] [--max-mesh N] [--sizes WxH,...]
+///                        [--topology mesh|torus|xmesh]
+///                        [--express-interval K] [--batch-threads T]
+///                        [--hybrid-cadence N] [--out FILE]
 ///
 /// Writes the JSON report (default BENCH_eval.json, the file tracked at the
 /// repo root) and prints a summary table. The report schema (fields, units,
@@ -18,6 +23,7 @@
 #include <fstream>
 #include <iostream>
 #include <new>
+#include <sstream>
 #include <string>
 
 #include "nocmap/core/eval_bench.hpp"
@@ -30,6 +36,16 @@ namespace {
 std::atomic<std::uint64_t> g_allocations{0};
 std::uint64_t allocation_count() {
   return g_allocations.load(std::memory_order_relaxed);
+}
+
+bool parse_size(const std::string& item, std::uint32_t& w, std::uint32_t& h) {
+  const std::size_t sep = item.find('x');
+  if (sep == std::string::npos || sep == 0 || sep + 1 == item.size()) {
+    return false;
+  }
+  w = static_cast<std::uint32_t>(std::atoi(item.substr(0, sep).c_str()));
+  h = static_cast<std::uint32_t>(std::atoi(item.substr(sep + 1).c_str()));
+  return w > 0 && h > 0;
 }
 }  // namespace
 
@@ -50,6 +66,14 @@ int main(int argc, char** argv) {
   options.alloc_count = &allocation_count;
   std::string out_path = "BENCH_eval.json";
 
+  const auto usage = [] {
+    std::cerr << "usage: bench_cost_eval [--quick] [--max-mesh N] "
+                 "[--sizes WxH,...] [--topology mesh|torus|xmesh] "
+                 "[--express-interval K] [--batch-threads T] "
+                 "[--hybrid-cadence N] [--out FILE]\n";
+    return 2;
+  };
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -57,28 +81,48 @@ int main(int argc, char** argv) {
       options.max_mesh = 5;
     } else if (arg == "--max-mesh" && i + 1 < argc) {
       options.max_mesh = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--sizes" && i + 1 < argc) {
+      std::istringstream list(argv[++i]);
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        std::uint32_t w = 0, h = 0;
+        if (!parse_size(item, w, h)) return usage();
+        options.sizes.emplace_back(w, h);
+      }
+      if (options.sizes.empty()) return usage();
+    } else if (arg == "--topology" && i + 1 < argc) {
+      options.topology = argv[++i];
+    } else if (arg == "--express-interval" && i + 1 < argc) {
+      options.express_interval =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--batch-threads" && i + 1 < argc) {
+      options.batch_threads = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      if (options.batch_threads == 0) return usage();
+    } else if (arg == "--hybrid-cadence" && i + 1 < argc) {
+      options.hybrid_cadence =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::cerr << "usage: bench_cost_eval [--quick] [--max-mesh N] "
-                   "[--out FILE]\n";
-      return 2;
+      return usage();
     }
   }
 
   const nocmap::core::EvalBenchReport report =
       nocmap::core::run_eval_bench(options);
 
-  std::printf("%-6s %14s %14s %14s %9s %12s %12s %8s %7s\n", "mesh",
-              "cwm_legacy/s", "cwm_full/s", "cwm_delta/s", "speedup",
-              "cdcm_1shot/s", "cdcm_reuse/s", "speedup", "allocs");
+  std::printf("%-6s %12s %12s %12s %12s %12s %12s %9s %12s %12s %7s\n", "noc",
+              "cwm_legacy/s", "cwm_delta/s", "cdcm_1shot/s", "cdcm_reuse/s",
+              "cdcm_delta/s", "delta_spdup", "batch_Tx", "cdcm_batchT/s",
+              "hybrid/s", "allocs");
   for (const nocmap::core::EvalBenchRow& r : report.rows) {
-    std::printf("%ux%-4u %14.0f %14.0f %14.0f %8.1fx %12.0f %12.0f %7.1fx %7lld\n",
-                r.mesh_width, r.mesh_height, r.cwm_legacy_per_s,
-                r.cwm_full_per_s, r.cwm_delta_per_s, r.cwm_delta_speedup(),
-                r.cdcm_oneshot_per_s, r.cdcm_reuse_per_s,
-                r.cdcm_reuse_speedup(),
-                static_cast<long long>(r.cdcm_allocs_per_run));
+    std::printf(
+        "%ux%-4u %12.0f %12.0f %12.0f %12.0f %12.0f %11.1fx %8.2fx %12.0f "
+        "%12.0f %7lld\n",
+        r.mesh_width, r.mesh_height, r.cwm_legacy_per_s, r.cwm_delta_per_s,
+        r.cdcm_oneshot_per_s, r.cdcm_reuse_per_s, r.cdcm_delta_per_s,
+        r.cdcm_delta_speedup(), r.cdcm_batch_scaling(), r.cdcm_batch_t_per_s,
+        r.hybrid_per_s, static_cast<long long>(r.cdcm_allocs_per_run));
   }
 
   std::ofstream out(out_path);

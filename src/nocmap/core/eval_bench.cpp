@@ -1,6 +1,7 @@
 #include "nocmap/core/eval_bench.hpp"
 
 #include <chrono>
+#include <memory>
 #include <sstream>
 
 #include "nocmap/energy/energy_model.hpp"
@@ -8,8 +9,9 @@
 #include "nocmap/graph/cdcg.hpp"
 #include "nocmap/mapping/cost.hpp"
 #include "nocmap/mapping/mapping.hpp"
-#include "nocmap/noc/mesh.hpp"
 #include "nocmap/noc/routing.hpp"
+#include "nocmap/noc/topology.hpp"
+#include "nocmap/sim/batch_evaluator.hpp"
 #include "nocmap/sim/schedule.hpp"
 #include "nocmap/sim/simulator.hpp"
 #include "nocmap/util/rng.hpp"
@@ -29,33 +31,35 @@ double seconds_since(Clock::time_point start) {
 /// benchmark baseline: one compute_route() (two heap allocations) per edge
 /// per evaluation.
 double legacy_cwm_cost(const std::vector<graph::CwgEdge>& edges,
-                       const noc::Mesh& mesh, const mapping::Mapping& m,
+                       const noc::Topology& topo, const mapping::Mapping& m,
                        const energy::Technology& tech) {
   double energy_j = 0.0;
   for (const graph::CwgEdge& e : edges) {
     const noc::Route route =
-        noc::compute_route(mesh, m.tile_of(e.src), m.tile_of(e.dst));
+        noc::compute_route(topo, m.tile_of(e.src), m.tile_of(e.dst));
     energy_j += energy::dynamic_packet_energy(tech, e.bits, route.num_routers());
   }
   return energy_j;
 }
 
-/// Time `body` (one evaluation per call) until the budget elapses; returns
-/// evaluations per second. `sink` defeats dead-code elimination.
+/// Time `body` until the budget elapses; returns calls per second times
+/// `evals_per_call` (so batch bodies report per-mapping rates). `sink`
+/// defeats dead-code elimination.
 template <typename Body>
-double measure(double min_time_s, double& sink, Body&& body) {
+double measure(double min_time_s, double& sink, Body&& body,
+               double evals_per_call = 1.0) {
   // Warm-up: one call outside the timed region (first-touch growth of
   // arena buffers, page faults).
   sink += body();
-  std::uint64_t evals = 0;
+  std::uint64_t calls = 0;
   const Clock::time_point start = Clock::now();
   double elapsed = 0.0;
   do {
     for (int i = 0; i < 16; ++i) sink += body();
-    evals += 16;
+    calls += 16;
     elapsed = seconds_since(start);
   } while (elapsed < min_time_s);
-  return static_cast<double>(evals) / elapsed;
+  return static_cast<double>(calls) * evals_per_call / elapsed;
 }
 
 void append_json_number(std::ostringstream& os, double v) {
@@ -67,11 +71,13 @@ void append_json_number(std::ostringstream& os, double v) {
 
 std::string EvalBenchReport::to_json() const {
   std::ostringstream os;
-  os << "{\n  \"bench\": \"eval_engine\",\n  \"unit\": \"evaluations_per_second\",\n"
+  os << "{\n  \"bench\": \"eval_engine\",\n  \"schema\": 2,\n"
+     << "  \"unit\": \"evaluations_per_second\",\n"
      << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const EvalBenchRow& r = rows[i];
-    os << "    {\"mesh\": \"" << r.mesh_width << "x" << r.mesh_height
+    os << "    {\"topology\": \"" << r.topology << "\", \"mesh\": \""
+       << r.mesh_width << "x" << r.mesh_height
        << "\", \"cores\": " << r.num_cores
        << ", \"packets\": " << r.num_packets << ",\n     \"cwm_legacy\": ";
     append_json_number(os, r.cwm_legacy_per_s);
@@ -84,7 +90,20 @@ std::string EvalBenchReport::to_json() const {
     append_json_number(os, r.cdcm_oneshot_per_s);
     os << ", \"cdcm_reuse\": ";
     append_json_number(os, r.cdcm_reuse_per_s);
-    os << ", \"cdcm_reuse_speedup\": " << r.cdcm_reuse_speedup()
+    os << ", \"cdcm_reuse_speedup\": " << r.cdcm_reuse_speedup() << ",\n"
+       << "     \"cdcm_delta\": ";
+    append_json_number(os, r.cdcm_delta_per_s);
+    os << ", \"cdcm_delta_speedup\": " << r.cdcm_delta_speedup() << ",\n"
+       << "     \"cdcm_batch_1\": ";
+    append_json_number(os, r.cdcm_batch1_per_s);
+    os << ", \"cdcm_batch_T\": ";
+    append_json_number(os, r.cdcm_batch_t_per_s);
+    os << ", \"batch_threads\": " << r.batch_threads
+       << ", \"cdcm_batch_scaling\": " << r.cdcm_batch_scaling() << ",\n"
+       << "     \"hybrid\": ";
+    append_json_number(os, r.hybrid_per_s);
+    os << ", \"hybrid_cadence\": " << r.hybrid_cadence
+       << ", \"hybrid_speedup\": " << r.hybrid_speedup()
        << ", \"cdcm_allocs_per_run\": " << r.cdcm_allocs_per_run << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -96,10 +115,20 @@ EvalBenchReport run_eval_bench(const EvalBenchOptions& options) {
   EvalBenchReport report;
   const energy::Technology tech = energy::technology_0_07u();
 
-  for (std::uint32_t side = options.min_mesh; side <= options.max_mesh;
-       ++side) {
-    const noc::Mesh mesh(side, side);
-    const std::uint32_t tiles = mesh.num_tiles();
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sizes = options.sizes;
+  if (sizes.empty()) {
+    for (std::uint32_t side = options.min_mesh; side <= options.max_mesh;
+         ++side) {
+      sizes.emplace_back(side, side);
+    }
+  }
+
+  for (const auto& [width, height] : sizes) {
+    noc::TopologyOptions topo_options;
+    topo_options.express_interval = options.express_interval;
+    const std::unique_ptr<noc::Topology> topo =
+        noc::make_topology(options.topology, width, height, topo_options);
+    const std::uint32_t tiles = topo->num_tiles();
 
     workload::RandomCdcgParams params;
     params.num_cores = tiles;
@@ -112,15 +141,18 @@ EvalBenchReport run_eval_bench(const EvalBenchOptions& options) {
     const std::vector<graph::CwgEdge> edges = cwg.edges();
 
     EvalBenchRow row;
-    row.mesh_width = side;
-    row.mesh_height = side;
+    row.topology = options.topology;
+    row.mesh_width = width;
+    row.mesh_height = height;
     row.num_cores = params.num_cores;
     row.num_packets = params.num_packets;
+    row.batch_threads = options.batch_threads;
+    row.hybrid_cadence = options.hybrid_cadence;
 
-    const mapping::CwmCost cwm(cwg, mesh, tech);
-    const mapping::CdcmCost cdcm(cdcg, mesh, tech);
+    const mapping::CwmCost cwm(cwg, *topo, tech);
+    const mapping::CdcmCost cdcm(cdcg, *topo, tech);
     util::Rng move_rng(options.seed + 0x9E3779B97F4A7C15ULL);
-    mapping::Mapping m(mesh, params.num_cores);
+    mapping::Mapping m(*topo, params.num_cores);
     auto random_pair = [&](noc::TileId& a, noc::TileId& b) {
       a = static_cast<noc::TileId>(move_rng.index(tiles));
       do {
@@ -135,7 +167,7 @@ EvalBenchReport run_eval_bench(const EvalBenchOptions& options) {
       noc::TileId a, b;
       random_pair(a, b);
       m.swap_tiles(a, b);
-      return legacy_cwm_cost(edges, mesh, m, tech);
+      return legacy_cwm_cost(edges, *topo, m, tech);
     });
     row.cwm_full_per_s = measure(options.min_time_s, sink, [&] {
       noc::TileId a, b;
@@ -157,16 +189,73 @@ EvalBenchReport run_eval_bench(const EvalBenchOptions& options) {
       noc::TileId a, b;
       random_pair(a, b);
       m.swap_tiles(a, b);
-      return sim::simulate(cdcg, mesh, m, tech, sim_options).texec_ns;
+      return sim::simulate(cdcg, *topo, m, tech, sim_options).texec_ns;
     });
 
-    sim::Simulator simulator(cdcg, mesh, tech, sim_options);
+    sim::Simulator simulator(cdcg, *topo, tech, sim_options);
     row.cdcm_reuse_per_s = measure(options.min_time_s, sink, [&] {
       noc::TileId a, b;
       random_pair(a, b);
       m.swap_tiles(a, b);
       return simulator.run(m).texec_ns;
     });
+
+    // The SA-protocol walk: price the move against the *current* mapping,
+    // then commit it — one arena run per move through CdcmCost's probe
+    // cache, with swap-aware route rebinding underneath.
+    row.cdcm_delta_per_s = measure(options.min_time_s, sink, [&] {
+      noc::TileId a, b;
+      random_pair(a, b);
+      const double d = cdcm.swap_delta(m, a, b);
+      cdcm.apply_swap(m, a, b);
+      return d;
+    });
+
+    // Batch evaluation: a shard of distinct candidate mappings (a rolling
+    // random walk, snapshotted), evaluated at 1 and at T threads.
+    {
+      std::vector<mapping::Mapping> batch(options.batch_size, m);
+      for (auto& candidate : batch) {
+        noc::TileId a, b;
+        random_pair(a, b);
+        m.swap_tiles(a, b);
+        candidate = m;
+      }
+      std::vector<sim::BatchResult> results(batch.size());
+      sim::BatchEvaluator batch1(cdcg, *topo, tech, sim_options, 1);
+      sim::BatchEvaluator batch_t(cdcg, *topo, tech, sim_options,
+                                  options.batch_threads);
+      row.cdcm_batch1_per_s = measure(
+          options.min_time_s, sink,
+          [&] {
+            batch1.evaluate(batch.data(), batch.size(), results.data());
+            return results.front().texec_ns;
+          },
+          static_cast<double>(batch.size()));
+      row.cdcm_batch_t_per_s = measure(
+          options.min_time_s, sink,
+          [&] {
+            batch_t.evaluate(batch.data(), batch.size(), results.data());
+            return results.front().texec_ns;
+          },
+          static_cast<double>(batch.size()));
+    }
+
+    // The hybrid objective under the same SA-protocol walk: CWM deltas with
+    // a CDCM verification every hybrid_cadence-th move.
+    {
+      const mapping::HybridCost hybrid(cdcg, *topo, tech,
+                                       noc::RoutingAlgorithm::kXY,
+                                       options.hybrid_cadence);
+      hybrid.begin_search();
+      row.hybrid_per_s = measure(options.min_time_s, sink, [&] {
+        noc::TileId a, b;
+        random_pair(a, b);
+        const double d = hybrid.swap_delta(m, a, b);
+        hybrid.apply_swap(m, a, b);
+        return d;
+      });
+    }
 
     if (options.alloc_count) {
       // Steady state: the arena is warm after the timed loop above. Count

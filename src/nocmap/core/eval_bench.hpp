@@ -1,15 +1,17 @@
 #pragma once
 /// \file eval_bench.hpp
 /// Microbenchmark of the evaluation engine: evaluations/second for the CWM
-/// and CDCM objectives under swap-move search, across a range of mesh sizes.
+/// and CDCM objectives under swap-move search, across a range of NoC sizes.
 ///
 /// Three CWM variants are timed — the seed-era full recompute that walks
 /// compute_route() per edge (kept here as the baseline), the hop-table full
-/// evaluation, and the incremental swap-delta protocol — plus two CDCM
-/// variants: the one-shot sim::simulate() wrapper (pays arena construction
-/// per call) and the reusable Simulator::run() arena. The report serializes
-/// to the JSON tracked as BENCH_eval.json at the repo root, so successive
-/// PRs can follow the perf trajectory.
+/// evaluation, and the incremental swap-delta protocol — plus the CDCM
+/// ladder: the one-shot sim::simulate() wrapper (pays arena construction
+/// per call), the reusable Simulator::run() arena, the CdcmCost swap-delta
+/// protocol (swap-aware rebinding + probe caching), the hybrid CWM->CDCM
+/// objective, and the sim::BatchEvaluator at 1 and T threads. The report
+/// serializes to the JSON tracked as BENCH_eval.json at the repo root, so
+/// successive PRs can follow the perf trajectory.
 ///
 /// Used by bench/bench_cost_eval.cpp (full budgets, allocation probe) and by
 /// `nocmap bench --perf` (quick budgets, CI smoke). The JSON schema is
@@ -17,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace nocmap::core {
@@ -24,8 +27,17 @@ namespace nocmap::core {
 struct EvalBenchOptions {
   std::uint32_t min_mesh = 3;   ///< Smallest (square) mesh side.
   std::uint32_t max_mesh = 8;   ///< Largest (square) mesh side.
+  /// Explicit grid sizes (width, height); when non-empty this overrides the
+  /// min_mesh..max_mesh square ladder (CLI: `bench --perf --sizes`).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sizes;
+  /// Topology kind for every row: "mesh" (default), "torus" or "xmesh".
+  std::string topology = "mesh";
+  std::uint32_t express_interval = 2;  ///< xmesh express-link spacing.
   double min_time_s = 0.2;      ///< Wall-clock budget per measurement.
   std::uint64_t seed = 1;       ///< Workload + move-sequence seed.
+  std::uint32_t batch_threads = 4;   ///< T for the cdcm_batch_T row.
+  std::uint32_t batch_size = 256;    ///< Mappings per BatchEvaluator call.
+  std::uint32_t hybrid_cadence = 8;  ///< HybridCost CDCM verification rate.
   /// Optional live allocation counter (global operator-new hook installed by
   /// the calling binary). When set, the benchmark reports the number of
   /// heap allocations per steady-state Simulator::run(); when null the
@@ -33,8 +45,9 @@ struct EvalBenchOptions {
   std::uint64_t (*alloc_count)() = nullptr;
 };
 
-/// One mesh size's measurements. Rates are evaluations per second.
+/// One NoC size's measurements. Rates are evaluations per second.
 struct EvalBenchRow {
+  std::string topology = "mesh";
   std::uint32_t mesh_width = 0;
   std::uint32_t mesh_height = 0;
   std::uint32_t num_cores = 0;
@@ -44,6 +57,12 @@ struct EvalBenchRow {
   double cwm_delta_per_s = 0.0;    ///< swap_delta + apply_swap.
   double cdcm_oneshot_per_s = 0.0; ///< sim::simulate() per evaluation.
   double cdcm_reuse_per_s = 0.0;   ///< Simulator::run() arena reuse.
+  double cdcm_delta_per_s = 0.0;   ///< CdcmCost swap_delta + apply_swap.
+  double cdcm_batch1_per_s = 0.0;  ///< BatchEvaluator, 1 thread.
+  double cdcm_batch_t_per_s = 0.0; ///< BatchEvaluator, batch_threads.
+  std::uint32_t batch_threads = 0; ///< T of the row above.
+  double hybrid_per_s = 0.0;       ///< HybridCost swap_delta + apply_swap.
+  std::uint32_t hybrid_cadence = 0;
   std::int64_t cdcm_allocs_per_run = -1;  ///< -1 when not measured.
 
   double cwm_delta_speedup() const {
@@ -53,12 +72,24 @@ struct EvalBenchRow {
     return cdcm_oneshot_per_s > 0 ? cdcm_reuse_per_s / cdcm_oneshot_per_s
                                   : 0.0;
   }
+  double cdcm_delta_speedup() const {
+    return cdcm_oneshot_per_s > 0 ? cdcm_delta_per_s / cdcm_oneshot_per_s
+                                  : 0.0;
+  }
+  double cdcm_batch_scaling() const {
+    return cdcm_batch1_per_s > 0 ? cdcm_batch_t_per_s / cdcm_batch1_per_s
+                                 : 0.0;
+  }
+  double hybrid_speedup() const {
+    return cdcm_reuse_per_s > 0 ? hybrid_per_s / cdcm_reuse_per_s : 0.0;
+  }
 };
 
 struct EvalBenchReport {
   std::vector<EvalBenchRow> rows;
 
-  /// Pretty-printed JSON document ({"bench": "eval_engine", "rows": [...]}).
+  /// Pretty-printed JSON document ({"bench": "eval_engine", "schema": 2,
+  /// "rows": [...]}).
   std::string to_json() const;
 };
 

@@ -1,7 +1,10 @@
 #include "nocmap/core/explorer.hpp"
 
+#include "nocmap/sim/batch_evaluator.hpp"
+
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <exception>
 #include <mutex>
 #include <optional>
@@ -61,17 +64,24 @@ search::SearchResult Explorer::run_sa_chains(
   const std::uint32_t chains = std::max<std::uint32_t>(1, options_.sa_chains);
   std::vector<std::optional<search::SearchResult>> results(chains);
 
-  auto run_chain = [&](std::uint32_t chain) {
-    const std::unique_ptr<mapping::CostFunction> cost = make_cost();
+  // Each *worker* builds one cost function and reuses it for every chain it
+  // claims (anneal() calls begin_search(), and cost values are pure
+  // functions of the mapping, so a reused object is indistinguishable from
+  // a fresh one). This amortizes the arena/route-table construction of
+  // CdcmCost across chains instead of paying it per chain.
+  auto run_chain = [&](std::uint32_t chain, mapping::CostFunction& cost) {
     util::Rng rng = chain_rng(options_.seed, chain);
     results[chain] =
-        search::anneal(*cost, topo_, rng, options_.sa, sa_initial);
+        search::anneal(cost, topo_, rng, options_.sa, sa_initial);
   };
 
   const std::uint32_t workers =
       std::min(std::max<std::uint32_t>(1, options_.threads), chains);
   if (workers <= 1) {
-    for (std::uint32_t chain = 0; chain < chains; ++chain) run_chain(chain);
+    const std::unique_ptr<mapping::CostFunction> cost = make_cost();
+    for (std::uint32_t chain = 0; chain < chains; ++chain) {
+      run_chain(chain, *cost);
+    }
   } else {
     std::atomic<std::uint32_t> next{0};
     std::mutex error_mutex;
@@ -80,15 +90,16 @@ search::SearchResult Explorer::run_sa_chains(
     pool.reserve(workers);
     for (std::uint32_t w = 0; w < workers; ++w) {
       pool.emplace_back([&] {
-        for (;;) {
-          const std::uint32_t chain = next.fetch_add(1);
-          if (chain >= chains) return;
-          try {
-            run_chain(chain);
-          } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
+        try {
+          const std::unique_ptr<mapping::CostFunction> cost = make_cost();
+          for (;;) {
+            const std::uint32_t chain = next.fetch_add(1);
+            if (chain >= chains) return;
+            run_chain(chain, *cost);
           }
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
         }
       });
     }
@@ -111,8 +122,25 @@ search::SearchResult Explorer::run_sa_chains(
   return best;
 }
 
+search::SearchResult Explorer::run_batched_exhaustive() const {
+  // The CDCM objective is a pure function of the mapping, so the search
+  // reduces to pricing every enumerated placement — exactly the shape
+  // sim::BatchEvaluator parallelizes. Enumeration-order reduction keeps the
+  // outcome byte-identical to the serial engine for every thread count.
+  sim::SimOptions sim_options;
+  sim_options.routing = options_.routing;
+  sim_options.record_traces = false;
+  sim::BatchEvaluator evaluator(cdcg_, topo_, options_.tech, sim_options,
+                                std::max<std::uint32_t>(1, options_.threads));
+  return search::exhaustive_search_batched(
+      cdcg_.num_cores(), topo_,
+      [&](const mapping::Mapping* mappings, std::size_t count,
+          double* costs) { evaluator.evaluate_costs(mappings, count, costs); },
+      options_.es, std::max<std::uint32_t>(1, options_.es_batch_size));
+}
+
 ModelOutcome Explorer::run(const CostFactory& make_cost,
-                           const std::string& model,
+                           const std::string& model, bool timing_model,
                            const mapping::Mapping* sa_initial) const {
   const bool exhaustive =
       options_.method == SearchMethod::kExhaustive ||
@@ -120,6 +148,10 @@ ModelOutcome Explorer::run(const CostFactory& make_cost,
 
   search::SearchResult sr = [&] {
     if (exhaustive) {
+      // The timing-aware objectives (CDCM, and hybrid — whose cost() IS
+      // the CDCM objective) go through the batch evaluator; CWM keeps the
+      // cheap serial engine.
+      if (timing_model) return run_batched_exhaustive();
       const std::unique_ptr<mapping::CostFunction> cost = make_cost();
       return search::exhaustive_search(*cost, topo_, options_.es);
     }
@@ -135,22 +167,36 @@ ModelOutcome Explorer::run(const CostFactory& make_cost,
   return outcome;
 }
 
+std::string Explorer::timing_model_name() const {
+  return options_.timing_cost == TimingCostMode::kHybrid ? "HYBRID" : "CDCM";
+}
+
 ModelOutcome Explorer::optimize_cwm() const {
   return run(
       [this] {
         return std::make_unique<mapping::CwmCost>(cwg_, topo_, options_.tech,
                                                   options_.routing);
       },
-      "CWM");
+      "CWM", /*timing_model=*/false);
 }
 
 ModelOutcome Explorer::optimize_cdcm() const {
-  return run(
-      [this] {
-        return std::make_unique<mapping::CdcmCost>(cdcg_, topo_, options_.tech,
-                                                   options_.routing);
-      },
-      "CDCM");
+  return run(timing_cost_factory(), timing_model_name(),
+             /*timing_model=*/true);
+}
+
+Explorer::CostFactory Explorer::timing_cost_factory() const {
+  if (options_.timing_cost == TimingCostMode::kHybrid) {
+    return [this]() -> std::unique_ptr<mapping::CostFunction> {
+      return std::make_unique<mapping::HybridCost>(
+          cdcg_, topo_, options_.tech, options_.routing,
+          options_.hybrid_cadence);
+    };
+  }
+  return [this]() -> std::unique_ptr<mapping::CostFunction> {
+    return std::make_unique<mapping::CdcmCost>(cdcg_, topo_, options_.tech,
+                                               options_.routing);
+  };
 }
 
 Comparison Explorer::compare() const {
@@ -158,12 +204,8 @@ Comparison Explorer::compare() const {
   if (!options_.seed_cdcm_with_cwm) {
     return Comparison{std::move(cwm), optimize_cdcm()};
   }
-  ModelOutcome cdcm = run(
-      [this] {
-        return std::make_unique<mapping::CdcmCost>(cdcg_, topo_, options_.tech,
-                                                   options_.routing);
-      },
-      "CDCM", &cwm.mapping);
+  ModelOutcome cdcm = run(timing_cost_factory(), timing_model_name(),
+                          /*timing_model=*/true, &cwm.mapping);
   return Comparison{std::move(cwm), std::move(cdcm)};
 }
 

@@ -37,6 +37,14 @@ enum class SearchMethod {
   kExhaustive,
 };
 
+/// Which objective drives the timing-aware half of the comparison.
+enum class TimingCostMode {
+  kCdcm,    ///< Pure Equation-10 search: every move is a wormhole sim.
+  kHybrid,  ///< mapping::HybridCost: CWM-delta prefilter proposes, CDCM
+            ///< verifies every hybrid_cadence-th move and every
+            ///< temperature step.
+};
+
 struct ExplorerOptions {
   energy::Technology tech = energy::technology_0_07u();
   noc::RoutingAlgorithm routing = noc::RoutingAlgorithm::kXY;
@@ -57,12 +65,22 @@ struct ExplorerOptions {
   /// (seed, i). The lowest-cost chain wins, ties broken by chain index, so
   /// the outcome depends only on (seed, sa_chains), never on `threads`.
   std::uint32_t sa_chains = 1;
-  /// Worker threads running the SA chains (and available to callers like
-  /// the CLI bench for application-level parallelism). Each worker owns its
-  /// cost function — and hence its own simulator arena — so no evaluation
-  /// state is shared. Purely a throughput knob: results are identical for
-  /// any value. 0 is treated as 1.
+  /// Worker threads running the SA chains, the CDCM exhaustive-search
+  /// shards (via sim::BatchEvaluator), and available to callers like the
+  /// CLI bench for application-level parallelism. Each worker owns its
+  /// cost function / simulator arena, so no evaluation state is shared.
+  /// Purely a throughput knob: results are identical for any value. 0 is
+  /// treated as 1.
   std::uint32_t threads = 1;
+  /// Objective for optimize_cdcm(): pure CDCM (the default, the paper's
+  /// flow) or the hybrid CWM->CDCM mode.
+  TimingCostMode timing_cost = TimingCostMode::kCdcm;
+  /// kHybrid: every Nth priced move is verified with an exact CDCM delta
+  /// (1 = every move, i.e. pure CDCM pricing; 0 = never, step resyncs
+  /// only).
+  std::uint32_t hybrid_cadence = 8;
+  /// Shard size for batched CDCM exhaustive search.
+  std::uint32_t es_batch_size = 1024;
 };
 
 /// The outcome of optimizing one model.
@@ -118,9 +136,14 @@ class Explorer {
       std::function<std::unique_ptr<mapping::CostFunction>()>;
 
   ModelOutcome run(const CostFactory& make_cost, const std::string& model,
+                   bool timing_model,
                    const mapping::Mapping* sa_initial = nullptr) const;
   search::SearchResult run_sa_chains(const CostFactory& make_cost,
                                      const mapping::Mapping* sa_initial) const;
+  /// CDCM/hybrid exhaustive search, sharded over a sim::BatchEvaluator.
+  search::SearchResult run_batched_exhaustive() const;
+  std::string timing_model_name() const;
+  CostFactory timing_cost_factory() const;
 
   const graph::Cdcg& cdcg_;
   const noc::Topology& topo_;

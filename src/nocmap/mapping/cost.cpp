@@ -105,13 +105,91 @@ CdcmCost::CdcmCost(const graph::Cdcg& cdcg, const noc::Topology& topo,
       std::make_unique<sim::Simulator>(cdcg_, topo_, tech_, options);
 }
 
-double CdcmCost::cost(const Mapping& m) const {
+double CdcmCost::run_cost(const Mapping& m) const {
   // Scalar arena run: no traces, no allocations in the steady state.
   return simulator_->run(m).energy.total_j();
 }
 
+double CdcmCost::cost(const Mapping& m) const {
+  // Cache hits return the value a fresh run would produce: the simulator is
+  // deterministic and the cached cost came from a real run of this exact
+  // mapping.
+  if (cur_map_ && m == *cur_map_) return cur_cost_;
+  if (probe_valid_ && probe_map_ && m == *probe_map_) return probe_cost_;
+  cur_map_ = m;  // Copy-assign reuses the cached mapping's storage.
+  cur_cost_ = run_cost(m);
+  probe_valid_ = false;
+  return cur_cost_;
+}
+
+double CdcmCost::swap_delta(const Mapping& m, noc::TileId a,
+                            noc::TileId b) const {
+  double base;
+  if (cur_map_ && m == *cur_map_) {
+    base = cur_cost_;
+  } else {
+    cur_map_ = m;
+    base = cur_cost_ = run_cost(m);
+  }
+  if (!probe_map_) {
+    probe_map_ = m;
+  } else {
+    *probe_map_ = m;
+  }
+  probe_map_->swap_tiles(a, b);
+  // Full resimulation of the swapped mapping — the simulator rebinds only
+  // the packets incident to the swapped cores, then replays the whole
+  // schedule, so this is bitwise cost(m') - cost(m).
+  probe_cost_ = run_cost(*probe_map_);
+  probe_a_ = a;
+  probe_b_ = b;
+  probe_valid_ = true;
+  return probe_cost_ - base;
+}
+
+void CdcmCost::apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const {
+  m.swap_tiles(a, b);
+  if (probe_valid_ && probe_map_ &&
+      ((probe_a_ == a && probe_b_ == b) || (probe_a_ == b && probe_b_ == a)) &&
+      m == *probe_map_) {
+    // The committed mapping is exactly the one just probed: promote the
+    // probe cache so the next swap_delta()/resync cost() is free.
+    cur_map_.swap(probe_map_);
+    cur_cost_ = probe_cost_;
+  } else {
+    cur_map_.reset();
+  }
+  probe_valid_ = false;
+}
+
 sim::SimulationResult CdcmCost::evaluate(const Mapping& m) const {
   return simulator_->run_traced(m);
+}
+
+HybridCost::HybridCost(const graph::Cdcg& cdcg, const noc::Topology& topo,
+                       const energy::Technology& tech,
+                       noc::RoutingAlgorithm routing,
+                       std::uint32_t cdcm_cadence)
+    : cwg_(cdcg.to_cwg()),
+      cwm_(cwg_, topo, tech, routing),
+      cdcm_(cdcg, topo, tech, routing),
+      cadence_(cdcm_cadence) {}
+
+double HybridCost::swap_delta(const Mapping& m, noc::TileId a,
+                              noc::TileId b) const {
+  ++probes_;
+  if (cadence_ != 0 && probes_ % cadence_ == 0) {
+    return cdcm_.swap_delta(m, a, b);
+  }
+  // The prefilter: the timing-blind CWM repricing of the two tiles, O(deg)
+  // hop-table lookups. The running cost it feeds drifts from the true CDCM
+  // objective until the next CDCM verification or per-step resync.
+  return cwm_.swap_delta(m, a, b);
+}
+
+void HybridCost::apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const {
+  // CwmCost is stateless; CdcmCost keeps its probe/current caches in sync.
+  cdcm_.apply_swap(m, a, b);
 }
 
 }  // namespace nocmap::mapping

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "nocmap/energy/technology.hpp"
@@ -64,6 +65,13 @@ class CostFunction {
   //     if (accept) f.apply_swap(m, a, b);  // commit the move
   // and maintain the running cost as `cost += d`, resynchronizing with a
   // full cost() periodically to bound floating-point drift.
+
+  /// Called by a search engine at the start of a run. Cost values are pure
+  /// functions of the mapping, but an implementation may carry *pacing*
+  /// state across calls (HybridCost's verification cadence); resetting it
+  /// here keeps results identical whether a cost object is fresh or reused
+  /// from a worker pool.
+  virtual void begin_search() const {}
 
   /// True when swap_delta()/apply_swap() are implemented.
   virtual bool has_swap_delta() const { return false; }
@@ -127,8 +135,20 @@ class CwmCost final : public CostFunction {
 /// simulation of the CDCG on the mapped NoC.
 ///
 /// Owns one sim::Simulator arena, so repeated cost() calls reuse the route
-/// table, packet state and event storage (no steady-state allocations). Not
-/// thread-safe: give each search worker its own CdcmCost.
+/// table, packet state and event storage (no steady-state allocations).
+///
+/// Implements the swap-delta protocol with exact full-resimulation
+/// semantics: swap_delta(m, a, b) re-runs the whole wormhole schedule for
+/// the swapped mapping (only the route *bindings* are updated
+/// incrementally, which is exact — routes and per-packet energies are pure
+/// functions of the endpoint tiles), so the returned delta is bitwise
+/// cost(m') - cost(m). The speedup comes from the simulator's swap-aware
+/// rebinding plus the cost caches below: the cost of the current mapping
+/// and of the last probed swap are remembered, so one SA move costs one
+/// simulator run instead of two, and the per-step resynchronization
+/// evaluation is a cache hit.
+///
+/// Not thread-safe: give each search worker its own CdcmCost.
 class CdcmCost final : public CostFunction {
  public:
   CdcmCost(const graph::Cdcg& cdcg, const noc::Topology& topo,
@@ -139,11 +159,18 @@ class CdcmCost final : public CostFunction {
   std::string name() const override { return "CDCM"; }
   std::size_t num_cores() const override { return cdcg_.num_cores(); }
 
+  bool has_swap_delta() const override { return true; }
+  double swap_delta(const Mapping& m, noc::TileId a,
+                    noc::TileId b) const override;
+  void apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const override;
+
   /// Full simulation (with traces) of a mapping — used for reporting after
   /// the search picked a winner.
   sim::SimulationResult evaluate(const Mapping& m) const;
 
  private:
+  double run_cost(const Mapping& m) const;
+
   const graph::Cdcg& cdcg_;
   const noc::Topology& topo_;
   energy::Technology tech_;
@@ -152,6 +179,61 @@ class CdcmCost final : public CostFunction {
   /// and the header light; mutable because cost() is semantically const but
   /// reuses the buffers.
   mutable std::unique_ptr<sim::Simulator> simulator_;
+
+  // --- Cost caches (values always originate from a real simulator run, so
+  // --- returning them is exact, not approximate) ---------------------------
+  mutable std::optional<Mapping> cur_map_;    ///< Last full-cost mapping.
+  mutable double cur_cost_ = 0.0;
+  mutable std::optional<Mapping> probe_map_;  ///< Last probed swap result.
+  mutable double probe_cost_ = 0.0;
+  mutable noc::TileId probe_a_ = 0, probe_b_ = 0;
+  mutable bool probe_valid_ = false;
+};
+
+/// The hybrid CWM->CDCM objective: the paper's accuracy-vs-cost tradeoff
+/// (ETR/ECS gains of CDCM against its simulation cost) turned into a speed
+/// knob for the timing-aware search.
+///
+/// cost() is always the exact CDCM objective (Equation 10), so temperature
+/// -step resynchronizations and best-mapping pinning stay exact. Move
+/// pricing is where the speed comes from: swap_delta() prices moves with
+/// the O(deg) incremental CWM delta (Equation 3 — the timing-blind dynamic
+/// energy change) and only every `cdcm_cadence`-th call with the exact
+/// full-resimulation CDCM delta. cadence 1 degenerates to pure CDCM
+/// search; cadence 0 never verifies a move with the simulator and relies
+/// on the per-step CDCM resynchronization alone.
+class HybridCost final : public CostFunction {
+ public:
+  HybridCost(const graph::Cdcg& cdcg, const noc::Topology& topo,
+             const energy::Technology& tech,
+             noc::RoutingAlgorithm routing = noc::RoutingAlgorithm::kXY,
+             std::uint32_t cdcm_cadence = 8);
+
+  double cost(const Mapping& m) const override { return cdcm_.cost(m); }
+  std::string name() const override { return "HYBRID"; }
+  std::size_t num_cores() const override { return cdcm_.num_cores(); }
+
+  void begin_search() const override { probes_ = 0; }
+  bool has_swap_delta() const override { return true; }
+  double swap_delta(const Mapping& m, noc::TileId a,
+                    noc::TileId b) const override;
+  void apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const override;
+
+  std::uint32_t cdcm_cadence() const { return cadence_; }
+  const CdcmCost& cdcm() const { return cdcm_; }
+  const CwmCost& cwm() const { return cwm_; }
+
+  /// Full simulation (with traces) of a mapping, as CdcmCost::evaluate.
+  sim::SimulationResult evaluate(const Mapping& m) const {
+    return cdcm_.evaluate(m);
+  }
+
+ private:
+  graph::Cwg cwg_;  ///< Owns the CWM projection the prefilter prices.
+  CwmCost cwm_;
+  CdcmCost cdcm_;
+  std::uint32_t cadence_;
+  mutable std::uint64_t probes_ = 0;
 };
 
 /// Convenience free function: Equation 3 for a single mapping.

@@ -1,5 +1,6 @@
 #include "nocmap/mapping/mapping.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -54,31 +55,31 @@ Mapping Mapping::from_assignment(
   return m;
 }
 
-noc::TileId Mapping::tile_of(graph::CoreId core) const {
-  if (core >= core_to_tile_.size()) {
-    throw std::invalid_argument("Mapping: unknown core id");
+void Mapping::set_assignment(const std::vector<noc::TileId>& core_to_tile) {
+  if (core_to_tile.size() != core_to_tile_.size()) {
+    throw std::invalid_argument(
+        "Mapping: assignment does not match the core count");
   }
-  return core_to_tile_[core];
-}
-
-std::optional<graph::CoreId> Mapping::core_on(noc::TileId tile) const {
-  if (tile >= num_tiles_) {
-    throw std::invalid_argument("Mapping: tile out of range");
+  for (const noc::TileId t : core_to_tile) {
+    if (t >= num_tiles_) {
+      throw std::invalid_argument("Mapping: tile out of range in assignment");
+    }
   }
-  return tile_to_core_[tile];
-}
-
-void Mapping::swap_tiles(noc::TileId a, noc::TileId b) {
-  if (a >= num_tiles_ || b >= num_tiles_) {
-    throw std::invalid_argument("Mapping: tile out of range");
+  // Injectivity check marks into tile_to_core_; core_to_tile_ still holds
+  // the previous assignment at this point, so on failure the marks are
+  // rebuilt from it and the mapping stays exactly as it was.
+  std::fill(tile_to_core_.begin(), tile_to_core_.end(), std::nullopt);
+  for (std::size_t c = 0; c < core_to_tile.size(); ++c) {
+    if (tile_to_core_[core_to_tile[c]]) {
+      std::fill(tile_to_core_.begin(), tile_to_core_.end(), std::nullopt);
+      for (std::size_t k = 0; k < core_to_tile_.size(); ++k) {
+        tile_to_core_[core_to_tile_[k]] = static_cast<graph::CoreId>(k);
+      }
+      throw std::invalid_argument("Mapping: assignment is not injective");
+    }
+    tile_to_core_[core_to_tile[c]] = static_cast<graph::CoreId>(c);
   }
-  if (a == b) return;
-  std::optional<graph::CoreId> ca = tile_to_core_[a];
-  std::optional<graph::CoreId> cb = tile_to_core_[b];
-  tile_to_core_[a] = cb;
-  tile_to_core_[b] = ca;
-  if (ca) core_to_tile_[*ca] = b;
-  if (cb) core_to_tile_[*cb] = a;
+  core_to_tile_ = core_to_tile;  // Same size: reuses the storage.
 }
 
 bool Mapping::is_valid() const {

@@ -8,6 +8,7 @@
 /// functions read them.
 
 #include <cstdint>
+#include <stdexcept>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,14 +42,42 @@ class Mapping {
   std::size_t num_cores() const { return core_to_tile_.size(); }
   std::uint32_t num_tiles() const { return num_tiles_; }
 
-  noc::TileId tile_of(graph::CoreId core) const;
+  /// Inline: these sit on the hot path of every cost evaluation (the CWM
+  /// hop loop and the simulator's bind diff call them per edge / per core).
+  noc::TileId tile_of(graph::CoreId core) const {
+    if (core >= core_to_tile_.size()) {
+      throw std::invalid_argument("Mapping: unknown core id");
+    }
+    return core_to_tile_[core];
+  }
   /// The core mapped on `tile`, or nullopt if the tile is empty.
-  std::optional<graph::CoreId> core_on(noc::TileId tile) const;
+  std::optional<graph::CoreId> core_on(noc::TileId tile) const {
+    if (tile >= num_tiles_) {
+      throw std::invalid_argument("Mapping: tile out of range");
+    }
+    return tile_to_core_[tile];
+  }
 
   /// Swap the contents of two tiles (either may be empty; swapping an empty
   /// tile with an occupied one relocates the core). This is the canonical
   /// simulated-annealing neighbourhood move.
-  void swap_tiles(noc::TileId a, noc::TileId b);
+  void swap_tiles(noc::TileId a, noc::TileId b) {
+    if (a >= num_tiles_ || b >= num_tiles_) {
+      throw std::invalid_argument("Mapping: tile out of range");
+    }
+    if (a == b) return;
+    const std::optional<graph::CoreId> ca = tile_to_core_[a];
+    const std::optional<graph::CoreId> cb = tile_to_core_[b];
+    tile_to_core_[a] = cb;
+    tile_to_core_[b] = ca;
+    if (ca) core_to_tile_[*ca] = b;
+    if (cb) core_to_tile_[*cb] = a;
+  }
+
+  /// Re-point this mapping at an explicit assignment (same validation as
+  /// from_assignment), reusing the existing storage — the allocation-free
+  /// path batched exhaustive search uses to materialize candidates.
+  void set_assignment(const std::vector<noc::TileId>& core_to_tile);
 
   /// Internal consistency check (bijectivity between cores and their tiles).
   /// Cheap; used in tests and debug assertions.

@@ -41,6 +41,7 @@
 #include "nocmap/search/greedy.hpp"
 #include "nocmap/search/random_search.hpp"
 #include "nocmap/search/simulated_annealing.hpp"
+#include "nocmap/sim/batch_evaluator.hpp"
 #include "nocmap/sim/schedule.hpp"
 #include "nocmap/sim/simulator.hpp"
 #include "nocmap/sim/timeline.hpp"

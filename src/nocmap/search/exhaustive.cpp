@@ -19,19 +19,15 @@ std::uint64_t placement_count(std::uint32_t num_tiles,
   return count;
 }
 
-SearchResult exhaustive_search(const mapping::CostFunction& cost,
-                               const noc::Topology& topo,
-                               const EsOptions& options) {
-  const std::size_t num_cores = cost.num_cores();
-  const std::uint32_t num_tiles = topo.num_tiles();
-  if (num_cores > num_tiles) {
-    throw std::invalid_argument("exhaustive_search: more cores than tiles");
-  }
+namespace {
 
-  // Tiles core 0 may occupy: one representative per symmetry orbit.
+/// Tiles core 0 may occupy: one representative per symmetry orbit (all
+/// tiles when pruning is off).
+std::vector<noc::TileId> first_tile_candidates(const noc::Topology& topo,
+                                               bool use_symmetry) {
+  const std::uint32_t num_tiles = topo.num_tiles();
   std::vector<noc::TileId> first_tiles;
-  if (options.use_symmetry) {
-    // One representative per orbit of the topology's symmetry group.
+  if (use_symmetry) {
     const auto maps = topo.symmetry_maps();
     for (noc::TileId t = 0; t < num_tiles; ++t) {
       noc::TileId rep = t;
@@ -41,6 +37,23 @@ SearchResult exhaustive_search(const mapping::CostFunction& cost,
   } else {
     for (noc::TileId t = 0; t < num_tiles; ++t) first_tiles.push_back(t);
   }
+  return first_tiles;
+}
+
+}  // namespace
+
+SearchResult exhaustive_search(const mapping::CostFunction& cost,
+                               const noc::Topology& topo,
+                               const EsOptions& options) {
+  const std::size_t num_cores = cost.num_cores();
+  const std::uint32_t num_tiles = topo.num_tiles();
+  if (num_cores > num_tiles) {
+    throw std::invalid_argument("exhaustive_search: more cores than tiles");
+  }
+  cost.begin_search();
+
+  const std::vector<noc::TileId> first_tiles =
+      first_tile_candidates(topo, options.use_symmetry);
 
   SearchResult result{mapping::Mapping(topo, num_cores),
                       std::numeric_limits<double>::infinity(), 0.0, 0, true};
@@ -93,6 +106,95 @@ SearchResult exhaustive_search(const mapping::CostFunction& cost,
     return true;
   };
   recurse(recurse, 0);
+  return result;
+}
+
+SearchResult exhaustive_search_batched(std::size_t num_cores,
+                                       const noc::Topology& topo,
+                                       const BatchCostFn& evaluate,
+                                       const EsOptions& options,
+                                       std::size_t batch_size) {
+  const std::uint32_t num_tiles = topo.num_tiles();
+  if (num_cores > num_tiles) {
+    throw std::invalid_argument("exhaustive_search: more cores than tiles");
+  }
+  if (num_cores == 0) {
+    throw std::invalid_argument("exhaustive_search: application has no cores");
+  }
+  if (batch_size == 0) batch_size = 1;
+
+  const std::vector<noc::TileId> first_tiles =
+      first_tile_candidates(topo, options.use_symmetry);
+
+  SearchResult result{mapping::Mapping(topo, num_cores),
+                      std::numeric_limits<double>::infinity(), 0.0, 0, true};
+  bool first_eval = true;
+
+  // The shard: candidate mappings are materialized into preallocated
+  // Mapping slots (set_assignment reuses their storage), priced in one
+  // evaluate() call, then reduced in enumeration order — which makes the
+  // outcome independent of both the shard size and however evaluate()
+  // parallelizes internally.
+  std::vector<mapping::Mapping> batch(batch_size,
+                                      mapping::Mapping(topo, num_cores));
+  std::vector<double> costs(batch_size, 0.0);
+  std::size_t filled = 0;
+
+  const auto flush = [&] {
+    if (filled == 0) return;
+    evaluate(batch.data(), filled, costs.data());
+    for (std::size_t i = 0; i < filled; ++i) {
+      ++result.evaluations;
+      if (first_eval) {
+        result.initial_cost = costs[i];
+        first_eval = false;
+      }
+      if (costs[i] < result.best_cost) {
+        result.best_cost = costs[i];
+        result.best = batch[i];
+      }
+    }
+    filled = 0;
+  };
+
+  std::vector<noc::TileId> assignment(num_cores);
+  std::vector<bool> used(num_tiles, false);
+  std::uint64_t enumerated = 0;
+
+  auto recurse = [&](auto&& self, std::size_t core) -> bool {
+    if (options.max_evaluations != 0 &&
+        enumerated >= options.max_evaluations) {
+      result.exhausted = false;
+      return false;  // Budget exceeded: stop everywhere.
+    }
+    if (core == num_cores) {
+      batch[filled].set_assignment(assignment);
+      ++enumerated;
+      if (++filled == batch.size()) flush();
+      return true;
+    }
+    if (core == 0) {
+      for (noc::TileId t : first_tiles) {
+        assignment[0] = t;
+        used[t] = true;
+        const bool keep_going = self(self, 1);
+        used[t] = false;
+        if (!keep_going) return false;
+      }
+      return true;
+    }
+    for (noc::TileId t = 0; t < num_tiles; ++t) {
+      if (used[t]) continue;
+      assignment[core] = t;
+      used[t] = true;
+      const bool keep_going = self(self, core + 1);
+      used[t] = false;
+      if (!keep_going) return false;
+    }
+    return true;
+  };
+  recurse(recurse, 0);
+  flush();
   return result;
 }
 

@@ -13,6 +13,7 @@
 /// size.
 
 #include <cstdint>
+#include <functional>
 
 #include "nocmap/mapping/cost.hpp"
 #include "nocmap/search/search_result.hpp"
@@ -31,6 +32,26 @@ struct EsOptions {
 SearchResult exhaustive_search(const mapping::CostFunction& cost,
                                const noc::Topology& topo,
                                const EsOptions& options = {});
+
+/// Prices one contiguous shard of the enumeration: costs[i] must receive
+/// the objective of mappings[i]. Called from one thread; the implementation
+/// may parallelize internally (sim::BatchEvaluator does).
+using BatchCostFn = std::function<void(
+    const mapping::Mapping* mappings, std::size_t count, double* costs)>;
+
+/// Batched exhaustive search: the same enumeration (and therefore the same
+/// symmetry pruning, evaluation count and budget semantics) as
+/// exhaustive_search, but candidates are materialized into fixed-size
+/// shards and priced through `evaluate` — which is how the CDCM objective
+/// runs on a sim::BatchEvaluator's thread pool. The reduction walks costs
+/// in enumeration order with a strict '<', so the winner, its cost and
+/// `initial_cost` are byte-identical to the serial engine for every shard
+/// size and thread count.
+SearchResult exhaustive_search_batched(std::size_t num_cores,
+                                       const noc::Topology& topo,
+                                       const BatchCostFn& evaluate,
+                                       const EsOptions& options = {},
+                                       std::size_t batch_size = 1024);
 
 /// The number of placements ES would enumerate without symmetry pruning:
 /// m! / (m - n)!; saturates at UINT64_MAX on overflow.

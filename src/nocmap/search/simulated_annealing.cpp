@@ -28,9 +28,15 @@ SearchResult anneal(const mapping::CostFunction& cost,
     throw std::invalid_argument("anneal: initial mapping does not fit");
   }
 
+  // Reset any pacing state (e.g. HybridCost's verification cadence) so a
+  // pooled cost object behaves exactly like a fresh one.
+  cost.begin_search();
+
   // Incremental move pricing when the objective supports it: a move costs
   // O(affected edges) instead of a full re-evaluation, and rejected moves
-  // never touch the mapping at all.
+  // never touch the mapping at all. CwmCost prices a swap in O(deg);
+  // CdcmCost re-simulates but rebinds only the affected routes and caches
+  // the probe, so a move costs one arena run instead of two.
   const bool use_delta = options.use_swap_delta && cost.has_swap_delta();
 
   mapping::Mapping current =

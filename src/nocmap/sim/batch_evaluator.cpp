@@ -1,0 +1,99 @@
+#include "nocmap/sim/batch_evaluator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace nocmap::sim {
+
+BatchEvaluator::BatchEvaluator(const graph::Cdcg& cdcg,
+                               const noc::Topology& topo,
+                               const energy::Technology& tech,
+                               SimOptions options, std::uint32_t threads)
+    : options_(options) {
+  options_.record_traces = false;  // Scalars only.
+  const std::uint32_t workers = threads == 0 ? 1 : threads;
+  arenas_.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    arenas_.push_back(
+        std::make_unique<Simulator>(cdcg, topo, tech, options_));
+  }
+}
+
+BatchEvaluator::~BatchEvaluator() = default;
+
+namespace {
+
+BatchResult to_batch_result(const SimulationResult& r) {
+  return BatchResult{r.texec_ns, r.energy.dynamic_j, r.energy.static_j,
+                     r.total_contention_ns, r.num_contended_packets};
+}
+
+}  // namespace
+
+template <typename Store>
+void BatchEvaluator::map_batch(const mapping::Mapping* mappings,
+                               std::size_t count, const Store& store) {
+  if (count == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(arenas_.size(), count);
+  if (workers <= 1) {
+    Simulator& arena = *arenas_.front();
+    for (std::size_t i = 0; i < count; ++i) {
+      store(i, arena.run(mappings[i]));
+    }
+    return;
+  }
+
+  // Dynamic index claiming: which arena evaluates which item depends on
+  // scheduling, but cannot be observed — every arena produces the same
+  // result for the same mapping, and results land at the input index.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      Simulator& arena = *arenas_[w];
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count) return;
+        try {
+          store(i, arena.run(mappings[i]));
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void BatchEvaluator::evaluate(const mapping::Mapping* mappings,
+                              std::size_t count, BatchResult* results) {
+  map_batch(mappings, count, [&](std::size_t i, const SimulationResult& r) {
+    results[i] = to_batch_result(r);
+  });
+}
+
+std::vector<BatchResult> BatchEvaluator::evaluate(
+    const std::vector<mapping::Mapping>& mappings) {
+  std::vector<BatchResult> results(mappings.size());
+  evaluate(mappings.data(), mappings.size(), results.data());
+  return results;
+}
+
+void BatchEvaluator::evaluate_costs(const mapping::Mapping* mappings,
+                                    std::size_t count, double* total_j) {
+  map_batch(mappings, count, [&](std::size_t i, const SimulationResult& r) {
+    total_j[i] = r.energy.total_j();
+  });
+}
+
+}  // namespace nocmap::sim

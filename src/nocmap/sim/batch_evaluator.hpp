@@ -1,0 +1,92 @@
+#pragma once
+/// \file batch_evaluator.hpp
+/// Parallel CDCM evaluation of candidate-mapping batches.
+///
+/// A single sim::Simulator is fast but strictly sequential (it mutates its
+/// arena). Search layers, however, frequently hold N independent candidate
+/// mappings — the shards of an exhaustive enumeration, the per-seed rows of
+/// a sweep, a population of annealing restarts — and only need the scalar
+/// verdict for each. BatchEvaluator owns one Simulator arena per worker
+/// thread and maps a batch over them:
+///
+///  * results are indexed by input position, so the output is byte-identical
+///    for every thread count (each item is evaluated by a deterministic,
+///    self-contained arena — which arena ran it cannot be observed);
+///  * arenas are constructed once (route table and all) and reused across
+///    batches, so the steady state allocates nothing;
+///  * with threads == 1 everything runs inline on the caller's thread.
+///
+/// The evaluator is bound to one (CDCG, topology, technology, options)
+/// tuple, exactly like Simulator. It is not safe to call evaluate()
+/// concurrently from several threads (the arenas are owned, not pooled per
+/// call) — it parallelizes *inside* one call.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nocmap/energy/energy_model.hpp"
+#include "nocmap/energy/technology.hpp"
+#include "nocmap/graph/cdcg.hpp"
+#include "nocmap/mapping/mapping.hpp"
+#include "nocmap/noc/topology.hpp"
+#include "nocmap/sim/schedule.hpp"
+#include "nocmap/sim/simulator.hpp"
+
+namespace nocmap::sim {
+
+/// The scalar verdict of one candidate (the fields of a scalars-only
+/// Simulator::run, flattened to a value type).
+struct BatchResult {
+  double texec_ns = 0.0;
+  double dynamic_j = 0.0;
+  double static_j = 0.0;
+  double total_contention_ns = 0.0;
+  std::size_t num_contended_packets = 0;
+
+  double total_j() const { return dynamic_j + static_j; }
+};
+
+class BatchEvaluator {
+ public:
+  /// Binds the application/NoC/technology and constructs `threads` arenas
+  /// (0 is treated as 1). The referenced objects must outlive the
+  /// evaluator. options.record_traces is ignored — this is a scalars-only
+  /// path.
+  BatchEvaluator(const graph::Cdcg& cdcg, const noc::Topology& topo,
+                 const energy::Technology& tech, SimOptions options = {},
+                 std::uint32_t threads = 1);
+  ~BatchEvaluator();
+
+  BatchEvaluator(const BatchEvaluator&) = delete;
+  BatchEvaluator& operator=(const BatchEvaluator&) = delete;
+
+  /// Evaluate mappings[0..count) into results[0..count), in input order.
+  /// The result for index i is identical for any thread count.
+  void evaluate(const mapping::Mapping* mappings, std::size_t count,
+                BatchResult* results);
+
+  /// Convenience overload.
+  std::vector<BatchResult> evaluate(
+      const std::vector<mapping::Mapping>& mappings);
+
+  /// Like evaluate(), but stores only the CDCM objective (Equation 10,
+  /// total energy in Joule) — what exhaustive-search sharding consumes.
+  void evaluate_costs(const mapping::Mapping* mappings, std::size_t count,
+                      double* total_j);
+
+  std::uint32_t threads() const {
+    return static_cast<std::uint32_t>(arenas_.size());
+  }
+  const SimOptions& options() const { return options_; }
+
+ private:
+  template <typename Store>
+  void map_batch(const mapping::Mapping* mappings, std::size_t count,
+                 const Store& store);
+
+  SimOptions options_;
+  std::vector<std::unique_ptr<Simulator>> arenas_;  ///< One per worker.
+};
+
+}  // namespace nocmap::sim

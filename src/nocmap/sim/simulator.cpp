@@ -1,6 +1,7 @@
 #include "nocmap/sim/simulator.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace nocmap::sim {
@@ -19,72 +20,141 @@ Simulator::Simulator(const graph::Cdcg& cdcg, const noc::Topology& topo,
   cdcg_.validate(/*require_connected=*/false);
 
   const std::size_t num_packets = cdcg_.num_packets();
+  const std::size_t num_cores = cdcg_.num_cores();
+  hot_.resize(num_packets);
   flits_.reserve(num_packets);
   comp_ns_.reserve(num_packets);
   num_preds_.reserve(num_packets);
   for (graph::PacketId p = 0; p < num_packets; ++p) {
     const graph::Packet& pk = cdcg_.packet(p);
-    flits_.push_back(static_cast<double>(tech_.flits(pk.bits)));
+    const double flits = static_cast<double>(tech_.flits(pk.bits));
+    flits_.push_back(flits);
     comp_ns_.push_back(static_cast<double>(pk.comp_time) * lambda_);
     num_preds_.push_back(
         static_cast<std::uint32_t>(cdcg_.predecessors(p).size()));
+    HotPacket& hp = hot_[p];
+    hp.n_tl = flits * tl_;
+    hp.overflows_buffer =
+        options_.buffer_flits != 0 &&
+        flits > static_cast<double>(options_.buffer_flits);
+    const std::vector<graph::PacketId>& succ = cdcg_.successors(p);
+    hp.succ_begin = static_cast<std::uint32_t>(succ_list_.size());
+    succ_list_.insert(succ_list_.end(), succ.begin(), succ.end());
+    hp.succ_end = static_cast<std::uint32_t>(succ_list_.size());
   }
 
-  state_.resize(num_packets);
-  link_free_.resize(topo_.num_resources(), 0.0);
-  heap_.reserve(num_packets + 1);
+  // Packets incident to each core — counting sort into CSR. A packet shows
+  // up in both its endpoints' lists (src != dst is a CDCG invariant).
+  core_pkt_off_.assign(num_cores + 1, 0);
+  for (graph::PacketId p = 0; p < num_packets; ++p) {
+    const graph::Packet& pk = cdcg_.packet(p);
+    ++core_pkt_off_[pk.src + 1];
+    ++core_pkt_off_[pk.dst + 1];
+  }
+  for (std::size_t c = 1; c <= num_cores; ++c) {
+    core_pkt_off_[c] += core_pkt_off_[c - 1];
+  }
+  core_pkt_list_.resize(core_pkt_off_[num_cores]);
+  std::vector<std::uint32_t> fill(core_pkt_off_.begin(),
+                                  core_pkt_off_.end() - 1);
+  for (graph::PacketId p = 0; p < num_packets; ++p) {
+    const graph::Packet& pk = cdcg_.packet(p);
+    core_pkt_list_[fill[pk.src]++] = p;
+    core_pkt_list_[fill[pk.dst]++] = p;
+  }
+
   local_in_.reserve(topo_.num_tiles());
   local_out_.reserve(topo_.num_tiles());
   for (noc::TileId t = 0; t < topo_.num_tiles(); ++t) {
     local_in_.push_back(topo_.local_in_resource(t));
     local_out_.push_back(topo_.local_out_resource(t));
   }
-}
 
-void Simulator::push_event(Event e) {
-  heap_.push_back(e);
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-}
+  bound_tiles_.resize(num_cores);
+  route_routers_.resize(num_packets);
+  src_local_in_.resize(num_packets);
+  dst_local_out_.resize(num_packets);
+  dyn_energy_.resize(num_packets);
+  rebind_stamp_.assign(num_packets, 0);
+  moved_scratch_.reserve(num_cores);
 
-void Simulator::inject(graph::PacketId p, bool full, SimulationResult& out) {
-  PacketState& ps = state_[p];
-  double start = ps.ready_ns + comp_ns_[p];
-  const noc::ResourceId local_in = local_in_[ps.routers[0]];
-  bool contended = false;
-  if (options_.contend_local_in && start < link_free_[local_in]) {
-    ps.contention_ns += link_free_[local_in] - start;
-    start = link_free_[local_in];
-    contended = true;
+  pending_.resize(num_packets);
+  ready_.resize(num_packets);
+  contention_.resize(num_packets);
+  contended_down_.resize(num_packets);
+  link_free_.resize(topo_.num_resources(), 0.0);
+  queue_.reserve(num_packets + 1);
+
+  // --- Integer-time fast-path eligibility ----------------------------------
+  // Exact checks, not preset assumptions: every timing constant must be an
+  // exact non-negative integer number of nanoseconds (then all event times
+  // are integer-valued doubles and double arithmetic is exact), ids must
+  // fit the packed bucket-entry format, routes must fit the dense arena
+  // rows, and the worst-case schedule horizon must be small enough that
+  // bucket count stays sane.
+  const auto integral = [](double v) {
+    return v >= 0.0 && v < 9.0e15 &&
+           static_cast<double>(static_cast<std::uint64_t>(v)) == v;
+  };
+  bool eligible = num_packets > 0 &&
+                  num_packets < detail::BucketQueue::kMaxPackets &&
+                  integral(tr_) && integral(tl_);
+  for (graph::PacketId p = 0; eligible && p < num_packets; ++p) {
+    eligible = integral(comp_ns_[p]) && integral(hot_[p].n_tl);
   }
-  const double n_tl = flits_[p] * tl_;
-  link_free_[local_in] = start + n_tl;
-  if (full) {
-    PacketTrace& trace = out.packets[p];
-    trace.packet = p;
-    trace.ready_ns = ps.ready_ns;
-    trace.inject_ns = start;
-    if (options_.record_traces) {
-      trace.hops.push_back(HopRecord{local_in, start, start + n_tl});
-      out.occupancy[local_in].push_back(
-          Occupancy{p, start, start + n_tl, contended});
+  std::uint32_t max_links = 0;
+  if (eligible) {
+    const std::uint32_t tiles = topo_.num_tiles();
+    for (noc::TileId s = 0; s < tiles; ++s) {
+      for (noc::TileId d = 0; d < tiles; ++d) {
+        max_links = std::max(max_links, routes_.hops(s, d) - 1);
+      }
     }
+    eligible = max_links > 0 && max_links + 1 < detail::BucketQueue::kMaxHops;
   }
-  push_event(Event{start + tl_, p, 0});
+  if (eligible) {
+    // Horizon bound: each of a packet's events advances the latest time by
+    // at most tr + tl + n_tl, so the schedule ends below this sum for any
+    // mapping (16.7M buckets is the cutoff before memory gets silly).
+    double horizon = 0.0;
+    for (graph::PacketId p = 0; p < num_packets; ++p) {
+      horizon += comp_ns_[p] + static_cast<double>(max_links + 2) *
+                                   (tr_ + tl_ + hot_[p].n_tl);
+    }
+    eligible = horizon <= static_cast<double>(1u << 24);
+  }
+  std::size_t stride = 1;
+  while (stride < max_links) stride <<= 1;
+  if (eligible && stride <= 64) {
+    bucket_mode_ = true;
+    arena_stride_ = stride;
+    links_arena_.resize(num_packets * stride);
+    bucket_.init(num_packets);
+  }
 }
 
-const SimulationResult& Simulator::run(const mapping::Mapping& mapping) {
-  run_impl(mapping, /*full=*/false, scalar_result_);
-  return scalar_result_;
+void Simulator::rebind_packet(graph::PacketId p) {
+  const graph::Packet& pk = cdcg_.packet(p);
+  const noc::TileId src = bound_tiles_[pk.src];
+  const noc::TileId dst = bound_tiles_[pk.dst];
+  const noc::RouteSpan<noc::TileId> routers = routes_.routers(src, dst);
+  const noc::RouteSpan<noc::ResourceId> links = routes_.links(src, dst);
+  route_routers_[p] = routers.data;
+  hot_[p].links = links.data;
+  hot_[p].len = routers.size;
+  src_local_in_[p] = local_in_[src];
+  dst_local_out_[p] = local_out_[dst];
+  if (bucket_mode_) {
+    std::memcpy(&links_arena_[p * arena_stride_], links.data,
+                links.size * sizeof(noc::ResourceId));
+  }
+  // Dynamic energy depends only on volume and hop count (Equation 4).
+  dyn_energy_[p] = energy::dynamic_packet_energy(tech_, pk.bits, routers.size);
 }
 
-SimulationResult Simulator::run_traced(const mapping::Mapping& mapping) {
-  SimulationResult out;
-  run_impl(mapping, /*full=*/true, out);
-  return out;
-}
-
-void Simulator::run_impl(const mapping::Mapping& mapping, bool full,
-                         SimulationResult& out) {
+void Simulator::sync_bind(const mapping::Mapping& mapping) {
+  // The one-time shape validation: two integer compares per run, and the
+  // event loop below never re-checks anything.
   if (mapping.num_cores() != cdcg_.num_cores()) {
     throw std::invalid_argument(
         "simulate: mapping and CDCG disagree on the number of cores");
@@ -94,147 +164,333 @@ void Simulator::run_impl(const mapping::Mapping& mapping, bool full,
         "simulate: mapping built for another topology");
   }
 
+  const std::size_t num_cores = cdcg_.num_cores();
+  if (!bound_) {
+    for (graph::CoreId c = 0; c < num_cores; ++c) {
+      bound_tiles_[c] = mapping.tile_of(c);
+    }
+    for (graph::PacketId p = 0; p < cdcg_.num_packets(); ++p) {
+      rebind_packet(p);
+    }
+    bound_ = true;
+    return;
+  }
+
+  // Diff against the bound mapping: after a search swap move at most two
+  // cores differ, so rebinding touches only their incident packets.
+  moved_scratch_.clear();
+  for (graph::CoreId c = 0; c < num_cores; ++c) {
+    const noc::TileId t = mapping.tile_of(c);
+    if (bound_tiles_[c] != t) {
+      bound_tiles_[c] = t;
+      moved_scratch_.push_back(c);
+    }
+  }
+  if (moved_scratch_.empty()) return;
+  ++stamp_;
+  for (const graph::CoreId c : moved_scratch_) {
+    const std::uint32_t begin = core_pkt_off_[c];
+    const std::uint32_t end = core_pkt_off_[c + 1];
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const graph::PacketId p = core_pkt_list_[i];
+      if (rebind_stamp_[p] == stamp_) continue;  // Both endpoints moved.
+      rebind_stamp_[p] = stamp_;
+      rebind_packet(p);
+    }
+  }
+}
+
+void Simulator::record_router(graph::PacketId p, std::uint32_t hop,
+                              double arrival, double header_out,
+                              SimulationResult& out) {
+  // Router occupancy: header arrival until the tail flit is forwarded.
+  const double n_minus_1_tl = (flits_[p] - 1.0) * tl_;
+  const noc::TileId here = route_routers_[p][hop];
+  const noc::ResourceId router = topo_.router_resource(here);
+  HopRecord rec{router, arrival, header_out + n_minus_1_tl};
+  auto& hops = out.packets[p].hops;
+  hops.insert(hops.end() - 1, rec);
+  out.occupancy[router].push_back(Occupancy{
+      p, rec.start_ns, rec.end_ns, contended_down_[p] != 0});
+}
+
+template <bool Full>
+void Simulator::inject(graph::PacketId p, SimulationResult& out) {
+  double start = ready_[p] + comp_ns_[p];
+  const noc::ResourceId local_in = src_local_in_[p];
+  bool contended = false;
+  if (options_.contend_local_in && start < link_free_[local_in]) {
+    contention_[p] += link_free_[local_in] - start;
+    start = link_free_[local_in];
+    contended = true;
+  }
+  const double n_tl = hot_[p].n_tl;
+  link_free_[local_in] = start + n_tl;
+  if constexpr (Full) {
+    PacketTrace& trace = out.packets[p];
+    trace.packet = p;
+    trace.ready_ns = ready_[p];
+    trace.inject_ns = start;
+    if (options_.record_traces) {
+      trace.hops.push_back(HopRecord{local_in, start, start + n_tl});
+      out.occupancy[local_in].push_back(
+          Occupancy{p, start, start + n_tl, contended});
+    }
+  }
+  queue_.push(detail::QueuedEvent::make(start + tl_, p, 0));
+}
+
+void Simulator::inject_bucket(graph::PacketId p) {
+  double start = ready_[p] + comp_ns_[p];
+  if (options_.contend_local_in) {
+    const noc::ResourceId local_in = src_local_in_[p];
+    if (start < link_free_[local_in]) {
+      contention_[p] += link_free_[local_in] - start;
+      start = link_free_[local_in];
+    }
+    link_free_[local_in] = start + hot_[p].n_tl;
+  }
+  // With contend_local_in off nothing ever reads the local-link occupancy,
+  // so the scalar path skips writing it.
+  bucket_.push(static_cast<std::size_t>(start + tl_), p, 0);
+}
+
+const SimulationResult& Simulator::run(const mapping::Mapping& mapping) {
+  run_impl<false>(mapping, scalar_result_);
+  return scalar_result_;
+}
+
+SimulationResult Simulator::run_traced(const mapping::Mapping& mapping) {
+  SimulationResult out;
+  run_impl<true>(mapping, out);
+  return out;
+}
+
+template <bool Full>
+void Simulator::run_impl(const mapping::Mapping& mapping,
+                         SimulationResult& out) {
+  sync_bind(mapping);
+
   const std::size_t num_packets = cdcg_.num_packets();
   out.texec_ns = 0.0;
   out.energy = energy::EnergyBreakdown{};
   out.total_contention_ns = 0.0;
   out.num_contended_packets = 0;
-  if (full) {
+  if constexpr (Full) {
     out.packets.assign(num_packets, PacketTrace{});
+    for (graph::PacketId p = 0; p < num_packets; ++p) {
+      out.packets[p].num_routers = hot_[p].len;
+    }
     if (options_.record_traces) {
       out.occupancy.assign(topo_.num_resources(), {});
     }
   }
 
+  // --- Per-run arena reset: a few flat passes over the SoA state -----------
+  if (num_packets != 0) {
+    std::memcpy(pending_.data(), num_preds_.data(),
+                num_packets * sizeof(std::uint32_t));
+  }
+  std::fill(ready_.begin(), ready_.end(), 0.0);
+  std::fill(contention_.begin(), contention_.end(), 0.0);
+  if constexpr (Full) {
+    std::fill(contended_down_.begin(), contended_down_.end(),
+              std::uint8_t{0});
+  }
   std::fill(link_free_.begin(), link_free_.end(), 0.0);
-  heap_.clear();
+  queue_.clear();
 
-  // --- Bind routes to this mapping; reset per-run packet state --------------
+  // Dynamic energy is a pure function of the bindings; re-accumulate it in
+  // packet order so the sum is byte-identical to a full rebind.
+  double dynamic_j = 0.0;
   for (graph::PacketId p = 0; p < num_packets; ++p) {
-    const graph::Packet& pk = cdcg_.packet(p);
-    const noc::TileId src = mapping.tile_of(pk.src);
-    const noc::TileId dst = mapping.tile_of(pk.dst);
-    PacketState& ps = state_[p];
-    const noc::RouteSpan<noc::TileId> routers = routes_.routers(src, dst);
-    const noc::RouteSpan<noc::ResourceId> links = routes_.links(src, dst);
-    ps.routers = routers.data;
-    ps.links = links.data;
-    ps.num_routers = routers.size;
-    ps.pending_preds = num_preds_[p];
-    ps.ready_ns = 0.0;
-    ps.delivered_ns = 0.0;
-    ps.contention_ns = 0.0;
-    ps.contended_downstream = false;
-    if (full) out.packets[p].num_routers = ps.num_routers;
-    // Dynamic energy depends only on volume and hop count (Equation 4).
-    out.energy.dynamic_j +=
-        energy::dynamic_packet_energy(tech_, pk.bits, ps.num_routers);
+    dynamic_j += dyn_energy_[p];
   }
-  for (graph::PacketId p = 0; p < num_packets; ++p) {
-    if (state_[p].pending_preds == 0) inject(p, full, out);
-  }
+  out.energy.dynamic_j = dynamic_j;
 
-  // --- Event loop -----------------------------------------------------------
-  std::size_t delivered_count = 0;
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    const Event ev = heap_.back();
-    heap_.pop_back();
-    PacketState& ps = state_[ev.packet];
-    const double arrival = ev.time_ns;
-    const double n_tl = flits_[ev.packet] * tl_;
-    const noc::TileId here = ps.routers[ev.hop];
-    const bool last_router = (ev.hop + 1 == ps.num_routers);
-
-    double header_out;  // Header enters the next (link / local-out).
-    if (!last_router) {
-      const noc::ResourceId link = ps.links[ev.hop];
-      double wait = 0.0;
-      if (arrival < link_free_[link]) {
-        wait = link_free_[link] - arrival;
-        ps.contended_downstream = true;
-        ps.contention_ns += wait;
-        out.total_contention_ns += wait;
-        if (options_.buffer_flits != 0 &&
-            flits_[ev.packet] > static_cast<double>(options_.buffer_flits) &&
-            ev.hop > 0) {
-          // Bounded buffers: the part of the worm that does not fit keeps the
-          // upstream link busy until the worm starts draining (first-order
-          // backpressure model).
-          const noc::ResourceId upstream = ps.links[ev.hop - 1];
-          link_free_[upstream] =
-              std::max(link_free_[upstream], link_free_[link] + tr_);
-        }
-      }
-      header_out = arrival + wait + tr_;
-      link_free_[link] = header_out + n_tl;
-      if (full && options_.record_traces) {
-        out.packets[ev.packet].hops.push_back(
-            HopRecord{link, header_out, header_out + n_tl});
-        out.occupancy[link].push_back(Occupancy{
-            ev.packet, header_out, header_out + n_tl,
-            ps.contended_downstream});
-      }
-      push_event(Event{header_out + tl_, ev.packet, ev.hop + 1});
-    } else {
-      // Ejection to the destination core: never blocks.
-      header_out = arrival + tr_;
-      ps.delivered_ns = header_out + n_tl;
-      if (full && options_.record_traces) {
-        const noc::ResourceId local_out = local_out_[here];
-        out.packets[ev.packet].hops.push_back(
-            HopRecord{local_out, header_out, header_out + n_tl});
-        out.occupancy[local_out].push_back(Occupancy{
-            ev.packet, header_out, header_out + n_tl,
-            ps.contended_downstream});
-      }
+  if (!Full && bucket_mode_) {
+    bucket_.begin_run();
+    for (graph::PacketId p = 0; p < num_packets; ++p) {
+      if (pending_[p] == 0) inject_bucket(p);
     }
-    // Router occupancy: header arrival until the tail flit is forwarded.
-    if (full && options_.record_traces) {
-      const double n_minus_1_tl = (flits_[ev.packet] - 1.0) * tl_;
-      // Insert in path order: the router record belongs *before* the link
-      // record appended above.
-      const noc::ResourceId router = topo_.router_resource(here);
-      HopRecord rec{router, arrival, header_out + n_minus_1_tl};
-      auto& hops = out.packets[ev.packet].hops;
-      hops.insert(hops.end() - 1, rec);
-      out.occupancy[router].push_back(Occupancy{
-          ev.packet, rec.start_ns, rec.end_ns, ps.contended_downstream});
+    run_bucket_loop(out);
+    bucket_.finish_run();
+  } else {
+    queue_.clear();
+    for (graph::PacketId p = 0; p < num_packets; ++p) {
+      if (pending_[p] == 0) inject<Full>(p, out);
     }
-
-    if (last_router) {
-      ++delivered_count;
-      out.texec_ns = std::max(out.texec_ns, ps.delivered_ns);
-      if (ps.contention_ns > 0) ++out.num_contended_packets;
-      if (full) {
-        PacketTrace& trace = out.packets[ev.packet];
-        trace.delivered_ns = ps.delivered_ns;
-        trace.contention_ns = ps.contention_ns;
-      }
-      for (graph::PacketId succ : cdcg_.successors(ev.packet)) {
-        PacketState& ss = state_[succ];
-        ss.ready_ns = std::max(ss.ready_ns, ps.delivered_ns);
-        if (--ss.pending_preds == 0) inject(succ, full, out);
-      }
-    }
+    run_heap_loop<Full>(out);
   }
 
-  if (delivered_count != num_packets) {
-    throw std::logic_error("simulate: not all packets were delivered");
-  }
-
-  if (full && options_.record_traces) {
-    for (auto& list : out.occupancy) {
-      std::sort(list.begin(), list.end(),
-                [](const Occupancy& a, const Occupancy& b) {
-                  if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
-                  return a.packet < b.packet;
-                });
+  if constexpr (Full) {
+    if (options_.record_traces) {
+      for (auto& list : out.occupancy) {
+        std::sort(list.begin(), list.end(),
+                  [](const Occupancy& a, const Occupancy& b) {
+                    if (a.start_ns != b.start_ns) {
+                      return a.start_ns < b.start_ns;
+                    }
+                    return a.packet < b.packet;
+                  });
+      }
     }
   }
 
   out.energy.static_j =
       energy::static_noc_energy(tech_, topo_.num_tiles(), out.texec_ns);
+}
+
+/// The general loop. Keys are unique ((time, packet, hop) — a packet has
+/// one in-flight event), so the pop order is a total order regardless of
+/// push order or heap internals. Contention accounting is branchless: the
+/// uncontended case adds an exact +0.0, which leaves every accumulator
+/// byte-identical.
+template <bool Full>
+void Simulator::run_heap_loop(SimulationResult& out) {
+  const std::size_t num_packets = cdcg_.num_packets();
+  const double tr = tr_;
+  const double tl = tl_;
+  std::size_t delivered_count = 0;
+  double texec = 0.0;
+  while (!queue_.empty()) {
+    const detail::QueuedEvent ev = queue_.min();
+    const graph::PacketId p = ev.packet();
+    const std::uint32_t hop = ev.hop();
+    const double arrival = ev.time_ns();
+    const HotPacket& hp = hot_[p];
+    const double n_tl = hp.n_tl;
+
+    if (hop + 1 != hp.len) {
+      const noc::ResourceId link = hp.links[hop];
+      const double free_at = link_free_[link];
+      const double wait = arrival < free_at ? free_at - arrival : 0.0;
+      contention_[p] += wait;
+      out.total_contention_ns += wait;
+      if (wait > 0.0) {
+        if constexpr (Full) contended_down_[p] = 1;
+        if (hp.overflows_buffer && hop > 0) {
+          // Bounded buffers: the part of the worm that does not fit keeps
+          // the upstream link busy until the worm starts draining
+          // (first-order backpressure model).
+          const noc::ResourceId upstream = hp.links[hop - 1];
+          link_free_[upstream] =
+              std::max(link_free_[upstream], free_at + tr);
+        }
+      }
+      const double header_out = arrival + wait + tr;
+      link_free_[link] = header_out + n_tl;
+      if constexpr (Full) {
+        if (options_.record_traces) {
+          out.packets[p].hops.push_back(
+              HopRecord{link, header_out, header_out + n_tl});
+          out.occupancy[link].push_back(Occupancy{
+              p, header_out, header_out + n_tl,
+              contended_down_[p] != 0});
+          record_router(p, hop, arrival, header_out, out);
+        }
+      }
+      // The header's next arrival replaces this event in one sift-down.
+      queue_.replace_min(detail::QueuedEvent::make(header_out + tl, p,
+                                                   hop + 1));
+    } else {
+      queue_.pop_min();
+      // Ejection to the destination core: never blocks.
+      const double header_out = arrival + tr;
+      const double delivered = header_out + n_tl;
+      if constexpr (Full) {
+        if (options_.record_traces) {
+          const noc::ResourceId local_out = dst_local_out_[p];
+          out.packets[p].hops.push_back(
+              HopRecord{local_out, header_out, header_out + n_tl});
+          out.occupancy[local_out].push_back(Occupancy{
+              p, header_out, header_out + n_tl, contended_down_[p] != 0});
+          record_router(p, hop, arrival, header_out, out);
+        }
+      }
+      ++delivered_count;
+      texec = std::max(texec, delivered);
+      if (contention_[p] > 0) ++out.num_contended_packets;
+      if constexpr (Full) {
+        PacketTrace& trace = out.packets[p];
+        trace.delivered_ns = delivered;
+        trace.contention_ns = contention_[p];
+      }
+      const std::uint32_t succ_end = hp.succ_end;
+      for (std::uint32_t i = hp.succ_begin; i < succ_end; ++i) {
+        const graph::PacketId succ = succ_list_[i];
+        ready_[succ] = std::max(ready_[succ], delivered);
+        if (--pending_[succ] == 0) inject<Full>(succ, out);
+      }
+    }
+  }
+  out.texec_ns = texec;
+
+  if (delivered_count != num_packets) {
+    throw std::logic_error("simulate: not all packets were delivered");
+  }
+}
+
+/// The integer-time fast path. Same pop order and — because every quantity
+/// is an exact integer-valued double — bit-for-bit the same arithmetic as
+/// the general loop, minus work that cannot be observed in a scalar result:
+/// the final ejection is fused into the last link claim (a delivery only
+/// produces successor updates, and max(arrival, free_at) + tr equals
+/// arrival + wait + tr exactly in integer arithmetic), and injection skips
+/// the local-link bookkeeping nothing reads unless contend_local_in is on.
+void Simulator::run_bucket_loop(SimulationResult& out) {
+  const std::size_t num_packets = cdcg_.num_packets();
+  const std::size_t stride = arena_stride_;
+  const double tr = tr_;
+  const double tl = tl_;
+  std::size_t delivered_count = 0;
+  double texec = 0.0;
+  while (delivered_count != num_packets) {
+    std::size_t bucket;
+    std::uint32_t p;
+    std::uint32_t hop;
+    bucket_.pop_min(bucket, p, hop);
+    const double arrival = static_cast<double>(bucket);
+    const HotPacket& hp = hot_[p];
+
+    // Every queued event claims a link: routes have K >= 2 routers (cores
+    // on distinct tiles), and the hop that would claim the last router is
+    // fused into its predecessor below.
+    const noc::ResourceId link = links_arena_[p * stride + hop];
+    const double free_at = link_free_[link];
+    const double wait = arrival < free_at ? free_at - arrival : 0.0;
+    contention_[p] += wait;
+    out.total_contention_ns += wait;
+    if (wait > 0.0 && hp.overflows_buffer && hop > 0) {
+      // Bounded buffers: the part of the worm that does not fit keeps the
+      // upstream link busy until the worm starts draining (first-order
+      // backpressure model).
+      const noc::ResourceId upstream = links_arena_[p * stride + hop - 1];
+      link_free_[upstream] = std::max(link_free_[upstream], free_at + tr);
+    }
+    const double header_out = std::max(arrival, free_at) + tr;
+    const double n_tl = hp.n_tl;
+    link_free_[link] = header_out + n_tl;
+
+    if (hop + 2 == hp.len) {
+      // This was the final link: eject without a further event. The
+      // association matches the general loop: ((header_out + tl) + tr)
+      // + n_tl.
+      const double delivered = ((header_out + tl) + tr) + n_tl;
+      ++delivered_count;
+      texec = std::max(texec, delivered);
+      if (contention_[p] > 0) ++out.num_contended_packets;
+      const std::uint32_t succ_end = hp.succ_end;
+      for (std::uint32_t i = hp.succ_begin; i < succ_end; ++i) {
+        const graph::PacketId succ = succ_list_[i];
+        ready_[succ] = std::max(ready_[succ], delivered);
+        if (--pending_[succ] == 0) inject_bucket(succ);
+      }
+    } else {
+      bucket_.push(static_cast<std::size_t>(header_out + tl), p, hop + 1);
+    }
+  }
+  out.texec_ns = texec;
 }
 
 }  // namespace nocmap::sim

@@ -1,6 +1,6 @@
 #pragma once
 /// \file simulator.hpp
-/// Reusable CDCM evaluation arena.
+/// Reusable CDCM evaluation arena with a swap-aware hot path.
 ///
 /// sim::simulate() is correct but pays construction costs on every call: it
 /// recomputes every packet's route (two heap allocations per packet) and
@@ -8,16 +8,33 @@
 /// (CDCG, topology, technology, options) tuple is fixed and only the mapping
 /// changes, so all of that state can be bound once and reused.
 ///
-/// Simulator does exactly that: the constructor precomputes the RouteTable
-/// and sizes every per-packet / per-resource buffer; run(mapping) replays the
-/// wormhole schedule reusing those buffers and returns a scalars-only result
-/// (no per-packet vectors, no occupancy lists) — zero heap allocations in the
-/// steady state. run_traced(mapping) produces the full SimulationResult of
-/// simulate(), which is now a thin wrapper over this class. Both paths share
-/// one event loop, so scalar and traced results always agree.
+/// Simulator does exactly that, in three layers:
+///
+///  * Construction binds the application and NoC: route table, per-packet
+///    timing constants, core->packet incidence lists, and every arena buffer
+///    (structure-of-arrays: one flat vector per per-packet field, so the
+///    per-run reset is a handful of memset/memcpy passes instead of a walk
+///    over an array of structs).
+///  * run(mapping) diffs `mapping` against the currently bound one and
+///    rebinds only the packets incident to cores that moved — after the
+///    2-tile swap moves of simulated annealing that is O(deg) route-table
+///    lookups instead of O(packets). Rebinding is exact, not approximate:
+///    per-packet routes and energies are pure functions of the endpoint
+///    tiles, and per-run aggregates are re-accumulated in packet order, so
+///    results are byte-identical to a freshly constructed Simulator.
+///  * The event loop pops header-arrival events from a flat 4-ary heap of
+///    bit-packed keys (sim/event_queue.hpp) in fully deterministic
+///    (time, packet, hop) order, independent of packet construction order.
+///
+/// run(mapping) returns a scalars-only result (no per-packet vectors, no
+/// occupancy lists) with zero heap allocations in the steady state.
+/// run_traced(mapping) produces the full SimulationResult of simulate(),
+/// which is a thin wrapper over this class. Both paths share one event loop,
+/// so scalar and traced results always agree.
 ///
 /// A Simulator instance is NOT thread-safe (it mutates its arena); give each
-/// thread its own instance. CdcmCost owns one per cost-function object.
+/// thread its own instance — sim::BatchEvaluator maintains such a pool.
+/// CdcmCost owns one per cost-function object.
 
 #include <cstdint>
 #include <vector>
@@ -26,6 +43,7 @@
 #include "nocmap/mapping/mapping.hpp"
 #include "nocmap/noc/topology.hpp"
 #include "nocmap/noc/route_table.hpp"
+#include "nocmap/sim/event_queue.hpp"
 #include "nocmap/sim/schedule.hpp"
 
 namespace nocmap::sim {
@@ -38,10 +56,12 @@ class Simulator {
   Simulator(const graph::Cdcg& cdcg, const noc::Topology& topo,
             const energy::Technology& tech, SimOptions options = {});
 
-  /// Evaluate `mapping`, reusing all internal buffers. The returned result
-  /// carries the scalar fields only (texec, energy, contention); its
-  /// `packets` and `occupancy` vectors stay empty. The reference is valid
-  /// until the next run()/run_traced() call on this instance.
+  /// Evaluate `mapping`, reusing all internal buffers and the route bindings
+  /// of the previous run (only packets whose endpoint cores moved are
+  /// rebound). The returned result carries the scalar fields only (texec,
+  /// energy, contention); its `packets` and `occupancy` vectors stay empty.
+  /// The reference is valid until the next run()/run_traced() call on this
+  /// instance.
   const SimulationResult& run(const mapping::Mapping& mapping);
 
   /// Evaluate `mapping` and return the full result by value: per-packet
@@ -53,41 +73,29 @@ class Simulator {
   const SimOptions& options() const { return options_; }
 
  private:
-  /// A header-arrival event: the header of `packet` reaches the `hop`-th
-  /// router of its route at `time_ns`. Ordered by time, ties broken by
-  /// packet id so the simulation is deterministic regardless of
-  /// construction order.
-  struct Event {
-    double time_ns;
-    graph::PacketId packet;
-    std::uint32_t hop;
+  template <bool Full>
+  void run_impl(const mapping::Mapping& mapping, SimulationResult& out);
+  /// The general event loop: 4-ary heap, one event per router of every
+  /// route, optional traces. Handles every SimOptions combination.
+  template <bool Full>
+  void run_heap_loop(SimulationResult& out);
+  /// The integer-time fast path: bucket-calendar queue, final ejection
+  /// fused into the last link claim. Scalar results only; byte-identical
+  /// to run_heap_loop<false> (see bucket_mode_).
+  void run_bucket_loop(SimulationResult& out);
+  template <bool Full>
+  void inject(graph::PacketId p, SimulationResult& out);
+  void inject_bucket(graph::PacketId p);
+  /// Traced path: insert the router occupancy record of `hop` (which
+  /// belongs *before* the link/local-out record appended just prior).
+  void record_router(graph::PacketId p, std::uint32_t hop, double arrival,
+                     double header_out, SimulationResult& out);
 
-    bool operator>(const Event& other) const {
-      if (time_ns != other.time_ns) return time_ns > other.time_ns;
-      if (packet != other.packet) return packet > other.packet;
-      return hop > other.hop;
-    }
-  };
-
-  /// Per-packet per-run state; the route is a view into the RouteTable.
-  struct PacketState {
-    const noc::TileId* routers = nullptr;
-    const noc::ResourceId* links = nullptr;
-    std::uint32_t num_routers = 0;
-    std::uint32_t pending_preds = 0;
-    double ready_ns = 0.0;       ///< Running max of predecessor deliveries.
-    double delivered_ns = 0.0;
-    double contention_ns = 0.0;
-    // Once a worm has been blocked, every downstream resource it touches is
-    // reported as contended (the paper stars all entries "from the
-    // contention point until reaching the target tile", Figure 3a).
-    bool contended_downstream = false;
-  };
-
-  void run_impl(const mapping::Mapping& mapping, bool full,
-                SimulationResult& out);
-  void push_event(Event e);
-  void inject(graph::PacketId p, bool full, SimulationResult& out);
+  /// Validate `mapping`'s shape (the one-time bind() check — the event loop
+  /// itself is check-free), diff it against the bound mapping, and rebind
+  /// the packets incident to every core that moved.
+  void sync_bind(const mapping::Mapping& mapping);
+  void rebind_packet(graph::PacketId p);
 
   const graph::Cdcg& cdcg_;
   const noc::Topology& topo_;
@@ -95,21 +103,68 @@ class Simulator {
   SimOptions options_;
   noc::RouteTable routes_;
 
-  // Bound once per (cdcg, tech): timing constants and immutable packet data.
+  /// Everything the event loop reads per event, packed to one cache line
+  /// per packet: the bound route's link row and length, the worm's
+  /// serialization time, the CSR successor range and the bounded-buffer
+  /// flag. `links` and `len` are rewritten by rebind_packet(); the rest is
+  /// immutable after construction.
+  struct HotPacket {
+    const noc::ResourceId* links = nullptr;
+    double n_tl = 0.0;            ///< flits * tl (serialization time).
+    std::uint32_t len = 0;        ///< K: routers on the bound route.
+    std::uint32_t succ_begin = 0;
+    std::uint32_t succ_end = 0;
+    std::uint8_t overflows_buffer = 0;  ///< Worm longer than a router
+                                        ///< buffer (backpressure applies).
+  };
+
+  // --- Bound once per (cdcg, tech): timing constants, immutable packet data.
   double lambda_, tr_, tl_;
-  std::vector<double> flits_;          ///< Per-packet flit count (as double).
-  std::vector<double> comp_ns_;        ///< Per-packet t_aq * lambda.
+  std::vector<HotPacket> hot_;
+  std::vector<double> flits_;     ///< Per-packet flit count (as double).
+  std::vector<double> comp_ns_;   ///< Per-packet t_aq * lambda.
   std::vector<std::uint32_t> num_preds_;
+  /// Successor lists in CSR form: successors of p are
+  /// succ_list_[hot_[p].succ_begin .. hot_[p].succ_end).
+  std::vector<graph::PacketId> succ_list_;
+  /// Packets incident to each core (as source or destination), CSR form.
+  std::vector<std::uint32_t> core_pkt_off_;
+  std::vector<graph::PacketId> core_pkt_list_;
   /// Per-tile local-link resource ids, precomputed so the event loop never
   /// pays a virtual call into the topology.
   std::vector<noc::ResourceId> local_in_;
   std::vector<noc::ResourceId> local_out_;
 
-  // Arena, reused across runs.
-  std::vector<PacketState> state_;
-  std::vector<double> link_free_;      ///< Per-resource "busy until".
-  std::vector<Event> heap_;            ///< Binary min-heap (push/pop_heap).
-  SimulationResult scalar_result_;     ///< Backs run()'s return value.
+  // --- Route bindings for the currently bound mapping (SoA) ----------------
+  bool bound_ = false;
+  std::vector<noc::TileId> bound_tiles_;  ///< Per-core bound tile.
+  std::vector<const noc::TileId*> route_routers_;  ///< Traced path only.
+  std::vector<noc::ResourceId> src_local_in_; ///< Injection link per packet.
+  std::vector<noc::ResourceId> dst_local_out_;///< Ejection link per packet.
+  std::vector<double> dyn_energy_;  ///< Per-packet Equation-4 energy.
+  std::vector<std::uint64_t> rebind_stamp_;   ///< Dedup for rebinding.
+  std::uint64_t stamp_ = 0;
+  std::vector<graph::CoreId> moved_scratch_;
+
+  // --- Per-run arena (SoA), reused across runs -----------------------------
+  std::vector<std::uint32_t> pending_;  ///< Outstanding predecessor count.
+  std::vector<double> ready_;           ///< Running max of pred deliveries.
+  std::vector<double> contention_;      ///< Accumulated blocked time.
+  std::vector<std::uint8_t> contended_down_;  ///< Traced path only.
+  std::vector<double> link_free_;       ///< Per-resource "busy until".
+  detail::EventQueue queue_;
+  SimulationResult scalar_result_;      ///< Backs run()'s return value.
+
+  // --- Integer-time fast path ----------------------------------------------
+  /// True when every timing constant is an exact integer (in ns), routes
+  /// are short enough to pack, and the worst-case horizon is bounded —
+  /// verified in the constructor, never assumed. Scalar runs then use the
+  /// bucket-calendar queue and the dense link arena; all arithmetic stays
+  /// exact, so results are byte-identical to the general path.
+  bool bucket_mode_ = false;
+  std::size_t arena_stride_ = 0;        ///< Links per packet row (pow2).
+  std::vector<noc::ResourceId> links_arena_;  ///< Dense per-packet rows.
+  detail::BucketQueue bucket_;
 };
 
 }  // namespace nocmap::sim

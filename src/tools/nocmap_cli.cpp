@@ -89,9 +89,17 @@ Options:
   --routing NAME    Routing algorithm: xy | yx | west-first | odd-even
                     (default: xy).
   --seed N          RNG seed driving the SA runs (default: 1).
-  --threads N       Worker threads for the SA chains (default: 1). Purely a
+  --threads N       Worker threads for the SA chains and for the batched
+                    CDCM exhaustive search (default: 1). Purely a
                     throughput knob: results are identical for any N.
   --chains N        Independent SA chains per model, best-of-N (default: 1).
+  --cost NAME       Timing-aware objective: cdcm (default, Equation 10) or
+                    hybrid (CWM-delta prefilter proposes, CDCM verifies at
+                    --hybrid-cadence and at every temperature step).
+  --hybrid-cadence N
+                    With --cost hybrid: verify every Nth priced move with
+                    an exact CDCM delta (default: 8; 1 = every move,
+                    0 = step resyncs only).
   --no-seed-cdcm    Do not seed the CDCM search with the CWM winner.
   --cores N         (--workload random) number of cores (default: 8).
   --packets N       (--workload random) number of packets (default: 32).
@@ -123,9 +131,17 @@ Options:
   --threads N       Worker threads: applications are explored in parallel
                     (default: 1). The printed table is identical for any N.
   --chains N        Independent SA chains per model, best-of-N (default: 1).
+  --cost NAME       Timing-aware objective: cdcm (default) or hybrid.
+  --hybrid-cadence N
+                    With --cost hybrid: CDCM verification cadence
+                    (default: 8).
   --perf            Run the evaluation-engine microbenchmark (CWM full vs
-                    delta, CDCM one-shot vs reusable arena, 3x3..8x8) and
-                    write the JSON report instead of the suite.
+                    delta, the CDCM ladder: one-shot / arena / swap-delta /
+                    batch x threads / hybrid) and write the JSON report
+                    instead of the suite. Honours --topology and
+                    --express-interval; --threads sets the batch row's T.
+  --sizes LIST      --perf grid sizes, comma-separated WxH (default:
+                    3x3,4x4,...,8x8).
   --out FILE        --perf report path (default: BENCH_eval.json).
   --csv             Emit CSV instead of aligned text tables.
   -h, --help        Show this message.
@@ -160,7 +176,7 @@ Options:
                     (default: xy).
   --threads N       Explore the sweep rows in parallel (default: 1); the
                     emitted rows are identical for any N.
-  All other `nocmap explore` mesh/tech/method/chains options apply.
+  All other `nocmap explore` mesh/tech/method/chains/cost options apply.
   With one topology, one routing and a non-suite workload the historical
   per-seed table is printed; otherwise one row per (topology, routing,
   application, seed) plus per-combination aggregates.
@@ -287,6 +303,10 @@ struct RunOptions {
   std::uint64_t random_bits = 4096;
   std::uint64_t threads = 1;
   std::uint64_t chains = 1;
+  core::TimingCostMode timing_cost = core::TimingCostMode::kCdcm;
+  std::uint64_t hybrid_cadence = 8;
+  /// bench --perf only: explicit grid sizes.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> perf_sizes;
   std::optional<std::string> noc_filter;  // bench only
   bool perf = false;                      // bench only
   std::string out_path = "BENCH_eval.json";  // bench --perf only
@@ -357,6 +377,24 @@ RunOptions parse_run_options(int argc, char** argv, const char* usage,
       opts.chains = parse_u64(a, value(i, a));
       if (opts.chains == 0 || opts.chains > 4096) {
         throw UsageError("--chains must be in [1, 4096]");
+      }
+    } else if (a == "--cost") {
+      const std::string v = value(i, a);
+      if (v == "cdcm") {
+        opts.timing_cost = core::TimingCostMode::kCdcm;
+      } else if (v == "hybrid") {
+        opts.timing_cost = core::TimingCostMode::kHybrid;
+      } else {
+        throw UsageError("--cost expects cdcm | hybrid, got '" + v + "'");
+      }
+    } else if (a == "--hybrid-cadence") {
+      opts.hybrid_cadence = parse_u64(a, value(i, a));
+      if (opts.hybrid_cadence > 1'000'000) {
+        throw UsageError("--hybrid-cadence must be at most 1,000,000");
+      }
+    } else if (a == "--sizes") {
+      for (const std::string& item : split_list(a, value(i, a))) {
+        opts.perf_sizes.push_back(parse_mesh(a, item));
       }
     } else if (a == "--perf") {
       opts.perf = true;
@@ -471,6 +509,8 @@ core::ExplorerOptions explorer_options(const RunOptions& opts,
   eo.seed_cdcm_with_cwm = opts.seed_cdcm_with_cwm;
   eo.threads = static_cast<std::uint32_t>(opts.threads);
   eo.sa_chains = static_cast<std::uint32_t>(opts.chains);
+  eo.timing_cost = opts.timing_cost;
+  eo.hybrid_cadence = static_cast<std::uint32_t>(opts.hybrid_cadence);
   return eo;
 }
 
@@ -582,33 +622,43 @@ int cmd_explore(const RunOptions& opts) {
 }
 
 int cmd_bench_perf(const RunOptions& opts) {
-  if (opts.topologies != std::vector<std::string>{"mesh"}) {
-    throw UsageError(
-        "--topology is not supported with --perf: the evaluation-engine "
-        "microbenchmark measures the mesh path");
-  }
+  require_single_noc(opts, "bench");
   core::EvalBenchOptions options;
   // Quick budgets: this entry point doubles as the CI smoke step. The
   // full-budget run is the bench_cost_eval binary.
   options.min_time_s = 0.05;
   options.seed = opts.seed;
+  options.sizes = opts.perf_sizes;
+  options.topology = opts.topologies.front();
+  options.express_interval =
+      static_cast<std::uint32_t>(opts.express_interval);
+  options.batch_threads =
+      std::max<std::uint32_t>(2, static_cast<std::uint32_t>(opts.threads));
+  options.hybrid_cadence = static_cast<std::uint32_t>(opts.hybrid_cadence);
   const core::EvalBenchReport report = core::run_eval_bench(options);
 
   Fmt fmt(opts.csv);
+  const std::string batch_t =
+      "CDCM batch x" + std::to_string(options.batch_threads);
   util::TextTable table(
-      {"Mesh", "Cores", fmt.head("CWM legacy", "eval_s"),
-       fmt.head("CWM full", "eval_s"), fmt.head("CWM delta", "eval_s"),
-       fmt.head("CDCM 1-shot", "eval_s"), fmt.head("CDCM reuse", "eval_s")});
-  table.set_title("nocmap bench --perf — evaluations/second");
+      {"NoC", "Cores", fmt.head("CWM legacy", "eval_s"),
+       fmt.head("CWM delta", "eval_s"),
+       fmt.head("CDCM 1-shot", "eval_s"), fmt.head("CDCM reuse", "eval_s"),
+       fmt.head("CDCM delta", "eval_s"), fmt.head(batch_t, "eval_s"),
+       fmt.head("Hybrid", "eval_s")});
+  table.set_title("nocmap bench --perf — evaluations/second, " +
+                  options.topology);
   for (const core::EvalBenchRow& r : report.rows) {
     table.add_row({std::to_string(r.mesh_width) + "x" +
                        std::to_string(r.mesh_height),
                    std::to_string(r.num_cores),
                    fmt.count(static_cast<std::uint64_t>(r.cwm_legacy_per_s)),
-                   fmt.count(static_cast<std::uint64_t>(r.cwm_full_per_s)),
                    fmt.count(static_cast<std::uint64_t>(r.cwm_delta_per_s)),
                    fmt.count(static_cast<std::uint64_t>(r.cdcm_oneshot_per_s)),
-                   fmt.count(static_cast<std::uint64_t>(r.cdcm_reuse_per_s))});
+                   fmt.count(static_cast<std::uint64_t>(r.cdcm_reuse_per_s)),
+                   fmt.count(static_cast<std::uint64_t>(r.cdcm_delta_per_s)),
+                   fmt.count(static_cast<std::uint64_t>(r.cdcm_batch_t_per_s)),
+                   fmt.count(static_cast<std::uint64_t>(r.hybrid_per_s))});
   }
   print_table(table, opts.csv);
 
@@ -893,7 +943,7 @@ int main(int argc, char** argv) {
         "--workload", "--mesh",          "--tech",  "--method",  "--routing",
         "--topology", "--express-interval",
         "--seed",     "--no-seed-cdcm",  "--cores", "--packets", "--bits",
-        "--threads",  "--chains"};
+        "--threads",  "--chains",        "--cost",  "--hybrid-cadence"};
     if (sub == "explore") {
       return cmd_explore(
           parse_run_options(argc, argv, kExploreUsage, explore_flags));
@@ -903,7 +953,7 @@ int main(int argc, char** argv) {
           argc, argv, kBenchUsage,
           {"--noc", "--tech", "--method", "--routing", "--topology",
            "--express-interval", "--seed", "--threads", "--chains", "--perf",
-           "--out"}));
+           "--sizes", "--out", "--cost", "--hybrid-cadence"}));
     }
     if (sub == "workloads") {
       return cmd_workloads(parse_run_options(argc, argv, kWorkloadsUsage, {}));

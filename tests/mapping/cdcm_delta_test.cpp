@@ -1,0 +1,179 @@
+/// \file cdcm_delta_test.cpp
+/// CdcmCost's swap-delta protocol (exact full-resimulation semantics) and
+/// the HybridCost CWM->CDCM objective.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "nocmap/mapping/cost.hpp"
+#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/topology.hpp"
+#include "nocmap/search/simulated_annealing.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+
+namespace nocmap::mapping {
+namespace {
+
+graph::Cdcg random_cdcg(std::uint32_t cores, std::uint64_t seed) {
+  workload::RandomCdcgParams params;
+  params.num_cores = cores;
+  params.num_packets = cores * 5;
+  params.total_bits = params.num_packets * 200;
+  util::Rng rng(seed);
+  return workload::generate_random_cdcg(params, rng);
+}
+
+TEST(CdcmDeltaTest, DeltaIsBitwiseCostDifference) {
+  for (const char* kind : {"mesh", "torus", "xmesh"}) {
+    const std::unique_ptr<noc::Topology> topo =
+        noc::make_topology(kind, 4, 4, {});
+    const graph::Cdcg cdcg = random_cdcg(12, 7);
+    const energy::Technology tech = energy::technology_0_07u();
+    const CdcmCost cost(cdcg, *topo, tech);
+    // A fresh instance with cold caches must agree with the probing one.
+    const CdcmCost reference(cdcg, *topo, tech);
+
+    util::Rng rng(31);
+    Mapping m = Mapping::random(*topo, 12, rng);
+    double current = cost.cost(m);
+    EXPECT_EQ(current, reference.cost(m));
+
+    for (int move = 0; move < 60; ++move) {
+      noc::TileId a = static_cast<noc::TileId>(rng.index(topo->num_tiles()));
+      noc::TileId b;
+      do {
+        b = static_cast<noc::TileId>(rng.index(topo->num_tiles()));
+      } while (b == a);
+
+      const double delta = cost.swap_delta(m, a, b);
+      Mapping swapped = m;
+      swapped.swap_tiles(a, b);
+      // Exact full-resim semantics: bitwise equality, not tolerance.
+      EXPECT_EQ(delta, reference.cost(swapped) - reference.cost(m))
+          << kind << " move " << move;
+
+      if (move % 3 != 0) {  // Mix accepted and rejected moves.
+        cost.apply_swap(m, a, b);
+        current += delta;
+        EXPECT_EQ(m, swapped);
+        // The post-commit cache must serve the exact committed cost.
+        EXPECT_EQ(cost.cost(m), reference.cost(m));
+      } else {
+        // Rejected: the mapping is untouched and the cached base stays hot.
+        EXPECT_EQ(cost.cost(m), reference.cost(m));
+      }
+    }
+  }
+}
+
+TEST(CdcmDeltaTest, CostAfterForeignEvaluationsStaysExact) {
+  const noc::Mesh mesh(4, 3);
+  const graph::Cdcg cdcg = random_cdcg(10, 3);
+  const energy::Technology tech = energy::technology_0_07u();
+  const CdcmCost cost(cdcg, mesh, tech);
+
+  util::Rng rng(5);
+  const Mapping m1 = Mapping::random(mesh, 10, rng);
+  const Mapping m2 = Mapping::random(mesh, 10, rng);
+  const double c1 = cost.cost(m1);
+  const double c2 = cost.cost(m2);
+  // Interleaved traced evaluation (best-mapping reporting) rebinds the
+  // arena; cached and fresh answers must keep matching.
+  const sim::SimulationResult traced = cost.evaluate(m1);
+  EXPECT_EQ(traced.energy.total_j(), c1);
+  EXPECT_EQ(cost.cost(m2), c2);
+  EXPECT_EQ(cost.cost(m1), c1);
+}
+
+TEST(CdcmDeltaTest, AnnealWithDeltaMatchesFullRecomputeDecisions) {
+  // With exact deltas the delta path prices every move identically to the
+  // full-recompute path, so both searches follow the same trajectory and
+  // end on the same mapping (evaluation counters differ by the protocol's
+  // resync evaluations).
+  const noc::Mesh mesh(4, 4);
+  const graph::Cdcg cdcg = random_cdcg(13, 11);
+  const energy::Technology tech = energy::technology_0_07u();
+  const CdcmCost cost(cdcg, mesh, tech);
+
+  search::SaOptions fast;  // use_swap_delta = true (default).
+  fast.max_steps = 40;
+  search::SaOptions slow = fast;
+  slow.use_swap_delta = false;
+
+  util::Rng rng1(9), rng2(9);
+  const search::SearchResult a = search::anneal(cost, mesh, rng1, fast);
+  const search::SearchResult b = search::anneal(cost, mesh, rng2, slow);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+}
+
+TEST(HybridCostTest, CostIsTheCdcmObjective) {
+  const noc::Mesh mesh(3, 3);
+  const graph::Cdcg cdcg = random_cdcg(9, 13);
+  const energy::Technology tech = energy::technology_0_07u();
+  const HybridCost hybrid(cdcg, mesh, tech);
+  const CdcmCost cdcm(cdcg, mesh, tech);
+
+  util::Rng rng(2);
+  for (int i = 0; i < 5; ++i) {
+    const Mapping m = Mapping::random(mesh, 9, rng);
+    EXPECT_EQ(hybrid.cost(m), cdcm.cost(m));
+  }
+  EXPECT_EQ(hybrid.name(), "HYBRID");
+  EXPECT_EQ(hybrid.num_cores(), 9u);
+}
+
+TEST(HybridCostTest, CadencePacesCdcmVerification) {
+  const noc::Mesh mesh(3, 3);
+  const graph::Cdcg cdcg = random_cdcg(9, 17);
+  const energy::Technology tech = energy::technology_0_07u();
+  const HybridCost hybrid(cdcg, mesh, tech, noc::RoutingAlgorithm::kXY,
+                          /*cdcm_cadence=*/3);
+  const CdcmCost cdcm(cdcg, mesh, tech);
+  const CwmCost cwm(cdcg.to_cwg(), mesh, tech);
+
+  util::Rng rng(4);
+  Mapping m = Mapping::random(mesh, 9, rng);
+  hybrid.begin_search();
+  hybrid.cost(m);
+  for (int move = 1; move <= 12; ++move) {
+    noc::TileId a = static_cast<noc::TileId>(rng.index(9));
+    noc::TileId b;
+    do {
+      b = static_cast<noc::TileId>(rng.index(9));
+    } while (b == a);
+    const double delta = hybrid.swap_delta(m, a, b);
+    if (move % 3 == 0) {
+      // Every third probe is the exact CDCM delta.
+      Mapping swapped = m;
+      swapped.swap_tiles(a, b);
+      EXPECT_EQ(delta, cdcm.cost(swapped) - cdcm.cost(m)) << move;
+    } else {
+      EXPECT_EQ(delta, cwm.swap_delta(m, a, b)) << move;
+    }
+  }
+
+  // begin_search resets the pacing, so a reused object repeats the pattern.
+  hybrid.begin_search();
+  noc::TileId a = 0, b = 1;
+  EXPECT_EQ(hybrid.swap_delta(m, a, b), cwm.swap_delta(m, a, b));
+}
+
+TEST(HybridCostTest, AnnealImprovesTheCdcmObjective) {
+  const noc::Mesh mesh(4, 4);
+  const graph::Cdcg cdcg = random_cdcg(12, 29);
+  const energy::Technology tech = energy::technology_0_07u();
+  const HybridCost hybrid(cdcg, mesh, tech);
+  const CdcmCost cdcm(cdcg, mesh, tech);
+
+  util::Rng rng(6);
+  const search::SearchResult result = search::anneal(hybrid, mesh, rng);
+  EXPECT_TRUE(result.best.is_valid());
+  // The reported best cost is the exact CDCM objective of the best mapping.
+  EXPECT_EQ(result.best_cost, cdcm.cost(result.best));
+  EXPECT_LE(result.best_cost, result.initial_cost);
+}
+
+}  // namespace
+}  // namespace nocmap::mapping

@@ -140,10 +140,13 @@ TEST(CostDeltaProtocolTest, CapabilityFlags) {
   const CwmCost cwm(cdcg.to_cwg(), mesh, tech);
   EXPECT_TRUE(cwm.has_swap_delta());
 
+  // CdcmCost gained the protocol too (exact full-resimulation deltas); the
+  // value contract is covered by mapping_cdcm_delta_test.
   const CdcmCost cdcm(cdcg, mesh, tech);
-  EXPECT_FALSE(cdcm.has_swap_delta());
-  Mapping m(mesh, cdcg.num_cores());
-  EXPECT_THROW(cdcm.swap_delta(m, 0, 1), std::logic_error);
+  EXPECT_TRUE(cdcm.has_swap_delta());
+
+  const HybridCost hybrid(cdcg, mesh, tech);
+  EXPECT_TRUE(hybrid.has_swap_delta());
 }
 
 TEST(CostDeltaProtocolTest, DefaultApplySwapMutatesTheMapping) {

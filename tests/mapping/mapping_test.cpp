@@ -126,5 +126,21 @@ TEST(MappingTest, GridShowsEmptyTiles) {
   EXPECT_EQ(m.to_grid_string(), ".\t.\nc0\t.");
 }
 
+TEST(MappingTest, SetAssignmentReusesStorageAndValidates) {
+  const noc::Mesh mesh(2, 2);
+  Mapping m = Mapping::from_assignment(mesh, {0, 1, 2});
+  m.set_assignment({3, 0, 1});
+  EXPECT_TRUE(m.is_valid());
+  EXPECT_EQ(m.tile_of(0), 3u);
+  EXPECT_EQ(m.core_on(1), std::optional<graph::CoreId>(2));
+
+  // Failed calls must leave the mapping exactly as it was (strong guarantee).
+  EXPECT_THROW(m.set_assignment({0, 1}), std::invalid_argument);
+  EXPECT_THROW(m.set_assignment({0, 1, 9}), std::invalid_argument);
+  EXPECT_THROW(m.set_assignment({0, 1, 0}), std::invalid_argument);
+  EXPECT_TRUE(m.is_valid());
+  EXPECT_EQ(m, Mapping::from_assignment(mesh, {3, 0, 1}));
+}
+
 }  // namespace
 }  // namespace nocmap::mapping

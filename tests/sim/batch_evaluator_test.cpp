@@ -1,0 +1,133 @@
+/// \file batch_evaluator_test.cpp
+/// sim::BatchEvaluator: batch results must equal per-mapping Simulator runs
+/// bit for bit, at any thread count, in input order.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nocmap/noc/mesh.hpp"
+#include "nocmap/noc/topology.hpp"
+#include "nocmap/sim/batch_evaluator.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+
+namespace nocmap::sim {
+namespace {
+
+graph::Cdcg random_cdcg(std::uint32_t cores, std::uint64_t seed) {
+  workload::RandomCdcgParams params;
+  params.num_cores = cores;
+  params.num_packets = cores * 4;
+  params.total_bits = params.num_packets * 256;
+  util::Rng rng(seed);
+  return workload::generate_random_cdcg(params, rng);
+}
+
+std::vector<mapping::Mapping> random_batch(const noc::Topology& topo,
+                                           std::size_t cores,
+                                           std::size_t count,
+                                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<mapping::Mapping> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.push_back(mapping::Mapping::random(topo, cores, rng));
+  }
+  return batch;
+}
+
+TEST(BatchEvaluatorTest, MatchesSerialSimulatorRuns) {
+  for (const char* kind : {"mesh", "torus", "xmesh"}) {
+    const std::unique_ptr<noc::Topology> topo =
+        noc::make_topology(kind, 4, 4, {});
+    const graph::Cdcg cdcg = random_cdcg(12, 17);
+    const energy::Technology tech = energy::technology_0_07u();
+    const std::vector<mapping::Mapping> batch =
+        random_batch(*topo, 12, 37, 23);
+
+    SimOptions options;
+    options.record_traces = false;
+    Simulator reference(cdcg, *topo, tech, options);
+    BatchEvaluator evaluator(cdcg, *topo, tech, options, 3);
+    const std::vector<BatchResult> results = evaluator.evaluate(batch);
+
+    ASSERT_EQ(results.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const SimulationResult& want = reference.run(batch[i]);
+      EXPECT_EQ(results[i].texec_ns, want.texec_ns) << kind << " #" << i;
+      EXPECT_EQ(results[i].dynamic_j, want.energy.dynamic_j);
+      EXPECT_EQ(results[i].static_j, want.energy.static_j);
+      EXPECT_EQ(results[i].total_contention_ns, want.total_contention_ns);
+      EXPECT_EQ(results[i].num_contended_packets, want.num_contended_packets);
+      EXPECT_EQ(results[i].total_j(), want.energy.total_j());
+    }
+  }
+}
+
+TEST(BatchEvaluatorTest, ThreadCountCannotBeObserved) {
+  const noc::Mesh topo(5, 4);
+  const graph::Cdcg cdcg = random_cdcg(18, 41);
+  const energy::Technology tech = energy::technology_0_07u();
+  const std::vector<mapping::Mapping> batch = random_batch(topo, 18, 64, 5);
+
+  std::vector<std::vector<BatchResult>> per_threads;
+  for (const std::uint32_t threads : {1u, 2u, 4u, 7u}) {
+    BatchEvaluator evaluator(cdcg, topo, tech, {}, threads);
+    EXPECT_EQ(evaluator.threads(), threads);
+    per_threads.push_back(evaluator.evaluate(batch));
+  }
+  for (std::size_t t = 1; t < per_threads.size(); ++t) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(per_threads[t][i].texec_ns, per_threads[0][i].texec_ns);
+      EXPECT_EQ(per_threads[t][i].dynamic_j, per_threads[0][i].dynamic_j);
+      EXPECT_EQ(per_threads[t][i].static_j, per_threads[0][i].static_j);
+      EXPECT_EQ(per_threads[t][i].total_contention_ns,
+                per_threads[0][i].total_contention_ns);
+    }
+  }
+}
+
+TEST(BatchEvaluatorTest, EvaluateCostsMatchesTotalEnergy) {
+  const noc::Mesh topo(3, 3);
+  const graph::Cdcg cdcg = random_cdcg(9, 3);
+  const energy::Technology tech = energy::technology_0_07u();
+  const std::vector<mapping::Mapping> batch = random_batch(topo, 9, 10, 11);
+
+  BatchEvaluator evaluator(cdcg, topo, tech, {}, 2);
+  const std::vector<BatchResult> full = evaluator.evaluate(batch);
+  std::vector<double> costs(batch.size());
+  evaluator.evaluate_costs(batch.data(), batch.size(), costs.data());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(costs[i], full[i].total_j());
+  }
+}
+
+TEST(BatchEvaluatorTest, EmptyBatchAndArenaReuseAcrossBatches) {
+  const noc::Mesh topo(3, 3);
+  const graph::Cdcg cdcg = random_cdcg(9, 8);
+  const energy::Technology tech = energy::technology_0_07u();
+  BatchEvaluator evaluator(cdcg, topo, tech, {}, 2);
+  EXPECT_TRUE(evaluator.evaluate({}).empty());
+
+  // Back-to-back batches reuse the arenas; results stay reproducible.
+  const std::vector<mapping::Mapping> batch = random_batch(topo, 9, 8, 2);
+  const std::vector<BatchResult> first = evaluator.evaluate(batch);
+  const std::vector<BatchResult> second = evaluator.evaluate(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(first[i].texec_ns, second[i].texec_ns);
+    EXPECT_EQ(first[i].total_j(), second[i].total_j());
+  }
+}
+
+TEST(BatchEvaluatorTest, RejectsForeignMappings) {
+  const noc::Mesh topo(3, 3);
+  const graph::Cdcg cdcg = random_cdcg(9, 8);
+  BatchEvaluator evaluator(cdcg, topo, energy::technology_0_07u(), {}, 2);
+  const noc::Mesh other(4, 4);
+  const std::vector<mapping::Mapping> bad(5, mapping::Mapping(other, 9));
+  EXPECT_THROW(evaluator.evaluate(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nocmap::sim
