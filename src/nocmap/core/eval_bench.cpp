@@ -1,8 +1,10 @@
 #include "nocmap/core/eval_bench.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "nocmap/energy/energy_model.hpp"
 #include "nocmap/energy/technology.hpp"
@@ -11,6 +13,8 @@
 #include "nocmap/mapping/mapping.hpp"
 #include "nocmap/noc/routing.hpp"
 #include "nocmap/noc/topology.hpp"
+#include "nocmap/search/branch_and_bound.hpp"
+#include "nocmap/search/exhaustive.hpp"
 #include "nocmap/sim/batch_evaluator.hpp"
 #include "nocmap/sim/schedule.hpp"
 #include "nocmap/sim/simulator.hpp"
@@ -71,8 +75,9 @@ void append_json_number(std::ostringstream& os, double v) {
 
 std::string EvalBenchReport::to_json() const {
   std::ostringstream os;
-  os << "{\n  \"bench\": \"eval_engine\",\n  \"schema\": 2,\n"
+  os << "{\n  \"bench\": \"eval_engine\",\n  \"schema\": 3,\n"
      << "  \"unit\": \"evaluations_per_second\",\n"
+     << "  \"host_threads\": " << host_threads << ",\n"
      << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const EvalBenchRow& r = rows[i];
@@ -104,8 +109,23 @@ std::string EvalBenchReport::to_json() const {
     append_json_number(os, r.hybrid_per_s);
     os << ", \"hybrid_cadence\": " << r.hybrid_cadence
        << ", \"hybrid_speedup\": " << r.hybrid_speedup()
-       << ", \"cdcm_allocs_per_run\": " << r.cdcm_allocs_per_run << "}"
-       << (i + 1 < rows.size() ? "," : "") << "\n";
+       << ", \"cdcm_allocs_per_run\": " << r.cdcm_allocs_per_run << ",\n"
+       << "     \"bnb_evals_per_second\": ";
+    append_json_number(os, r.bnb_evals_per_s);
+    os << ", \"bnb_nodes_visited\": " << r.bnb_nodes_visited
+       << ", \"bnb_nodes_pruned\": " << r.bnb_nodes_pruned
+       << ", \"bnb_nodes_tested\": " << r.bnb_nodes_tested
+       << ",\n     \"bnb_node_budget\": " << r.bnb_node_budget
+       << ", \"bnb_pruned_frac\": " << r.bnb_pruned_frac()
+       << ", \"bnb_complete\": " << (r.bnb_complete ? "true" : "false")
+       << ", \"bnb_best\": ";
+    {
+      std::ostringstream precise;
+      precise.precision(17);
+      precise << r.bnb_best_j << ", \"es_best\": " << r.es_best_j;
+      os << precise.str();
+    }
+    os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
   return os.str();
@@ -113,6 +133,8 @@ std::string EvalBenchReport::to_json() const {
 
 EvalBenchReport run_eval_bench(const EvalBenchOptions& options) {
   EvalBenchReport report;
+  report.host_threads = std::max<std::uint32_t>(
+      1, std::thread::hardware_concurrency());
   const energy::Technology tech = energy::technology_0_07u();
 
   std::vector<std::pair<std::uint32_t, std::uint32_t>> sizes = options.sizes;
@@ -255,6 +277,31 @@ EvalBenchReport run_eval_bench(const EvalBenchOptions& options) {
         hybrid.apply_swap(m, a, b);
         return d;
       });
+    }
+
+    // Branch-and-bound exact CWM search: one full run (it is a search, not
+    // a steady-state rate loop — the budget bounds its cost on big boards),
+    // plus the serial exhaustive reference when the space is enumerable so
+    // CI can cross-check the optimum.
+    {
+      search::BnbOptions bo;
+      bo.max_nodes = options.bnb_max_nodes;
+      bo.seed = options.seed;
+      const Clock::time_point t0 = Clock::now();
+      const search::SearchResult sr =
+          search::branch_and_bound(cwm, *topo, bo);
+      const double elapsed = std::max(seconds_since(t0), 1e-9);
+      row.bnb_evals_per_s = static_cast<double>(sr.nodes_tested) / elapsed;
+      row.bnb_nodes_visited = sr.nodes_visited;
+      row.bnb_nodes_pruned = sr.nodes_pruned;
+      row.bnb_nodes_tested = sr.nodes_tested;
+      row.bnb_node_budget = sr.node_budget;
+      row.bnb_complete = sr.exhausted;
+      row.bnb_best_j = sr.best_cost;
+      if (search::placement_count(tiles, params.num_cores) <=
+          options.es_reference_max_placements) {
+        row.es_best_j = search::exhaustive_search(cwm, *topo).best_cost;
+      }
     }
 
     if (options.alloc_count) {

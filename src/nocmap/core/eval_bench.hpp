@@ -38,6 +38,13 @@ struct EvalBenchOptions {
   std::uint32_t batch_threads = 4;   ///< T for the cdcm_batch_T row.
   std::uint32_t batch_size = 256;    ///< Mappings per BatchEvaluator call.
   std::uint32_t hybrid_cadence = 8;  ///< HybridCost CDCM verification rate.
+  /// Branch-and-bound node budget (lower-bound tests) per row. The 3x3 and
+  /// 4x4 CWM searches complete in well under 10^5 tests; larger boards are
+  /// truncated and report bnb_complete = false.
+  std::uint64_t bnb_max_nodes = 500'000;
+  /// Run the serial exhaustive reference (es_best, the optimum cross-check
+  /// against bnb_best) when the unpruned placement count is at most this.
+  std::uint64_t es_reference_max_placements = 1'000'000;
   /// Optional live allocation counter (global operator-new hook installed by
   /// the calling binary). When set, the benchmark reports the number of
   /// heap allocations per steady-state Simulator::run(); when null the
@@ -65,6 +72,19 @@ struct EvalBenchRow {
   std::uint32_t hybrid_cadence = 0;
   std::int64_t cdcm_allocs_per_run = -1;  ///< -1 when not measured.
 
+  // --- Branch-and-bound exact CWM search (one run, not a rate loop) --------
+  double bnb_evals_per_s = 0.0;        ///< Lower-bound tests per second.
+  std::uint64_t bnb_nodes_visited = 0;
+  std::uint64_t bnb_nodes_pruned = 0;  ///< Eliminated subtree volume.
+  std::uint64_t bnb_nodes_tested = 0;
+  std::uint64_t bnb_node_budget = 0;
+  bool bnb_complete = false;           ///< Tree exhausted within the budget.
+  double bnb_best_j = 0.0;             ///< Best CWM cost found.
+  /// Serial exhaustive optimum for the same objective; -1 when the space
+  /// was too large to enumerate. When present and bnb_complete, it must
+  /// equal bnb_best_j bitwise (CI enforces it).
+  double es_best_j = -1.0;
+
   double cwm_delta_speedup() const {
     return cwm_legacy_per_s > 0 ? cwm_delta_per_s / cwm_legacy_per_s : 0.0;
   }
@@ -83,12 +103,22 @@ struct EvalBenchRow {
   double hybrid_speedup() const {
     return cdcm_reuse_per_s > 0 ? hybrid_per_s / cdcm_reuse_per_s : 0.0;
   }
+  /// Fraction of the enumeration tree the bound eliminated.
+  double bnb_pruned_frac() const {
+    const double denom = static_cast<double>(bnb_nodes_visited) +
+                         static_cast<double>(bnb_nodes_pruned);
+    return denom > 0 ? static_cast<double>(bnb_nodes_pruned) / denom : 0.0;
+  }
 };
 
 struct EvalBenchReport {
   std::vector<EvalBenchRow> rows;
+  /// std::thread::hardware_concurrency() of the measuring host: the context
+  /// needed to interpret cdcm_batch_scaling (a 1-CPU box legitimately
+  /// reports ~1.0).
+  std::uint32_t host_threads = 0;
 
-  /// Pretty-printed JSON document ({"bench": "eval_engine", "schema": 2,
+  /// Pretty-printed JSON document ({"bench": "eval_engine", "schema": 3,
   /// "rows": [...]}).
   std::string to_json() const;
 };

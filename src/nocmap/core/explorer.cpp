@@ -1,5 +1,6 @@
 #include "nocmap/core/explorer.hpp"
 
+#include "nocmap/search/greedy.hpp"
 #include "nocmap/sim/batch_evaluator.hpp"
 
 #include <algorithm>
@@ -139,14 +140,32 @@ search::SearchResult Explorer::run_batched_exhaustive() const {
       options_.es, std::max<std::uint32_t>(1, options_.es_batch_size));
 }
 
+search::SearchResult Explorer::run_branch_and_bound(
+    const CostFactory& make_cost, const mapping::Mapping* incumbent) const {
+  search::BnbOptions bo = options_.bnb;
+  bo.threads = options_.threads;
+  bo.seed = options_.seed;
+  bo.sa = options_.sa;
+  // The paper's greedy construction seeds the SA chain, whose winner seeds
+  // the tree walk — so pruning bites from the first node. A caller-provided
+  // incumbent (the CWM winner, under seed_cdcm_with_cwm) is better still.
+  const mapping::Mapping greedy = search::greedy_mapping(cwg_, topo_);
+  bo.incumbent = incumbent ? incumbent : &greedy;
+  bo.use_symmetry = bo.use_symmetry && options_.es.use_symmetry;
+  return search::branch_and_bound(make_cost, topo_, bo);
+}
+
 ModelOutcome Explorer::run(const CostFactory& make_cost,
                            const std::string& model, bool timing_model,
                            const mapping::Mapping* sa_initial) const {
+  const bool bnb = options_.method == SearchMethod::kBranchAndBound;
   const bool exhaustive =
-      options_.method == SearchMethod::kExhaustive ||
-      (options_.method == SearchMethod::kAuto && would_use_exhaustive());
+      !bnb && (options_.method == SearchMethod::kExhaustive ||
+               (options_.method == SearchMethod::kAuto &&
+                would_use_exhaustive()));
 
   search::SearchResult sr = [&] {
+    if (bnb) return run_branch_and_bound(make_cost, sa_initial);
     if (exhaustive) {
       // The timing-aware objectives (CDCM, and hybrid — whose cost() IS
       // the CDCM objective) go through the batch evaluator; CWM keeps the
@@ -160,6 +179,16 @@ ModelOutcome Explorer::run(const CostFactory& make_cost,
 
   ModelOutcome outcome{model, sr.best, sr.best_cost, {}, sr.evaluations,
                        exhaustive};
+  if (bnb) {
+    outcome.method = sr.exhausted ? "BB" : "BB/SA";
+    outcome.bnb_nodes_visited = sr.nodes_visited;
+    outcome.bnb_nodes_pruned = sr.nodes_pruned;
+    outcome.bnb_nodes_tested = sr.nodes_tested;
+    outcome.bnb_node_budget = sr.node_budget;
+    outcome.bnb_complete = sr.exhausted;
+  } else {
+    outcome.method = exhaustive ? "ES" : "SA";
+  }
   // Ground truth: full CDCM simulation of the winner, traces included.
   const mapping::CdcmCost evaluator(cdcg_, topo_, options_.tech,
                                     options_.routing);

@@ -25,6 +25,7 @@
 #include "nocmap/graph/cdcg.hpp"
 #include "nocmap/mapping/cost.hpp"
 #include "nocmap/noc/topology.hpp"
+#include "nocmap/search/branch_and_bound.hpp"
 #include "nocmap/search/exhaustive.hpp"
 #include "nocmap/search/simulated_annealing.hpp"
 #include "nocmap/sim/schedule.hpp"
@@ -35,6 +36,10 @@ enum class SearchMethod {
   kAuto,                ///< ES if the pruned space fits the budget, else SA.
   kSimulatedAnnealing,
   kExhaustive,
+  /// Branch and bound: exact optimum with admissible lower-bound pruning,
+  /// incumbent seeded by greedy+SA. Falls back to the seeded incumbent
+  /// (annealing quality) when the node budget runs out.
+  kBranchAndBound,
 };
 
 /// Which objective drives the timing-aware half of the comparison.
@@ -51,6 +56,11 @@ struct ExplorerOptions {
   SearchMethod method = SearchMethod::kAuto;
   search::SaOptions sa;
   search::EsOptions es;
+  /// kBranchAndBound: node budget, shard depth, symmetry collapse. The
+  /// seed/threads/sa fields and the incumbent are filled in per run (the
+  /// incumbent is the greedy construction, or the CWM winner when
+  /// seed_cdcm_with_cwm provides one).
+  search::BnbOptions bnb;
   /// kAuto picks ES when placements / |symmetry group| is at most this.
   std::uint64_t es_auto_threshold = 500'000;
   /// In compare(), seed the CDCM annealing run with the CWM winner: the
@@ -91,6 +101,16 @@ struct ModelOutcome {
   sim::SimulationResult sim;    ///< Ground-truth CDCM evaluation of it.
   std::uint64_t evaluations = 0;
   bool used_exhaustive = false;
+  /// "ES", "SA", "BB" (branch and bound, proved optimal) or "BB/SA"
+  /// (branch and bound hit its node budget and fell back to the seeded
+  /// incumbent — annealing quality, no optimality proof).
+  std::string method = "SA";
+  // Branch-and-bound counters (see search::SearchResult); zero otherwise.
+  std::uint64_t bnb_nodes_visited = 0;
+  std::uint64_t bnb_nodes_pruned = 0;
+  std::uint64_t bnb_nodes_tested = 0;
+  std::uint64_t bnb_node_budget = 0;
+  bool bnb_complete = false;
 };
 
 /// CWM-best vs CDCM-best, both judged by the ground-truth simulator.
@@ -142,6 +162,9 @@ class Explorer {
                                      const mapping::Mapping* sa_initial) const;
   /// CDCM/hybrid exhaustive search, sharded over a sim::BatchEvaluator.
   search::SearchResult run_batched_exhaustive() const;
+  /// Branch and bound with a greedy (or `incumbent`-provided) + SA seed.
+  search::SearchResult run_branch_and_bound(
+      const CostFactory& make_cost, const mapping::Mapping* incumbent) const;
   std::string timing_model_name() const;
   CostFactory timing_cost_factory() const;
 

@@ -1,5 +1,7 @@
 #include "nocmap/mapping/cost.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "nocmap/energy/energy_model.hpp"
@@ -11,6 +13,11 @@ double CostFunction::swap_delta(const Mapping&, noc::TileId,
   throw std::logic_error("swap_delta: not implemented by " + name());
 }
 
+std::unique_ptr<CostFunction::LowerBound> CostFunction::make_lower_bound()
+    const {
+  throw std::logic_error("make_lower_bound: not implemented by " + name());
+}
+
 void CostFunction::apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const {
   m.swap_tiles(a, b);
 }
@@ -19,6 +26,7 @@ CwmCost::CwmCost(const graph::Cwg& cwg, const noc::Topology& topo,
                  const energy::Technology& tech, noc::RoutingAlgorithm routing)
     : edges_(cwg.edges()),
       incident_(cwg.num_cores()),
+      topo_(&topo),
       table_(topo, routing),
       tech_(tech),
       routing_(routing),
@@ -84,6 +92,340 @@ double CwmCost::swap_delta(const Mapping& m, noc::TileId a,
     }
   }
   return delta;
+}
+
+namespace {
+
+/// Minimum-cost assignment of `rows` x `cols` matrix `a` (row-major,
+/// rows <= cols): the Hungarian algorithm with potentials and shortest
+/// augmenting paths, O(rows^2 * cols). Returns the summed cost of the
+/// optimal matching (summed directly over the chosen entries, so the value
+/// is an actual matching cost even under floating-point rounding).
+double min_cost_assignment(const double* a, std::size_t rows,
+                           std::size_t cols, std::vector<double>& u,
+                           std::vector<double>& v, std::vector<int>& match,
+                           std::vector<double>& minv, std::vector<int>& way,
+                           std::vector<char>& used) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  u.assign(rows + 1, 0.0);
+  v.assign(cols + 1, 0.0);
+  match.assign(cols + 1, 0);  // match[j] = 1-based row occupying column j.
+  way.assign(cols + 1, 0);
+  for (std::size_t i = 1; i <= rows; ++i) {
+    match[0] = static_cast<int>(i);
+    std::size_t j0 = 0;
+    minv.assign(cols + 1, kInf);
+    used.assign(cols + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = static_cast<std::size_t>(match[j0]);
+      double delta = kInf;
+      std::size_t j1 = 0;
+      const double* row = a + (i0 - 1) * cols;
+      for (std::size_t j = 1; j <= cols; ++j) {
+        if (used[j]) continue;
+        const double cur = row[j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = static_cast<int>(j0);
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= cols; ++j) {
+        if (used[j]) {
+          u[static_cast<std::size_t>(match[j])] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    do {
+      const std::size_t j1 = static_cast<std::size_t>(way[j0]);
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  double cost = 0.0;
+  for (std::size_t j = 1; j <= cols; ++j) {
+    if (match[j] != 0) {
+      cost += a[(static_cast<std::size_t>(match[j]) - 1) * cols + (j - 1)];
+    }
+  }
+  return cost;
+}
+
+/// The hop lower bound shared by the CWM and CDCM objectives.
+///
+/// Invariant classification of every CWG edge against the current partial
+/// placement:
+///  * both endpoints placed  -> exact hop-table energy (the "prefix"),
+///  * one endpoint placed    -> priced inside bound(): the unplaced core
+///    must land on some currently free tile, so its edges to placed cores
+///    cost at least their summed hop-table energy at a candidate tile; the
+///    candidates are coupled across cores through a minimum-cost
+///    assignment (unplaced cores x free tiles, Hungarian algorithm), which
+///    respects that distinct cores take distinct tiles — the
+///    Gilmore-Lawler-style relaxation from the exact-QAP literature,
+///  * neither endpoint placed -> both cores end on distinct, currently
+///    free tiles; from either endpoint's candidate tile u the edge costs
+///    at least its volume priced at the minimal hop count from u to any
+///    *other free* tile. Half of that is charged to each endpoint's
+///    per-core minimum above (each side's charge is a lower bound on the
+///    whole edge, so half from each is admissible), which makes candidate
+///    tiles in sparse free regions expensive exactly when they should be.
+///
+/// The prefix is maintained incrementally in O(deg(core)) per
+/// place()/unplace(); `extra_floor_j` adds any mapping-independent term
+/// (zero for CWM, the static-energy critical-path floor for CDCM). Once
+/// every core is placed, bound() recomputes the total fresh in edge order,
+/// which makes it bitwise equal to CwmCost::cost() (and immune to push/pop
+/// floating-point drift).
+class HopLowerBound final : public CostFunction::LowerBound {
+ public:
+  HopLowerBound(std::vector<graph::CwgEdge> edges, std::size_t num_cores,
+                const noc::Topology& topo, const energy::Technology& tech,
+                noc::RoutingAlgorithm routing, double extra_floor_j)
+      : edges_(std::move(edges)),
+        table_(topo, routing),
+        tech_(tech),
+        num_cores_(num_cores),
+        num_tiles_(topo.num_tiles()),
+        extra_floor_j_(extra_floor_j) {
+    // Per-hop-count energy per bit, up to the topology's diameter.
+    std::uint32_t max_k = 1;
+    for (noc::TileId s = 0; s < num_tiles_; ++s) {
+      for (noc::TileId d = 0; d < num_tiles_; ++d) {
+        max_k = std::max(max_k, table_.hops(s, d));
+      }
+    }
+    ebit_.resize(max_k + 1, 0.0);
+    for (std::uint32_t k = 1; k <= max_k; ++k) {
+      ebit_[k] = energy::dynamic_bit_energy(tech_, k);
+    }
+
+    incident_.resize(num_cores_);
+    traffic_.resize(num_cores_, 0);
+    for (const graph::CwgEdge& e : edges_) {
+      const double bits = static_cast<double>(e.bits);
+      incident_[e.src].push_back(Incident{e.dst, bits, true});
+      incident_[e.dst].push_back(Incident{e.src, bits, false});
+      traffic_[e.src] += e.bits;
+      traffic_[e.dst] += e.bits;
+    }
+    placed_.resize(num_cores_, kUnplaced);
+    occupied_.resize(num_tiles_, 0);
+    free_ebit_.resize(num_tiles_, 0.0);
+    reset();
+  }
+
+  void reset() override {
+    std::fill(placed_.begin(), placed_.end(), kUnplaced);
+    std::fill(occupied_.begin(), occupied_.end(), 0);
+    num_placed_ = 0;
+    prefix_j_ = 0.0;
+  }
+
+  void place(graph::CoreId core, noc::TileId tile) override {
+    for (const Incident& e : incident_[core]) {
+      const noc::TileId far = placed_[e.other];
+      if (far != kUnplaced) {
+        prefix_j_ += e.bits * ebit_[e.outgoing ? table_.hops(tile, far)
+                                               : table_.hops(far, tile)];
+      }
+    }
+    placed_[core] = tile;
+    occupied_[tile] = 1;
+    ++num_placed_;
+  }
+
+  void unplace(graph::CoreId core, noc::TileId tile) override {
+    placed_[core] = kUnplaced;
+    occupied_[tile] = 0;
+    --num_placed_;
+    for (const Incident& e : incident_[core]) {
+      const noc::TileId far = placed_[e.other];
+      if (far != kUnplaced) {
+        prefix_j_ -= e.bits * ebit_[e.outgoing ? table_.hops(tile, far)
+                                               : table_.hops(far, tile)];
+      }
+    }
+  }
+
+  double bound(double prune_above) const override {
+    if (num_placed_ == num_cores_) return complete_cost() + extra_floor_j_;
+
+    // Free tiles, and per free tile the energy-per-bit of one hop to the
+    // nearest *other* free tile (either direction — admissible for both
+    // edge orientations). O(free^2) hop-table lookups per call.
+    free_.clear();
+    for (noc::TileId u = 0; u < num_tiles_; ++u) {
+      if (!occupied_[u]) free_.push_back(u);
+    }
+    for (const noc::TileId u : free_) {
+      std::uint32_t dmin = std::numeric_limits<std::uint32_t>::max();
+      for (const noc::TileId v : free_) {
+        if (v == u) continue;
+        dmin = std::min(dmin, std::min(table_.hops(u, v), table_.hops(v, u)));
+      }
+      // A lone free tile can only host the last unplaced core, which by
+      // then has no unplaced partners, so the value is never read.
+      free_ebit_[u] =
+          dmin == std::numeric_limits<std::uint32_t>::max() ? 0.0 : ebit_[dmin];
+    }
+
+    // One matrix row per unplaced core with any traffic: entry (c, u) is a
+    // lower bound on c's remainder contribution if it lands on free tile u
+    // (its placed partners priced exactly, half of each unplaced-unplaced
+    // edge priced at u's nearest-free-tile hop count). A complete mapping
+    // assigns these cores *distinct* free tiles, so the minimum-cost
+    // assignment over the matrix — not just the sum of row minima — is
+    // still admissible, and substantially tighter when cores compete for
+    // the same good tiles.
+    matrix_.clear();
+    std::size_t rows = 0;
+    const double base = prefix_j_ + extra_floor_j_;
+    double cheap = base;  ///< base + sum of row minima: admissible itself.
+    for (graph::CoreId c = 0; c < num_cores_; ++c) {
+      if (placed_[c] != kUnplaced) continue;
+      scratch_.clear();
+      double unplaced_bits = 0.0;
+      for (const Incident& e : incident_[c]) {
+        if (placed_[e.other] != kUnplaced) {
+          scratch_.push_back(Incident{placed_[e.other], e.bits, e.outgoing});
+        } else {
+          unplaced_bits += e.bits;
+        }
+      }
+      if (scratch_.empty() && unplaced_bits == 0.0) continue;
+      ++rows;
+      double row_min = std::numeric_limits<double>::infinity();
+      for (const noc::TileId u : free_) {
+        double s = 0.5 * unplaced_bits * free_ebit_[u];
+        for (const Incident& e : scratch_) {
+          // `other` holds the placed partner's tile here.
+          s += e.bits * ebit_[e.outgoing ? table_.hops(u, e.other)
+                                         : table_.hops(e.other, u)];
+        }
+        matrix_.push_back(s);
+        if (s < row_min) row_min = s;
+      }
+      cheap += row_min;
+      // Cascade: a partial sum of row minima is already admissible, so the
+      // moment it exceeds the caller's threshold the assignment solve (and
+      // the remaining rows) is unnecessary.
+      if (cheap > prune_above) return cheap;
+    }
+    if (rows == 0) return base;
+    return base + min_cost_assignment(matrix_.data(), rows, free_.size(),
+                                      hung_u_, hung_v_, hung_match_,
+                                      hung_minv_, hung_way_, hung_used_);
+  }
+
+  std::uint64_t core_traffic(graph::CoreId core) const override {
+    return core < traffic_.size() ? traffic_[core] : 0;
+  }
+
+ private:
+  static constexpr noc::TileId kUnplaced =
+      std::numeric_limits<noc::TileId>::max();
+
+  /// One edge endpoint as seen from a core; in bound()'s scratch buffer
+  /// `other` is reused to hold the placed partner's *tile*.
+  struct Incident {
+    std::uint32_t other = 0;
+    double bits = 0.0;
+    bool outgoing = false;
+  };
+
+  /// Fresh full evaluation in edge order — the exact CwmCost::cost() sum.
+  double complete_cost() const {
+    double energy_j = 0.0;
+    for (const graph::CwgEdge& e : edges_) {
+      const std::uint32_t k = table_.hops(placed_[e.src], placed_[e.dst]);
+      energy_j += energy::dynamic_packet_energy(tech_, e.bits, k);
+    }
+    return energy_j;
+  }
+
+  std::vector<graph::CwgEdge> edges_;
+  std::vector<std::vector<Incident>> incident_;
+  std::vector<std::uint64_t> traffic_;
+  noc::RouteTable table_;
+  energy::Technology tech_;
+  std::size_t num_cores_;
+  std::uint32_t num_tiles_;
+  std::vector<double> ebit_;       ///< dynamic_bit_energy per hop count.
+  double extra_floor_j_ = 0.0;
+
+  std::vector<noc::TileId> placed_;  ///< Per core; kUnplaced when free.
+  std::vector<char> occupied_;       ///< Per tile.
+  std::size_t num_placed_ = 0;
+  double prefix_j_ = 0.0;
+  mutable std::vector<Incident> scratch_;
+  mutable std::vector<noc::TileId> free_;
+  mutable std::vector<double> free_ebit_;  ///< Indexed by tile.
+  // Assignment-relaxation scratch (bound() is const but reuses buffers).
+  mutable std::vector<double> matrix_;
+  mutable std::vector<double> hung_u_, hung_v_, hung_minv_;
+  mutable std::vector<int> hung_match_, hung_way_;
+  mutable std::vector<char> hung_used_;
+};
+
+/// Mapping-independent floor on the CDCM execution time: the critical path
+/// of the dependence DAG with every packet delivered at the contention-free
+/// Equation-8 latency of a minimal route. Any mapping places distinct cores
+/// on distinct tiles, so every route has at least `min_pair_k` routers and
+/// contention only adds delay.
+double cdcg_texec_floor_ns(const graph::Cdcg& cdcg,
+                           const energy::Technology& tech,
+                           std::uint32_t min_pair_k) {
+  std::vector<double> delivered(cdcg.num_packets(), 0.0);
+  double texec = 0.0;
+  for (graph::PacketId p : cdcg.topological_order()) {
+    double ready = 0.0;
+    for (graph::PacketId q : cdcg.predecessors(p)) {
+      ready = std::max(ready, delivered[q]);
+    }
+    const graph::Packet& pk = cdcg.packet(p);
+    delivered[p] = ready +
+                   static_cast<double>(pk.comp_time) * tech.clock_period_ns +
+                   energy::total_packet_delay_ns(tech, min_pair_k,
+                                                 tech.flits(pk.bits));
+    texec = std::max(texec, delivered[p]);
+  }
+  return texec;
+}
+
+/// The minimal hop count between distinct tiles (the K used by both floors).
+std::uint32_t minimal_pair_hops(const noc::Topology& topo) {
+  std::uint32_t min_k = std::numeric_limits<std::uint32_t>::max();
+  for (noc::TileId a = 0; a < topo.num_tiles(); ++a) {
+    for (noc::TileId b = 0; b < topo.num_tiles(); ++b) {
+      if (a != b) min_k = std::min(min_k, topo.distance(a, b) + 1);
+    }
+  }
+  return min_k;
+}
+
+}  // namespace
+
+std::unique_ptr<CostFunction::LowerBound> CwmCost::make_lower_bound() const {
+  return std::make_unique<HopLowerBound>(edges_, num_cores_, *topo_, tech_,
+                                         routing_, /*extra_floor_j=*/0.0);
+}
+
+std::unique_ptr<CostFunction::LowerBound> CdcmCost::make_lower_bound() const {
+  const graph::Cwg cwg = cdcg_.to_cwg();
+  const double static_floor_j = energy::static_noc_energy(
+      tech_, topo_.num_tiles(),
+      cdcg_texec_floor_ns(cdcg_, tech_, minimal_pair_hops(topo_)));
+  return std::make_unique<HopLowerBound>(cwg.edges(), cdcg_.num_cores(), topo_,
+                                         tech_, routing_, static_floor_j);
 }
 
 double cwm_dynamic_energy(const graph::Cwg& cwg, const noc::Topology& topo,

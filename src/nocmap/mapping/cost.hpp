@@ -20,6 +20,7 @@
 /// price a move in O(deg(a) + deg(b)) instead of O(|E|).
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -86,6 +87,69 @@ class CostFunction {
   /// The default implementation just performs m.swap_tiles(a, b), which is
   /// sufficient for stateless implementations.
   virtual void apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const;
+
+  // --- Partial-mapping lower bounds (branch-and-bound protocol) ------------
+  //
+  // Branch-and-bound search (search/branch_and_bound.hpp) extends *partial*
+  // mappings one core at a time and discards a prefix as soon as no
+  // completion of it can beat the incumbent. Implementations that can bound
+  // partial mappings advertise it via has_lower_bound() and hand the engine
+  // a LowerBound evaluator. The admissibility arguments for the shipped
+  // implementations are documented in docs/search.md.
+
+  /// Incremental evaluator over partial placements. Not thread-safe; each
+  /// search worker obtains its own instance from its own cost function. The
+  /// creating cost function must outlive the evaluator.
+  class LowerBound {
+   public:
+    virtual ~LowerBound() = default;
+
+    /// Forget every placement (the state right after construction).
+    virtual void reset() = 0;
+
+    /// Record that `core` now occupies `tile` / no longer occupies `tile`.
+    /// O(deg(core)) via the per-core incident-edge lists. Calls must nest
+    /// stack-like per core and never place a core or tile twice.
+    virtual void place(graph::CoreId core, noc::TileId tile) = 0;
+    virtual void unplace(graph::CoreId core, noc::TileId tile) = 0;
+
+    /// Admissible lower bound on cost(m) over every complete mapping m that
+    /// extends the current partial placement (unplaced cores on currently
+    /// free tiles). For CwmCost the bound equals cost(m) exactly once all
+    /// cores are placed; for CdcmCost it stays a strict lower bound (the
+    /// simulated static energy exceeds the critical-path floor).
+    ///
+    /// `prune_above` is a cascade hint: the caller only cares whether the
+    /// bound exceeds it. An implementation may return any admissible bound
+    /// already known to exceed prune_above without computing its tightest
+    /// one (HopLowerBound skips the assignment solve when the cheap
+    /// row-minima bound already proves the prune), so pass the incumbent
+    /// when pruning and +infinity when the tight value itself is wanted.
+    virtual double bound(double prune_above) const = 0;
+    double bound() const {
+      return bound(std::numeric_limits<double>::infinity());
+    }
+
+    /// Total bits on edges incident to `core`; the engine places heavy
+    /// communicators first so bounds tighten as early as possible.
+    virtual std::uint64_t core_traffic(graph::CoreId core) const = 0;
+  };
+
+  /// True when make_lower_bound() is implemented.
+  virtual bool has_lower_bound() const { return false; }
+
+  /// A fresh evaluator bound to this cost function's application, topology
+  /// and technology. Only callable when has_lower_bound(); the default
+  /// throws std::logic_error.
+  virtual std::unique_ptr<LowerBound> make_lower_bound() const;
+
+  /// True when cost() is exactly invariant under the bound topology's
+  /// symmetry_maps() (CWM: hop counts are preserved by automorphisms).
+  /// Branch-and-bound only applies the first-tile symmetry collapse to
+  /// invariant objectives; the CDCM simulation is only approximately
+  /// invariant (a reflection maps XY routes onto YX routes), so it is
+  /// searched unrestricted.
+  virtual bool symmetry_invariant() const { return false; }
 };
 
 /// Equation 3 — EDyNoC(CWM) = sum over all communications of w_ab * EBit_ij.
@@ -110,6 +174,10 @@ class CwmCost final : public CostFunction {
   double swap_delta(const Mapping& m, noc::TileId a,
                     noc::TileId b) const override;
 
+  bool has_lower_bound() const override { return true; }
+  std::unique_ptr<LowerBound> make_lower_bound() const override;
+  bool symmetry_invariant() const override { return true; }
+
   const noc::RouteTable& route_table() const { return table_; }
 
  private:
@@ -125,6 +193,7 @@ class CwmCost final : public CostFunction {
 
   std::vector<graph::CwgEdge> edges_;
   std::vector<std::vector<IncidentEdge>> incident_;  ///< Indexed by core.
+  const noc::Topology* topo_;  ///< For make_lower_bound(); outlives us.
   noc::RouteTable table_;
   energy::Technology tech_;
   noc::RoutingAlgorithm routing_;
@@ -163,6 +232,13 @@ class CdcmCost final : public CostFunction {
   double swap_delta(const Mapping& m, noc::TileId a,
                     noc::TileId b) const override;
   void apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const override;
+
+  /// The CWM-style hop bound on the packet graph plus the mapping-independent
+  /// static-energy floor (critical path of the CDCG at minimal routes, no
+  /// contention) — provably <= the simulated Equation-10 cost; the argument
+  /// is spelled out in docs/search.md.
+  bool has_lower_bound() const override { return true; }
+  std::unique_ptr<LowerBound> make_lower_bound() const override;
 
   /// Full simulation (with traces) of a mapping — used for reporting after
   /// the search picked a winner.
@@ -218,6 +294,12 @@ class HybridCost final : public CostFunction {
   double swap_delta(const Mapping& m, noc::TileId a,
                     noc::TileId b) const override;
   void apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const override;
+
+  /// cost() is the exact CDCM objective, so the CDCM bound applies as-is.
+  bool has_lower_bound() const override { return true; }
+  std::unique_ptr<LowerBound> make_lower_bound() const override {
+    return cdcm_.make_lower_bound();
+  }
 
   std::uint32_t cdcm_cadence() const { return cadence_; }
   const CdcmCost& cdcm() const { return cdcm_; }

@@ -118,7 +118,39 @@ std::vector<std::vector<TileId>> Topology::keep_automorphisms(
   return kept;
 }
 
-std::vector<std::vector<TileId>> Topology::symmetry_maps() const {
+Topology::SymmetryMapCache::SymmetryMapCache(const SymmetryMapCache& other)
+    : maps_(other.snapshot()) {}
+
+Topology::SymmetryMapCache& Topology::SymmetryMapCache::operator=(
+    const SymmetryMapCache& other) {
+  if (this == &other) return *this;
+  auto copy = other.snapshot();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  maps_ = std::move(copy);
+  return *this;
+}
+
+std::unique_ptr<const std::vector<std::vector<TileId>>>
+Topology::SymmetryMapCache::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!maps_) return nullptr;
+  return std::make_unique<const std::vector<std::vector<TileId>>>(*maps_);
+}
+
+const std::vector<std::vector<TileId>>& Topology::SymmetryMapCache::get(
+    const std::function<std::vector<std::vector<TileId>>()>& compute) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!maps_) {
+    maps_ = std::make_unique<const std::vector<std::vector<TileId>>>(compute());
+  }
+  return *maps_;
+}
+
+const std::vector<std::vector<TileId>>& Topology::symmetry_maps() const {
+  return symmetry_cache_.get([this] { return compute_symmetry_maps(); });
+}
+
+std::vector<std::vector<TileId>> Topology::compute_symmetry_maps() const {
   return keep_automorphisms(dihedral_candidates());
 }
 

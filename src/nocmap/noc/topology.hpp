@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -182,19 +183,27 @@ class Topology {
   // --- Search support ------------------------------------------------------
 
   /// Tile permutations that preserve distance (hence the CWM objective):
-  /// used by exhaustive search to prune symmetric placements. The default
-  /// generates the dihedral candidates of the bounding grid (4 maps, 8 when
-  /// square) and keeps those that are automorphisms of the adjacency
-  /// relation; Torus adds the wrap translations. Always contains at least
-  /// the identity. Note the usual fine print: the CDCM (simulation)
+  /// used by exhaustive and branch-and-bound search to prune symmetric
+  /// placements, and by the Explorer's ES-auto estimate. Always contains at
+  /// least the identity. Note the usual fine print: the CDCM (simulation)
   /// objective is only approximately invariant under reflections, since a
   /// reflection maps e.g. XY routes onto YX routes.
-  virtual std::vector<std::vector<TileId>> symmetry_maps() const;
+  ///
+  /// Computed once per instance by compute_symmetry_maps() and cached
+  /// (thread-safe — instances are shared by concurrent search workers), so
+  /// repeated queries cost a mutex acquisition, not an automorphism search.
+  const std::vector<std::vector<TileId>>& symmetry_maps() const;
 
  protected:
   /// Throws std::invalid_argument unless width >= 1, height >= 1 and
   /// width * height >= 2 (a 1-tile NoC has no communication resources).
   Topology(std::uint32_t width, std::uint32_t height);
+
+  /// The symmetry group behind symmetry_maps(); called at most once per
+  /// instance. The default keeps the automorphisms among the dihedral
+  /// candidates of the bounding grid; Torus overrides to add the wrap
+  /// translations.
+  virtual std::vector<std::vector<TileId>> compute_symmetry_maps() const;
 
   /// Of `candidates` (tile permutations), the ones that are automorphisms of
   /// the neighbours() relation — i.e. genuine topology symmetries.
@@ -227,8 +236,32 @@ class Topology {
                                 const AxisStepper& step_y) const;
 
  private:
+  /// Lazily computed symmetry_maps() storage. Copyable so concrete
+  /// topologies stay copyable: a copy shares no state with the source (the
+  /// computed maps are duplicated, the mutex is fresh).
+  class SymmetryMapCache {
+   public:
+    SymmetryMapCache() = default;
+    SymmetryMapCache(const SymmetryMapCache& other);
+    SymmetryMapCache& operator=(const SymmetryMapCache& other);
+
+    /// The cached maps, computing them via `compute` on the first call.
+    const std::vector<std::vector<TileId>>& get(
+        const std::function<std::vector<std::vector<TileId>>()>& compute)
+        const;
+
+   private:
+    std::unique_ptr<const std::vector<std::vector<TileId>>> snapshot() const;
+
+    mutable std::mutex mutex_;
+    /// Stable address once set (the vector object itself never moves), so
+    /// get() can hand out references that outlive the lock.
+    mutable std::unique_ptr<const std::vector<std::vector<TileId>>> maps_;
+  };
+
   std::uint32_t width_;
   std::uint32_t height_;
+  SymmetryMapCache symmetry_cache_;
 };
 
 /// Options for make_topology(). Only some fields apply to some kinds.

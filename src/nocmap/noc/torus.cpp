@@ -179,7 +179,7 @@ Route Torus::route(TileId src, TileId dst, RoutingAlgorithm algo) const {
       });
 }
 
-std::vector<std::vector<TileId>> Torus::symmetry_maps() const {
+std::vector<std::vector<TileId>> Torus::compute_symmetry_maps() const {
   // Dihedral candidates composed with every ring rotation of each wrapping
   // dimension; keep_automorphisms() then discards anything that is not a
   // genuine symmetry (e.g. rotations of a non-wrapping dimension were never

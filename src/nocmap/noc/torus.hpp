@@ -63,10 +63,11 @@ class Torus : public Topology {
 
   Route route(TileId src, TileId dst, RoutingAlgorithm algo) const override;
 
+ protected:
   /// The mesh symmetries plus, per wrapping dimension, all rotations of the
   /// ring (a torus is vertex-transitive along its rings, which collapses the
   /// first-core orbit of exhaustive search dramatically).
-  std::vector<std::vector<TileId>> symmetry_maps() const override;
+  std::vector<std::vector<TileId>> compute_symmetry_maps() const override;
 
  private:
   /// Signed unit direction (+1, -1 or 0) of the minimal travel from `from`

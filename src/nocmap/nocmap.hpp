@@ -37,6 +37,7 @@
 #include "nocmap/noc/routing.hpp"
 #include "nocmap/noc/topology.hpp"
 #include "nocmap/noc/torus.hpp"
+#include "nocmap/search/branch_and_bound.hpp"
 #include "nocmap/search/exhaustive.hpp"
 #include "nocmap/search/greedy.hpp"
 #include "nocmap/search/random_search.hpp"

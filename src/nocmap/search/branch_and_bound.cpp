@@ -1,0 +1,467 @@
+#include "nocmap/search/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "nocmap/search/exhaustive.hpp"
+#include "nocmap/util/rng.hpp"
+
+namespace nocmap::search {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Relative slack on the prune test: a node survives unless its bound
+/// exceeds the incumbent by more than this fraction. Covers the incremental
+/// prefix's floating-point drift and the per-edge vs per-packet rounding of
+/// the CDCM bound, so a node containing an exactly-optimal completion can
+/// never be cut by rounding noise. Exploring subtrees that are worse by
+/// < 1e-9 relative costs nothing measurable.
+constexpr double kBoundSlack = 1e-9;
+
+/// What one subtree task reports. Tasks never share mutable state (unless
+/// share_incumbent opts in), so the aggregate over tasks is byte-identical
+/// for any thread count.
+struct ShardOutcome {
+  double best_cost = kInf;
+  std::vector<noc::TileId> best;  ///< Core -> tile; empty when none found.
+  std::uint64_t visited = 0;
+  std::uint64_t pruned = 0;  ///< Eliminated volume (see SearchResult).
+  std::uint64_t tests = 0;
+  std::uint64_t leaf_evals = 0;
+};
+
+std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return s < a ? std::numeric_limits<std::uint64_t>::max() : s;
+}
+
+std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) {
+  if (b != 0 && a > std::numeric_limits<std::uint64_t>::max() / b) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a * b;
+}
+
+/// Shared, read-mostly description of the search.
+struct SearchPlan {
+  const noc::Topology* topo = nullptr;
+  std::size_t num_cores = 0;
+  std::uint32_t num_tiles = 0;
+  std::vector<graph::CoreId> order;       ///< Placement order.
+  std::vector<noc::TileId> first_tiles;   ///< Candidates for core id 0.
+  bool symmetry = false;
+  std::vector<std::vector<noc::TileId>> prefixes;  ///< One per subtree task.
+  double incumbent_cost = kInf;           ///< Seeded incumbent (SA/greedy).
+  std::uint64_t max_nodes = 0;
+  bool share_incumbent = false;
+  /// eliminated[level]: nodes of the subtree rooted at a placement of
+  /// order[level] (itself included) — what a failing bound test at that
+  /// level removes from the enumeration. Saturating.
+  std::vector<std::uint64_t> eliminated;
+};
+
+/// Fan-out of the enumeration below each level, for the eliminated-node
+/// accounting. The core-0 level uses the symmetry-collapsed candidate
+/// count (exact when core 0 leads the order, a close upper bound
+/// otherwise — occupied tiles may overlap the orbit representatives).
+std::vector<std::uint64_t> eliminated_subtree_sizes(const SearchPlan& plan) {
+  const std::size_t n = plan.num_cores;
+  std::vector<std::uint64_t> eliminated(n, 1);
+  for (std::size_t level = n - 1; level-- > 0;) {
+    const std::size_t child = level + 1;
+    std::uint64_t fanout = plan.num_tiles - static_cast<std::uint64_t>(child);
+    if (plan.order[child] == 0 && plan.symmetry) {
+      fanout = std::min<std::uint64_t>(fanout, plan.first_tiles.size());
+    }
+    eliminated[level] = saturating_add(
+        1, saturating_mul(fanout, eliminated[child]));
+  }
+  return eliminated;
+}
+
+/// Mutable coordination between workers.
+struct SearchState {
+  std::atomic<std::uint64_t> next_task{0};
+  std::atomic<std::uint64_t> nodes{0};     ///< Global bound-test counter.
+  std::atomic<bool> truncated{false};
+  /// Best leaf cost published by any task; read for pruning only when
+  /// share_incumbent. Updated with a CAS loop (atomic<double> has no
+  /// fetch_min in C++17).
+  std::atomic<double> shared_best{kInf};
+};
+
+void publish_best(std::atomic<double>& shared, double cost) {
+  double seen = shared.load(std::memory_order_relaxed);
+  while (cost < seen &&
+         !shared.compare_exchange_weak(seen, cost, std::memory_order_relaxed)) {
+  }
+}
+
+/// One worker's private search machinery.
+class ShardRunner {
+ public:
+  ShardRunner(const mapping::CostFunction& cost, const SearchPlan& plan,
+              SearchState& state)
+      : cost_(cost),
+        plan_(plan),
+        state_(state),
+        lb_(cost.make_lower_bound()),
+        leaf_(*plan.topo, plan.num_cores),
+        assignment_(plan.num_cores, 0),
+        used_(plan.num_tiles, 0) {
+    cost_.begin_search();
+  }
+
+  ShardOutcome run(const std::vector<noc::TileId>& prefix) {
+    out_ = ShardOutcome{};
+    incumbent_ = plan_.incumbent_cost;
+    lb_->reset();
+    std::fill(used_.begin(), used_.end(), 0);
+    // Replay the prefix through the same node test the inner levels use, so
+    // an infeasible prefix is pruned (and counted) exactly once per task.
+    replay(prefix, 0);
+    return std::move(out_);
+  }
+
+ private:
+  double prune_limit() const {
+    double limit = incumbent_;
+    if (plan_.share_incumbent) {
+      limit = std::min(limit,
+                       state_.shared_best.load(std::memory_order_relaxed));
+    }
+    return limit + kBoundSlack * std::abs(limit);
+  }
+
+  /// True when the node survives the bound test and, at full depth, the
+  /// leaf evaluation happened. False when the subtree below is cut;
+  /// `prune_volume` is the eliminated-node credit charged in that case (the
+  /// full subtree for inner nodes, only this task's slice during prefix
+  /// replay — sibling tasks sharing the prefix charge their own slices).
+  bool enter_node(std::size_t level, graph::CoreId core, noc::TileId tile,
+                  std::uint64_t prune_volume) {
+    if (plan_.max_nodes != 0 &&
+        state_.nodes.fetch_add(1, std::memory_order_relaxed) >=
+            plan_.max_nodes) {
+      state_.truncated.store(true, std::memory_order_relaxed);
+      stop_ = true;
+      return false;
+    }
+    if (plan_.max_nodes == 0) {
+      state_.nodes.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++out_.tests;
+    lb_->place(core, tile);
+    used_[tile] = 1;
+    assignment_[core] = tile;
+    const double limit = prune_limit();
+    if (lb_->bound(limit) > limit) {
+      out_.pruned = saturating_add(out_.pruned, prune_volume);
+      return false;
+    }
+    ++out_.visited;
+    if (level + 1 == plan_.num_cores) evaluate_leaf();
+    return true;
+  }
+
+  void leave_node(graph::CoreId core, noc::TileId tile) {
+    lb_->unplace(core, tile);
+    used_[tile] = 0;
+  }
+
+  void evaluate_leaf() {
+    leaf_.set_assignment(assignment_);
+    const double c = cost_.cost(leaf_);
+    ++out_.leaf_evals;
+    // Strict pruning guarantees every optimum in the space is evaluated, so
+    // breaking cost ties toward the lexicographically smallest assignment
+    // makes the final winner independent of the visit order — and equal to
+    // the first optimum exhaustive_search's enumeration encounters.
+    if (c < out_.best_cost ||
+        (c == out_.best_cost &&
+         (out_.best.empty() || assignment_ < out_.best))) {
+      out_.best_cost = c;
+      out_.best = assignment_;
+    }
+    if (c < incumbent_) incumbent_ = c;
+    publish_best(state_.shared_best, c);
+  }
+
+  void replay(const std::vector<noc::TileId>& prefix, std::size_t level) {
+    if (level == prefix.size()) {
+      if (level == plan_.num_cores) return;  // Prefix is already a leaf.
+      descend(level);
+      return;
+    }
+    const graph::CoreId core = plan_.order[level];
+    const noc::TileId tile = prefix[level];
+    // This task's slice of the tree: the rest of the prefix chain plus the
+    // subtree under the last prefix level.
+    const std::size_t last = prefix.size() - 1;
+    const std::uint64_t slice =
+        saturating_add(static_cast<std::uint64_t>(last - level),
+                       plan_.eliminated[last]);
+    if (enter_node(level, core, tile, slice) && level + 1 < plan_.num_cores) {
+      replay(prefix, level + 1);
+    }
+    if (!stop_) leave_node(core, tile);
+  }
+
+  void descend(std::size_t level) {
+    const graph::CoreId core = plan_.order[level];
+    if (core == 0 && plan_.symmetry) {
+      for (const noc::TileId t : plan_.first_tiles) {
+        if (!visit(level, core, t)) return;
+      }
+      return;
+    }
+    for (noc::TileId t = 0; t < plan_.num_tiles; ++t) {
+      if (!visit(level, core, t)) return;
+    }
+  }
+
+  bool visit(std::size_t level, graph::CoreId core, noc::TileId tile) {
+    if (used_[tile]) return true;
+    if (enter_node(level, core, tile, plan_.eliminated[level]) &&
+        level + 1 < plan_.num_cores) {
+      descend(level + 1);
+    }
+    if (stop_) return false;
+    leave_node(core, tile);
+    return true;
+  }
+
+  const mapping::CostFunction& cost_;
+  const SearchPlan& plan_;
+  SearchState& state_;
+  std::unique_ptr<mapping::CostFunction::LowerBound> lb_;
+  mapping::Mapping leaf_;
+  std::vector<noc::TileId> assignment_;
+  std::vector<char> used_;
+  ShardOutcome out_;
+  double incumbent_ = kInf;
+  bool stop_ = false;
+};
+
+/// All feasible placement prefixes of length `depth` (the subtree tasks),
+/// in lexicographic enumeration order.
+std::vector<std::vector<noc::TileId>> make_prefixes(const SearchPlan& plan,
+                                                    std::uint32_t depth) {
+  std::vector<std::vector<noc::TileId>> prefixes;
+  std::vector<noc::TileId> prefix;
+  std::vector<char> used(plan.num_tiles, 0);
+  const std::function<void(std::uint32_t)> gen = [&](std::uint32_t level) {
+    if (level == depth) {
+      prefixes.push_back(prefix);
+      return;
+    }
+    const graph::CoreId core = plan.order[level];
+    const bool restricted = core == 0 && plan.symmetry;
+    const auto try_tile = [&](noc::TileId t) {
+      if (used[t]) return;
+      used[t] = 1;
+      prefix.push_back(t);
+      gen(level + 1);
+      prefix.pop_back();
+      used[t] = 0;
+    };
+    if (restricted) {
+      for (const noc::TileId t : plan.first_tiles) try_tile(t);
+    } else {
+      for (noc::TileId t = 0; t < plan.num_tiles; ++t) try_tile(t);
+    }
+  };
+  gen(0);
+  return prefixes;
+}
+
+SearchResult run_search(const mapping::CostFunction& setup_cost,
+                        const BnbCostFactory* factory,
+                        const noc::Topology& topo, const BnbOptions& options) {
+  const std::size_t num_cores = setup_cost.num_cores();
+  const std::uint32_t num_tiles = topo.num_tiles();
+  if (num_cores == 0) {
+    throw std::invalid_argument("branch_and_bound: application has no cores");
+  }
+  if (num_cores > num_tiles) {
+    throw std::invalid_argument("branch_and_bound: more cores than tiles");
+  }
+  if (!setup_cost.has_lower_bound()) {
+    throw std::invalid_argument("branch_and_bound: " + setup_cost.name() +
+                                " does not implement the LowerBound protocol");
+  }
+  if (options.incumbent &&
+      (options.incumbent->num_cores() != num_cores ||
+       options.incumbent->num_tiles() != num_tiles)) {
+    throw std::invalid_argument(
+        "branch_and_bound: incumbent mapping does not fit");
+  }
+
+  SearchPlan plan;
+  plan.topo = &topo;
+  plan.num_cores = num_cores;
+  plan.num_tiles = num_tiles;
+  plan.symmetry = options.use_symmetry && setup_cost.symmetry_invariant();
+  plan.first_tiles = symmetry_first_tiles(topo, plan.symmetry);
+  plan.max_nodes = options.max_nodes;
+  plan.share_incumbent = options.share_incumbent;
+
+  // Placement order: heaviest communicators first (ties by core id), so
+  // early prefixes already carry most of the cost mass and the remainder
+  // bound has little slack left to hide in.
+  {
+    const std::unique_ptr<mapping::CostFunction::LowerBound> lb =
+        setup_cost.make_lower_bound();
+    plan.order.resize(num_cores);
+    std::iota(plan.order.begin(), plan.order.end(), graph::CoreId{0});
+    std::stable_sort(plan.order.begin(), plan.order.end(),
+                     [&](graph::CoreId a, graph::CoreId b) {
+                       return lb->core_traffic(a) > lb->core_traffic(b);
+                     });
+  }
+
+  // --- Incumbent seeding ----------------------------------------------------
+  setup_cost.begin_search();
+  SearchResult result{mapping::Mapping(topo, num_cores), kInf, 0.0, 0, true};
+  std::optional<mapping::Mapping> seed_map;
+  if (options.incumbent) {
+    seed_map = *options.incumbent;
+    plan.incumbent_cost = setup_cost.cost(*seed_map);
+    ++result.evaluations;
+  }
+  if (options.seed_with_sa) {
+    util::Rng rng(options.seed);
+    SearchResult sa = anneal(setup_cost, topo, rng, options.sa,
+                             seed_map ? &*seed_map : nullptr);
+    result.evaluations += sa.evaluations;
+    if (!seed_map || sa.best_cost < plan.incumbent_cost) {
+      plan.incumbent_cost = sa.best_cost;
+      seed_map = std::move(sa.best);
+    }
+  }
+  result.initial_cost = seed_map ? plan.incumbent_cost : 0.0;
+
+  // --- Subtree tasks --------------------------------------------------------
+  const std::uint32_t depth = std::min<std::uint32_t>(
+      options.shard_depth, static_cast<std::uint32_t>(num_cores));
+  plan.eliminated = eliminated_subtree_sizes(plan);
+  plan.prefixes = make_prefixes(plan, depth);
+
+  SearchState state;
+  std::vector<ShardOutcome> outcomes(plan.prefixes.size());
+
+  const std::uint32_t workers = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      factory ? std::max<std::uint32_t>(1, options.threads) : 1,
+      std::max<std::size_t>(plan.prefixes.size(), 1)));
+
+  const auto work = [&](const mapping::CostFunction& cost) {
+    ShardRunner runner(cost, plan, state);
+    for (;;) {
+      const std::uint64_t k =
+          state.next_task.fetch_add(1, std::memory_order_relaxed);
+      if (k >= plan.prefixes.size()) return;
+      outcomes[k] = runner.run(plan.prefixes[k]);
+      if (state.truncated.load(std::memory_order_relaxed)) return;
+    }
+  };
+
+  if (workers <= 1) {
+    work(setup_cost);
+  } else {
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        try {
+          const std::unique_ptr<mapping::CostFunction> cost = (*factory)();
+          work(*cost);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // --- Deterministic reduction, in task order -------------------------------
+  const std::vector<noc::TileId>* tree_best = nullptr;
+  double tree_cost = kInf;
+  for (const ShardOutcome& out : outcomes) {
+    result.nodes_visited += out.visited;
+    result.nodes_pruned = saturating_add(result.nodes_pruned, out.pruned);
+    result.nodes_tested += out.tests;
+    result.evaluations += out.leaf_evals;
+    if (out.best.empty()) continue;
+    if (out.best_cost < tree_cost ||
+        (out.best_cost == tree_cost &&
+         (tree_best == nullptr || out.best < *tree_best))) {
+      tree_cost = out.best_cost;
+      tree_best = &out.best;
+    }
+  }
+  result.node_budget = options.max_nodes;
+  result.exhausted = !state.truncated.load(std::memory_order_relaxed);
+
+  // A completed tree always contains a leaf at least as good as the seeded
+  // incumbent (the incumbent — or, under symmetry collapse of an invariant
+  // objective, one of its images — is itself enumerable and strict pruning
+  // never cuts it), so the tree winner is the search-space optimum. Only a
+  // budget-truncated run may have to fall back to the incumbent.
+  if (tree_best != nullptr &&
+      (result.exhausted || !seed_map || tree_cost <= plan.incumbent_cost)) {
+    result.best = mapping::Mapping::from_assignment(topo, *tree_best);
+    result.best_cost = tree_cost;
+    if (!seed_map) result.initial_cost = result.best_cost;
+  } else if (seed_map) {
+    result.best = std::move(*seed_map);
+    result.best_cost = plan.incumbent_cost;
+  } else if (tree_best != nullptr) {
+    result.best = mapping::Mapping::from_assignment(topo, *tree_best);
+    result.best_cost = tree_cost;
+  } else {
+    // Truncated before any leaf and no incumbent: report the identity
+    // mapping the result was initialized with, priced honestly.
+    result.best_cost = setup_cost.cost(result.best);
+    ++result.evaluations;
+    result.initial_cost = result.best_cost;
+  }
+  return result;
+}
+
+}  // namespace
+
+SearchResult branch_and_bound(const BnbCostFactory& make_cost,
+                              const noc::Topology& topo,
+                              const BnbOptions& options) {
+  if (!make_cost) {
+    throw std::invalid_argument("branch_and_bound: null cost factory");
+  }
+  const std::unique_ptr<mapping::CostFunction> setup_cost = make_cost();
+  if (!setup_cost) {
+    throw std::invalid_argument("branch_and_bound: factory returned null");
+  }
+  return run_search(*setup_cost, &make_cost, topo, options);
+}
+
+SearchResult branch_and_bound(const mapping::CostFunction& cost,
+                              const noc::Topology& topo,
+                              const BnbOptions& options) {
+  return run_search(cost, nullptr, topo, options);
+}
+
+}  // namespace nocmap::search

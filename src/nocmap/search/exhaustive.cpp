@@ -19,16 +19,12 @@ std::uint64_t placement_count(std::uint32_t num_tiles,
   return count;
 }
 
-namespace {
-
-/// Tiles core 0 may occupy: one representative per symmetry orbit (all
-/// tiles when pruning is off).
-std::vector<noc::TileId> first_tile_candidates(const noc::Topology& topo,
-                                               bool use_symmetry) {
+std::vector<noc::TileId> symmetry_first_tiles(const noc::Topology& topo,
+                                              bool use_symmetry) {
   const std::uint32_t num_tiles = topo.num_tiles();
   std::vector<noc::TileId> first_tiles;
   if (use_symmetry) {
-    const auto maps = topo.symmetry_maps();
+    const auto& maps = topo.symmetry_maps();
     for (noc::TileId t = 0; t < num_tiles; ++t) {
       noc::TileId rep = t;
       for (const auto& map : maps) rep = std::min(rep, map[t]);
@@ -39,8 +35,6 @@ std::vector<noc::TileId> first_tile_candidates(const noc::Topology& topo,
   }
   return first_tiles;
 }
-
-}  // namespace
 
 SearchResult exhaustive_search(const mapping::CostFunction& cost,
                                const noc::Topology& topo,
@@ -53,7 +47,7 @@ SearchResult exhaustive_search(const mapping::CostFunction& cost,
   cost.begin_search();
 
   const std::vector<noc::TileId> first_tiles =
-      first_tile_candidates(topo, options.use_symmetry);
+      symmetry_first_tiles(topo, options.use_symmetry);
 
   SearchResult result{mapping::Mapping(topo, num_cores),
                       std::numeric_limits<double>::infinity(), 0.0, 0, true};
@@ -124,7 +118,7 @@ SearchResult exhaustive_search_batched(std::size_t num_cores,
   if (batch_size == 0) batch_size = 1;
 
   const std::vector<noc::TileId> first_tiles =
-      first_tile_candidates(topo, options.use_symmetry);
+      symmetry_first_tiles(topo, options.use_symmetry);
 
   SearchResult result{mapping::Mapping(topo, num_cores),
                       std::numeric_limits<double>::infinity(), 0.0, 0, true};

@@ -57,4 +57,11 @@ SearchResult exhaustive_search_batched(std::size_t num_cores,
 /// m! / (m - n)!; saturates at UINT64_MAX on overflow.
 std::uint64_t placement_count(std::uint32_t num_tiles, std::uint32_t num_cores);
 
+/// The tiles core 0 may occupy under first-tile symmetry collapse: the
+/// minimal representative of each symmetry orbit (every tile when
+/// use_symmetry is false). Shared by exhaustive_search and
+/// branch_and_bound, so both engines restrict the search space identically.
+std::vector<noc::TileId> symmetry_first_tiles(const noc::Topology& topo,
+                                              bool use_symmetry);
+
 }  // namespace nocmap::search

@@ -79,8 +79,18 @@ Options:
                     2x2 for paper-example).
   --tech NAME       Technology preset: example | 0.35u | 0.07u
                     (default: example for paper-example, 0.07u otherwise).
-  --method NAME     Search method: auto | sa | es (default: auto — ES when
-                    the symmetry-pruned space is small, SA otherwise).
+  --method NAME     Search method: auto | sa | es | bnb (default: auto — ES
+                    when the symmetry-pruned space is small, SA otherwise).
+                    bnb is exact branch and bound: admissible lower-bound
+                    pruning with a greedy+SA-seeded incumbent; past
+                    --bnb-nodes it falls back to the incumbent (reported as
+                    BB/SA). See docs/search.md.
+  --search NAME     Alias for --method.
+  --bnb-nodes N     bnb: node budget (lower-bound tests) before falling
+                    back to SA quality (default: 20,000,000). Completed
+                    searches are byte-identical for any --threads;
+                    budget-truncated runs consume the budget in thread
+                    order and reproduce exactly only at --threads 1.
   --topology NAME   NoC topology: mesh | torus | xmesh (default: mesh).
                     torus adds wrap-around links on dimensions of size >= 3;
                     xmesh adds express links every --express-interval tiles.
@@ -120,7 +130,10 @@ Options:
   --noc WxH         Only the applications of one NoC size (e.g. 3x2, 10x10).
   --tech NAME       Technology preset: example | 0.35u | 0.07u
                     (default: 0.07u).
-  --method NAME     Search method: auto | sa | es (default: auto).
+  --method NAME     Search method: auto | sa | es | bnb (default: auto).
+  --search NAME     Alias for --method.
+  --bnb-nodes N     bnb node budget; also the budget of the --perf bnb
+                    rows (default: 20,000,000; --perf default: 100,000).
   --topology NAME   NoC topology: mesh | torus | xmesh (default: mesh); each
                     application keeps its Table-1 grid size.
   --express-interval N
@@ -239,7 +252,9 @@ core::SearchMethod parse_method(const std::string& value) {
   if (value == "auto") return core::SearchMethod::kAuto;
   if (value == "sa") return core::SearchMethod::kSimulatedAnnealing;
   if (value == "es") return core::SearchMethod::kExhaustive;
-  throw UsageError("--method expects auto | sa | es, got '" + value + "'");
+  if (value == "bnb") return core::SearchMethod::kBranchAndBound;
+  throw UsageError("--method expects auto | sa | es | bnb, got '" + value +
+                   "'");
 }
 
 noc::RoutingAlgorithm parse_routing(const std::string& value) {
@@ -291,6 +306,7 @@ struct RunOptions {
   std::optional<std::pair<std::uint32_t, std::uint32_t>> mesh;
   std::optional<energy::Technology> tech;
   core::SearchMethod method = core::SearchMethod::kAuto;
+  std::uint64_t bnb_nodes = 0;  ///< 0 = the engine's default budget.
   /// Sweep accepts comma-separated lists; every other subcommand requires a
   /// single entry (enforced by require_single_noc()).
   std::vector<std::string> topologies = {"mesh"};
@@ -343,8 +359,11 @@ RunOptions parse_run_options(int argc, char** argv, const char* usage,
       opts.mesh = parse_mesh(a, value(i, a));
     } else if (a == "--tech") {
       opts.tech = parse_tech(value(i, a));
-    } else if (a == "--method") {
+    } else if (a == "--method" || a == "--search") {
       opts.method = parse_method(value(i, a));
+    } else if (a == "--bnb-nodes") {
+      opts.bnb_nodes = parse_u64(a, value(i, a));
+      if (opts.bnb_nodes == 0) throw UsageError("--bnb-nodes must be >= 1");
     } else if (a == "--topology") {
       opts.topologies = parse_topologies(value(i, a));
     } else if (a == "--express-interval") {
@@ -511,6 +530,7 @@ core::ExplorerOptions explorer_options(const RunOptions& opts,
   eo.sa_chains = static_cast<std::uint32_t>(opts.chains);
   eo.timing_cost = opts.timing_cost;
   eo.hybrid_cadence = static_cast<std::uint32_t>(opts.hybrid_cadence);
+  if (opts.bnb_nodes != 0) eo.bnb.max_nodes = opts.bnb_nodes;
   return eo;
 }
 
@@ -601,7 +621,7 @@ int cmd_explore(const RunOptions& opts) {
   table.set_title("nocmap explore — " + wl.name + " on " +
                   wl.topo->label() + ", " + wl.tech.name);
   for (const core::ModelOutcome* outcome : {&cmp.cwm, &cmp.cdcm}) {
-    table.add_row({outcome->model, outcome->used_exhaustive ? "ES" : "SA",
+    table.add_row({outcome->model, outcome->method,
                    fmt.count(outcome->evaluations),
                    fmt.energy(outcome->objective_j),
                    fmt.time(outcome->sim.texec_ns),
@@ -618,6 +638,31 @@ int cmd_explore(const RunOptions& opts) {
   summary.add_row({"ECS (energy saving, " + wl.tech.name + ")",
                    fmt.percent(cmp.energy_saving())});
   print_table(summary, opts.csv);
+
+  if (opts.method == core::SearchMethod::kBranchAndBound) {
+    // For a completed search (Complete = yes) every counter is
+    // deterministic for any --threads value (the engine's subtree tasks
+    // never share pruning state), so this table is safe to diff in CI.
+    // Budget-truncated runs consume the global budget in thread order and
+    // are only reproducible at --threads 1.
+    util::TextTable bnb({"Model", "Budget", "Tested", "Visited", "Pruned",
+                         fmt.head("Pruned", "pct"), "Complete"});
+    bnb.set_title("branch & bound — nodes");
+    for (const core::ModelOutcome* outcome : {&cmp.cwm, &cmp.cdcm}) {
+      const double denom = static_cast<double>(outcome->bnb_nodes_visited) +
+                           static_cast<double>(outcome->bnb_nodes_pruned);
+      bnb.add_row({outcome->model, fmt.count(outcome->bnb_node_budget),
+                   fmt.count(outcome->bnb_nodes_tested),
+                   fmt.count(outcome->bnb_nodes_visited),
+                   fmt.count(outcome->bnb_nodes_pruned),
+                   fmt.percent(denom > 0
+                                   ? static_cast<double>(
+                                         outcome->bnb_nodes_pruned) / denom
+                                   : 0.0),
+                   outcome->bnb_complete ? "yes" : "no"});
+    }
+    print_table(bnb, opts.csv);
+  }
   return 0;
 }
 
@@ -635,6 +680,10 @@ int cmd_bench_perf(const RunOptions& opts) {
   options.batch_threads =
       std::max<std::uint32_t>(2, static_cast<std::uint32_t>(opts.threads));
   options.hybrid_cadence = static_cast<std::uint32_t>(opts.hybrid_cadence);
+  // Quick default budget too: the 3x3/4x4 exact searches finish far below
+  // it (the 4x4 bench instance needs ~36k tests), and the larger boards
+  // just report a truncated run without stalling the smoke.
+  options.bnb_max_nodes = opts.bnb_nodes != 0 ? opts.bnb_nodes : 100'000;
   const core::EvalBenchReport report = core::run_eval_bench(options);
 
   Fmt fmt(opts.csv);
@@ -645,7 +694,8 @@ int cmd_bench_perf(const RunOptions& opts) {
        fmt.head("CWM delta", "eval_s"),
        fmt.head("CDCM 1-shot", "eval_s"), fmt.head("CDCM reuse", "eval_s"),
        fmt.head("CDCM delta", "eval_s"), fmt.head(batch_t, "eval_s"),
-       fmt.head("Hybrid", "eval_s")});
+       fmt.head("Hybrid", "eval_s"), fmt.head("B&B pruned", "pct"),
+       "B&B done"});
   table.set_title("nocmap bench --perf — evaluations/second, " +
                   options.topology);
   for (const core::EvalBenchRow& r : report.rows) {
@@ -658,7 +708,9 @@ int cmd_bench_perf(const RunOptions& opts) {
                    fmt.count(static_cast<std::uint64_t>(r.cdcm_reuse_per_s)),
                    fmt.count(static_cast<std::uint64_t>(r.cdcm_delta_per_s)),
                    fmt.count(static_cast<std::uint64_t>(r.cdcm_batch_t_per_s)),
-                   fmt.count(static_cast<std::uint64_t>(r.hybrid_per_s))});
+                   fmt.count(static_cast<std::uint64_t>(r.hybrid_per_s)),
+                   fmt.percent(r.bnb_pruned_frac()),
+                   r.bnb_complete ? "yes" : "no"});
   }
   print_table(table, opts.csv);
 
@@ -717,8 +769,7 @@ int cmd_bench(const RunOptions& opts) {
     table.add_row({entry.name, entry.noc_size_label(),
                    std::to_string(entry.paper_cores),
                    std::to_string(entry.paper_packets),
-                   fmt.count(entry.paper_bits),
-                   cmp.cdcm.used_exhaustive ? "ES" : "SA",
+                   fmt.count(entry.paper_bits), cmp.cdcm.method,
                    fmt.percent(cmp.execution_time_reduction()),
                    fmt.percent(cmp.energy_saving())});
   }
@@ -780,7 +831,7 @@ int cmd_sweep_seeds(const RunOptions& opts) {
     if (k == 0 || etr < etr_min) etr_min = etr;
     if (k == 0 || etr > etr_max) etr_max = etr;
     table.add_row({std::to_string(run.seed),
-                   cmp.cdcm.used_exhaustive ? "ES" : "SA",
+                   cmp.cdcm.method,
                    fmt.time(cmp.cwm.sim.texec_ns),
                    fmt.time(cmp.cdcm.sim.texec_ns), fmt.percent(etr),
                    fmt.percent(ecs)});
@@ -890,7 +941,7 @@ int cmd_sweep(const RunOptions& opts) {
     const core::Comparison& cmp = *row.cmp;
     table.add_row({row.topology, noc::routing_algorithm_name(row.routing),
                    apps[row.app].name, std::to_string(row.seed),
-                   cmp.cdcm.used_exhaustive ? "ES" : "SA",
+                   cmp.cdcm.method,
                    fmt.time(cmp.cwm.sim.texec_ns),
                    fmt.time(cmp.cdcm.sim.texec_ns),
                    fmt.percent(cmp.execution_time_reduction()),
@@ -940,7 +991,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     const std::vector<std::string> explore_flags = {
-        "--workload", "--mesh",          "--tech",  "--method",  "--routing",
+        "--workload", "--mesh",          "--tech",  "--method",  "--search",
+        "--bnb-nodes", "--routing",
         "--topology", "--express-interval",
         "--seed",     "--no-seed-cdcm",  "--cores", "--packets", "--bits",
         "--threads",  "--chains",        "--cost",  "--hybrid-cadence"};
@@ -951,7 +1003,8 @@ int main(int argc, char** argv) {
     if (sub == "bench") {
       return cmd_bench(parse_run_options(
           argc, argv, kBenchUsage,
-          {"--noc", "--tech", "--method", "--routing", "--topology",
+          {"--noc", "--tech", "--method", "--search", "--bnb-nodes",
+           "--routing", "--topology",
            "--express-interval", "--seed", "--threads", "--chains", "--perf",
            "--sizes", "--out", "--cost", "--hybrid-cadence"}));
     }

@@ -76,6 +76,54 @@ TEST(ExplorerTest, ForcedSimulatedAnnealingStillFindsTinyOptimum) {
   EXPECT_DOUBLE_EQ(out.objective_j, 399e-12);
 }
 
+TEST(ExplorerTest, BranchAndBoundMatchesExhaustiveOnPaperExample) {
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  const noc::Mesh mesh = workload::paper_example_mesh();
+  ExplorerOptions options = example_options();
+  options.method = SearchMethod::kBranchAndBound;
+  const Explorer explorer(cdcg, mesh, options);
+  const Comparison cmp = explorer.compare();
+  // Both models proved their optimum within the default budget.
+  EXPECT_EQ(cmp.cwm.method, "BB");
+  EXPECT_EQ(cmp.cdcm.method, "BB");
+  EXPECT_TRUE(cmp.cwm.bnb_complete);
+  EXPECT_TRUE(cmp.cdcm.bnb_complete);
+  EXPECT_DOUBLE_EQ(cmp.cwm.objective_j, 390e-12);
+  EXPECT_DOUBLE_EQ(cmp.cdcm.objective_j, 399e-12);
+  EXPECT_GT(cmp.cwm.bnb_nodes_tested, 0u);
+  EXPECT_GT(cmp.cdcm.bnb_nodes_tested, 0u);
+  EXPECT_EQ(cmp.cwm.bnb_node_budget, options.bnb.max_nodes);
+}
+
+TEST(ExplorerTest, BranchAndBoundBudgetFallsBackToAnnealingQuality) {
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  const noc::Mesh mesh = workload::paper_example_mesh();
+  ExplorerOptions options = example_options();
+  options.method = SearchMethod::kBranchAndBound;
+  options.bnb.max_nodes = 1;  // Nothing can finish in one bound test.
+  const Explorer explorer(cdcg, mesh, options);
+  const ModelOutcome out = explorer.optimize_cdcm();
+  EXPECT_EQ(out.method, "BB/SA");
+  EXPECT_FALSE(out.bnb_complete);
+  // The seeded incumbent still finds the 2x2 optimum.
+  EXPECT_DOUBLE_EQ(out.objective_j, 399e-12);
+}
+
+TEST(ExplorerTest, MethodLabelsStayStableForHistoricalPaths) {
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  const noc::Mesh mesh = workload::paper_example_mesh();
+  {
+    const Explorer explorer(cdcg, mesh, example_options());
+    EXPECT_EQ(explorer.optimize_cdcm().method, "ES");
+  }
+  {
+    ExplorerOptions options = example_options();
+    options.method = SearchMethod::kSimulatedAnnealing;
+    const Explorer explorer(cdcg, mesh, options);
+    EXPECT_EQ(explorer.optimize_cdcm().method, "SA");
+  }
+}
+
 TEST(ExplorerTest, CwgProjectionIsAvailable) {
   const graph::Cdcg cdcg = workload::paper_example_cdcg();
   const noc::Mesh mesh = workload::paper_example_mesh();

@@ -251,5 +251,34 @@ TEST(TopologySymmetryTest, ExpressMeshKeepsOnlyLinkPreservingMaps) {
   check_symmetries(ExpressMesh(4, 4, 2), 2);
 }
 
+// --- Symmetry-map cache ------------------------------------------------------
+//
+// symmetry_maps() is queried repeatedly by the Explorer's ES-auto estimate
+// and by every search engine's first-tile collapse; the maps are computed
+// once per instance and cached.
+
+TEST(TopologySymmetryTest, SymmetryMapsAreCachedPerInstance) {
+  for (const std::string& kind : topology_kinds()) {
+    const auto topo = make_topology(kind, 4, 3);
+    const auto& first = topo->symmetry_maps();
+    const auto& second = topo->symmetry_maps();
+    // Same object, not merely equal contents: the cache hands out the one
+    // computed vector.
+    EXPECT_EQ(&first, &second) << kind;
+    EXPECT_EQ(first, second) << kind;
+  }
+}
+
+TEST(TopologySymmetryTest, CacheSurvivesCopyWithIdenticalMaps) {
+  const Torus original(4, 3);
+  const auto& computed = original.symmetry_maps();
+  const Torus copy(original);       // Copies a warm cache.
+  const Torus fresh = [] { return Torus(4, 3); }();  // Cold cache.
+  EXPECT_EQ(copy.symmetry_maps(), computed);
+  EXPECT_EQ(fresh.symmetry_maps(), computed);
+  // The copy owns its storage; it must not alias the source's cache.
+  EXPECT_NE(&copy.symmetry_maps(), &original.symmetry_maps());
+}
+
 }  // namespace
 }  // namespace nocmap::noc

@@ -1,0 +1,268 @@
+#include "nocmap/search/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nocmap/search/exhaustive.hpp"
+#include "nocmap/util/rng.hpp"
+#include "nocmap/workload/paper_example.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+
+namespace nocmap::search {
+namespace {
+
+graph::Cdcg random_workload(std::uint32_t cores, std::uint64_t seed = 1) {
+  workload::RandomCdcgParams params;
+  params.num_cores = cores;
+  params.num_packets = cores * 4;
+  params.total_bits = static_cast<std::uint64_t>(params.num_packets) * 256;
+  util::Rng rng(seed);
+  return workload::generate_random_cdcg(params, rng);
+}
+
+// --- Equivalence with exhaustive search ------------------------------------
+//
+// The acceptance contract of the engine: on enumerable instances the B&B
+// optimum (cost AND mapping) is byte-identical to exhaustive_search over the
+// same space. CWM searches the symmetry-collapsed space like ES's default;
+// CDCM is not symmetry-invariant, so B&B searches unrestricted and is
+// compared against ES with pruning disabled.
+
+TEST(BranchAndBoundTest, MatchesExhaustiveCwmOnAllTopologies) {
+  const energy::Technology tech = energy::technology_0_07u();
+  const graph::Cdcg cdcg = random_workload(9);
+  const graph::Cwg cwg = cdcg.to_cwg();
+  for (const std::string& kind : {std::string("mesh"), std::string("torus"),
+                                  std::string("xmesh")}) {
+    SCOPED_TRACE(kind);
+    const std::unique_ptr<noc::Topology> topo = noc::make_topology(kind, 3, 3);
+    const mapping::CwmCost cost(cwg, *topo, tech);
+    const SearchResult es = exhaustive_search(cost, *topo);
+    const SearchResult bb = branch_and_bound(cost, *topo);
+    EXPECT_TRUE(bb.exhausted);
+    EXPECT_EQ(bb.best_cost, es.best_cost);  // Bitwise, not approximate.
+    EXPECT_EQ(bb.best, es.best);
+    EXPECT_LT(bb.nodes_visited, es.evaluations);
+  }
+}
+
+TEST(BranchAndBoundTest, MatchesExhaustiveCdcmOnAllTopologies) {
+  const energy::Technology tech = energy::example_technology();
+  const graph::Cdcg cdcg = workload::paper_example_cdcg();
+  for (const std::string& kind : {std::string("mesh"), std::string("torus"),
+                                  std::string("xmesh")}) {
+    SCOPED_TRACE(kind);
+    const std::unique_ptr<noc::Topology> topo = noc::make_topology(kind, 3, 3);
+    const mapping::CdcmCost cost(cdcg, *topo, tech);
+    // CDCM is only approximately symmetry-invariant, so B&B searches the
+    // full space; the ES reference must do the same.
+    EsOptions es_options;
+    es_options.use_symmetry = false;
+    const SearchResult es = exhaustive_search(cost, *topo, es_options);
+    const SearchResult bb = branch_and_bound(cost, *topo);
+    EXPECT_TRUE(bb.exhausted);
+    EXPECT_EQ(bb.best_cost, es.best_cost);
+    EXPECT_EQ(bb.best, es.best);
+  }
+}
+
+TEST(BranchAndBoundTest, MatchesExhaustiveCwm4x4) {
+  const energy::Technology tech = energy::technology_0_07u();
+  // 6 cores on 16 tiles: ES enumerates 16!/10! / sym placements — small
+  // enough to cross-check a non-square-board instance end to end.
+  const graph::Cdcg cdcg = random_workload(6, 7);
+  const graph::Cwg cwg = cdcg.to_cwg();
+  const std::unique_ptr<noc::Topology> topo = noc::make_topology("mesh", 4, 4);
+  const mapping::CwmCost cost(cwg, *topo, tech);
+  const SearchResult es = exhaustive_search(cost, *topo);
+  const SearchResult bb = branch_and_bound(cost, *topo);
+  EXPECT_TRUE(bb.exhausted);
+  EXPECT_EQ(bb.best_cost, es.best_cost);
+  EXPECT_EQ(bb.best, es.best);
+}
+
+// --- Determinism ------------------------------------------------------------
+
+TEST(BranchAndBoundTest, ByteIdenticalForAnyThreadCount) {
+  const energy::Technology tech = energy::technology_0_07u();
+  const graph::Cdcg cdcg = random_workload(16);
+  const graph::Cwg cwg = cdcg.to_cwg();
+  const std::unique_ptr<noc::Topology> topo = noc::make_topology("mesh", 4, 4);
+  const BnbCostFactory factory = [&]() -> std::unique_ptr<mapping::CostFunction> {
+    return std::make_unique<mapping::CwmCost>(cwg, *topo, tech);
+  };
+  BnbOptions options;
+  options.threads = 1;
+  const SearchResult r1 = branch_and_bound(factory, *topo, options);
+  options.threads = 4;
+  const SearchResult r4 = branch_and_bound(factory, *topo, options);
+  EXPECT_TRUE(r1.exhausted);
+  EXPECT_EQ(r1.best_cost, r4.best_cost);
+  EXPECT_EQ(r1.best, r4.best);
+  // Not just the result: every counter is thread-invariant (tasks prune
+  // against the seeded incumbent plus their own discoveries only).
+  EXPECT_EQ(r1.nodes_visited, r4.nodes_visited);
+  EXPECT_EQ(r1.nodes_pruned, r4.nodes_pruned);
+  EXPECT_EQ(r1.nodes_tested, r4.nodes_tested);
+  EXPECT_EQ(r1.evaluations, r4.evaluations);
+}
+
+TEST(BranchAndBoundTest, ShardDepthDoesNotChangeTheResult) {
+  const energy::Technology tech = energy::technology_0_07u();
+  const graph::Cdcg cdcg = random_workload(9);
+  const graph::Cwg cwg = cdcg.to_cwg();
+  const std::unique_ptr<noc::Topology> topo = noc::make_topology("mesh", 3, 3);
+  const mapping::CwmCost cost(cwg, *topo, tech);
+  std::optional<SearchResult> reference;
+  for (std::uint32_t depth : {0u, 1u, 3u, 9u, 20u}) {
+    SCOPED_TRACE(depth);
+    BnbOptions options;
+    options.shard_depth = depth;
+    const SearchResult r = branch_and_bound(cost, *topo, options);
+    if (!reference) {
+      reference = r;
+      continue;
+    }
+    EXPECT_EQ(r.best_cost, reference->best_cost);
+    EXPECT_EQ(r.best, reference->best);
+  }
+}
+
+TEST(BranchAndBoundTest, SharedIncumbentModeKeepsTheResultDeterministic) {
+  const energy::Technology tech = energy::technology_0_07u();
+  const graph::Cdcg cdcg = random_workload(16);
+  const graph::Cwg cwg = cdcg.to_cwg();
+  const std::unique_ptr<noc::Topology> topo = noc::make_topology("mesh", 4, 4);
+  const BnbCostFactory factory = [&]() -> std::unique_ptr<mapping::CostFunction> {
+    return std::make_unique<mapping::CwmCost>(cwg, *topo, tech);
+  };
+  BnbOptions options;
+  const SearchResult reference = branch_and_bound(factory, *topo, options);
+  options.share_incumbent = true;
+  options.threads = 4;
+  const SearchResult shared = branch_and_bound(factory, *topo, options);
+  // Counters may differ (pruning reads cross-thread state) but the winner
+  // may not: strict pruning never cuts an equal-cost optimum.
+  EXPECT_EQ(shared.best_cost, reference.best_cost);
+  EXPECT_EQ(shared.best, reference.best);
+}
+
+// --- Budget and seeding -----------------------------------------------------
+
+TEST(BranchAndBoundTest, BudgetFallsBackToTheSeededIncumbent) {
+  const energy::Technology tech = energy::technology_0_07u();
+  const graph::Cdcg cdcg = random_workload(16);
+  const graph::Cwg cwg = cdcg.to_cwg();
+  const std::unique_ptr<noc::Topology> topo = noc::make_topology("mesh", 4, 4);
+  const mapping::CwmCost cost(cwg, *topo, tech);
+  BnbOptions options;
+  options.max_nodes = 50;  // Far too small to finish a 16-core tree.
+  const SearchResult truncated = branch_and_bound(cost, *topo, options);
+  EXPECT_FALSE(truncated.exhausted);
+  EXPECT_EQ(truncated.node_budget, 50u);
+  EXPECT_TRUE(truncated.best.is_valid());
+
+  // The fallback is never worse than the SA seed it started from.
+  options.max_nodes = 0;
+  const SearchResult full = branch_and_bound(cost, *topo, options);
+  EXPECT_TRUE(full.exhausted);
+  EXPECT_LE(full.best_cost, truncated.best_cost);
+  // And the truncated run is never worse than its own seeded incumbent.
+  EXPECT_LE(truncated.best_cost, truncated.initial_cost);
+}
+
+TEST(BranchAndBoundTest, WithoutSeedingStillFindsTheOptimum) {
+  const energy::Technology tech = energy::technology_0_07u();
+  const graph::Cdcg cdcg = random_workload(9);
+  const graph::Cwg cwg = cdcg.to_cwg();
+  const std::unique_ptr<noc::Topology> topo = noc::make_topology("mesh", 3, 3);
+  const mapping::CwmCost cost(cwg, *topo, tech);
+  BnbOptions options;
+  options.seed_with_sa = false;
+  const SearchResult bare = branch_and_bound(cost, *topo, options);
+  const SearchResult es = exhaustive_search(cost, *topo);
+  EXPECT_TRUE(bare.exhausted);
+  EXPECT_EQ(bare.best_cost, es.best_cost);
+  EXPECT_EQ(bare.best, es.best);
+  // No incumbent to start from: the tree is bigger than the seeded run's.
+  const SearchResult seeded = branch_and_bound(cost, *topo);
+  EXPECT_GE(bare.nodes_tested, seeded.nodes_tested);
+}
+
+TEST(BranchAndBoundTest, CallerIncumbentIsUsed) {
+  const energy::Technology tech = energy::technology_0_07u();
+  const graph::Cdcg cdcg = random_workload(9);
+  const graph::Cwg cwg = cdcg.to_cwg();
+  const std::unique_ptr<noc::Topology> topo = noc::make_topology("mesh", 3, 3);
+  const mapping::CwmCost cost(cwg, *topo, tech);
+  const SearchResult es = exhaustive_search(cost, *topo);
+  BnbOptions options;
+  options.seed_with_sa = false;
+  options.incumbent = &es.best;  // Seed with the known optimum.
+  const SearchResult r = branch_and_bound(cost, *topo, options);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.best_cost, es.best_cost);
+  EXPECT_EQ(r.initial_cost, es.best_cost);
+}
+
+TEST(BranchAndBoundTest, CountsAreConsistent) {
+  const energy::Technology tech = energy::technology_0_07u();
+  const graph::Cdcg cdcg = random_workload(9);
+  const graph::Cwg cwg = cdcg.to_cwg();
+  const std::unique_ptr<noc::Topology> topo = noc::make_topology("mesh", 3, 3);
+  const mapping::CwmCost cost(cwg, *topo, tech);
+  const SearchResult r = branch_and_bound(cost, *topo);
+  EXPECT_GT(r.nodes_visited, 0u);
+  EXPECT_GT(r.nodes_pruned, 0u);
+  // Tests = visited + failing tests; each failing test eliminated at least
+  // itself, so tested <= visited + pruned.
+  EXPECT_GE(r.nodes_tested, r.nodes_visited);
+  EXPECT_LE(r.nodes_tested - r.nodes_visited, r.nodes_pruned);
+}
+
+// --- Error handling ----------------------------------------------------------
+
+TEST(BranchAndBoundTest, RejectsCostWithoutLowerBound) {
+  class NoBoundCost final : public mapping::CostFunction {
+   public:
+    double cost(const mapping::Mapping&) const override { return 0.0; }
+    std::string name() const override { return "stub"; }
+    std::size_t num_cores() const override { return 2; }
+  };
+  const std::unique_ptr<noc::Topology> topo = noc::make_topology("mesh", 2, 2);
+  const NoBoundCost cost;
+  EXPECT_THROW(branch_and_bound(cost, *topo), std::invalid_argument);
+}
+
+TEST(BranchAndBoundTest, RejectsMoreCoresThanTiles) {
+  const energy::Technology tech = energy::technology_0_07u();
+  const graph::Cdcg cdcg = random_workload(9);
+  const graph::Cwg cwg = cdcg.to_cwg();
+  const std::unique_ptr<noc::Topology> big = noc::make_topology("mesh", 3, 3);
+  const std::unique_ptr<noc::Topology> small =
+      noc::make_topology("mesh", 2, 2);
+  const mapping::CwmCost cost(cwg, *big, tech);
+  EXPECT_THROW(branch_and_bound(cost, *small), std::invalid_argument);
+}
+
+TEST(BranchAndBoundTest, RejectsMisshapenIncumbent) {
+  const energy::Technology tech = energy::technology_0_07u();
+  const graph::Cdcg cdcg = random_workload(4);
+  const graph::Cwg cwg = cdcg.to_cwg();
+  const std::unique_ptr<noc::Topology> topo = noc::make_topology("mesh", 3, 3);
+  const std::unique_ptr<noc::Topology> other =
+      noc::make_topology("mesh", 2, 2);
+  const mapping::CwmCost cost(cwg, *topo, tech);
+  const mapping::Mapping wrong(*other, 4);
+  BnbOptions options;
+  options.incumbent = &wrong;
+  EXPECT_THROW(branch_and_bound(cost, *topo, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nocmap::search
