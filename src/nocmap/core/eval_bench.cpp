@@ -75,7 +75,7 @@ void append_json_number(std::ostringstream& os, double v) {
 
 std::string EvalBenchReport::to_json() const {
   std::ostringstream os;
-  os << "{\n  \"bench\": \"eval_engine\",\n  \"schema\": 3,\n"
+  os << "{\n  \"bench\": \"eval_engine\",\n  \"schema\": 4,\n"
      << "  \"unit\": \"evaluations_per_second\",\n"
      << "  \"host_threads\": " << host_threads << ",\n"
      << "  \"rows\": [\n";
@@ -110,6 +110,10 @@ std::string EvalBenchReport::to_json() const {
     os << ", \"hybrid_cadence\": " << r.hybrid_cadence
        << ", \"hybrid_speedup\": " << r.hybrid_speedup()
        << ", \"cdcm_allocs_per_run\": " << r.cdcm_allocs_per_run << ",\n"
+       << "     \"cdcm_flit\": ";
+    append_json_number(os, r.cdcm_flit_per_s);
+    os << ", \"flit_buffer_depth\": " << r.flit_buffer_depth
+       << ", \"flit_tax\": " << r.flit_tax() << ",\n"
        << "     \"bnb_evals_per_second\": ";
     append_json_number(os, r.bnb_evals_per_s);
     os << ", \"bnb_nodes_visited\": " << r.bnb_nodes_visited
@@ -221,6 +225,23 @@ EvalBenchReport run_eval_bench(const EvalBenchOptions& options) {
       m.swap_tiles(a, b);
       return simulator.run(m).texec_ns;
     });
+
+    // The flit-accurate backend, same arena-reuse protocol as cdcm_reuse:
+    // the ratio of the two rows is the fidelity tax of finite-buffer
+    // simulation (flit_tax in the JSON).
+    {
+      sim::SimOptions flit_options = sim_options;
+      flit_options.backend = sim::SimBackend::kFlit;
+      flit_options.buffer_depth = options.flit_buffer_depth;
+      row.flit_buffer_depth = options.flit_buffer_depth;
+      sim::Simulator flit_simulator(cdcg, *topo, tech, flit_options);
+      row.cdcm_flit_per_s = measure(options.min_time_s, sink, [&] {
+        noc::TileId a, b;
+        random_pair(a, b);
+        m.swap_tiles(a, b);
+        return flit_simulator.run(m).texec_ns;
+      });
+    }
 
     // The SA-protocol walk: price the move against the *current* mapping,
     // then commit it — one arena run per move through CdcmCost's probe

@@ -9,7 +9,9 @@
 /// ladder: the one-shot sim::simulate() wrapper (pays arena construction
 /// per call), the reusable Simulator::run() arena, the CdcmCost swap-delta
 /// protocol (swap-aware rebinding + probe caching), the hybrid CWM->CDCM
-/// objective, and the sim::BatchEvaluator at 1 and T threads. The report
+/// objective, the sim::BatchEvaluator at 1 and T threads, and the
+/// flit-accurate backend arena (docs/simulation.md) — so the fidelity tax
+/// of finite-buffer simulation is tracked alongside link-claim. The report
 /// serializes to the JSON tracked as BENCH_eval.json at the repo root, so
 /// successive PRs can follow the perf trajectory.
 ///
@@ -38,6 +40,8 @@ struct EvalBenchOptions {
   std::uint32_t batch_threads = 4;   ///< T for the cdcm_batch_T row.
   std::uint32_t batch_size = 256;    ///< Mappings per BatchEvaluator call.
   std::uint32_t hybrid_cadence = 8;  ///< HybridCost CDCM verification rate.
+  /// Input-port buffer depth (flits) for the cdcm_flit row.
+  std::uint32_t flit_buffer_depth = 8;
   /// Branch-and-bound node budget (lower-bound tests) per row. The 3x3 and
   /// 4x4 CWM searches complete in well under 10^5 tests; larger boards are
   /// truncated and report bnb_complete = false.
@@ -70,6 +74,10 @@ struct EvalBenchRow {
   std::uint32_t batch_threads = 0; ///< T of the row above.
   double hybrid_per_s = 0.0;       ///< HybridCost swap_delta + apply_swap.
   std::uint32_t hybrid_cadence = 0;
+  /// Simulator::run() arena reuse under the flit-accurate backend
+  /// (wormhole, credit flow control, flit_buffer_depth-flit ports).
+  double cdcm_flit_per_s = 0.0;
+  std::uint32_t flit_buffer_depth = 0;  ///< Depth of the row above.
   std::int64_t cdcm_allocs_per_run = -1;  ///< -1 when not measured.
 
   // --- Branch-and-bound exact CWM search (one run, not a rate loop) --------
@@ -103,6 +111,11 @@ struct EvalBenchRow {
   double hybrid_speedup() const {
     return cdcm_reuse_per_s > 0 ? hybrid_per_s / cdcm_reuse_per_s : 0.0;
   }
+  /// Fidelity tax: link-claim rate over flit-backend rate (>= 1 in
+  /// practice — the flit loop does strictly more bookkeeping per event).
+  double flit_tax() const {
+    return cdcm_flit_per_s > 0 ? cdcm_reuse_per_s / cdcm_flit_per_s : 0.0;
+  }
   /// Fraction of the enumeration tree the bound eliminated.
   double bnb_pruned_frac() const {
     const double denom = static_cast<double>(bnb_nodes_visited) +
@@ -118,7 +131,7 @@ struct EvalBenchReport {
   /// reports ~1.0).
   std::uint32_t host_threads = 0;
 
-  /// Pretty-printed JSON document ({"bench": "eval_engine", "schema": 3,
+  /// Pretty-printed JSON document ({"bench": "eval_engine", "schema": 4,
   /// "rows": [...]}).
   std::string to_json() const;
 };

@@ -128,10 +128,9 @@ search::SearchResult Explorer::run_batched_exhaustive() const {
   // reduces to pricing every enumerated placement — exactly the shape
   // sim::BatchEvaluator parallelizes. Enumeration-order reduction keeps the
   // outcome byte-identical to the serial engine for every thread count.
-  sim::SimOptions sim_options;
-  sim_options.routing = options_.routing;
-  sim_options.record_traces = false;
-  sim::BatchEvaluator evaluator(cdcg_, topo_, options_.tech, sim_options,
+  sim::SimOptions so = sim_options();
+  so.record_traces = false;
+  sim::BatchEvaluator evaluator(cdcg_, topo_, options_.tech, so,
                                 std::max<std::uint32_t>(1, options_.threads));
   return search::exhaustive_search_batched(
       cdcg_.num_cores(), topo_,
@@ -189,11 +188,22 @@ ModelOutcome Explorer::run(const CostFactory& make_cost,
   } else {
     outcome.method = exhaustive ? "ES" : "SA";
   }
-  // Ground truth: full CDCM simulation of the winner, traces included.
+  // Ground truth: full CDCM simulation of the winner, traces included,
+  // under the selected backend.
   const mapping::CdcmCost evaluator(cdcg_, topo_, options_.tech,
-                                    options_.routing);
+                                    options_.routing, sim_options());
   outcome.sim = evaluator.evaluate(sr.best);
   return outcome;
+}
+
+sim::SimOptions Explorer::sim_options() const {
+  sim::SimOptions so;
+  so.routing = options_.routing;
+  so.backend = options_.sim_backend;
+  so.buffer_depth = options_.buffer_depth;
+  so.flow_control = options_.flow_control;
+  so.switching = options_.switching;
+  return so;
 }
 
 std::string Explorer::timing_model_name() const {
@@ -219,12 +229,13 @@ Explorer::CostFactory Explorer::timing_cost_factory() const {
     return [this]() -> std::unique_ptr<mapping::CostFunction> {
       return std::make_unique<mapping::HybridCost>(
           cdcg_, topo_, options_.tech, options_.routing,
-          options_.hybrid_cadence);
+          options_.hybrid_cadence, sim_options());
     };
   }
   return [this]() -> std::unique_ptr<mapping::CostFunction> {
     return std::make_unique<mapping::CdcmCost>(cdcg_, topo_, options_.tech,
-                                               options_.routing);
+                                               options_.routing,
+                                               sim_options());
   };
 }
 

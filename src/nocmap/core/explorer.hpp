@@ -91,6 +91,15 @@ struct ExplorerOptions {
   std::uint32_t hybrid_cadence = 8;
   /// Shard size for batched CDCM exhaustive search.
   std::uint32_t es_batch_size = 1024;
+  /// Evaluation backend for the timing-aware model and the ground-truth
+  /// comparison (docs/simulation.md): the link-claim model (the paper's,
+  /// the default) or the flit-accurate model with finite buffers. The CWM
+  /// *search* is timing-blind either way; its winner is still judged by
+  /// the selected backend.
+  sim::SimBackend sim_backend = sim::SimBackend::kLinkClaim;
+  std::uint32_t buffer_depth = 8;  ///< kFlit: flits per router input port.
+  sim::FlowControl flow_control = sim::FlowControl::kCredit;  ///< kFlit.
+  sim::Switching switching = sim::Switching::kWormhole;       ///< kFlit.
 };
 
 /// The outcome of optimizing one model.
@@ -167,6 +176,8 @@ class Explorer {
       const CostFactory& make_cost, const mapping::Mapping* incumbent) const;
   std::string timing_model_name() const;
   CostFactory timing_cost_factory() const;
+  /// The SimOptions implied by options_ (backend, buffers, routing).
+  sim::SimOptions sim_options() const;
 
   const graph::Cdcg& cdcg_;
   const noc::Topology& topo_;

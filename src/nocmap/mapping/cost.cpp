@@ -436,15 +436,14 @@ double cwm_dynamic_energy(const graph::Cwg& cwg, const noc::Topology& topo,
 
 CdcmCost::CdcmCost(const graph::Cdcg& cdcg, const noc::Topology& topo,
                    const energy::Technology& tech,
-                   noc::RoutingAlgorithm routing)
+                   noc::RoutingAlgorithm routing, sim::SimOptions sim_options)
     : cdcg_(cdcg), topo_(topo), tech_(tech), routing_(routing) {
   tech_.validate();
   cdcg_.validate(/*require_connected=*/false);
-  sim::SimOptions options;
-  options.routing = routing_;
-  options.record_traces = true;  // Only honoured by the traced path.
+  sim_options.routing = routing_;
+  sim_options.record_traces = true;  // Only honoured by the traced path.
   simulator_ =
-      std::make_unique<sim::Simulator>(cdcg_, topo_, tech_, options);
+      std::make_unique<sim::Simulator>(cdcg_, topo_, tech_, sim_options);
 }
 
 double CdcmCost::run_cost(const Mapping& m) const {
@@ -511,10 +510,11 @@ sim::SimulationResult CdcmCost::evaluate(const Mapping& m) const {
 HybridCost::HybridCost(const graph::Cdcg& cdcg, const noc::Topology& topo,
                        const energy::Technology& tech,
                        noc::RoutingAlgorithm routing,
-                       std::uint32_t cdcm_cadence)
+                       std::uint32_t cdcm_cadence,
+                       sim::SimOptions sim_options)
     : cwg_(cdcg.to_cwg()),
       cwm_(cwg_, topo, tech, routing),
-      cdcm_(cdcg, topo, tech, routing),
+      cdcm_(cdcg, topo, tech, routing, sim_options),
       cadence_(cdcm_cadence) {}
 
 double HybridCost::swap_delta(const Mapping& m, noc::TileId a,

@@ -220,9 +220,14 @@ class CwmCost final : public CostFunction {
 /// Not thread-safe: give each search worker its own CdcmCost.
 class CdcmCost final : public CostFunction {
  public:
+  /// `sim_options` selects the evaluation backend and its flow-control
+  /// parameters (docs/simulation.md); its routing field is overridden by
+  /// `routing` and record_traces is forced on (only the traced path reads
+  /// it). The default is the link-claim backend — the historical behavior.
   CdcmCost(const graph::Cdcg& cdcg, const noc::Topology& topo,
            const energy::Technology& tech,
-           noc::RoutingAlgorithm routing = noc::RoutingAlgorithm::kXY);
+           noc::RoutingAlgorithm routing = noc::RoutingAlgorithm::kXY,
+           sim::SimOptions sim_options = {});
 
   double cost(const Mapping& m) const override;
   std::string name() const override { return "CDCM"; }
@@ -280,10 +285,13 @@ class CdcmCost final : public CostFunction {
 /// on the per-step CDCM resynchronization alone.
 class HybridCost final : public CostFunction {
  public:
+  /// `sim_options` is forwarded to the CDCM half (see CdcmCost); the CWM
+  /// prefilter is timing-blind and unaffected by the backend choice.
   HybridCost(const graph::Cdcg& cdcg, const noc::Topology& topo,
              const energy::Technology& tech,
              noc::RoutingAlgorithm routing = noc::RoutingAlgorithm::kXY,
-             std::uint32_t cdcm_cadence = 8);
+             std::uint32_t cdcm_cadence = 8,
+             sim::SimOptions sim_options = {});
 
   double cost(const Mapping& m) const override { return cdcm_.cost(m); }
   std::string name() const override { return "HYBRID"; }

@@ -74,6 +74,44 @@ struct Occupancy {
                            ///< the resource (the '*' marks in Figure 3a).
 };
 
+/// Which evaluation backend executes the schedule. Both run through the
+/// same deterministic event queue and agree bitwise whenever the flit
+/// backend's flow-control constraints never bind (docs/simulation.md).
+enum class SimBackend : std::uint8_t {
+  /// The paper's model: a worm claims whole links hop by hop; router input
+  /// buffers are unbounded (unless the legacy buffer_flits knob is set).
+  kLinkClaim,
+  /// Flit-accurate model: head/body/tail flits stream through *finite*
+  /// per-port input buffers (buffer_depth flits each) under credit or
+  /// on/off flow control, with wormhole or virtual-cut-through switching.
+  /// Stalled worms back up into upstream buffers and, once those fill,
+  /// keep upstream links busy (backpressure).
+  kFlit,
+};
+
+/// kFlit: how a router learns about downstream buffer space.
+enum class FlowControl : std::uint8_t {
+  /// Per-slot credits: a head may enter the downstream port the instant a
+  /// slot frees there.
+  kCredit,
+  /// On/off signalling: the stop signal is raised one slot early (to cover
+  /// the flit in flight) and the go signal takes one link traversal to
+  /// arrive, so stalls last >= the credit-based ones.
+  kOnOff,
+};
+
+/// kFlit: switching discipline.
+enum class Switching : std::uint8_t {
+  /// Wormhole: a head advances as soon as one downstream slot is free; a
+  /// blocked worm's body parks across the buffers along its path.
+  kWormhole,
+  /// Virtual cut-through: a head advances only once the downstream buffer
+  /// can hold the *whole* packet (requires buffer_depth >= max packet
+  /// flits; validated at Simulator construction). Blocked worms never hold
+  /// upstream links.
+  kVirtualCutThrough,
+};
+
 struct SimOptions {
   noc::RoutingAlgorithm routing = noc::RoutingAlgorithm::kXY;
   /// Record per-packet hop lists and per-resource occupancy lists. Disable
@@ -89,6 +127,15 @@ struct SimOptions {
   /// worked example never exercises injection contention. Same-source worms
   /// still serialize on their first shared inter-router link either way.
   bool contend_local_in = false;
+  /// Evaluation backend. kFlit rejects the legacy buffer_flits knob (its
+  /// buffers are modeled exactly via buffer_depth instead).
+  SimBackend backend = SimBackend::kLinkClaim;
+  /// kFlit: input-buffer capacity of every router port, in flits (>= 1).
+  /// Depths >= max packet flits + 2 never bind, making kFlit bitwise equal
+  /// to kLinkClaim under wormhole switching (docs/simulation.md).
+  std::uint32_t buffer_depth = 8;
+  FlowControl flow_control = FlowControl::kCredit;   ///< kFlit only.
+  Switching switching = Switching::kWormhole;        ///< kFlit only.
 };
 
 struct SimulationResult {
@@ -100,6 +147,20 @@ struct SimulationResult {
   /// Occupancy lists indexed by ResourceId (empty when !record_traces); each
   /// list is sorted by start time.
   std::vector<std::vector<Occupancy>> occupancy;
+
+  // --- kFlit observability (all exactly 0.0 under kLinkClaim, and whenever
+  // --- the flow-control constraints never bind) ----------------------------
+  /// Admission stalls: time heads waited on downstream buffer space (credit
+  /// / on-off / VCT clearance), summed over packets. Included in
+  /// total_contention_ns as well.
+  double flit_stall_ns = 0.0;
+  /// Backpressure: total extension of upstream link busy times caused by
+  /// worm bodies that overflowed the buffers along their path.
+  double flit_backpressure_ns = 0.0;
+  /// Peak modeled input-buffer occupancy, in flits. Never exceeds
+  /// SimOptions::buffer_depth (the backpressure cascade is what enforces
+  /// the bound).
+  double flit_max_occupancy = 0.0;
 };
 
 /// Execute `cdcg` mapped by `mapping` onto `topo` under `tech`.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace nocmap::sim {
 
@@ -18,6 +19,18 @@ Simulator::Simulator(const graph::Cdcg& cdcg, const noc::Topology& topo,
       tl_(static_cast<double>(tech.tl_cycles) * tech.clock_period_ns) {
   tech_.validate();
   cdcg_.validate(/*require_connected=*/false);
+
+  if (options_.backend == SimBackend::kFlit) {
+    if (options_.buffer_depth == 0) {
+      throw std::invalid_argument(
+          "simulate: the flit backend needs buffer_depth >= 1");
+    }
+    if (options_.buffer_flits != 0) {
+      throw std::invalid_argument(
+          "simulate: buffer_flits is a link-claim option; the flit backend "
+          "models finite buffers exactly via buffer_depth");
+    }
+  }
 
   const std::size_t num_packets = cdcg_.num_packets();
   const std::size_t num_cores = cdcg_.num_cores();
@@ -96,7 +109,8 @@ Simulator::Simulator(const graph::Cdcg& cdcg, const noc::Topology& topo,
     return v >= 0.0 && v < 9.0e15 &&
            static_cast<double>(static_cast<std::uint64_t>(v)) == v;
   };
-  bool eligible = num_packets > 0 &&
+  bool eligible = options_.backend == SimBackend::kLinkClaim &&
+                  num_packets > 0 &&
                   num_packets < detail::BucketQueue::kMaxPackets &&
                   integral(tr_) && integral(tl_);
   for (graph::PacketId p = 0; eligible && p < num_packets; ++p) {
@@ -130,6 +144,34 @@ Simulator::Simulator(const graph::Cdcg& cdcg, const noc::Topology& topo,
     arena_stride_ = stride;
     links_arena_.resize(num_packets * stride);
     bucket_.init(num_packets);
+  }
+
+  // --- Flit-backend arenas --------------------------------------------------
+  if (options_.backend == SimBackend::kFlit) {
+    for (graph::PacketId p = 0; p < num_packets; ++p) {
+      max_flits_ = std::max(max_flits_, flits_[p]);
+    }
+    if (options_.switching == Switching::kVirtualCutThrough &&
+        static_cast<double>(options_.buffer_depth) < max_flits_) {
+      throw std::invalid_argument(
+          "simulate: virtual cut-through stores whole packets, so "
+          "buffer_depth must be >= the largest packet's flit count (" +
+          std::to_string(static_cast<std::uint64_t>(max_flits_)) + ")");
+    }
+    // Longest possible route (in inter-router links) over every tile pair:
+    // the header-out history rows must fit any mapping.
+    std::uint32_t flit_links = 1;
+    const std::uint32_t tiles = topo_.num_tiles();
+    for (noc::TileId s = 0; s < tiles; ++s) {
+      for (noc::TileId d = 0; d < tiles; ++d) {
+        if (s == d) continue;
+        flit_links = std::max(flit_links, routes_.hops(s, d) - 1);
+      }
+    }
+    flit_stride_ = flit_links;
+    hout_arena_.resize(num_packets * flit_stride_);
+    port_slot_free_.resize(topo_.num_resources(), 0.0);
+    port_clear_.resize(topo_.num_resources(), 0.0);
   }
 }
 
@@ -276,6 +318,9 @@ void Simulator::run_impl(const mapping::Mapping& mapping,
   out.energy = energy::EnergyBreakdown{};
   out.total_contention_ns = 0.0;
   out.num_contended_packets = 0;
+  out.flit_stall_ns = 0.0;
+  out.flit_backpressure_ns = 0.0;
+  out.flit_max_occupancy = 0.0;
   if constexpr (Full) {
     out.packets.assign(num_packets, PacketTrace{});
     for (graph::PacketId p = 0; p < num_packets; ++p) {
@@ -308,7 +353,14 @@ void Simulator::run_impl(const mapping::Mapping& mapping,
   }
   out.energy.dynamic_j = dynamic_j;
 
-  if (!Full && bucket_mode_) {
+  if (options_.backend == SimBackend::kFlit) {
+    std::fill(port_slot_free_.begin(), port_slot_free_.end(), 0.0);
+    std::fill(port_clear_.begin(), port_clear_.end(), 0.0);
+    for (graph::PacketId p = 0; p < num_packets; ++p) {
+      if (pending_[p] == 0) inject<Full>(p, out);
+    }
+    run_flit_loop<Full>(out);
+  } else if (!Full && bucket_mode_) {
     bucket_.begin_run();
     for (graph::PacketId p = 0; p < num_packets; ++p) {
       if (pending_[p] == 0) inject_bucket(p);
@@ -491,6 +543,181 @@ void Simulator::run_bucket_loop(SimulationResult& out) {
     }
   }
   out.texec_ns = texec;
+}
+
+/// The flit backend. Same event skeleton and link-arbitration arithmetic as
+/// run_heap_loop, plus three constraint families, each written so that a
+/// non-binding constraint contributes an exact +0.0 and leaves every
+/// accumulator byte-identical to the link-claim model:
+///
+///  (a) output-link arbitration — unchanged (FIFO by header arrival);
+///  (b) downstream admission — the head additionally waits for buffer space
+///      at the far end of the link it claims: one slot under wormhole
+///      (credits / on-off), the whole buffer under virtual cut-through;
+///  (c) backpressure — a stalled worm's body parks across the input buffers
+///      along its path; whatever a buffer cannot absorb keeps the link
+///      feeding it busy past its nominal tail time.
+///
+/// Port drain schedules are closed-form rather than per-flit events: a worm
+/// streams through a port at one flit per tl, entering from its previous
+/// hop's header-out and leaving from this hop's, so free-slot / all-clear
+/// times follow directly from the two header times and the flit count. That
+/// keeps the event count identical to the link-claim model (one event per
+/// router per packet) while the constraints stay exact within the model.
+template <bool Full>
+void Simulator::run_flit_loop(SimulationResult& out) {
+  const std::size_t num_packets = cdcg_.num_packets();
+  const double tr = tr_;
+  const double tl = tl_;
+  const bool onoff = options_.flow_control == FlowControl::kOnOff;
+  const bool vct = options_.switching == Switching::kVirtualCutThrough;
+  const double depth = static_cast<double>(options_.buffer_depth);
+  // Body slots one input buffer offers a *stalled* worm. On/off raises the
+  // stop signal one slot early to cover the flit in flight.
+  const double stage_slots = onoff && depth > 1.0 ? depth - 1.0 : depth;
+  std::size_t delivered_count = 0;
+  double texec = 0.0;
+  while (!queue_.empty()) {
+    const detail::QueuedEvent ev = queue_.min();
+    const graph::PacketId p = ev.packet();
+    const std::uint32_t hop = ev.hop();
+    const double arrival = ev.time_ns();
+    const HotPacket& hp = hot_[p];
+    const double n_tl = hp.n_tl;
+    const double* hout_row = &hout_arena_[p * flit_stride_];
+
+    if (hop + 1 != hp.len) {
+      const noc::ResourceId link = hp.links[hop];
+      // (a) Output-link arbitration, the link-claim expression verbatim.
+      const double free_at = link_free_[link];
+      const double link_wait = arrival < free_at ? free_at - arrival : 0.0;
+      // (b) Downstream admission. port_slot_free_/port_clear_ stay 0.0 for
+      // ports no worm could have filled, so the gate is +0.0 exactly then.
+      const double slot = port_slot_free_[link];
+      const double gate =
+          vct ? port_clear_[link] : (onoff && slot > 0.0 ? slot + tl : slot);
+      const double granted = arrival + link_wait;
+      const double admit_wait = granted < gate ? gate - granted : 0.0;
+      const double wait = link_wait + admit_wait;
+      contention_[p] += wait;
+      out.total_contention_ns += wait;
+      out.flit_stall_ns += admit_wait;
+      if constexpr (Full) {
+        if (wait > 0.0) contended_down_[p] = 1;
+      }
+      const double header_out = arrival + wait + tr;
+      link_free_[link] = header_out + n_tl;
+      hout_arena_[p * flit_stride_ + hop] = header_out;
+      if (hop > 0) {
+        // Drain bookkeeping for the input port this worm just left (the
+        // far end of links[hop-1]): flits enter from hout_row[hop-1] and
+        // leave from header_out, one per tl each way.
+        const noc::ResourceId inport = hp.links[hop - 1];
+        const double hout_prev = hout_row[hop - 1];
+        const double occ = std::min(
+            flits_[p], std::min((header_out - hout_prev) / tl, depth));
+        if (occ > out.flit_max_occupancy) out.flit_max_occupancy = occ;
+        // The whole buffer is clear of this worm once its tail has been
+        // forwarded (VCT admission reads this).
+        port_clear_[inport] = std::max(port_clear_[inport], header_out + n_tl);
+        // A following head finds a free slot once at most stage_slots - 1
+        // of this worm's flits can still be queued here. Worms shorter
+        // than the buffer can never fill it: no update, the gate stays at
+        // its prior value (0.0 when no worm ever filled this port).
+        const double excess = flits_[p] - (stage_slots - 1.0);
+        if (excess > 0.0) {
+          port_slot_free_[inport] = std::max(port_slot_free_[inport],
+                                             header_out + excess * tl);
+        }
+        // (c) Backpressure cascade. The head stalled `wait`; its body backs
+        // up into the buffers behind it, each stage absorbing what fits,
+        // and any leftover keeps the link feeding that stage busy. Under
+        // VCT the downstream buffer holds the whole worm (depth >= flits,
+        // validated), so upstream links are never held.
+        if (wait > 0.0 && !vct) {
+          double remaining = wait;
+          double body = flits_[p] - 1.0;  // Flits behind the head.
+          double cap = stage_slots - 1.0;  // The head occupies one slot.
+          std::uint32_t k = hop;
+          while (k > 0 && body > 0.0) {
+            const double park = std::min(body, cap > 0.0 ? cap : 0.0);
+            remaining -= park * tl;
+            body -= park;
+            if (remaining <= 0.0 || body <= 0.0) break;
+            const noc::ResourceId up = hp.links[k - 1];
+            const double tail_done = hout_row[k - 1] + n_tl + remaining;
+            if (tail_done > link_free_[up]) {
+              out.flit_backpressure_ns += tail_done - link_free_[up];
+              link_free_[up] = tail_done;
+            }
+            --k;
+            cap = stage_slots;
+          }
+        }
+      }
+      if constexpr (Full) {
+        if (options_.record_traces) {
+          out.packets[p].hops.push_back(
+              HopRecord{link, header_out, header_out + n_tl});
+          out.occupancy[link].push_back(Occupancy{
+              p, header_out, header_out + n_tl, contended_down_[p] != 0});
+          record_router(p, hop, arrival, header_out, out);
+        }
+      }
+      queue_.replace_min(detail::QueuedEvent::make(header_out + tl, p,
+                                                   hop + 1));
+    } else {
+      queue_.pop_min();
+      // Ejection to the destination core: never blocks (link-claim
+      // semantics, kept — the destination NI always accepts flits). The
+      // final router's input port still drains at flit rate, so following
+      // worms see its free-slot / all-clear times.
+      const double header_out = arrival + tr;
+      const double delivered = header_out + n_tl;
+      {
+        const noc::ResourceId inport = hp.links[hop - 1];
+        const double hout_prev = hout_row[hop - 1];
+        const double occ = std::min(
+            flits_[p], std::min((header_out - hout_prev) / tl, depth));
+        if (occ > out.flit_max_occupancy) out.flit_max_occupancy = occ;
+        port_clear_[inport] = std::max(port_clear_[inport], header_out + n_tl);
+        const double excess = flits_[p] - (stage_slots - 1.0);
+        if (excess > 0.0) {
+          port_slot_free_[inport] = std::max(port_slot_free_[inport],
+                                             header_out + excess * tl);
+        }
+      }
+      if constexpr (Full) {
+        if (options_.record_traces) {
+          const noc::ResourceId local_out = dst_local_out_[p];
+          out.packets[p].hops.push_back(
+              HopRecord{local_out, header_out, header_out + n_tl});
+          out.occupancy[local_out].push_back(Occupancy{
+              p, header_out, header_out + n_tl, contended_down_[p] != 0});
+          record_router(p, hop, arrival, header_out, out);
+        }
+      }
+      ++delivered_count;
+      texec = std::max(texec, delivered);
+      if (contention_[p] > 0) ++out.num_contended_packets;
+      if constexpr (Full) {
+        PacketTrace& trace = out.packets[p];
+        trace.delivered_ns = delivered;
+        trace.contention_ns = contention_[p];
+      }
+      const std::uint32_t succ_end = hp.succ_end;
+      for (std::uint32_t i = hp.succ_begin; i < succ_end; ++i) {
+        const graph::PacketId succ = succ_list_[i];
+        ready_[succ] = std::max(ready_[succ], delivered);
+        if (--pending_[succ] == 0) inject<Full>(succ, out);
+      }
+    }
+  }
+  out.texec_ns = texec;
+
+  if (delivered_count != num_packets) {
+    throw std::logic_error("simulate: not all packets were delivered");
+  }
 }
 
 }  // namespace nocmap::sim

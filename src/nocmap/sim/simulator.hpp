@@ -83,6 +83,13 @@ class Simulator {
   /// fused into the last link claim. Scalar results only; byte-identical
   /// to run_heap_loop<false> (see bucket_mode_).
   void run_bucket_loop(SimulationResult& out);
+  /// The flit backend (options_.backend == kFlit): the heap loop's link
+  /// arbitration plus finite-buffer admission gates and a backpressure
+  /// cascade. Every correction is a max(0, .)-style term that contributes
+  /// an exact +0.0 when the buffers are deep enough, so results degrade
+  /// bitwise to run_heap_loop (docs/simulation.md spells out the theorem).
+  template <bool Full>
+  void run_flit_loop(SimulationResult& out);
   template <bool Full>
   void inject(graph::PacketId p, SimulationResult& out);
   void inject_bucket(graph::PacketId p);
@@ -165,6 +172,20 @@ class Simulator {
   std::size_t arena_stride_ = 0;        ///< Links per packet row (pow2).
   std::vector<noc::ResourceId> links_arena_;  ///< Dense per-packet rows.
   detail::BucketQueue bucket_;
+
+  // --- Flit backend (options_.backend == kFlit) ----------------------------
+  std::size_t flit_stride_ = 0;     ///< header-out slots per packet row.
+  double max_flits_ = 0.0;          ///< Largest packet, in flits.
+  /// Per-(packet, hop) header-out history of the current run — the
+  /// backpressure cascade needs the upstream flit-arrival schedule, which
+  /// is not derivable from the head event alone.
+  std::vector<double> hout_arena_;
+  /// Per-link port state of the *downstream* input buffer the link feeds:
+  /// the earliest time a new worm's head finds a free slot there, and the
+  /// time the buffer is completely empty (VCT admission). Both stay 0.0
+  /// until a worm's transit could actually have filled the port.
+  std::vector<double> port_slot_free_;
+  std::vector<double> port_clear_;
 };
 
 }  // namespace nocmap::sim

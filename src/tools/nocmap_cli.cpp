@@ -114,6 +114,16 @@ Options:
   --cores N         (--workload random) number of cores (default: 8).
   --packets N       (--workload random) number of packets (default: 32).
   --bits N          (--workload random) total bit volume (default: 4096).
+  --backend NAME    Evaluation backend: link (whole-link claims, the paper's
+                    model, default) or flit (flit-accurate: finite input
+                    buffers, flow control, backpressure). See
+                    docs/simulation.md.
+  --buffer-depth N  (--backend flit) input-buffer flits per router port
+                    (default: 8).
+  --flow-control NAME
+                    (--backend flit) credit | onoff (default: credit).
+  --switching NAME  (--backend flit) wormhole | vct (default: wormhole;
+                    vct needs --buffer-depth >= the largest packet).
   --csv             Emit CSV instead of aligned text tables.
   -h, --help        Show this message.
 )";
@@ -148,6 +158,13 @@ Options:
   --hybrid-cadence N
                     With --cost hybrid: CDCM verification cadence
                     (default: 8).
+  --backend NAME    Evaluation backend: link (default) | flit; flit adds
+                    --buffer-depth / --flow-control / --switching as in
+                    `nocmap explore`.
+  --buffer-depth N  (--backend flit) input-buffer flits per port (default 8).
+  --flow-control NAME
+                    (--backend flit) credit | onoff (default: credit).
+  --switching NAME  (--backend flit) wormhole | vct (default: wormhole).
   --perf            Run the evaluation-engine microbenchmark (CWM full vs
                     delta, the CDCM ladder: one-shot / arena / swap-delta /
                     batch x threads / hybrid) and write the JSON report
@@ -189,7 +206,8 @@ Options:
                     (default: xy).
   --threads N       Explore the sweep rows in parallel (default: 1); the
                     emitted rows are identical for any N.
-  All other `nocmap explore` mesh/tech/method/chains/cost options apply.
+  All other `nocmap explore` mesh/tech/method/chains/cost options apply,
+  including --backend flit with --buffer-depth/--flow-control/--switching.
   With one topology, one routing and a non-suite workload the historical
   per-seed table is printed; otherwise one row per (topology, routing,
   application, seed) plus per-combination aggregates.
@@ -257,6 +275,29 @@ core::SearchMethod parse_method(const std::string& value) {
                    "'");
 }
 
+sim::SimBackend parse_backend(const std::string& value) {
+  if (value == "link" || value == "link-claim") {
+    return sim::SimBackend::kLinkClaim;
+  }
+  if (value == "flit") return sim::SimBackend::kFlit;
+  throw UsageError("--backend expects link | flit, got '" + value + "'");
+}
+
+sim::FlowControl parse_flow_control(const std::string& value) {
+  if (value == "credit") return sim::FlowControl::kCredit;
+  if (value == "onoff" || value == "on-off") return sim::FlowControl::kOnOff;
+  throw UsageError("--flow-control expects credit | onoff, got '" + value +
+                   "'");
+}
+
+sim::Switching parse_switching(const std::string& value) {
+  if (value == "wormhole") return sim::Switching::kWormhole;
+  if (value == "vct" || value == "virtual-cut-through") {
+    return sim::Switching::kVirtualCutThrough;
+  }
+  throw UsageError("--switching expects wormhole | vct, got '" + value + "'");
+}
+
 noc::RoutingAlgorithm parse_routing(const std::string& value) {
   try {
     return noc::routing_algorithm_from_name(value);
@@ -321,6 +362,13 @@ struct RunOptions {
   std::uint64_t chains = 1;
   core::TimingCostMode timing_cost = core::TimingCostMode::kCdcm;
   std::uint64_t hybrid_cadence = 8;
+  sim::SimBackend sim_backend = sim::SimBackend::kLinkClaim;
+  std::uint64_t buffer_depth = 8;
+  sim::FlowControl flow_control = sim::FlowControl::kCredit;
+  sim::Switching switching = sim::Switching::kWormhole;
+  /// Track explicit use of the flit-only knobs so --buffer-depth & co.
+  /// without --backend flit can be rejected instead of silently ignored.
+  bool flit_knob_set = false;
   /// bench --perf only: explicit grid sizes.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> perf_sizes;
   std::optional<std::string> noc_filter;  // bench only
@@ -411,6 +459,20 @@ RunOptions parse_run_options(int argc, char** argv, const char* usage,
       if (opts.hybrid_cadence > 1'000'000) {
         throw UsageError("--hybrid-cadence must be at most 1,000,000");
       }
+    } else if (a == "--backend") {
+      opts.sim_backend = parse_backend(value(i, a));
+    } else if (a == "--buffer-depth") {
+      opts.buffer_depth = parse_u64(a, value(i, a));
+      opts.flit_knob_set = true;
+      if (opts.buffer_depth == 0 || opts.buffer_depth > (1u << 20)) {
+        throw UsageError("--buffer-depth must be in [1, 1,048,576]");
+      }
+    } else if (a == "--flow-control") {
+      opts.flow_control = parse_flow_control(value(i, a));
+      opts.flit_knob_set = true;
+    } else if (a == "--switching") {
+      opts.switching = parse_switching(value(i, a));
+      opts.flit_knob_set = true;
     } else if (a == "--sizes") {
       for (const std::string& item : split_list(a, value(i, a))) {
         opts.perf_sizes.push_back(parse_mesh(a, item));
@@ -428,6 +490,10 @@ RunOptions parse_run_options(int argc, char** argv, const char* usage,
     } else {
       throw UsageError("unknown option '" + a + "'");
     }
+  }
+  if (opts.flit_knob_set && opts.sim_backend != sim::SimBackend::kFlit) {
+    throw UsageError(
+        "--buffer-depth/--flow-control/--switching require --backend flit");
   }
   return opts;
 }
@@ -530,6 +596,10 @@ core::ExplorerOptions explorer_options(const RunOptions& opts,
   eo.sa_chains = static_cast<std::uint32_t>(opts.chains);
   eo.timing_cost = opts.timing_cost;
   eo.hybrid_cadence = static_cast<std::uint32_t>(opts.hybrid_cadence);
+  eo.sim_backend = opts.sim_backend;
+  eo.buffer_depth = static_cast<std::uint32_t>(opts.buffer_depth);
+  eo.flow_control = opts.flow_control;
+  eo.switching = opts.switching;
   if (opts.bnb_nodes != 0) eo.bnb.max_nodes = opts.bnb_nodes;
   return eo;
 }
@@ -995,7 +1065,8 @@ int main(int argc, char** argv) {
         "--bnb-nodes", "--routing",
         "--topology", "--express-interval",
         "--seed",     "--no-seed-cdcm",  "--cores", "--packets", "--bits",
-        "--threads",  "--chains",        "--cost",  "--hybrid-cadence"};
+        "--threads",  "--chains",        "--cost",  "--hybrid-cadence",
+        "--backend",  "--buffer-depth",  "--flow-control", "--switching"};
     if (sub == "explore") {
       return cmd_explore(
           parse_run_options(argc, argv, kExploreUsage, explore_flags));
@@ -1006,7 +1077,8 @@ int main(int argc, char** argv) {
           {"--noc", "--tech", "--method", "--search", "--bnb-nodes",
            "--routing", "--topology",
            "--express-interval", "--seed", "--threads", "--chains", "--perf",
-           "--sizes", "--out", "--cost", "--hybrid-cadence"}));
+           "--sizes", "--out", "--cost", "--hybrid-cadence", "--backend",
+           "--buffer-depth", "--flow-control", "--switching"}));
     }
     if (sub == "workloads") {
       return cmd_workloads(parse_run_options(argc, argv, kWorkloadsUsage, {}));
