@@ -141,6 +141,20 @@ EvalBenchReport run_eval_bench(const EvalBenchOptions& options) {
       1, std::thread::hardware_concurrency());
   const energy::Technology tech = energy::technology_0_07u();
 
+  for (const auto& [width, height] : options.sizes) {
+    // Callers can hand in any size list (CLI --sizes); reject degenerate
+    // grids here with a real message instead of asserting deep in the
+    // topology layer (a 0-dimension mesh) or hanging the swap walk (a
+    // 1-tile mesh has no second tile to draw).
+    if (width == 0 || height == 0 ||
+        static_cast<std::uint64_t>(width) * height < 2) {
+      throw std::invalid_argument(
+          "run_eval_bench: size " + std::to_string(width) + "x" +
+          std::to_string(height) +
+          " is invalid — both dimensions must be nonzero and the grid needs "
+          "at least two tiles");
+    }
+  }
   std::vector<std::pair<std::uint32_t, std::uint32_t>> sizes = options.sizes;
   if (sizes.empty()) {
     for (std::uint32_t side = options.min_mesh; side <= options.max_mesh;
@@ -306,7 +320,13 @@ EvalBenchReport run_eval_bench(const EvalBenchOptions& options) {
     // CI can cross-check the optimum.
     {
       search::BnbOptions bo;
-      bo.max_nodes = options.bnb_max_nodes;
+      // Paper-scale guard: past 64 tiles a single DFS descent is ~100 levels
+      // deep and the bound is hopeless against 93+ cores, so a full budget
+      // would burn minutes proving nothing. Cap it — the row still reports
+      // the truncated best and the realized pruning fraction.
+      bo.max_nodes = tiles > 64
+                         ? std::min<std::uint64_t>(options.bnb_max_nodes, 2000)
+                         : options.bnb_max_nodes;
       bo.seed = options.seed;
       const Clock::time_point t0 = Clock::now();
       const search::SearchResult sr =

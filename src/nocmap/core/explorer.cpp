@@ -70,10 +70,13 @@ search::SearchResult Explorer::run_sa_chains(
   // functions of the mapping, so a reused object is indistinguishable from
   // a fresh one). This amortizes the arena/route-table construction of
   // CdcmCost across chains instead of paying it per chain.
+  search::SaOptions sa = options_.sa;
+  if (options_.time_budget_ms > 0.0) {
+    sa.time_budget_ms = options_.time_budget_ms;  // Per chain.
+  }
   auto run_chain = [&](std::uint32_t chain, mapping::CostFunction& cost) {
     util::Rng rng = chain_rng(options_.seed, chain);
-    results[chain] =
-        search::anneal(cost, topo_, rng, options_.sa, sa_initial);
+    results[chain] = search::anneal(cost, topo_, rng, sa, sa_initial);
   };
 
   const std::uint32_t workers =
@@ -154,17 +157,44 @@ search::SearchResult Explorer::run_branch_and_bound(
   return search::branch_and_bound(make_cost, topo_, bo);
 }
 
+search::SearchResult Explorer::run_portfolio(const CostFactory& make_cost,
+                                             const mapping::Mapping* initial,
+                                             PortfolioSummary& summary) const {
+  search::PortfolioOptions po = options_.portfolio;
+  po.sa = options_.sa;
+  po.bnb = options_.bnb;
+  po.seed = options_.seed;
+  po.threads = std::max<std::uint32_t>(1, options_.threads);
+  if (options_.time_budget_ms > 0.0) po.time_budget_ms = options_.time_budget_ms;
+  // Greedy construction as the shared starting incumbent (a caller-provided
+  // mapping — the CWM winner under seed_cdcm_with_cwm — is better still):
+  // every member starts from a sane placement instead of a random one, and
+  // the B&B member prunes from the first node.
+  const mapping::Mapping greedy = search::greedy_mapping(cwg_, topo_);
+  po.initial = initial ? initial : &greedy;
+  search::PortfolioResult pr =
+      search::portfolio(make_cost, cwg_, topo_, options_.routing, po);
+  summary.winner = pr.members[pr.winner].label;
+  summary.members = static_cast<std::uint32_t>(pr.members.size());
+  summary.polish = pr.polish_applied;
+  summary.cut = pr.budget_cut;
+  return std::move(pr.best);
+}
+
 ModelOutcome Explorer::run(const CostFactory& make_cost,
                            const std::string& model, bool timing_model,
                            const mapping::Mapping* sa_initial) const {
   const bool bnb = options_.method == SearchMethod::kBranchAndBound;
+  const bool pf = options_.method == SearchMethod::kPortfolio;
   const bool exhaustive =
-      !bnb && (options_.method == SearchMethod::kExhaustive ||
-               (options_.method == SearchMethod::kAuto &&
-                would_use_exhaustive()));
+      !bnb && !pf &&
+      (options_.method == SearchMethod::kExhaustive ||
+       (options_.method == SearchMethod::kAuto && would_use_exhaustive()));
 
+  PortfolioSummary pf_info;  // Collected before `outcome` exists.
   search::SearchResult sr = [&] {
     if (bnb) return run_branch_and_bound(make_cost, sa_initial);
+    if (pf) return run_portfolio(make_cost, sa_initial, pf_info);
     if (exhaustive) {
       // The timing-aware objectives (CDCM, and hybrid — whose cost() IS
       // the CDCM objective) go through the batch evaluator; CWM keeps the
@@ -185,6 +215,12 @@ ModelOutcome Explorer::run(const CostFactory& make_cost,
     outcome.bnb_nodes_tested = sr.nodes_tested;
     outcome.bnb_node_budget = sr.node_budget;
     outcome.bnb_complete = sr.exhausted;
+  } else if (pf) {
+    outcome.method = "PF";
+    outcome.portfolio_winner = pf_info.winner;
+    outcome.portfolio_members = pf_info.members;
+    outcome.portfolio_polish = pf_info.polish;
+    outcome.portfolio_cut = pf_info.cut;
   } else {
     outcome.method = exhaustive ? "ES" : "SA";
   }

@@ -27,6 +27,7 @@
 #include "nocmap/noc/topology.hpp"
 #include "nocmap/search/branch_and_bound.hpp"
 #include "nocmap/search/exhaustive.hpp"
+#include "nocmap/search/portfolio.hpp"
 #include "nocmap/search/simulated_annealing.hpp"
 #include "nocmap/sim/schedule.hpp"
 
@@ -40,6 +41,11 @@ enum class SearchMethod {
   /// incumbent seeded by greedy+SA. Falls back to the seeded incumbent
   /// (annealing quality) when the node budget runs out.
   kBranchAndBound,
+  /// Racing portfolio (search::portfolio): SA chains x cooling schedules x
+  /// move sets plus a budgeted B&B member over one shared incumbent,
+  /// greedy-seeded. The paper-scale engine for boards too large for exact
+  /// search. Deterministic for any thread count.
+  kPortfolio,
 };
 
 /// Which objective drives the timing-aware half of the comparison.
@@ -61,6 +67,15 @@ struct ExplorerOptions {
   /// incumbent is the greedy construction, or the CWM winner when
   /// seed_cdcm_with_cwm provides one).
   search::BnbOptions bnb;
+  /// kPortfolio: roster and budgets. The sa/bnb/seed/threads fields and the
+  /// greedy initial incumbent are filled in per run from the options above.
+  search::PortfolioOptions portfolio;
+  /// Wall-clock budget in ms for SA-based searches (plain SA chains and
+  /// every portfolio SA member), 0 = none. The budget is honored at
+  /// temperature-step boundaries only, and the cut checkpoint is recorded,
+  /// so any time-budgeted result is reproducible exactly by rerunning with
+  /// the corresponding move budget (SaOptions::max_moves).
+  double time_budget_ms = 0.0;
   /// kAuto picks ES when placements / |symmetry group| is at most this.
   std::uint64_t es_auto_threshold = 500'000;
   /// In compare(), seed the CDCM annealing run with the CWM winner: the
@@ -120,6 +135,12 @@ struct ModelOutcome {
   std::uint64_t bnb_nodes_tested = 0;
   std::uint64_t bnb_node_budget = 0;
   bool bnb_complete = false;
+  // Portfolio summary (method == "PF"); empty/zero otherwise. All fields
+  // are deterministic (no wall-clock values) so reports may diff them.
+  std::string portfolio_winner{};        ///< Winning member's label.
+  std::uint32_t portfolio_members = 0;   ///< Roster size actually raced.
+  std::uint64_t portfolio_polish = 0;    ///< Final-descent swaps applied.
+  bool portfolio_cut = false;            ///< Any member was budget-cut.
 };
 
 /// CWM-best vs CDCM-best, both judged by the ground-truth simulator.
@@ -167,6 +188,17 @@ class Explorer {
   ModelOutcome run(const CostFactory& make_cost, const std::string& model,
                    bool timing_model,
                    const mapping::Mapping* sa_initial = nullptr) const;
+  /// Deterministic digest of a portfolio run, copied into ModelOutcome.
+  struct PortfolioSummary {
+    std::string winner;
+    std::uint32_t members = 0;
+    std::uint64_t polish = 0;
+    bool cut = false;
+  };
+  /// Racing portfolio; fills `summary` for the portfolio_* outcome fields.
+  search::SearchResult run_portfolio(const CostFactory& make_cost,
+                                     const mapping::Mapping* initial,
+                                     PortfolioSummary& summary) const;
   search::SearchResult run_sa_chains(const CostFactory& make_cost,
                                      const mapping::Mapping* sa_initial) const;
   /// CDCM/hybrid exhaustive search, sharded over a sim::BatchEvaluator.

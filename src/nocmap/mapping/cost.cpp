@@ -22,19 +22,90 @@ void CostFunction::apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const {
   m.swap_tiles(a, b);
 }
 
+double CostFunction::move_delta(
+    Mapping& m, const std::pair<noc::TileId, noc::TileId>* swaps,
+    std::size_t count) const {
+  if (count == 1) return swap_delta(m, swaps[0].first, swaps[0].second);
+  // Price the sequence cumulatively, then restore `m` by undoing the
+  // involutions in reverse. The undo uses raw tile swaps, so implementations
+  // with internal incremental state (CdcmCost's cost caches) must override.
+  double delta = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    delta += swap_delta(m, swaps[i].first, swaps[i].second);
+    m.swap_tiles(swaps[i].first, swaps[i].second);
+  }
+  for (std::size_t i = count; i-- > 0;) {
+    m.swap_tiles(swaps[i].first, swaps[i].second);
+  }
+  return delta;
+}
+
+void CostFunction::apply_move(Mapping& m,
+                              const std::pair<noc::TileId, noc::TileId>* swaps,
+                              std::size_t count) const {
+  for (std::size_t i = 0; i < count; ++i) {
+    apply_swap(m, swaps[i].first, swaps[i].second);
+  }
+}
+
+void CostFunction::swap_deltas(const Mapping& m,
+                               const std::pair<noc::TileId, noc::TileId>* cands,
+                               std::size_t count, double* out) const {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = swap_delta(m, cands[i].first, cands[i].second);
+  }
+}
+
 CwmCost::CwmCost(const graph::Cwg& cwg, const noc::Topology& topo,
                  const energy::Technology& tech, noc::RoutingAlgorithm routing)
     : edges_(cwg.edges()),
-      incident_(cwg.num_cores()),
       topo_(&topo),
       table_(topo, routing),
       tech_(tech),
       routing_(routing),
       num_cores_(cwg.num_cores()) {
   tech_.validate();
+
+  // CSR incident-edge lists (counting sort by endpoint core).
+  inc_offsets_.assign(num_cores_ + 1, 0);
   for (const graph::CwgEdge& e : edges_) {
-    incident_[e.src].push_back(IncidentEdge{e.dst, e.bits, /*outgoing=*/true});
-    incident_[e.dst].push_back(IncidentEdge{e.src, e.bits, /*outgoing=*/false});
+    ++inc_offsets_[e.src + 1];
+    ++inc_offsets_[e.dst + 1];
+  }
+  for (std::size_t c = 1; c <= num_cores_; ++c) {
+    inc_offsets_[c] += inc_offsets_[c - 1];
+  }
+  const std::size_t entries = inc_offsets_[num_cores_];
+  inc_other_.resize(entries);
+  inc_bits_.resize(entries);
+  inc_out_.resize(entries);
+  std::vector<std::uint32_t> fill(inc_offsets_.begin(),
+                                  inc_offsets_.end() - 1);
+  for (const graph::CwgEdge& e : edges_) {
+    const std::uint32_t s = fill[e.src]++;
+    inc_other_[s] = e.dst;
+    inc_bits_[s] = static_cast<double>(e.bits);
+    inc_out_[s] = 1;
+    const std::uint32_t d = fill[e.dst]++;
+    inc_other_[d] = e.src;
+    inc_bits_[d] = static_cast<double>(e.bits);
+    inc_out_[d] = 0;
+  }
+
+  // Per-hop-count energy per bit up to the diameter:
+  // bits * ebit_[k] reproduces dynamic_packet_energy(tech, bits, k) bitwise
+  // (the packet energy is defined as exactly that product), so the table
+  // turns every hot-loop pricing into one gather and one multiply.
+  std::uint32_t max_k = 1;
+  const std::uint32_t num_tiles = topo.num_tiles();
+  for (noc::TileId s = 0; s < num_tiles; ++s) {
+    for (noc::TileId d = 0; d < num_tiles; ++d) {
+      max_k = std::max(max_k, table_.hops(s, d));
+    }
+  }
+  ebit_.resize(max_k + 1, 0.0);
+  for (std::uint32_t k = 1; k <= max_k; ++k) {
+    ebit_[k] = energy::dynamic_bit_energy(tech_, k);
   }
 }
 
@@ -42,56 +113,110 @@ double CwmCost::cost(const Mapping& m) const {
   double energy_j = 0.0;
   for (const graph::CwgEdge& e : edges_) {
     const std::uint32_t k = table_.hops(m.tile_of(e.src), m.tile_of(e.dst));
-    energy_j += energy::dynamic_packet_energy(tech_, e.bits, k);
+    energy_j += static_cast<double>(e.bits) * ebit_[k];
   }
   return energy_j;
 }
 
-// Repricing of one incident edge when its `core`-side endpoint moves from
-// tile `from` to tile `to` (the far endpoint stays put).
-double CwmCost::edge_delta(const Mapping& m, const IncidentEdge& e,
-                           noc::TileId from, noc::TileId to) const {
-  const noc::TileId far = m.tile_of(e.other);
-  const std::uint32_t k_old =
-      e.outgoing ? table_.hops(from, far) : table_.hops(far, from);
-  const std::uint32_t k_new =
-      e.outgoing ? table_.hops(to, far) : table_.hops(far, to);
-  if (k_old == k_new) return 0.0;
-  return energy::dynamic_packet_energy(tech_, e.bits, k_new) -
-         energy::dynamic_packet_energy(tech_, e.bits, k_old);
+namespace {
+
+/// Repricing of one edge: shared by the scalar and batched paths so both
+/// build the identical expression tree (and therefore identical rounding).
+inline double reprice(double bits, double ebit_new, double ebit_old) {
+  return bits * ebit_new - bits * ebit_old;
+}
+
+}  // namespace
+
+// Collect (weight, old hops, new hops) for every edge the swap (a, b)
+// reprices, in scalar pricing order: the edges of the core on `a` first
+// (the mutual ca<->cb edge repriced with both endpoints moved), then the
+// edges of the core on `b` minus the mutual ones.
+std::size_t CwmCost::gather_swap(const Mapping& m, noc::TileId a,
+                                 noc::TileId b) const {
+  std::size_t n = 0;
+  const std::optional<graph::CoreId> ca = m.core_on(a);
+  const std::optional<graph::CoreId> cb = m.core_on(b);
+  const std::size_t cap =
+      (ca ? inc_offsets_[*ca + 1] - inc_offsets_[*ca] : 0) +
+      (cb ? inc_offsets_[*cb + 1] - inc_offsets_[*cb] : 0);
+  if (batch_w_.size() < cap) {
+    batch_w_.resize(cap);
+    batch_k_old_.resize(cap);
+    batch_k_new_.resize(cap);
+  }
+  if (ca) {
+    for (std::uint32_t i = inc_offsets_[*ca]; i < inc_offsets_[*ca + 1]; ++i) {
+      const graph::CoreId other = inc_other_[i];
+      const bool outgoing = inc_out_[i] != 0;
+      if (cb && other == *cb) {
+        // Both endpoints move: a<->b. Reprice with both new tiles.
+        batch_w_[n] = inc_bits_[i];
+        batch_k_old_[n] = outgoing ? table_.hops(a, b) : table_.hops(b, a);
+        batch_k_new_[n] = outgoing ? table_.hops(b, a) : table_.hops(a, b);
+        ++n;
+        continue;
+      }
+      const noc::TileId far = m.tile_of(other);
+      batch_w_[n] = inc_bits_[i];
+      batch_k_old_[n] = outgoing ? table_.hops(a, far) : table_.hops(far, a);
+      batch_k_new_[n] = outgoing ? table_.hops(b, far) : table_.hops(far, b);
+      ++n;
+    }
+  }
+  if (cb) {
+    for (std::uint32_t i = inc_offsets_[*cb]; i < inc_offsets_[*cb + 1]; ++i) {
+      const graph::CoreId other = inc_other_[i];
+      // ca<->cb edges were fully repriced in the loop above.
+      if (ca && other == *ca) continue;
+      const bool outgoing = inc_out_[i] != 0;
+      const noc::TileId far = m.tile_of(other);
+      batch_w_[n] = inc_bits_[i];
+      batch_k_old_[n] = outgoing ? table_.hops(b, far) : table_.hops(far, b);
+      batch_k_new_[n] = outgoing ? table_.hops(a, far) : table_.hops(far, a);
+      ++n;
+    }
+  }
+  return n;
 }
 
 double CwmCost::swap_delta(const Mapping& m, noc::TileId a,
                            noc::TileId b) const {
   if (a == b) return 0.0;
-  const std::optional<graph::CoreId> ca = m.core_on(a);
-  const std::optional<graph::CoreId> cb = m.core_on(b);
+  const std::size_t n = gather_swap(m, a, b);
+  // Reduce over the flat scratch arrays: two gathers from the ebit table
+  // and a multiply-subtract per edge, no branches. An unchanged hop count
+  // contributes an exact +0.0, so no filtering is needed.
+  const double* w = batch_w_.data();
+  const std::uint32_t* k_old = batch_k_old_.data();
+  const std::uint32_t* k_new = batch_k_new_.data();
+  const double* ebit = ebit_.data();
   double delta = 0.0;
-  if (ca) {
-    for (const IncidentEdge& e : incident_[*ca]) {
-      if (cb && e.other == *cb) {
-        // Both endpoints move: a<->b. Reprice the edge with both new tiles.
-        const std::uint32_t k_old =
-            e.outgoing ? table_.hops(a, b) : table_.hops(b, a);
-        const std::uint32_t k_new =
-            e.outgoing ? table_.hops(b, a) : table_.hops(a, b);
-        if (k_old != k_new) {
-          delta += energy::dynamic_packet_energy(tech_, e.bits, k_new) -
-                   energy::dynamic_packet_energy(tech_, e.bits, k_old);
-        }
-        continue;
-      }
-      delta += edge_delta(m, e, a, b);
-    }
-  }
-  if (cb) {
-    for (const IncidentEdge& e : incident_[*cb]) {
-      // ca<->cb edges were fully repriced in the loop above.
-      if (ca && e.other == *ca) continue;
-      delta += edge_delta(m, e, b, a);
-    }
+  for (std::size_t i = 0; i < n; ++i) {
+    delta += reprice(w[i], ebit[k_new[i]], ebit[k_old[i]]);
   }
   return delta;
+}
+
+void CwmCost::swap_deltas(const Mapping& m,
+                          const std::pair<noc::TileId, noc::TileId>* cands,
+                          std::size_t count, double* out) const {
+  const double* ebit = ebit_.data();
+  for (std::size_t c = 0; c < count; ++c) {
+    if (cands[c].first == cands[c].second) {
+      out[c] = 0.0;
+      continue;
+    }
+    const std::size_t n = gather_swap(m, cands[c].first, cands[c].second);
+    const double* w = batch_w_.data();
+    const std::uint32_t* k_old = batch_k_old_.data();
+    const std::uint32_t* k_new = batch_k_new_.data();
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      delta += reprice(w[i], ebit[k_new[i]], ebit[k_old[i]]);
+    }
+    out[c] = delta;
+  }
 }
 
 namespace {
@@ -503,6 +628,56 @@ void CdcmCost::apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const {
   probe_valid_ = false;
 }
 
+double CdcmCost::move_delta(Mapping& m,
+                            const std::pair<noc::TileId, noc::TileId>* swaps,
+                            std::size_t count) const {
+  if (count == 1) return swap_delta(m, swaps[0].first, swaps[0].second);
+  double base;
+  if (cur_map_ && m == *cur_map_) {
+    base = cur_cost_;
+  } else {
+    cur_map_ = m;
+    base = cur_cost_ = run_cost(m);
+  }
+  if (!probe_map_) {
+    probe_map_ = m;
+  } else {
+    *probe_map_ = m;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    probe_map_->swap_tiles(swaps[i].first, swaps[i].second);
+  }
+  // One resimulation of the sequence's end state: bitwise
+  // cost(m') - cost(m), independent of the sequence length.
+  probe_cost_ = run_cost(*probe_map_);
+  // Invalidate the (a, b) fast guard; apply_move promotes the probe by
+  // mapping equality alone.
+  probe_a_ = probe_b_ = 0;
+  probe_valid_ = true;
+  return probe_cost_ - base;
+}
+
+void CdcmCost::apply_move(Mapping& m,
+                          const std::pair<noc::TileId, noc::TileId>* swaps,
+                          std::size_t count) const {
+  if (count == 1) {
+    apply_swap(m, swaps[0].first, swaps[0].second);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    m.swap_tiles(swaps[i].first, swaps[i].second);
+  }
+  if (probe_valid_ && probe_map_ && m == *probe_map_) {
+    // The committed mapping is the one just probed (the simulator is
+    // deterministic, so the cached cost is its exact cost): promote it.
+    cur_map_.swap(probe_map_);
+    cur_cost_ = probe_cost_;
+  } else {
+    cur_map_.reset();
+  }
+  probe_valid_ = false;
+}
+
 sim::SimulationResult CdcmCost::evaluate(const Mapping& m) const {
   return simulator_->run_traced(m);
 }
@@ -532,6 +707,22 @@ double HybridCost::swap_delta(const Mapping& m, noc::TileId a,
 void HybridCost::apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const {
   // CwmCost is stateless; CdcmCost keeps its probe/current caches in sync.
   cdcm_.apply_swap(m, a, b);
+}
+
+double HybridCost::move_delta(Mapping& m,
+                              const std::pair<noc::TileId, noc::TileId>* swaps,
+                              std::size_t count) const {
+  ++probes_;
+  if (cadence_ != 0 && probes_ % cadence_ == 0) {
+    return cdcm_.move_delta(m, swaps, count);
+  }
+  return cwm_.move_delta(m, swaps, count);
+}
+
+void HybridCost::apply_move(Mapping& m,
+                            const std::pair<noc::TileId, noc::TileId>* swaps,
+                            std::size_t count) const {
+  cdcm_.apply_move(m, swaps, count);
 }
 
 }  // namespace nocmap::mapping

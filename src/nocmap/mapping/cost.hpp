@@ -19,11 +19,13 @@
 /// incremental swap-delta protocol below, which simulated annealing uses to
 /// price a move in O(deg(a) + deg(b)) instead of O(|E|).
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "nocmap/energy/technology.hpp"
 #include "nocmap/graph/cdcg.hpp"
@@ -87,6 +89,53 @@ class CostFunction {
   /// The default implementation just performs m.swap_tiles(a, b), which is
   /// sufficient for stateless implementations.
   virtual void apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const;
+
+  // --- Composite moves (large-neighbourhood protocol) ----------------------
+  //
+  // The large-neighbourhood moves of search/moves.hpp (segment reversal and
+  // rotation, region relocation, worst-edge ejection) decompose into ordered
+  // sequences of elementary tile swaps; every elementary swap is an
+  // involution, so the reversed sequence undoes the move. Engines price a
+  // composite exactly like a swap:
+  //     double d = f.move_delta(m, move.swaps.data(), move.swaps.size());
+  //     if (accept) f.apply_move(m, move.swaps.data(), move.swaps.size());
+  // Only callable when has_swap_delta().
+
+  /// cost(m') - cost(m), where m' is m after applying `swaps[0..count)` in
+  /// order. `m` may be mutated transiently but is restored before
+  /// returning. The default prices each elementary swap with swap_delta()
+  /// and undoes the sequence with raw tile swaps — correct for stateless
+  /// implementations (CwmCost); CdcmCost overrides it with one probe
+  /// resimulation of the final mapping, so the delta is bitwise
+  /// cost(m') - cost(m) no matter how long the sequence is.
+  virtual double move_delta(Mapping& m,
+                            const std::pair<noc::TileId, noc::TileId>* swaps,
+                            std::size_t count) const;
+
+  /// Commit the composite move: apply every swap in order and update any
+  /// internal incremental state. Default: apply_swap() per element.
+  virtual void apply_move(Mapping& m,
+                          const std::pair<noc::TileId, noc::TileId>* swaps,
+                          std::size_t count) const;
+
+  // --- Batched candidate pricing -------------------------------------------
+
+  /// True when swap_deltas() is genuinely batched (priced without running a
+  /// full evaluation per candidate) — the signal callers like
+  /// search::steepest_polish use to decide whether pricing a whole
+  /// neighbourhood at once is affordable.
+  virtual bool has_batched_deltas() const { return false; }
+
+  /// Price `count` independent candidate swaps of the *same* base mapping at
+  /// once: out[i] = swap_delta(m, cands[i].first, cands[i].second), bitwise.
+  /// The default loops the scalar protocol (preserving any pacing state
+  /// semantics, e.g. HybridCost's cadence advances once per candidate);
+  /// CwmCost overrides it with a restructured flat-array hot loop whose
+  /// hop-table gathers and weight multiplies vectorize. Only callable when
+  /// has_swap_delta().
+  virtual void swap_deltas(const Mapping& m,
+                           const std::pair<noc::TileId, noc::TileId>* cands,
+                           std::size_t count, double* out) const;
 
   // --- Partial-mapping lower bounds (branch-and-bound protocol) ------------
   //
@@ -173,6 +222,10 @@ class CwmCost final : public CostFunction {
   bool has_swap_delta() const override { return true; }
   double swap_delta(const Mapping& m, noc::TileId a,
                     noc::TileId b) const override;
+  bool has_batched_deltas() const override { return true; }
+  void swap_deltas(const Mapping& m,
+                   const std::pair<noc::TileId, noc::TileId>* cands,
+                   std::size_t count, double* out) const override;
 
   bool has_lower_bound() const override { return true; }
   std::unique_ptr<LowerBound> make_lower_bound() const override;
@@ -181,23 +234,35 @@ class CwmCost final : public CostFunction {
   const noc::RouteTable& route_table() const { return table_; }
 
  private:
-  /// One edge as seen from one endpoint core.
-  struct IncidentEdge {
-    graph::CoreId other = 0;
-    std::uint64_t bits = 0;
-    bool outgoing = false;  ///< true: core -> other; false: other -> core.
-  };
-
-  double edge_delta(const Mapping& m, const IncidentEdge& e,
-                    noc::TileId from, noc::TileId to) const;
+  /// Gather the edges incident to the candidate swap (a, b) into the flat
+  /// scratch arrays (weight, old hop count, new hop count), in exactly the
+  /// order the scalar swap_delta() prices them. Returns the entry count.
+  std::size_t gather_swap(const Mapping& m, noc::TileId a,
+                          noc::TileId b) const;
 
   std::vector<graph::CwgEdge> edges_;
-  std::vector<std::vector<IncidentEdge>> incident_;  ///< Indexed by core.
+  // Per-core incident edges in CSR form: entries for core c live at
+  // [inc_offsets_[c], inc_offsets_[c + 1]). The flat parallel arrays keep
+  // the batched repricing loop free of pointer chasing, and the bit volume
+  // is stored pre-converted to double (the same conversion
+  // dynamic_packet_energy performs).
+  std::vector<std::uint32_t> inc_offsets_;
+  std::vector<graph::CoreId> inc_other_;
+  std::vector<double> inc_bits_;
+  std::vector<std::uint8_t> inc_out_;  ///< 1: core -> other; 0: reverse.
+  /// dynamic_bit_energy per hop count, up to the topology diameter;
+  /// bits * ebit_[k] is bitwise dynamic_packet_energy(tech, bits, k).
+  std::vector<double> ebit_;
   const noc::Topology* topo_;  ///< For make_lower_bound(); outlives us.
   noc::RouteTable table_;
   energy::Technology tech_;
   noc::RoutingAlgorithm routing_;
   std::size_t num_cores_;
+  // Scratch for gather_swap (cost functions are single-worker objects;
+  // const methods may reuse buffers).
+  mutable std::vector<double> batch_w_;
+  mutable std::vector<std::uint32_t> batch_k_old_;
+  mutable std::vector<std::uint32_t> batch_k_new_;
 };
 
 /// Equation 10 — ENoC(CDCM) = EStNoC + EDyNoC(CDCM), from a full wormhole
@@ -237,6 +302,14 @@ class CdcmCost final : public CostFunction {
   double swap_delta(const Mapping& m, noc::TileId a,
                     noc::TileId b) const override;
   void apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const override;
+  /// One probe resimulation of the end state of the sequence — bitwise
+  /// cost(m') - cost(m) for a composite of any length, at the price of a
+  /// single arena run (the default would run the arena twice per element).
+  double move_delta(Mapping& m,
+                    const std::pair<noc::TileId, noc::TileId>* swaps,
+                    std::size_t count) const override;
+  void apply_move(Mapping& m, const std::pair<noc::TileId, noc::TileId>* swaps,
+                  std::size_t count) const override;
 
   /// The CWM-style hop bound on the packet graph plus the mapping-independent
   /// static-energy floor (critical path of the CDCG at minimal routes, no
@@ -302,6 +375,14 @@ class HybridCost final : public CostFunction {
   double swap_delta(const Mapping& m, noc::TileId a,
                     noc::TileId b) const override;
   void apply_swap(Mapping& m, noc::TileId a, noc::TileId b) const override;
+  /// A composite advances the cadence once (it is one priced move): the
+  /// timing-blind CWM delta proposes, and every cadence-th composite is
+  /// priced with the exact single-probe CDCM delta instead.
+  double move_delta(Mapping& m,
+                    const std::pair<noc::TileId, noc::TileId>* swaps,
+                    std::size_t count) const override;
+  void apply_move(Mapping& m, const std::pair<noc::TileId, noc::TileId>* swaps,
+                  std::size_t count) const override;
 
   /// cost() is the exact CDCM objective, so the CDCM bound applies as-is.
   bool has_lower_bound() const override { return true; }

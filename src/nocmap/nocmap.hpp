@@ -25,6 +25,7 @@
 
 #include "nocmap/core/eval_bench.hpp"
 #include "nocmap/core/explorer.hpp"
+#include "nocmap/core/scale_bench.hpp"
 #include "nocmap/energy/energy_model.hpp"
 #include "nocmap/energy/technology.hpp"
 #include "nocmap/graph/cdcg.hpp"

@@ -1,0 +1,301 @@
+#include "nocmap/search/portfolio.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace nocmap::search {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Same stream derivation as Explorer's SA chains: member 0 reproduces the
+/// single-chain behaviour exactly, member i > 0 draws from a stream hashed
+/// out of (seed, i) so streams are decorrelated across members and across
+/// nearby seeds.
+util::Rng member_rng(std::uint64_t seed, std::uint32_t member) {
+  if (member == 0) return util::Rng(seed);
+  util::Rng outer(seed);
+  util::Rng inner(outer() + member);
+  return inner.split();
+}
+
+/// The one atomic shared incumbent. Members always *publish* improvements
+/// (cheap, and what progress reporting reads); *reading* it for search
+/// decisions is gated behind PortfolioOptions::share_incumbent because read
+/// timing depends on the thread scheduler.
+struct SharedIncumbent {
+  std::mutex mu;
+  double best = kInf;
+  std::optional<mapping::Mapping> best_map;
+  std::atomic<double> best_relaxed{kInf};
+
+  void publish(double cost, const mapping::Mapping& m) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (cost < best) {
+      best = cost;
+      best_map = m;
+      best_relaxed.store(cost, std::memory_order_relaxed);
+    }
+  }
+
+  double peek() const { return best_relaxed.load(std::memory_order_relaxed); }
+
+  std::optional<mapping::Mapping> snapshot(double& cost_out) {
+    std::lock_guard<std::mutex> lock(mu);
+    cost_out = best;
+    return best_map;
+  }
+};
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string sa_label(std::uint32_t member, double cooling, bool lns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "sa%u c=%.3f %s", member, cooling,
+                lns ? "lns" : "swap");
+  return buf;
+}
+
+}  // namespace
+
+PolishOutcome steepest_polish(const mapping::CostFunction& cost,
+                              mapping::Mapping& m, double& cost_j,
+                              const PolishOptions& options) {
+  PolishOutcome out;
+  const std::uint32_t tiles = m.num_tiles();
+  std::vector<std::pair<noc::TileId, noc::TileId>> cands;
+  cands.reserve(static_cast<std::size_t>(tiles) * (tiles - 1) / 2);
+  for (noc::TileId a = 0; a < tiles; ++a) {
+    for (noc::TileId b = a + 1; b < tiles; ++b) cands.emplace_back(a, b);
+  }
+  if (cands.empty()) return out;
+  std::vector<double> deltas(cands.size());
+  for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
+    cost.swap_deltas(m, cands.data(), cands.size(), deltas.data());
+    out.evaluations += cands.size();
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < deltas.size(); ++i) {
+      if (deltas[i] < deltas[best]) best = i;  // Ties: lowest index.
+    }
+    if (!(deltas[best] < 0.0)) break;  // Local optimum of the neighbourhood.
+    cost.apply_swap(m, cands[best].first, cands[best].second);
+    cost_j += deltas[best];
+    ++out.applied;
+  }
+  return out;
+}
+
+PortfolioResult portfolio(const BnbCostFactory& make_cost,
+                          const graph::Cwg& cwg, const noc::Topology& topo,
+                          noc::RoutingAlgorithm routing,
+                          const PortfolioOptions& options) {
+  const std::uint32_t sa_members = std::max<std::uint32_t>(1, options.sa_members);
+
+  // One probe instance decides feature support and serves the final
+  // (post-join, single-threaded) polish and pinning evaluations.
+  const std::unique_ptr<mapping::CostFunction> probe = make_cost();
+  const bool with_bnb = options.include_bnb && probe->has_lower_bound();
+  const std::uint32_t num_members = sa_members + (with_bnb ? 1 : 0);
+
+  const std::vector<double> ladder =
+      options.coolings.empty()
+          ? std::vector<double>{options.sa.cooling, 0.99, 0.90, 0.97, 0.85}
+          : options.coolings;
+
+  SharedIncumbent shared;
+  if (options.initial) {
+    // Publish the caller's incumbent so share_incumbent members can read a
+    // meaningful bar from the first checkpoint on.
+    shared.publish(probe->cost(*options.initial), *options.initial);
+  }
+
+  std::vector<std::unique_ptr<PortfolioMemberOutcome>> outcomes(num_members);
+
+  auto run_sa_member = [&](std::uint32_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    util::Rng rng = member_rng(options.seed, i);
+    const std::unique_ptr<mapping::CostFunction> cost = make_cost();
+    const bool use_lns = options.lns && (i % 2 == 1);
+    std::unique_ptr<MoveGenerator> gen;
+    if (use_lns) {
+      gen = std::make_unique<LargeNeighborhoodMoves>(cwg, topo, routing,
+                                                     options.lns_options);
+    }
+    SaOptions so = options.sa;
+    so.cooling = ladder[i % ladder.size()];
+    so.max_moves = options.max_moves;
+    so.time_budget_ms = options.time_budget_ms;
+
+    SaChain chain(*cost, topo, rng, so, options.initial, gen.get());
+    std::vector<AnytimeSample> samples;
+    const std::uint64_t quantum = options.checkpoint_moves;
+    std::uint64_t next_cp = quantum;
+    bool abandoned = false;
+    while (chain.step()) {
+      const bool at_checkpoint =
+          quantum == 0 || chain.moves_priced() >= next_cp || chain.done();
+      if (!at_checkpoint) continue;
+      while (quantum != 0 && next_cp <= chain.moves_priced()) {
+        next_cp += quantum;
+      }
+      samples.push_back(AnytimeSample{chain.moves_priced(),
+                                      chain.result().best_cost,
+                                      elapsed_ms(start)});
+      shared.publish(chain.result().best_cost, chain.result().best);
+      if (options.share_incumbent &&
+          chain.result().best_cost > shared.peek() * 1.05) {
+        // Racing cut: this member is > 5 % behind the portfolio leader.
+        abandoned = true;
+        break;
+      }
+    }
+    const bool cut = chain.budget_cut() || abandoned;
+    SearchResult result = chain.take_result();
+    if (samples.empty() || samples.back().moves != chain.moves_priced() ||
+        samples.back().best_j != result.best_cost) {
+      // Guarantee a terminal sample (abandoned members break mid-loop; and
+      // the loop's last sample predates the final step's pinning).
+      samples.push_back(AnytimeSample{chain.moves_priced(), result.best_cost,
+                                      elapsed_ms(start)});
+    }
+    shared.publish(result.best_cost, result.best);
+    outcomes[i] = std::make_unique<PortfolioMemberOutcome>(
+        PortfolioMemberOutcome{sa_label(i, so.cooling, use_lns),
+                               std::move(result), std::move(samples), cut});
+  };
+
+  auto run_bnb_member = [&](std::uint32_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    BnbOptions bo = options.bnb;
+    bo.max_nodes = options.bnb_nodes;
+    bo.threads = 1;      // One worker: a truncated DFS is still deterministic.
+    bo.seed = options.seed;
+    bo.seed_with_sa = false;  // The SA members *are* the seeds.
+    bo.share_incumbent = false;
+    std::optional<mapping::Mapping> warm;
+    bo.incumbent = options.initial;
+    if (options.share_incumbent) {
+      double warm_cost = kInf;
+      warm = shared.snapshot(warm_cost);
+      if (warm) bo.incumbent = &*warm;
+    }
+    SearchResult result = branch_and_bound(make_cost, topo, bo);
+    std::vector<AnytimeSample> samples{AnytimeSample{
+        result.nodes_tested, result.best_cost, elapsed_ms(start)}};
+    if (result.best_cost < kInf) shared.publish(result.best_cost, result.best);
+    outcomes[i] = std::make_unique<PortfolioMemberOutcome>(
+        PortfolioMemberOutcome{"bnb", std::move(result), std::move(samples),
+                               !result.exhausted});
+  };
+
+  auto run_member = [&](std::uint32_t i) {
+    if (i < sa_members) {
+      run_sa_member(i);
+    } else {
+      run_bnb_member(i);
+    }
+  };
+
+  const std::uint32_t workers =
+      std::min(std::max<std::uint32_t>(1, options.threads), num_members);
+  if (workers <= 1) {
+    for (std::uint32_t i = 0; i < num_members; ++i) run_member(i);
+  } else {
+    std::atomic<std::uint32_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::uint32_t i = next.fetch_add(1);
+          if (i >= num_members) return;
+          run_member(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  // --- Deterministic reduction: lowest cost, ties by member index ----------
+  std::size_t winner = 0;
+  std::uint64_t total_evals = 0;
+  bool any_cut = false;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    total_evals += outcomes[i]->result.evaluations;
+    any_cut = any_cut || outcomes[i]->budget_cut;
+    if (outcomes[i]->result.best_cost < outcomes[winner]->result.best_cost) {
+      winner = i;
+    }
+  }
+  SearchResult best = outcomes[winner]->result;
+
+  // --- Final descent over the batched-pricing neighbourhood ----------------
+  std::uint64_t polish_applied = 0;
+  if (options.polish && probe->has_batched_deltas() && best.best_cost < kInf) {
+    double cj = best.best_cost;
+    const PolishOutcome po = steepest_polish(*probe, best.best, cj);
+    total_evals += po.evaluations;
+    polish_applied = po.applied;
+    if (po.applied != 0) {
+      // Deltas are exact but accumulated; pin the reported cost fresh.
+      best.best_cost = probe->cost(best.best);
+      ++total_evals;
+    }
+  }
+  best.evaluations = total_evals;
+
+  // --- Merged anytime curve: running min across SA members per checkpoint --
+  PortfolioResult out{std::move(best),
+                      winner,
+                      {},
+                      {},
+                      any_cut,
+                      polish_applied};
+  out.members.reserve(outcomes.size());
+  for (std::unique_ptr<PortfolioMemberOutcome>& o : outcomes) {
+    out.members.push_back(std::move(*o));
+  }
+  std::size_t max_k = 0;
+  for (std::uint32_t i = 0; i < sa_members; ++i) {
+    max_k = std::max(max_k, out.members[i].samples.size());
+  }
+  double running = kInf;
+  for (std::size_t k = 0; k < max_k; ++k) {
+    AnytimeSample merged;
+    for (std::uint32_t i = 0; i < sa_members; ++i) {
+      const std::vector<AnytimeSample>& s = out.members[i].samples;
+      if (k >= s.size()) continue;
+      running = std::min(running, s[k].best_j);
+      merged.moves = std::max(merged.moves, s[k].moves);
+      merged.wall_ms = std::max(merged.wall_ms, s[k].wall_ms);
+    }
+    merged.best_j = running;
+    out.curve.push_back(merged);
+  }
+  // Terminal point: fold in the B&B member and the polish.
+  AnytimeSample final_point;
+  final_point.best_j = std::min(running, out.best.best_cost);
+  for (const PortfolioMemberOutcome& o : out.members) {
+    for (const AnytimeSample& s : o.samples) {
+      final_point.moves = std::max(final_point.moves, s.moves);
+      final_point.wall_ms = std::max(final_point.wall_ms, s.wall_ms);
+    }
+  }
+  out.curve.push_back(final_point);
+  return out;
+}
+
+}  // namespace nocmap::search

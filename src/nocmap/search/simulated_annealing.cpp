@@ -7,10 +7,15 @@
 
 namespace nocmap::search {
 
-SearchResult anneal(const mapping::CostFunction& cost,
-                    const noc::Topology& topo, util::Rng& rng,
-                    const SaOptions& options,
-                    const mapping::Mapping* initial) {
+namespace {
+
+/// Validate, reset pacing state and build the starting mapping — factored
+/// out so SaChain's member initializers run it before anything draws from
+/// the RNG (preserving the historical draw order exactly).
+mapping::Mapping sa_initial_state(const mapping::CostFunction& cost,
+                                  const noc::Topology& topo, util::Rng& rng,
+                                  const SaOptions& options,
+                                  const mapping::Mapping* initial) {
   if (options.cooling <= 0.0 || options.cooling >= 1.0) {
     throw std::invalid_argument("anneal: cooling must be in (0, 1)");
   }
@@ -18,8 +23,8 @@ SearchResult anneal(const mapping::CostFunction& cost,
     throw std::invalid_argument("anneal: initial_acceptance must be in (0,1)");
   }
   if (topo.num_tiles() < 2) {
-    // The swap move needs two distinct tiles; with one tile random_pair
-    // could never terminate.
+    // The swap move needs two distinct tiles; with one tile the proposal
+    // loop could never terminate.
     throw std::invalid_argument(
         "anneal: the topology must have at least 2 tiles");
   }
@@ -32,122 +37,192 @@ SearchResult anneal(const mapping::CostFunction& cost,
   // pooled cost object behaves exactly like a fresh one.
   cost.begin_search();
 
+  return initial ? *initial
+                 : mapping::Mapping::random(topo, cost.num_cores(), rng);
+}
+
+}  // namespace
+
+SaChain::SaChain(const mapping::CostFunction& cost, const noc::Topology& topo,
+                 util::Rng& rng, const SaOptions& options,
+                 const mapping::Mapping* initial, MoveGenerator* moves)
+    : cost_(cost),
+      rng_(rng),
+      options_(options),
+      moves_(moves),
+      num_tiles_(topo.num_tiles()),
+      moves_per_step_(static_cast<std::uint64_t>(options.moves_per_tile) *
+                      topo.num_tiles()),
+      current_(sa_initial_state(cost, topo, rng, options, initial)),
+      current_cost_(cost.cost(current_)),
+      result_{current_, current_cost_, current_cost_, 1, false},
+      start_(std::chrono::steady_clock::now()) {
   // Incremental move pricing when the objective supports it: a move costs
   // O(affected edges) instead of a full re-evaluation, and rejected moves
   // never touch the mapping at all. CwmCost prices a swap in O(deg);
   // CdcmCost re-simulates but rebinds only the affected routes and caches
-  // the probe, so a move costs one arena run instead of two.
-  const bool use_delta = options.use_swap_delta && cost.has_swap_delta();
-
-  mapping::Mapping current =
-      initial ? *initial
-              : mapping::Mapping::random(topo, cost.num_cores(), rng);
-  double current_cost = cost.cost(current);
-
-  SearchResult result{current, current_cost, current_cost, 1, false};
-
-  const std::uint32_t num_tiles = topo.num_tiles();
-  auto random_pair = [&](noc::TileId& a, noc::TileId& b) {
-    a = static_cast<noc::TileId>(rng.index(num_tiles));
-    do {
-      b = static_cast<noc::TileId>(rng.index(num_tiles));
-    } while (b == a);
-  };
-
-  // Price the move (a, b) without committing it. The full-recompute path
-  // reproduces the original engine exactly (swap, evaluate, swap back is
-  // deferred to the caller via `candidate_cost`).
-  double candidate_cost = 0.0;
-  auto price_move = [&](noc::TileId a, noc::TileId b) {
-    ++result.evaluations;
-    if (use_delta) return cost.swap_delta(current, a, b);
-    current.swap_tiles(a, b);
-    candidate_cost = cost.cost(current);
-    return candidate_cost - current_cost;
-  };
+  // the probe, so a move costs one arena run instead of two. Composite
+  // moves go through the same protocol (CostFunction::move_delta).
+  use_delta_ = options_.use_swap_delta && cost_.has_swap_delta();
+  if (moves_) moves_->reset();
 
   // --- Calibrate the initial temperature -----------------------------------
   // Sample random moves from the initial state and pick T0 so that the mean
   // uphill step is accepted with probability `initial_acceptance`.
   double uphill_sum = 0.0;
   std::uint32_t uphill_count = 0;
-  for (std::uint32_t i = 0; i < options.calibration_samples; ++i) {
-    noc::TileId a, b;
-    random_pair(a, b);
-    const double delta = price_move(a, b);
+  for (std::uint32_t i = 0; i < options_.calibration_samples; ++i) {
+    propose(move_);
+    const double delta = price(move_);
     if (delta > 0) {
       uphill_sum += delta;
       ++uphill_count;
     }
-    if (!use_delta) current.swap_tiles(a, b);  // Undo.
+    if (!use_delta_) undo_uncommitted(move_);  // price() applied the move.
   }
   const double mean_uphill =
-      uphill_count ? uphill_sum / uphill_count : current_cost * 0.1;
+      uphill_count ? uphill_sum / uphill_count : current_cost_ * 0.1;
   // exp(-mean_uphill / T0) == initial_acceptance.
-  double temperature =
-      mean_uphill > 0 ? -mean_uphill / std::log(options.initial_acceptance)
-                      : 1.0;
+  temperature_ = mean_uphill > 0
+                     ? -mean_uphill / std::log(options_.initial_acceptance)
+                     : 1.0;
+}
 
-  // --- Annealing ladder -----------------------------------------------------
-  const std::uint64_t moves_per_step =
-      static_cast<std::uint64_t>(options.moves_per_tile) * num_tiles;
-  // Accepted moves of the current step, used to rebuild the step's best
-  // state by undoing the suffix — so `result.best` is copied at most once
-  // per improving step instead of on every improvement.
-  std::vector<std::pair<noc::TileId, noc::TileId>> accepted;
-  std::uint32_t stale_steps = 0;
-  for (std::uint32_t step = 0;
-       step < options.max_steps && stale_steps < options.max_stale_steps;
-       ++step) {
-    bool improved = false;
-    accepted.clear();
-    std::size_t best_at = 0;  // 1-based index into `accepted`; 0 = none.
-    for (std::uint64_t move = 0; move < moves_per_step; ++move) {
-      noc::TileId a, b;
-      random_pair(a, b);
-      const double delta = price_move(a, b);
-      if (delta <= 0 ||
-          rng.uniform01() < std::exp(-delta / temperature)) {
-        if (use_delta) {
-          cost.apply_swap(current, a, b);
-          current_cost += delta;
-        } else {
-          current_cost = candidate_cost;  // Already swapped by price_move.
-        }
-        accepted.emplace_back(a, b);
-        if (current_cost < result.best_cost) {
-          result.best_cost = current_cost;
-          best_at = accepted.size();
-          improved = true;
-        }
-      } else if (!use_delta) {
-        current.swap_tiles(a, b);  // Reject: undo.
-      }
-    }
-    if (best_at != 0) {
-      // Materialize the step's best: swap moves are involutions, so undoing
-      // the accepted suffix in reverse recovers the state at the best point.
-      mapping::Mapping snapshot = current;
-      for (std::size_t i = accepted.size(); i > best_at; --i) {
-        snapshot.swap_tiles(accepted[i - 1].first, accepted[i - 1].second);
-      }
-      result.best = std::move(snapshot);
-      if (use_delta) {
-        // The running cost accumulated deltas; pin the reported best to a
-        // fresh full evaluation.
-        result.best_cost = cost.cost(result.best);
-        ++result.evaluations;
-      }
-    }
-    if (use_delta) {
-      // Bound floating-point drift of the accumulated running cost.
-      current_cost = cost.cost(current);
-      ++result.evaluations;
-    }
-    stale_steps = improved ? 0 : stale_steps + 1;
-    temperature *= options.cooling;
+void SaChain::propose(Move& out) {
+  if (moves_) {
+    moves_->propose(current_, rng_, out);
+    return;
   }
-  return result;
+  // The built-in neighbourhood: swap two distinct random tiles, drawn in
+  // the historical order (first tile, then the second until distinct).
+  out.kind = MoveKind::kSwap;
+  out.swaps.clear();
+  const auto a = static_cast<noc::TileId>(rng_.index(num_tiles_));
+  noc::TileId b;
+  do {
+    b = static_cast<noc::TileId>(rng_.index(num_tiles_));
+  } while (b == a);
+  out.swaps.emplace_back(a, b);
+}
+
+// Price `mv` without committing it. On the full-recompute path the move is
+// left applied (the accept branch keeps it, the reject branch calls
+// undo_uncommitted), reproducing the original engine exactly.
+double SaChain::price(Move& mv) {
+  ++result_.evaluations;
+  if (use_delta_) {
+    if (!moves_) {
+      return cost_.swap_delta(current_, mv.swaps[0].first, mv.swaps[0].second);
+    }
+    return cost_.move_delta(current_, mv.swaps.data(), mv.swaps.size());
+  }
+  for (const auto& s : mv.swaps) current_.swap_tiles(s.first, s.second);
+  candidate_cost_ = cost_.cost(current_);
+  return candidate_cost_ - current_cost_;
+}
+
+void SaChain::undo_uncommitted(const Move& mv) {
+  for (std::size_t i = mv.swaps.size(); i-- > 0;) {
+    current_.swap_tiles(mv.swaps[i].first, mv.swaps[i].second);
+  }
+}
+
+void SaChain::maybe_finish_by_budget() {
+  if (done_) return;
+  if (options_.max_moves != 0 && moves_priced_ >= options_.max_moves) {
+    done_ = true;
+    budget_cut_ = true;
+    return;
+  }
+  if (options_.time_budget_ms > 0.0) {
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    if (elapsed_ms >= options_.time_budget_ms) {
+      done_ = true;
+      budget_cut_ = true;
+    }
+  }
+}
+
+bool SaChain::step() {
+  if (done_) return false;
+  bool improved = false;
+  accepted_swaps_.clear();
+  accepted_ends_.clear();
+  std::size_t best_at = 0;  // 1-based index into accepted_ends_; 0 = none.
+  for (std::uint64_t move = 0; move < moves_per_step_; ++move) {
+    propose(move_);
+    const double delta = price(move_);
+    ++moves_priced_;
+    if (delta <= 0 || rng_.uniform01() < std::exp(-delta / temperature_)) {
+      if (use_delta_) {
+        if (moves_) {
+          cost_.apply_move(current_, move_.swaps.data(), move_.swaps.size());
+        } else {
+          cost_.apply_swap(current_, move_.swaps[0].first,
+                           move_.swaps[0].second);
+        }
+        current_cost_ += delta;
+      } else {
+        current_cost_ = candidate_cost_;  // Already applied by price().
+      }
+      accepted_swaps_.insert(accepted_swaps_.end(), move_.swaps.begin(),
+                             move_.swaps.end());
+      accepted_ends_.push_back(accepted_swaps_.size());
+      if (moves_) moves_->on_accept(current_, move_);
+      if (current_cost_ < result_.best_cost) {
+        result_.best_cost = current_cost_;
+        best_at = accepted_ends_.size();
+        improved = true;
+      }
+    } else if (!use_delta_) {
+      undo_uncommitted(move_);  // Reject.
+    }
+  }
+  if (best_at != 0) {
+    // Materialize the step's best: every elementary swap is an involution,
+    // so undoing the accepted suffix in reverse (across moves and within
+    // each composite) recovers the state at the best point.
+    mapping::Mapping snapshot = current_;
+    for (std::size_t i = accepted_swaps_.size();
+         i > accepted_ends_[best_at - 1]; --i) {
+      snapshot.swap_tiles(accepted_swaps_[i - 1].first,
+                          accepted_swaps_[i - 1].second);
+    }
+    result_.best = std::move(snapshot);
+    if (use_delta_) {
+      // The running cost accumulated deltas; pin the reported best to a
+      // fresh full evaluation.
+      result_.best_cost = cost_.cost(result_.best);
+      ++result_.evaluations;
+    }
+  }
+  if (use_delta_) {
+    // Bound floating-point drift of the accumulated running cost.
+    current_cost_ = cost_.cost(current_);
+    ++result_.evaluations;
+  }
+  stale_steps_ = improved ? 0 : stale_steps_ + 1;
+  temperature_ *= options_.cooling;
+  ++steps_done_;
+  if (steps_done_ >= options_.max_steps ||
+      stale_steps_ >= options_.max_stale_steps) {
+    done_ = true;
+  }
+  maybe_finish_by_budget();
+  return true;
+}
+
+SearchResult anneal(const mapping::CostFunction& cost,
+                    const noc::Topology& topo, util::Rng& rng,
+                    const SaOptions& options, const mapping::Mapping* initial,
+                    MoveGenerator* moves) {
+  SaChain chain(cost, topo, rng, options, initial, moves);
+  while (chain.step()) {
+  }
+  return std::move(chain.take_result());
 }
 
 }  // namespace nocmap::search

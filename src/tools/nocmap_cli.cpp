@@ -79,13 +79,21 @@ Options:
                     2x2 for paper-example).
   --tech NAME       Technology preset: example | 0.35u | 0.07u
                     (default: example for paper-example, 0.07u otherwise).
-  --method NAME     Search method: auto | sa | es | bnb (default: auto — ES
-                    when the symmetry-pruned space is small, SA otherwise).
-                    bnb is exact branch and bound: admissible lower-bound
-                    pruning with a greedy+SA-seeded incumbent; past
-                    --bnb-nodes it falls back to the incumbent (reported as
-                    BB/SA). See docs/search.md.
+  --method NAME     Search method: auto | sa | es | bnb | portfolio
+                    (default: auto — ES when the symmetry-pruned space is
+                    small, SA otherwise). bnb is exact branch and bound:
+                    admissible lower-bound pruning with a greedy+SA-seeded
+                    incumbent; past --bnb-nodes it falls back to the
+                    incumbent (reported as BB/SA). portfolio races SA chains
+                    across cooling schedules and move sets (pairwise swaps
+                    and the large-neighbourhood catalogue) plus a budgeted
+                    B&B member, greedy-seeded, deterministic for any
+                    --threads. See docs/search.md.
   --search NAME     Alias for --method.
+  --time-budget MS  Wall-clock budget per SA chain / portfolio member in
+                    milliseconds, honored at temperature-step boundaries
+                    (the cut is recorded as a move-count checkpoint, so the
+                    result stays reproducible). Default: none.
   --bnb-nodes N     bnb: node budget (lower-bound tests) before falling
                     back to SA quality (default: 20,000,000). Completed
                     searches are byte-identical for any --threads;
@@ -170,9 +178,18 @@ Options:
                     batch x threads / hybrid) and write the JSON report
                     instead of the suite. Honours --topology and
                     --express-interval; --threads sets the batch row's T.
-  --sizes LIST      --perf grid sizes, comma-separated WxH (default:
-                    3x3,4x4,...,8x8).
-  --out FILE        --perf report path (default: BENCH_eval.json).
+  --scale           Run the paper-scale portfolio benchmark instead: anytime
+                    best-cost-vs-moves curves for the large Table-1 boards
+                    (default sizes 8x8, 10x10, 12x10), written as
+                    BENCH_scale.json. Honours --sizes, --seed, --threads,
+                    --bnb-nodes and --time-budget; every reported column
+                    except wall_ms is identical for any --threads.
+  --time-budget MS  --scale: per-member wall budget (see `explore --help`).
+  --sizes LIST      --perf/--scale grid sizes, comma-separated WxH
+                    (--perf default: 3x3,...,8x8,10x10,12x10;
+                    --scale default: 8x8,10x10,12x10).
+  --out FILE        --perf/--scale report path (default: BENCH_eval.json /
+                    BENCH_scale.json).
   --csv             Emit CSV instead of aligned text tables.
   -h, --help        Show this message.
 )";
@@ -271,8 +288,11 @@ core::SearchMethod parse_method(const std::string& value) {
   if (value == "sa") return core::SearchMethod::kSimulatedAnnealing;
   if (value == "es") return core::SearchMethod::kExhaustive;
   if (value == "bnb") return core::SearchMethod::kBranchAndBound;
-  throw UsageError("--method expects auto | sa | es | bnb, got '" + value +
-                   "'");
+  if (value == "portfolio" || value == "pf") {
+    return core::SearchMethod::kPortfolio;
+  }
+  throw UsageError("--method expects auto | sa | es | bnb | portfolio, got '" +
+                   value + "'");
 }
 
 sim::SimBackend parse_backend(const std::string& value) {
@@ -369,11 +389,16 @@ struct RunOptions {
   /// Track explicit use of the flit-only knobs so --buffer-depth & co.
   /// without --backend flit can be rejected instead of silently ignored.
   bool flit_knob_set = false;
-  /// bench --perf only: explicit grid sizes.
+  /// bench --perf / --scale only: explicit grid sizes.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> perf_sizes;
   std::optional<std::string> noc_filter;  // bench only
   bool perf = false;                      // bench only
-  std::string out_path = "BENCH_eval.json";  // bench --perf only
+  bool scale = false;                     // bench only
+  std::optional<std::string> out_path;    // bench --perf/--scale only
+  /// explore/sweep/bench --scale: per-chain / per-member wall budget in ms
+  /// (0 = none). Honored at temperature-step boundaries only, so any cut is
+  /// reproducible from the recorded move-count checkpoint.
+  std::uint64_t time_budget_ms = 0;
   std::uint64_t num_seeds = 5;            // sweep only
   bool seeds_set = false;                 // sweep only
   bool csv = false;
@@ -479,6 +504,13 @@ RunOptions parse_run_options(int argc, char** argv, const char* usage,
       }
     } else if (a == "--perf") {
       opts.perf = true;
+    } else if (a == "--scale") {
+      opts.scale = true;
+    } else if (a == "--time-budget") {
+      opts.time_budget_ms = parse_u64(a, value(i, a));
+      if (opts.time_budget_ms == 0 || opts.time_budget_ms > 86'400'000) {
+        throw UsageError("--time-budget expects milliseconds in [1, 86,400,000]");
+      }
     } else if (a == "--out") {
       opts.out_path = value(i, a);
     } else if (a == "--noc") {
@@ -601,6 +633,7 @@ core::ExplorerOptions explorer_options(const RunOptions& opts,
   eo.flow_control = opts.flow_control;
   eo.switching = opts.switching;
   if (opts.bnb_nodes != 0) eo.bnb.max_nodes = opts.bnb_nodes;
+  eo.time_budget_ms = static_cast<double>(opts.time_budget_ms);
   return eo;
 }
 
@@ -733,6 +766,20 @@ int cmd_explore(const RunOptions& opts) {
     }
     print_table(bnb, opts.csv);
   }
+
+  if (opts.method == core::SearchMethod::kPortfolio) {
+    // Every column is deterministic in (seed, roster, budgets) — identical
+    // for any --threads — so this table is safe to diff in CI.
+    util::TextTable pf({"Model", "Members", "Winner", "Polish", "Cut"});
+    pf.set_title("portfolio — racing roster");
+    for (const core::ModelOutcome* outcome : {&cmp.cwm, &cmp.cdcm}) {
+      pf.add_row({outcome->model, std::to_string(outcome->portfolio_members),
+                  outcome->portfolio_winner,
+                  fmt.count(outcome->portfolio_polish),
+                  outcome->portfolio_cut ? "yes" : "no"});
+    }
+    print_table(pf, opts.csv);
+  }
   return 0;
 }
 
@@ -744,6 +791,17 @@ int cmd_bench_perf(const RunOptions& opts) {
   options.min_time_s = 0.05;
   options.seed = opts.seed;
   options.sizes = opts.perf_sizes;
+  if (options.sizes.empty()) {
+    // The quick CLI ladder: the library's square 3x3..8x8 default plus the
+    // paper's two large boards. run_eval_bench caps the B&B node budget
+    // past 64 tiles, so these rows stay smoke-test cheap. (The full-budget
+    // bench_cost_eval binary keeps the historical square ladder.)
+    for (std::uint32_t side = 3; side <= 8; ++side) {
+      options.sizes.emplace_back(side, side);
+    }
+    options.sizes.emplace_back(10, 10);
+    options.sizes.emplace_back(12, 10);
+  }
   options.topology = opts.topologies.front();
   options.express_interval =
       static_cast<std::uint32_t>(opts.express_interval);
@@ -784,18 +842,64 @@ int cmd_bench_perf(const RunOptions& opts) {
   }
   print_table(table, opts.csv);
 
-  std::ofstream out(opts.out_path);
+  const std::string out_path = opts.out_path.value_or("BENCH_eval.json");
+  std::ofstream out(out_path);
   if (!out) {
-    throw std::runtime_error("cannot write " + opts.out_path);
+    throw std::runtime_error("cannot write " + out_path);
   }
   out << report.to_json();
   // stderr: stdout must stay parseable under --csv.
-  std::cerr << "wrote " << opts.out_path << "\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
+int cmd_bench_scale(const RunOptions& opts) {
+  require_single_noc(opts, "bench");
+  if (opts.topologies.front() != "mesh") {
+    throw UsageError("bench --scale runs the paper's mesh boards only");
+  }
+  core::ScaleBenchOptions options;
+  if (!opts.perf_sizes.empty()) options.sizes = opts.perf_sizes;
+  options.seed = opts.seed;
+  options.threads = static_cast<std::uint32_t>(opts.threads);
+  options.time_budget_ms = static_cast<double>(opts.time_budget_ms);
+  if (opts.bnb_nodes != 0) options.bnb_nodes = opts.bnb_nodes;
+  const core::ScaleBenchReport report = core::run_scale_bench(options);
+
+  // Deterministic columns only (best_j, moves, winner — never wall clock),
+  // so CI can diff this table across thread counts byte-for-byte.
+  Fmt fmt(opts.csv);
+  util::TextTable table({"NoC", "Application", "Cores", "Members", "Winner",
+                         fmt.head("Greedy", "J"), fmt.head("Best", "J"),
+                         "Evaluations", "Polish", "Cut"});
+  table.set_title("nocmap bench --scale — portfolio anytime search");
+  for (const core::ScaleBenchRow& r : report.rows) {
+    table.add_row({std::to_string(r.mesh_width) + "x" +
+                       std::to_string(r.mesh_height),
+                   r.application, std::to_string(r.num_cores),
+                   std::to_string(r.members), r.winner,
+                   fmt.energy(r.initial_j), fmt.energy(r.best_j),
+                   fmt.count(r.evaluations), fmt.count(r.polish_applied),
+                   r.time_cut ? "yes" : "no"});
+  }
+  print_table(table, opts.csv);
+
+  const std::string out_path = opts.out_path.value_or("BENCH_scale.json");
+  std::ofstream out(out_path);
+  if (!out) {
+    throw std::runtime_error("cannot write " + out_path);
+  }
+  out << report.to_json();
+  std::cerr << "wrote " << out_path << "\n";
   return 0;
 }
 
 int cmd_bench(const RunOptions& opts) {
+  if (opts.perf && opts.scale) {
+    throw UsageError("--perf and --scale are mutually exclusive");
+  }
   if (opts.perf) return cmd_bench_perf(opts);
+  if (opts.scale) return cmd_bench_scale(opts);
   require_single_noc(opts, "bench");
   std::vector<workload::SuiteEntry> suite =
       opts.noc_filter ? workload::table1_suite_for(*opts.noc_filter)
@@ -1062,7 +1166,7 @@ int main(int argc, char** argv) {
     }
     const std::vector<std::string> explore_flags = {
         "--workload", "--mesh",          "--tech",  "--method",  "--search",
-        "--bnb-nodes", "--routing",
+        "--bnb-nodes", "--routing",      "--time-budget",
         "--topology", "--express-interval",
         "--seed",     "--no-seed-cdcm",  "--cores", "--packets", "--bits",
         "--threads",  "--chains",        "--cost",  "--hybrid-cadence",
@@ -1077,6 +1181,7 @@ int main(int argc, char** argv) {
           {"--noc", "--tech", "--method", "--search", "--bnb-nodes",
            "--routing", "--topology",
            "--express-interval", "--seed", "--threads", "--chains", "--perf",
+           "--scale", "--time-budget",
            "--sizes", "--out", "--cost", "--hybrid-cadence", "--backend",
            "--buffer-depth", "--flow-control", "--switching"}));
     }

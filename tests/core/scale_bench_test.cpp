@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "nocmap/core/scale_bench.hpp"
+
+namespace nocmap::core {
+namespace {
+
+ScaleBenchOptions quick_options() {
+  ScaleBenchOptions options;
+  options.sizes = {{3, 3}, {4, 4}};  // Tiny boards: this is a unit test.
+  options.max_moves = 400;
+  options.bnb_nodes = 2'000;
+  return options;
+}
+
+TEST(ScaleBenchTest, RejectsZeroDimensionSizesWithAClearError) {
+  ScaleBenchOptions options;
+  options.sizes = {{0, 10}};
+  try {
+    run_scale_bench(options);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("0x10"), std::string::npos);
+  }
+  options.sizes = {{12, 0}};
+  EXPECT_THROW(run_scale_bench(options), std::invalid_argument);
+  options.sizes = {{1, 1}};
+  EXPECT_THROW(run_scale_bench(options), std::invalid_argument);
+}
+
+TEST(ScaleBenchTest, RowsCarryTheWorkloadAndAMonotoneCurve) {
+  const ScaleBenchReport report = run_scale_bench(quick_options());
+  ASSERT_EQ(report.rows.size(), 2u);
+  for (const ScaleBenchRow& row : report.rows) {
+    EXPECT_EQ(row.topology, "mesh");
+    EXPECT_GT(row.num_cores, 0u);
+    EXPECT_GT(row.num_packets, 0u);
+    EXPECT_GT(row.members, 0u);
+    EXPECT_FALSE(row.winner.empty());
+    EXPECT_GT(row.initial_j, 0.0);
+    EXPECT_GT(row.best_j, 0.0);
+    EXPECT_LE(row.best_j, row.initial_j);  // Greedy seed: can only improve.
+    EXPECT_GT(row.evaluations, 0u);
+    EXPECT_GT(row.ground_truth_texec_ns, 0.0);
+    EXPECT_GT(row.ground_truth_total_j, 0.0);
+    ASSERT_GE(row.curve.size(), 2u);
+    for (std::size_t k = 1; k < row.curve.size(); ++k) {
+      EXPECT_LE(row.curve[k].best_j, row.curve[k - 1].best_j);
+      EXPECT_GE(row.curve[k].moves, row.curve[k - 1].moves);
+    }
+    EXPECT_EQ(row.curve.back().best_j, row.best_j);
+  }
+}
+
+TEST(ScaleBenchTest, ReportIsDeterministicAcrossThreadCounts) {
+  ScaleBenchOptions options = quick_options();
+  options.sizes = {{4, 4}};
+  options.threads = 1;
+  const ScaleBenchReport one = run_scale_bench(options);
+  options.threads = 4;
+  const ScaleBenchReport four = run_scale_bench(options);
+  ASSERT_EQ(one.rows.size(), four.rows.size());
+  const ScaleBenchRow& a = one.rows[0];
+  const ScaleBenchRow& b = four.rows[0];
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.best_j, b.best_j);  // Bitwise.
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.polish_applied, b.polish_applied);
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t k = 0; k < a.curve.size(); ++k) {
+    EXPECT_EQ(a.curve[k].moves, b.curve[k].moves);
+    EXPECT_EQ(a.curve[k].best_j, b.curve[k].best_j);
+  }
+}
+
+TEST(ScaleBenchTest, JsonReportCarriesTheDocumentedSchemaKeys) {
+  ScaleBenchOptions options = quick_options();
+  options.sizes = {{3, 3}};
+  const std::string json = run_scale_bench(options).to_json();
+  for (const char* key :
+       {"\"bench\": \"scale_search\"", "\"schema\": 1", "\"objective\"",
+        "\"seed\"", "\"threads\"", "\"checkpoint_moves\"", "\"max_moves\"",
+        "\"rows\"", "\"topology\"", "\"mesh\"", "\"application\"",
+        "\"cores\"", "\"packets\"", "\"members\"", "\"winner\"",
+        "\"time_cut\"", "\"initial_j\"", "\"best_j\"", "\"evaluations\"",
+        "\"polish_applied\"", "\"wall_ms\"", "\"ground_truth\"",
+        "\"texec_ns\"", "\"total_j\"", "\"curve\"", "\"moves\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace nocmap::core

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nocmap/mapping/cost.hpp"
+#include "nocmap/noc/topology.hpp"
+#include "nocmap/search/moves.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+
+namespace nocmap::search {
+namespace {
+
+struct Fixture {
+  graph::Cdcg cdcg;
+  graph::Cwg cwg;
+  energy::Technology tech = energy::technology_0_07u();
+
+  explicit Fixture(std::uint64_t seed = 1, std::uint32_t cores = 14) {
+    workload::RandomCdcgParams params;
+    params.num_cores = cores;
+    params.num_packets = cores * 5;
+    params.total_bits = cores * 5000;
+    util::Rng rng(seed);
+    cdcg = workload::generate_random_cdcg(params, rng);
+    cwg = cdcg.to_cwg();
+  }
+};
+
+std::vector<std::string> topology_kinds_under_test() {
+  return {"mesh", "torus", "xmesh"};
+}
+
+TEST(MovesTest, EveryKindProposesValidUndoableMoves) {
+  Fixture f;
+  for (const std::string& kind : topology_kinds_under_test()) {
+    const std::unique_ptr<noc::Topology> topo =
+        noc::make_topology(kind, 4, 4);
+    // Force every non-swap kind to actually fire by zeroing the swap weight.
+    LnsOptions options;
+    options.swap_weight = 0;
+    LargeNeighborhoodMoves gen(f.cwg, *topo, noc::RoutingAlgorithm::kXY,
+                               options);
+    util::Rng rng(7);
+    mapping::Mapping m = mapping::Mapping::random(*topo, f.cdcg.num_cores(),
+                                                  rng);
+    const mapping::Mapping original = m;
+    Move move;
+    for (int i = 0; i < 500; ++i) {
+      gen.propose(m, rng, move);
+      ASSERT_FALSE(move.swaps.empty()) << kind << " iteration " << i;
+      for (const auto& [a, b] : move.swaps) {
+        ASSERT_LT(a, topo->num_tiles());
+        ASSERT_LT(b, topo->num_tiles());
+        m.swap_tiles(a, b);
+      }
+      EXPECT_TRUE(m.is_valid());
+      // Elementary swaps are involutions: replaying the sequence reversed
+      // must restore the pre-move state exactly.
+      for (std::size_t k = move.swaps.size(); k-- > 0;) {
+        m.swap_tiles(move.swaps[k].first, move.swaps[k].second);
+      }
+      ASSERT_TRUE(m == original) << kind << " iteration " << i;
+    }
+  }
+}
+
+TEST(MovesTest, AllKindsAppearUnderDefaultWeights) {
+  Fixture f;
+  const std::unique_ptr<noc::Topology> topo = noc::make_topology("mesh", 5, 5);
+  LargeNeighborhoodMoves gen(f.cwg, *topo, noc::RoutingAlgorithm::kXY);
+  util::Rng rng(11);
+  mapping::Mapping m =
+      mapping::Mapping::random(*topo, f.cdcg.num_cores(), rng);
+  std::vector<int> seen(5, 0);
+  Move move;
+  for (int i = 0; i < 4000; ++i) {
+    gen.propose(m, rng, move);
+    seen[static_cast<int>(move.kind)]++;
+    for (const auto& [a, b] : move.swaps) m.swap_tiles(a, b);
+    gen.on_accept(m, move);
+  }
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_GT(seen[k], 0) << to_string(static_cast<MoveKind>(k));
+  }
+}
+
+// CWM composite deltas accumulate per-swap repricings, so they match a fresh
+// evaluation to float-association tolerance (the same contract the pairwise
+// swap_delta tests use), on every topology.
+TEST(MovesTest, CwmMoveDeltaMatchesFreshEvaluationOnAllTopologies) {
+  Fixture f;
+  for (const std::string& kind : topology_kinds_under_test()) {
+    const std::unique_ptr<noc::Topology> topo =
+        noc::make_topology(kind, 4, 4);
+    const mapping::CwmCost cost(f.cwg, *topo, f.tech);
+    LnsOptions options;
+    options.swap_weight = 1;  // Mix composite and elementary kinds.
+    LargeNeighborhoodMoves gen(f.cwg, *topo, noc::RoutingAlgorithm::kXY,
+                               options);
+    util::Rng rng(13);
+    mapping::Mapping m =
+        mapping::Mapping::random(*topo, f.cdcg.num_cores(), rng);
+    cost.begin_search();
+    double current = cost.cost(m);
+    Move move;
+    for (int i = 0; i < 200; ++i) {
+      gen.propose(m, rng, move);
+      const double delta = cost.move_delta(m, move.swaps.data(),
+                                           move.swaps.size());
+      cost.apply_move(m, move.swaps.data(), move.swaps.size());
+      const double fresh = cost.cost(m);
+      EXPECT_NEAR(current + delta, fresh, std::abs(fresh) * 1e-9)
+          << kind << " iteration " << i;
+      current = fresh;
+    }
+  }
+}
+
+// CDCM composite deltas are one probe re-simulation, so they are BITWISE
+// equal to fresh-evaluation differences — no accumulation is involved.
+TEST(MovesTest, CdcmMoveDeltaIsBitwiseExactOnAllTopologies) {
+  Fixture f(2, 9);
+  for (const std::string& kind : topology_kinds_under_test()) {
+    const std::unique_ptr<noc::Topology> topo =
+        noc::make_topology(kind, 3, 3);
+    const mapping::CdcmCost cost(f.cdcg, *topo, f.tech);
+    LnsOptions options;
+    options.swap_weight = 1;
+    LargeNeighborhoodMoves gen(f.cwg, *topo, noc::RoutingAlgorithm::kXY,
+                               options);
+    util::Rng rng(17);
+    mapping::Mapping m =
+        mapping::Mapping::random(*topo, f.cdcg.num_cores(), rng);
+    cost.begin_search();
+    Move move;
+    for (int i = 0; i < 40; ++i) {
+      gen.propose(m, rng, move);
+      const double before = cost.cost(m);
+      const double delta = cost.move_delta(m, move.swaps.data(),
+                                           move.swaps.size());
+      mapping::Mapping probe = m;
+      for (const auto& [a, b] : move.swaps) probe.swap_tiles(a, b);
+      const double after = cost.cost(probe);
+      EXPECT_EQ(delta, after - before) << kind << " iteration " << i;
+      cost.apply_move(m, move.swaps.data(), move.swaps.size());
+      ASSERT_TRUE(m == probe);
+    }
+  }
+}
+
+// The batched CWM pricing must make bitwise-identical decisions to the
+// scalar path: swap_deltas(k candidates) == k swap_delta calls, exactly.
+TEST(MovesTest, BatchedSwapDeltasAreBitwiseEqualToScalar) {
+  Fixture f;
+  for (const std::string& kind : topology_kinds_under_test()) {
+    const std::unique_ptr<noc::Topology> topo =
+        noc::make_topology(kind, 4, 4);
+    const mapping::CwmCost cost(f.cwg, *topo, f.tech);
+    ASSERT_TRUE(cost.has_batched_deltas());
+    util::Rng rng(19);
+    mapping::Mapping m =
+        mapping::Mapping::random(*topo, f.cdcg.num_cores(), rng);
+    const std::uint32_t tiles = topo->num_tiles();
+    std::vector<std::pair<noc::TileId, noc::TileId>> cands;
+    for (noc::TileId a = 0; a < tiles; ++a) {
+      for (noc::TileId b = a; b < tiles; ++b) cands.emplace_back(a, b);
+    }
+    std::vector<double> batched(cands.size());
+    cost.swap_deltas(m, cands.data(), cands.size(), batched.data());
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      const double scalar =
+          cands[i].first == cands[i].second
+              ? 0.0
+              : cost.swap_delta(m, cands[i].first, cands[i].second);
+      EXPECT_EQ(batched[i], scalar)
+          << kind << " candidate " << cands[i].first << "<->"
+          << cands[i].second;
+    }
+  }
+}
+
+// The default CostFunction::swap_deltas must agree too (scalar loop), so
+// callers can use the batched protocol against any objective.
+TEST(MovesTest, DefaultSwapDeltasFallbackMatchesScalar) {
+  Fixture f(3, 9);
+  const std::unique_ptr<noc::Topology> topo = noc::make_topology("mesh", 3, 3);
+  const mapping::CdcmCost cost(f.cdcg, *topo, f.tech);
+  EXPECT_FALSE(cost.has_batched_deltas());
+  util::Rng rng(23);
+  mapping::Mapping m =
+      mapping::Mapping::random(*topo, f.cdcg.num_cores(), rng);
+  cost.begin_search();
+  std::vector<std::pair<noc::TileId, noc::TileId>> cands = {
+      {0, 1}, {2, 2}, {3, 7}, {1, 8}};
+  std::vector<double> batched(cands.size());
+  cost.swap_deltas(m, cands.data(), cands.size(), batched.data());
+  cost.begin_search();
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const double scalar =
+        cands[i].first == cands[i].second
+            ? 0.0
+            : cost.swap_delta(m, cands[i].first, cands[i].second);
+    EXPECT_EQ(batched[i], scalar) << "candidate " << i;
+  }
+}
+
+TEST(MovesTest, TabuBlocksImmediateEjectionRepeat) {
+  Fixture f;
+  const std::unique_ptr<noc::Topology> topo = noc::make_topology("mesh", 4, 4);
+  LnsOptions options;
+  options.swap_weight = 0;
+  options.reversal_weight = 0;
+  options.rotation_weight = 0;
+  options.relocation_weight = 0;
+  options.ejection_weight = 1;
+  LargeNeighborhoodMoves gen(f.cwg, *topo, noc::RoutingAlgorithm::kXY,
+                             options);
+  util::Rng rng(29);
+  mapping::Mapping m =
+      mapping::Mapping::random(*topo, f.cdcg.num_cores(), rng);
+  // Accepted ejections arm a (core, destination-tile) tabu entry; the
+  // generator must keep producing valid moves regardless (falling back to a
+  // plain swap when every candidate destination is tabu).
+  Move move;
+  for (int i = 0; i < 300; ++i) {
+    gen.propose(m, rng, move);
+    ASSERT_FALSE(move.swaps.empty());
+    for (const auto& [a, b] : move.swaps) m.swap_tiles(a, b);
+    gen.on_accept(m, move);
+    ASSERT_TRUE(m.is_valid());
+  }
+}
+
+}  // namespace
+}  // namespace nocmap::search

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nocmap/mapping/cost.hpp"
+#include "nocmap/noc/mesh.hpp"
+#include "nocmap/search/greedy.hpp"
+#include "nocmap/search/portfolio.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+
+namespace nocmap::search {
+namespace {
+
+struct Fixture {
+  graph::Cdcg cdcg;
+  graph::Cwg cwg;
+  noc::Mesh mesh{4, 4};
+  energy::Technology tech = energy::technology_0_07u();
+
+  explicit Fixture(std::uint64_t seed = 1) {
+    workload::RandomCdcgParams params;
+    params.num_cores = 13;
+    params.num_packets = 65;
+    params.total_bits = 65000;
+    util::Rng rng(seed);
+    cdcg = workload::generate_random_cdcg(params, rng);
+    cwg = cdcg.to_cwg();
+  }
+
+  BnbCostFactory cwm_factory() const {
+    return [this]() -> std::unique_ptr<mapping::CostFunction> {
+      return std::make_unique<mapping::CwmCost>(cwg, mesh, tech);
+    };
+  }
+};
+
+PortfolioOptions quick_options() {
+  PortfolioOptions po;
+  po.sa.max_steps = 40;
+  po.sa.max_stale_steps = 6;
+  po.bnb_nodes = 5'000;
+  return po;
+}
+
+TEST(PortfolioTest, ResultIsByteIdenticalForAnyThreadCount) {
+  Fixture f;
+  PortfolioOptions po = quick_options();
+  po.threads = 1;
+  const PortfolioResult one =
+      portfolio(f.cwm_factory(), f.cwg, f.mesh, noc::RoutingAlgorithm::kXY,
+                po);
+  po.threads = 4;
+  const PortfolioResult four =
+      portfolio(f.cwm_factory(), f.cwg, f.mesh, noc::RoutingAlgorithm::kXY,
+                po);
+
+  EXPECT_EQ(one.best.best_cost, four.best.best_cost);  // Bitwise.
+  EXPECT_TRUE(one.best.best == four.best.best);
+  EXPECT_EQ(one.best.evaluations, four.best.evaluations);
+  EXPECT_EQ(one.winner, four.winner);
+  EXPECT_EQ(one.polish_applied, four.polish_applied);
+  ASSERT_EQ(one.members.size(), four.members.size());
+  for (std::size_t i = 0; i < one.members.size(); ++i) {
+    EXPECT_EQ(one.members[i].label, four.members[i].label);
+    EXPECT_EQ(one.members[i].result.best_cost,
+              four.members[i].result.best_cost);
+    EXPECT_EQ(one.members[i].result.evaluations,
+              four.members[i].result.evaluations);
+    ASSERT_EQ(one.members[i].samples.size(), four.members[i].samples.size());
+    for (std::size_t k = 0; k < one.members[i].samples.size(); ++k) {
+      // moves and best_j are deterministic; wall_ms is measured and is
+      // deliberately NOT compared.
+      EXPECT_EQ(one.members[i].samples[k].moves,
+                four.members[i].samples[k].moves);
+      EXPECT_EQ(one.members[i].samples[k].best_j,
+                four.members[i].samples[k].best_j);
+    }
+  }
+  ASSERT_EQ(one.curve.size(), four.curve.size());
+  for (std::size_t k = 0; k < one.curve.size(); ++k) {
+    EXPECT_EQ(one.curve[k].moves, four.curve[k].moves);
+    EXPECT_EQ(one.curve[k].best_j, four.curve[k].best_j);
+  }
+}
+
+TEST(PortfolioTest, WinnerIsTheLowestCostMemberAndPolishOnlyImproves) {
+  Fixture f;
+  const PortfolioResult pr =
+      portfolio(f.cwm_factory(), f.cwg, f.mesh, noc::RoutingAlgorithm::kXY,
+                quick_options());
+  ASSERT_FALSE(pr.members.empty());
+  double member_min = pr.members[0].result.best_cost;
+  for (const PortfolioMemberOutcome& m : pr.members) {
+    member_min = std::min(member_min, m.result.best_cost);
+  }
+  EXPECT_EQ(pr.members[pr.winner].result.best_cost, member_min);
+  // The final polish may refine the winner further but never regress it
+  // (it only commits strictly-improving exact deltas).
+  EXPECT_LE(pr.best.best_cost, member_min * (1.0 + 1e-12));
+  EXPECT_TRUE(pr.best.best.is_valid());
+  // The roster: 4 SA members plus the B&B member (CWM has a lower bound).
+  EXPECT_EQ(pr.members.size(), 5u);
+  EXPECT_EQ(pr.members.back().label, "bnb");
+}
+
+TEST(PortfolioTest, CurveIsMonotoneAndEndsAtTheFinalBest) {
+  Fixture f;
+  const PortfolioResult pr =
+      portfolio(f.cwm_factory(), f.cwg, f.mesh, noc::RoutingAlgorithm::kXY,
+                quick_options());
+  ASSERT_GE(pr.curve.size(), 2u);
+  for (std::size_t k = 1; k < pr.curve.size(); ++k) {
+    EXPECT_LE(pr.curve[k].best_j, pr.curve[k - 1].best_j) << "index " << k;
+    EXPECT_GE(pr.curve[k].moves, pr.curve[k - 1].moves) << "index " << k;
+  }
+  EXPECT_EQ(pr.curve.back().best_j, pr.best.best_cost);
+}
+
+TEST(PortfolioTest, MoveBudgetCutsEverySaMemberDeterministically) {
+  Fixture f;
+  PortfolioOptions po = quick_options();
+  po.max_moves = 200;  // Far below convergence.
+  po.include_bnb = false;
+  const PortfolioResult pr =
+      portfolio(f.cwm_factory(), f.cwg, f.mesh, noc::RoutingAlgorithm::kXY,
+                po);
+  EXPECT_TRUE(pr.budget_cut);
+  for (const PortfolioMemberOutcome& m : pr.members) {
+    EXPECT_TRUE(m.budget_cut) << m.label;
+    ASSERT_FALSE(m.samples.empty());
+    // The cut lands on the first step boundary at or past the budget.
+    EXPECT_GE(m.samples.back().moves, po.max_moves) << m.label;
+  }
+}
+
+TEST(PortfolioTest, SharedIncumbentModeStillFindsAValidResult) {
+  Fixture f;
+  PortfolioOptions po = quick_options();
+  po.share_incumbent = true;
+  po.threads = 2;
+  const mapping::Mapping greedy = greedy_mapping(f.cwg, f.mesh);
+  po.initial = &greedy;
+  const PortfolioResult pr =
+      portfolio(f.cwm_factory(), f.cwg, f.mesh, noc::RoutingAlgorithm::kXY,
+                po);
+  EXPECT_TRUE(pr.best.best.is_valid());
+  // Racing can only start from the published greedy bar or better.
+  const mapping::CwmCost cost(f.cwg, f.mesh, f.tech);
+  EXPECT_LE(pr.best.best_cost, cost.cost(greedy));
+}
+
+TEST(PortfolioTest, TimeBudgetCutIsReproducibleViaTheRecordedCheckpoint) {
+  Fixture f;
+  const mapping::CwmCost cost(f.cwg, f.mesh, f.tech);
+  SaOptions so;
+  so.max_steps = 400;
+  so.time_budget_ms = 0.01;  // Cut almost immediately (step boundaries).
+  util::Rng rng_a(5);
+  SaChain budgeted(cost, f.mesh, rng_a, so);
+  while (budgeted.step()) {
+  }
+  ASSERT_TRUE(budgeted.budget_cut());
+  const std::uint64_t checkpoint = budgeted.moves_priced();
+
+  // The contract: rerunning with max_moves = the recorded checkpoint
+  // reproduces the budgeted run exactly, because the budget only ever cuts
+  // at step boundaries.
+  SaOptions replay = so;
+  replay.time_budget_ms = 0.0;
+  replay.max_moves = checkpoint;
+  util::Rng rng_b(5);
+  SaChain replayed(cost, f.mesh, rng_b, replay);
+  while (replayed.step()) {
+  }
+  EXPECT_EQ(replayed.moves_priced(), checkpoint);
+  EXPECT_EQ(replayed.result().best_cost, budgeted.result().best_cost);
+  EXPECT_TRUE(replayed.result().best == budgeted.result().best);
+}
+
+TEST(PortfolioTest, SteepestPolishReachesAPairwiseLocalOptimum) {
+  Fixture f;
+  const mapping::CwmCost cost(f.cwg, f.mesh, f.tech);
+  mapping::Mapping m = greedy_mapping(f.cwg, f.mesh);
+  double cost_j = cost.cost(m);
+  const double before = cost_j;
+  PolishOptions po;
+  po.max_passes = 64;
+  const PolishOutcome out = steepest_polish(cost, m, cost_j, po);
+  EXPECT_LE(cost_j, before);
+  EXPECT_NEAR(cost_j, cost.cost(m), std::abs(cost_j) * 1e-9);
+  if (out.applied < po.max_passes) {
+    // Converged: no pairwise swap improves any further.
+    const std::uint32_t tiles = f.mesh.num_tiles();
+    for (noc::TileId a = 0; a < tiles; ++a) {
+      for (noc::TileId b = a + 1; b < tiles; ++b) {
+        EXPECT_GE(cost.swap_delta(m, a, b), 0.0) << a << "<->" << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nocmap::search
