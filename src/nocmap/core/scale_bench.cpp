@@ -92,14 +92,35 @@ std::string ScaleBenchReport::to_json() const {
 }
 
 ScaleBenchReport run_scale_bench(const ScaleBenchOptions& options) {
-  for (const auto& [width, height] : options.sizes) {
-    if (width == 0 || height == 0 ||
-        static_cast<std::uint64_t>(width) * height < 2) {
+  // Resolve the run list: explicit workloads win over the size-driven
+  // Table-1 selection.
+  std::vector<ScaleBenchWorkload> runs = options.workloads;
+  if (runs.empty()) {
+    for (const auto& [width, height] : options.sizes) {
+      ScaleBenchWorkload w;
+      w.width = width;
+      w.height = height;
+      runs.push_back(std::move(w));
+    }
+  }
+  for (ScaleBenchWorkload& w : runs) {
+    if (w.width == 0 || w.height == 0 ||
+        static_cast<std::uint64_t>(w.width) * w.height < 2) {
       throw std::invalid_argument(
-          "run_scale_bench: size " + std::to_string(width) + "x" +
-          std::to_string(height) +
+          "run_scale_bench: size " + std::to_string(w.width) + "x" +
+          std::to_string(w.height) +
           " is invalid — both dimensions must be nonzero and the board needs "
           "at least two tiles");
+    }
+    if (w.name.empty()) {
+      w.cdcg = workload_for(w.width, w.height, options.seed, w.name);
+    } else if (w.cdcg.num_cores() >
+               static_cast<std::size_t>(w.width) * w.height) {
+      throw std::invalid_argument(
+          "run_scale_bench: workload '" + w.name + "' has " +
+          std::to_string(w.cdcg.num_cores()) + " cores but the " +
+          std::to_string(w.width) + "x" + std::to_string(w.height) +
+          " board only has " + std::to_string(w.width * w.height) + " tiles");
     }
   }
 
@@ -111,13 +132,13 @@ ScaleBenchReport run_scale_bench(const ScaleBenchOptions& options) {
   const energy::Technology tech = energy::technology_0_07u();
   const noc::RoutingAlgorithm routing = noc::RoutingAlgorithm::kXY;
 
-  for (const auto& [width, height] : options.sizes) {
-    const noc::Mesh topo(width, height);
+  for (const ScaleBenchWorkload& run : runs) {
+    const noc::Mesh topo(run.width, run.height);
     ScaleBenchRow row;
-    row.mesh_width = width;
-    row.mesh_height = height;
-    const graph::Cdcg cdcg =
-        workload_for(width, height, options.seed, row.application);
+    row.mesh_width = run.width;
+    row.mesh_height = run.height;
+    row.application = run.name;
+    const graph::Cdcg& cdcg = run.cdcg;
     row.num_cores = static_cast<std::uint32_t>(cdcg.num_cores());
     row.num_packets = static_cast<std::uint32_t>(cdcg.num_packets());
     const graph::Cwg cwg = cdcg.to_cwg();

@@ -52,8 +52,12 @@
 #include "nocmap/util/table.hpp"
 #include "nocmap/workload/fft.hpp"
 #include "nocmap/workload/image_encoder.hpp"
+#include "nocmap/workload/interchange.hpp"
 #include "nocmap/workload/object_recognition.hpp"
 #include "nocmap/workload/paper_example.hpp"
 #include "nocmap/workload/random_cdcg.hpp"
 #include "nocmap/workload/romberg.hpp"
 #include "nocmap/workload/suite.hpp"
+#include "nocmap/workload/synthetic.hpp"
+#include "nocmap/workload/tgff.hpp"
+#include "nocmap/workload/workload_source.hpp"

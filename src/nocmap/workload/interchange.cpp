@@ -1,0 +1,923 @@
+#include "nocmap/workload/interchange.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "nocmap/workload/tgff.hpp"
+
+namespace nocmap::workload {
+
+namespace {
+
+// --- Shared helpers ----------------------------------------------------------
+
+/// The characters a workload or core name may contain in either encoding:
+/// printable ASCII minus '"', '\\' (JSON escapes) and ',' (CSV separator).
+bool valid_name_char(char c) {
+  return c >= 0x20 && c <= 0x7E && c != '"' && c != '\\' && c != ',';
+}
+
+bool valid_name(const std::string& name) {
+  if (name.empty() || name.size() > 256) return false;
+  return std::all_of(name.begin(), name.end(), valid_name_char);
+}
+
+void check_writable_name(const std::string& what, const std::string& name) {
+  if (!valid_name(name)) {
+    throw std::invalid_argument(
+        "workload interchange: " + what + " name '" + name +
+        "' is not representable (need 1-256 printable ASCII characters "
+        "without '\"', '\\' or ',')");
+  }
+}
+
+/// Dependence edges of `cdcg`, sorted by (from, to) — the canonical order
+/// both writers emit.
+std::vector<std::pair<graph::PacketId, graph::PacketId>> sorted_deps(
+    const graph::Cdcg& cdcg) {
+  std::vector<std::pair<graph::PacketId, graph::PacketId>> deps;
+  deps.reserve(cdcg.num_dependences());
+  for (graph::PacketId p = 0; p < cdcg.num_packets(); ++p) {
+    for (graph::PacketId s : cdcg.successors(p)) deps.emplace_back(p, s);
+  }
+  std::sort(deps.begin(), deps.end());
+  return deps;
+}
+
+/// Strict unsigned-integer parse shared by both readers: digits only, no
+/// sign, no leading zeros, no overflow. `fail` reports with the caller's
+/// position info.
+template <typename Fail>
+std::uint64_t parse_unsigned(const std::string& raw, const Fail& fail) {
+  if (raw.empty()) fail("expected a non-negative integer, got nothing");
+  if (!std::all_of(raw.begin(), raw.end(),
+                   [](char c) { return c >= '0' && c <= '9'; })) {
+    fail("expected a non-negative integer, got '" + raw + "'");
+  }
+  if (raw.size() > 1 && raw[0] == '0') {
+    fail("integer '" + raw + "' has leading zeros");
+  }
+  std::uint64_t value = 0;
+  for (char c : raw) {
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      fail("integer '" + raw + "' is out of range");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+/// Per-workload builder shared by both readers: collects cores, packets and
+/// dependences with their input lines, then assembles and validates the
+/// CDCG so every semantic failure still names an input line.
+struct AppBuilder {
+  std::string source;
+  std::string name;
+  std::size_t start_line = 0;
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<std::string> cores;
+  struct PacketRec {
+    std::uint64_t src, dst, comp_time, bits;
+    std::size_t line;
+  };
+  std::vector<PacketRec> packets;
+  struct DepRec {
+    std::uint64_t from, to;
+    std::size_t line;
+  };
+  std::vector<DepRec> deps;
+
+  [[noreturn]] void fail(std::size_t line, const std::string& field,
+                         const std::string& message) const {
+    throw ParseError(source, line, field, message);
+  }
+
+  WorkloadApp build() const {
+    WorkloadApp app;
+    app.name = name;
+    app.noc_width = width;
+    app.noc_height = height;
+    for (const std::string& core : cores) app.cdcg.add_core(core);
+    for (const PacketRec& p : packets) {
+      if (p.src >= cores.size()) {
+        fail(p.line, "src",
+             "core id " + std::to_string(p.src) + " is out of range (" +
+                 std::to_string(cores.size()) + " cores)");
+      }
+      if (p.dst >= cores.size()) {
+        fail(p.line, "dst",
+             "core id " + std::to_string(p.dst) + " is out of range (" +
+                 std::to_string(cores.size()) + " cores)");
+      }
+      if (p.src == p.dst) {
+        fail(p.line, "dst", "packet sends core " + std::to_string(p.src) +
+                                " to itself");
+      }
+      if (p.bits == 0) {
+        fail(p.line, "bits", "packet carries zero bits");
+      }
+      app.cdcg.add_packet(static_cast<graph::CoreId>(p.src),
+                          static_cast<graph::CoreId>(p.dst), p.comp_time,
+                          p.bits);
+    }
+    for (const DepRec& d : deps) {
+      if (d.from >= packets.size() || d.to >= packets.size()) {
+        fail(d.line, "deps",
+             "packet id " + std::to_string(std::max(d.from, d.to)) +
+                 " is out of range (" + std::to_string(packets.size()) +
+                 " packets)");
+      }
+      try {
+        app.cdcg.add_dependence(static_cast<graph::PacketId>(d.from),
+                                static_cast<graph::PacketId>(d.to));
+      } catch (const std::exception& e) {
+        fail(d.line, "deps", e.what());
+      }
+    }
+    validate_app(app, source, start_line);
+    return app;
+  }
+};
+
+// --- JSON writer -------------------------------------------------------------
+
+void append_json_app(std::ostringstream& os, const WorkloadApp& app) {
+  check_writable_name("workload", app.name);
+  os << "    {\n"
+     << "      \"name\": \"" << app.name << "\",\n"
+     << "      \"noc\": {\"width\": " << app.noc_width
+     << ", \"height\": " << app.noc_height << "},\n"
+     << "      \"cores\": [";
+  for (std::size_t c = 0; c < app.cdcg.num_cores(); ++c) {
+    const std::string& core =
+        app.cdcg.core_name(static_cast<graph::CoreId>(c));
+    check_writable_name("core", core);
+    os << (c ? ", " : "") << "\"" << core << "\"";
+  }
+  os << "],\n      \"packets\": [\n";
+  for (std::size_t p = 0; p < app.cdcg.num_packets(); ++p) {
+    const graph::Packet& pkt =
+        app.cdcg.packet(static_cast<graph::PacketId>(p));
+    os << "        {\"src\": " << pkt.src << ", \"dst\": " << pkt.dst
+       << ", \"comp_time\": " << pkt.comp_time << ", \"bits\": " << pkt.bits
+       << "}" << (p + 1 < app.cdcg.num_packets() ? "," : "") << "\n";
+  }
+  os << "      ],\n";
+  const auto deps = sorted_deps(app.cdcg);
+  if (deps.empty()) {
+    os << "      \"deps\": []\n";
+  } else {
+    os << "      \"deps\": [\n";
+    for (std::size_t d = 0; d < deps.size(); ++d) {
+      os << "        [" << deps[d].first << ", " << deps[d].second << "]"
+         << (d + 1 < deps.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n";
+  }
+  os << "    }";
+}
+
+// --- JSON reader -------------------------------------------------------------
+
+struct Token {
+  enum Kind {
+    kLBrace,
+    kRBrace,
+    kLBracket,
+    kRBracket,
+    kColon,
+    kComma,
+    kString,
+    kNumber,
+    kWord,  // true / false / null / bare identifiers — always an error here.
+    kEnd,
+  };
+  Kind kind = kEnd;
+  std::string text;   ///< String contents / raw number text / word.
+  std::size_t line = 1;
+};
+
+class JsonLexer {
+ public:
+  JsonLexer(const std::string& text, std::string source)
+      : text_(text), source_(std::move(source)) {}
+
+  const std::string& source() const { return source_; }
+  std::size_t line() const { return line_; }
+
+  [[noreturn]] void fail(std::size_t line, const std::string& field,
+                         const std::string& message) const {
+    throw ParseError(source_, line, field, message);
+  }
+
+  Token next() {
+    skip_ws();
+    Token t;
+    t.line = line_;
+    if (pos_ >= text_.size()) {
+      t.kind = Token::kEnd;
+      return t;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': ++pos_; t.kind = Token::kLBrace; return t;
+      case '}': ++pos_; t.kind = Token::kRBrace; return t;
+      case '[': ++pos_; t.kind = Token::kLBracket; return t;
+      case ']': ++pos_; t.kind = Token::kRBracket; return t;
+      case ':': ++pos_; t.kind = Token::kColon; return t;
+      case ',': ++pos_; t.kind = Token::kComma; return t;
+      case '"': t.kind = Token::kString; t.text = lex_string(); return t;
+      default: break;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      t.kind = Token::kNumber;
+      t.text = lex_number();
+      return t;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      t.kind = Token::kWord;
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+        t.text.push_back(text_[pos_++]);
+      }
+      return t;
+    }
+    fail(line_, "", std::string("unexpected character '") + c + "'");
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string lex_string() {
+    const std::size_t start_line = line_;
+    ++pos_;  // Opening quote.
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\n') fail(start_line, "", "unterminated string");
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail(start_line, "", "unterminated string");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          default:
+            fail(start_line, "",
+                 std::string("unsupported escape '\\") + esc + "'");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    fail(start_line, "", "unterminated string");
+  }
+
+  std::string lex_number() {
+    std::string out;
+    auto take = [&](auto pred) {
+      while (pos_ < text_.size() && pred(text_[pos_])) {
+        out.push_back(text_[pos_++]);
+      }
+    };
+    if (text_[pos_] == '-') out.push_back(text_[pos_++]);
+    take([](char c) { return c >= '0' && c <= '9'; });
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      out.push_back(text_[pos_++]);
+      take([](char c) { return c >= '0' && c <= '9'; });
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      out.push_back(text_[pos_++]);
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        out.push_back(text_[pos_++]);
+      }
+      take([](char c) { return c >= '0' && c <= '9'; });
+    }
+    return out;
+  }
+
+  const std::string& text_;
+  std::string source_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+/// Schema-directed JSON parser. Keys may appear in any order; duplicates,
+/// unknown keys and missing keys are errors.
+class JsonReader {
+ public:
+  JsonReader(const std::string& text, const std::string& source)
+      : lexer_(text, source) {}
+
+  std::vector<WorkloadApp> parse() {
+    advance();
+    bool saw_format = false, saw_schema = false, saw_workloads = false;
+    std::vector<WorkloadApp> apps;
+    parse_members("document", [&](const std::string& key,
+                                  std::size_t key_line) {
+      if (key == "format") {
+        require_unseen(saw_format, key, key_line);
+        const std::string v = take_string(key);
+        if (v != "nocmap-workloads") {
+          lexer_.fail(key_line, key,
+                      "expected \"nocmap-workloads\", got \"" + v + "\"");
+        }
+      } else if (key == "schema") {
+        require_unseen(saw_schema, key, key_line);
+        const std::uint64_t v = take_u64(key);
+        if (v != 1) {
+          lexer_.fail(key_line, key,
+                      "unsupported schema " + std::to_string(v) +
+                          " (this reader understands schema 1)");
+        }
+      } else if (key == "workloads") {
+        require_unseen(saw_workloads, key, key_line);
+        parse_workloads(apps);
+      } else {
+        lexer_.fail(key_line, key, "unknown document key");
+      }
+    });
+    if (!saw_format) missing("document", "format");
+    if (!saw_schema) missing("document", "schema");
+    if (!saw_workloads) missing("document", "workloads");
+    if (cur_.kind != Token::kEnd) {
+      lexer_.fail(cur_.line, "", "trailing content after the document");
+    }
+    return apps;
+  }
+
+ private:
+  void advance() { cur_ = lexer_.next(); }
+
+  [[noreturn]] void missing(const std::string& object,
+                            const std::string& key) {
+    lexer_.fail(cur_.line, key, "missing required key in " + object);
+  }
+
+  void require_unseen(bool& seen, const std::string& key,
+                      std::size_t key_line) {
+    if (seen) lexer_.fail(key_line, key, "duplicate key");
+    seen = true;
+  }
+
+  void expect(Token::Kind kind, const std::string& what) {
+    if (cur_.kind != kind) {
+      lexer_.fail(cur_.line, "", what + " (got " + describe(cur_) + ")");
+    }
+    advance();
+  }
+
+  static std::string describe(const Token& t) {
+    switch (t.kind) {
+      case Token::kLBrace: return "'{'";
+      case Token::kRBrace: return "'}'";
+      case Token::kLBracket: return "'['";
+      case Token::kRBracket: return "']'";
+      case Token::kColon: return "':'";
+      case Token::kComma: return "','";
+      case Token::kString: return "string \"" + t.text + "\"";
+      case Token::kNumber: return "number '" + t.text + "'";
+      case Token::kWord: return "'" + t.text + "'";
+      case Token::kEnd: return "end of input";
+    }
+    return "?";
+  }
+
+  /// Parse `{ "key": <value> , ... }`. The current token must be the '{'.
+  /// `member` is called with each key and must consume the value.
+  template <typename Member>
+  void parse_members(const std::string& object, const Member& member) {
+    expect(Token::kLBrace, "expected '{' to open the " + object);
+    if (cur_.kind == Token::kRBrace) {
+      lexer_.fail(cur_.line, "", "the " + object + " object is empty");
+    }
+    for (;;) {
+      if (cur_.kind != Token::kString) {
+        lexer_.fail(cur_.line, "",
+                    "expected a key string in the " + object + " (got " +
+                        describe(cur_) + ")");
+      }
+      const std::string key = cur_.text;
+      const std::size_t key_line = cur_.line;
+      advance();
+      expect(Token::kColon, "expected ':' after key \"" + key + "\"");
+      member(key, key_line);
+      if (cur_.kind == Token::kComma) {
+        advance();
+        continue;
+      }
+      expect(Token::kRBrace, "expected ',' or '}' in the " + object);
+      return;
+    }
+  }
+
+  std::string take_string(const std::string& field) {
+    if (cur_.kind != Token::kString) {
+      lexer_.fail(cur_.line, field,
+                  "expected a string (got " + describe(cur_) + ")");
+    }
+    std::string v = cur_.text;
+    advance();
+    return v;
+  }
+
+  std::uint64_t take_u64(const std::string& field) {
+    if (cur_.kind != Token::kNumber) {
+      lexer_.fail(cur_.line, field,
+                  "expected a non-negative integer (got " + describe(cur_) +
+                      ")");
+    }
+    const std::string raw = cur_.text;
+    const std::size_t line = cur_.line;
+    const std::uint64_t v = parse_unsigned(raw, [&](const std::string& msg) {
+      lexer_.fail(line, field, msg);
+    });
+    advance();
+    return v;
+  }
+
+  void parse_workloads(std::vector<WorkloadApp>& apps) {
+    expect(Token::kLBracket, "expected '[' to open \"workloads\"");
+    if (cur_.kind == Token::kRBracket) {
+      advance();
+      return;
+    }
+    for (;;) {
+      apps.push_back(parse_workload());
+      for (std::size_t i = 0; i + 1 < apps.size(); ++i) {
+        if (apps[i].name == apps.back().name) {
+          lexer_.fail(cur_.line, "name",
+                      "duplicate workload name '" + apps.back().name + "'");
+        }
+      }
+      if (cur_.kind == Token::kComma) {
+        advance();
+        continue;
+      }
+      expect(Token::kRBracket, "expected ',' or ']' in \"workloads\"");
+      return;
+    }
+  }
+
+  WorkloadApp parse_workload() {
+    AppBuilder b;
+    b.source = lexer_.source();
+    b.start_line = cur_.line;
+    bool saw_name = false, saw_noc = false, saw_cores = false,
+         saw_packets = false, saw_deps = false;
+    parse_members("workload", [&](const std::string& key,
+                                  std::size_t key_line) {
+      if (key == "name") {
+        require_unseen(saw_name, key, key_line);
+        b.name = take_string(key);
+        if (!valid_name(b.name)) {
+          lexer_.fail(key_line, key,
+                      "invalid workload name '" + b.name +
+                          "' (need 1-256 printable ASCII characters "
+                          "without '\"', '\\' or ',')");
+        }
+      } else if (key == "noc") {
+        require_unseen(saw_noc, key, key_line);
+        parse_noc(b);
+      } else if (key == "cores") {
+        require_unseen(saw_cores, key, key_line);
+        parse_cores(b);
+      } else if (key == "packets") {
+        require_unseen(saw_packets, key, key_line);
+        parse_packets(b);
+      } else if (key == "deps") {
+        require_unseen(saw_deps, key, key_line);
+        parse_deps(b);
+      } else {
+        lexer_.fail(key_line, key, "unknown workload key");
+      }
+    });
+    if (!saw_name) missing("workload", "name");
+    if (!saw_noc) missing("workload", "noc");
+    if (!saw_cores) missing("workload", "cores");
+    if (!saw_packets) missing("workload", "packets");
+    if (!saw_deps) missing("workload", "deps");
+    return b.build();
+  }
+
+  void parse_noc(AppBuilder& b) {
+    bool saw_width = false, saw_height = false;
+    parse_members("noc", [&](const std::string& key, std::size_t key_line) {
+      if (key == "width") {
+        require_unseen(saw_width, key, key_line);
+        b.width = take_board_dim(key, key_line);
+      } else if (key == "height") {
+        require_unseen(saw_height, key, key_line);
+        b.height = take_board_dim(key, key_line);
+      } else {
+        lexer_.fail(key_line, key, "unknown noc key");
+      }
+    });
+    if (!saw_width) missing("noc", "width");
+    if (!saw_height) missing("noc", "height");
+  }
+
+  std::uint32_t take_board_dim(const std::string& field,
+                               std::size_t key_line) {
+    const std::uint64_t v = take_u64(field);
+    if (v == 0 || v > 1'000'000) {
+      lexer_.fail(key_line, field,
+                  "board dimension must be in [1, 1,000,000], got " +
+                      std::to_string(v));
+    }
+    return static_cast<std::uint32_t>(v);
+  }
+
+  void parse_cores(AppBuilder& b) {
+    expect(Token::kLBracket, "expected '[' to open \"cores\"");
+    if (cur_.kind == Token::kRBracket) {
+      lexer_.fail(cur_.line, "cores", "a workload needs at least one core");
+    }
+    for (;;) {
+      const std::size_t line = cur_.line;
+      const std::string core = take_string("cores");
+      if (!valid_name(core)) {
+        lexer_.fail(line, "cores",
+                    "invalid core name '" + core +
+                        "' (need 1-256 printable ASCII characters without "
+                        "'\"', '\\' or ',')");
+      }
+      b.cores.push_back(core);
+      if (cur_.kind == Token::kComma) {
+        advance();
+        continue;
+      }
+      expect(Token::kRBracket, "expected ',' or ']' in \"cores\"");
+      return;
+    }
+  }
+
+  void parse_packets(AppBuilder& b) {
+    expect(Token::kLBracket, "expected '[' to open \"packets\"");
+    if (cur_.kind == Token::kRBracket) {
+      lexer_.fail(cur_.line, "packets",
+                  "a workload needs at least one packet");
+    }
+    for (;;) {
+      AppBuilder::PacketRec rec{0, 0, 0, 0, cur_.line};
+      bool saw_src = false, saw_dst = false, saw_comp = false,
+           saw_bits = false;
+      parse_members("packet", [&](const std::string& key,
+                                  std::size_t key_line) {
+        if (key == "src") {
+          require_unseen(saw_src, key, key_line);
+          rec.src = take_u64(key);
+        } else if (key == "dst") {
+          require_unseen(saw_dst, key, key_line);
+          rec.dst = take_u64(key);
+        } else if (key == "comp_time") {
+          require_unseen(saw_comp, key, key_line);
+          rec.comp_time = take_u64(key);
+        } else if (key == "bits") {
+          require_unseen(saw_bits, key, key_line);
+          rec.bits = take_u64(key);
+        } else {
+          lexer_.fail(key_line, key, "unknown packet key");
+        }
+      });
+      if (!saw_src) missing("packet", "src");
+      if (!saw_dst) missing("packet", "dst");
+      if (!saw_comp) missing("packet", "comp_time");
+      if (!saw_bits) missing("packet", "bits");
+      b.packets.push_back(rec);
+      if (cur_.kind == Token::kComma) {
+        advance();
+        continue;
+      }
+      expect(Token::kRBracket, "expected ',' or ']' in \"packets\"");
+      return;
+    }
+  }
+
+  void parse_deps(AppBuilder& b) {
+    expect(Token::kLBracket, "expected '[' to open \"deps\"");
+    if (cur_.kind == Token::kRBracket) {
+      advance();
+      return;
+    }
+    for (;;) {
+      AppBuilder::DepRec rec{0, 0, cur_.line};
+      expect(Token::kLBracket, "expected '[' to open a dependence pair");
+      rec.from = take_u64("deps");
+      expect(Token::kComma, "expected ',' between dependence endpoints");
+      rec.to = take_u64("deps");
+      expect(Token::kRBracket, "expected ']' to close the dependence pair");
+      b.deps.push_back(rec);
+      if (cur_.kind == Token::kComma) {
+        advance();
+        continue;
+      }
+      expect(Token::kRBracket, "expected ',' or ']' in \"deps\"");
+      return;
+    }
+  }
+
+  JsonLexer lexer_;
+  Token cur_;
+};
+
+// --- CSV ---------------------------------------------------------------------
+
+constexpr const char* kCsvHeader = "# nocmap-workloads-csv 1";
+
+void append_csv_app(std::ostringstream& os, const WorkloadApp& app) {
+  check_writable_name("workload", app.name);
+  os << "workload," << app.name << "," << app.noc_width << ","
+     << app.noc_height << "\n";
+  for (std::size_t c = 0; c < app.cdcg.num_cores(); ++c) {
+    const std::string& core =
+        app.cdcg.core_name(static_cast<graph::CoreId>(c));
+    check_writable_name("core", core);
+    os << "core," << c << "," << core << "\n";
+  }
+  for (std::size_t p = 0; p < app.cdcg.num_packets(); ++p) {
+    const graph::Packet& pkt =
+        app.cdcg.packet(static_cast<graph::PacketId>(p));
+    os << "packet," << p << "," << pkt.src << "," << pkt.dst << ","
+       << pkt.comp_time << "," << pkt.bits << "\n";
+  }
+  for (const auto& [from, to] : sorted_deps(app.cdcg)) {
+    os << "dep," << from << "," << to << "\n";
+  }
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+class CsvReader {
+ public:
+  CsvReader(const std::string& text, const std::string& source)
+      : text_(text), source_(source) {}
+
+  std::vector<WorkloadApp> parse() {
+    std::vector<WorkloadApp> apps;
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    bool saw_header = false;
+    while (pos <= text_.size()) {
+      const std::size_t eol = text_.find('\n', pos);
+      const std::string line =
+          text_.substr(pos, eol == std::string::npos ? std::string::npos
+                                                     : eol - pos);
+      const bool last = eol == std::string::npos;
+      pos = last ? text_.size() + 1 : eol + 1;
+      ++line_no;
+      if (last && line.empty()) break;  // Trailing newline.
+      if (!saw_header) {
+        if (line != kCsvHeader) {
+          fail(line_no, "",
+               std::string("expected the header line '") + kCsvHeader + "'");
+        }
+        saw_header = true;
+        continue;
+      }
+      parse_record(line_no, line, apps);
+    }
+    if (!saw_header) fail(1, "", "empty input (missing header line)");
+    finalize(line_no, apps);
+    return apps;
+  }
+
+ private:
+  [[noreturn]] void fail(std::size_t line, const std::string& field,
+                         const std::string& message) const {
+    throw ParseError(source_, line, field, message);
+  }
+
+  void require_fields(std::size_t line_no,
+                      const std::vector<std::string>& fields,
+                      std::size_t expected, const char* record) const {
+    if (fields.size() != expected) {
+      fail(line_no, record,
+           "expected " + std::to_string(expected) + " fields, got " +
+               std::to_string(fields.size()));
+    }
+  }
+
+  std::uint64_t field_u64(std::size_t line_no, const std::string& field_name,
+                          const std::string& raw) const {
+    return parse_unsigned(raw, [&](const std::string& msg) {
+      fail(line_no, field_name, msg);
+    });
+  }
+
+  void parse_record(std::size_t line_no, const std::string& line,
+                    std::vector<WorkloadApp>& apps) {
+    if (line.empty()) fail(line_no, "", "blank line");
+    const std::vector<std::string> f = split_fields(line);
+    const std::string& record = f[0];
+    if (record == "workload") {
+      finalize(line_no, apps);
+      require_fields(line_no, f, 4, "workload");
+      builder_ = AppBuilder{};
+      builder_->source = source_;
+      builder_->start_line = line_no;
+      builder_->name = f[1];
+      if (!valid_name(builder_->name)) {
+        fail(line_no, "name",
+             "invalid workload name '" + builder_->name +
+                 "' (need 1-256 printable ASCII characters without '\"', "
+                 "'\\' or ',')");
+      }
+      const std::uint64_t w = field_u64(line_no, "width", f[2]);
+      const std::uint64_t h = field_u64(line_no, "height", f[3]);
+      if (w == 0 || h == 0 || w > 1'000'000 || h > 1'000'000) {
+        fail(line_no, "noc",
+             "board dimensions must be in [1, 1,000,000], got " + f[2] +
+                 "x" + f[3]);
+      }
+      builder_->width = static_cast<std::uint32_t>(w);
+      builder_->height = static_cast<std::uint32_t>(h);
+      return;
+    }
+    if (!builder_) {
+      fail(line_no, record,
+           "record before the first 'workload' line");
+    }
+    if (record == "core") {
+      require_fields(line_no, f, 3, "core");
+      const std::uint64_t id = field_u64(line_no, "id", f[1]);
+      if (id != builder_->cores.size()) {
+        fail(line_no, "id",
+             "non-sequential core id " + f[1] + " (expected " +
+                 std::to_string(builder_->cores.size()) + ")");
+      }
+      if (!valid_name(f[2])) {
+        fail(line_no, "name",
+             "invalid core name '" + f[2] +
+                 "' (need 1-256 printable ASCII characters without '\"', "
+                 "'\\' or ',')");
+      }
+      builder_->cores.push_back(f[2]);
+    } else if (record == "packet") {
+      require_fields(line_no, f, 6, "packet");
+      const std::uint64_t id = field_u64(line_no, "id", f[1]);
+      if (id != builder_->packets.size()) {
+        fail(line_no, "id",
+             "non-sequential packet id " + f[1] + " (expected " +
+                 std::to_string(builder_->packets.size()) + ")");
+      }
+      builder_->packets.push_back(AppBuilder::PacketRec{
+          field_u64(line_no, "src", f[2]), field_u64(line_no, "dst", f[3]),
+          field_u64(line_no, "comp_time", f[4]),
+          field_u64(line_no, "bits", f[5]), line_no});
+    } else if (record == "dep") {
+      require_fields(line_no, f, 3, "dep");
+      builder_->deps.push_back(
+          AppBuilder::DepRec{field_u64(line_no, "from", f[1]),
+                             field_u64(line_no, "to", f[2]), line_no});
+    } else {
+      fail(line_no, record, "unknown record type");
+    }
+  }
+
+  void finalize(std::size_t line_no, std::vector<WorkloadApp>& apps) {
+    if (!builder_) return;
+    WorkloadApp app = builder_->build();
+    for (const WorkloadApp& prev : apps) {
+      if (prev.name == app.name) {
+        fail(builder_->start_line, "name",
+             "duplicate workload name '" + app.name + "'");
+      }
+    }
+    (void)line_no;
+    apps.push_back(std::move(app));
+    builder_.reset();
+  }
+
+  const std::string& text_;
+  std::string source_;
+  std::optional<AppBuilder> builder_;
+};
+
+std::string lowercase_extension(const std::string& path) {
+  const std::size_t dot = path.find_last_of('.');
+  const std::size_t slash = path.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return "";
+  }
+  std::string ext = path.substr(dot);
+  std::transform(ext.begin(), ext.end(), ext.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return ext;
+}
+
+}  // namespace
+
+std::string workloads_to_json(const std::vector<WorkloadApp>& apps) {
+  std::ostringstream os;
+  os << "{\n  \"format\": \"nocmap-workloads\",\n  \"schema\": 1,\n";
+  if (apps.empty()) {
+    os << "  \"workloads\": []\n}\n";
+    return os.str();
+  }
+  os << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    append_json_app(os, apps[i]);
+    os << (i + 1 < apps.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+std::string workloads_to_csv(const std::vector<WorkloadApp>& apps) {
+  std::ostringstream os;
+  os << kCsvHeader << "\n";
+  for (const WorkloadApp& app : apps) append_csv_app(os, app);
+  return os.str();
+}
+
+std::vector<WorkloadApp> workloads_from_json(const std::string& text,
+                                             const std::string& source) {
+  return JsonReader(text, source).parse();
+}
+
+std::vector<WorkloadApp> workloads_from_csv(const std::string& text,
+                                            const std::string& source) {
+  return CsvReader(text, source).parse();
+}
+
+std::vector<WorkloadApp> read_workload_file(const std::string& path) {
+  const std::string ext = lowercase_extension(path);
+  if (ext != ".json" && ext != ".csv" && ext != ".tgff") {
+    throw std::invalid_argument(
+        "workload file '" + path +
+        "' has an unsupported extension (expected .json, .csv or .tgff)");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read workload file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (ext == ".json") return workloads_from_json(text, path);
+  if (ext == ".csv") return workloads_from_csv(text, path);
+  return workloads_from_tgff(text, path);
+}
+
+void write_workload_file(const std::string& path,
+                         const std::vector<WorkloadApp>& apps) {
+  const std::string ext = lowercase_extension(path);
+  std::string body;
+  if (ext == ".json") {
+    body = workloads_to_json(apps);
+  } else if (ext == ".csv") {
+    body = workloads_to_csv(apps);
+  } else {
+    throw std::invalid_argument(
+        "cannot write workload file '" + path +
+        "': unsupported extension (expected .json or .csv)");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot write workload file '" + path + "'");
+  }
+  out << body;
+  if (!out) {
+    throw std::runtime_error("cannot write workload file '" + path + "'");
+  }
+}
+
+}  // namespace nocmap::workload

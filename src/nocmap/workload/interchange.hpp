@@ -1,0 +1,62 @@
+#pragma once
+/// \file interchange.hpp
+/// The CDCG workload interchange format: JSON and CSV readers/writers.
+///
+/// The documented on-disk representation of a workload set
+/// (docs/workloads.md). Both encodings carry exactly the information of a
+/// `WorkloadApp` list — names, target boards, cores, packets, dependences —
+/// with integer bit volumes and computation times, so serialization is
+/// lossless and exact (no floating point anywhere in the format).
+///
+/// The writers are *canonical*: fixed field order, fixed indentation,
+/// packets in id order, dependence lists sorted. write(read(write(x)))
+/// is byte-identical to write(x) — pinned by round-trip tests and the
+/// golden files under tests/golden/workloads/.
+///
+/// The readers are *strict validators*: unknown keys or record types,
+/// duplicate or missing fields, type confusion (strings where integers are
+/// expected, minus signs or fractions in unsigned fields), dangling core or
+/// packet references, self-communication, zero bit volumes, cyclic
+/// dependences and unconnected cores are all rejected with a ParseError
+/// naming the input line and field. Nothing is ever silently clamped.
+
+#include <string>
+#include <vector>
+
+#include "nocmap/workload/workload_source.hpp"
+
+namespace nocmap::workload {
+
+/// Canonical JSON encoding of `apps` (schema in docs/workloads.md).
+/// Throws std::invalid_argument for names the format cannot carry (empty,
+/// longer than 256 bytes, or containing characters outside printable ASCII
+/// minus '"', '\\' and ',').
+std::string workloads_to_json(const std::vector<WorkloadApp>& apps);
+
+/// Canonical CSV encoding of `apps` (record-typed rows; docs/workloads.md).
+/// Same name restrictions as workloads_to_json().
+std::string workloads_to_csv(const std::vector<WorkloadApp>& apps);
+
+/// Strict JSON reader. `source` names the input in diagnostics (a file
+/// path, or "<json>" for in-memory text). Throws ParseError on any
+/// malformed or semantically invalid input.
+std::vector<WorkloadApp> workloads_from_json(const std::string& text,
+                                             const std::string& source);
+
+/// Strict CSV reader; same contract as workloads_from_json().
+std::vector<WorkloadApp> workloads_from_csv(const std::string& text,
+                                            const std::string& source);
+
+/// Read a workload file, dispatching on the extension: .json, .csv or
+/// .tgff (tgff.hpp). Throws std::invalid_argument for unknown extensions,
+/// std::runtime_error if the file cannot be read, ParseError on malformed
+/// content.
+std::vector<WorkloadApp> read_workload_file(const std::string& path);
+
+/// Write `apps` canonically to `path`; format by extension (.json or
+/// .csv — TGFF export is not supported). Throws std::invalid_argument for
+/// unknown extensions, std::runtime_error if the file cannot be written.
+void write_workload_file(const std::string& path,
+                         const std::vector<WorkloadApp>& apps);
+
+}  // namespace nocmap::workload

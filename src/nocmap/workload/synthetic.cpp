@@ -1,0 +1,191 @@
+#include "nocmap/workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+
+#include "nocmap/workload/random_cdcg.hpp"
+#include "nocmap/util/rng.hpp"
+
+namespace nocmap::workload {
+
+namespace {
+
+[[noreturn]] void spec_fail(const std::string& key, const std::string& why) {
+  throw std::invalid_argument("gen: spec key '" + key + "': " + why);
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& raw) {
+  if (raw.empty()) spec_fail(key, "empty value");
+  for (char c : raw) {
+    if (c < '0' || c > '9') {
+      spec_fail(key, "expected a non-negative integer, got '" + raw + "'");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
+  if (errno != 0 || end != raw.c_str() + raw.size()) {
+    spec_fail(key, "integer '" + raw + "' is out of range");
+  }
+  return v;
+}
+
+double parse_double(const std::string& key, const std::string& raw) {
+  if (raw.empty()) spec_fail(key, "empty value");
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end != raw.c_str() + raw.size() || !std::isfinite(v)) {
+    spec_fail(key, "'" + raw + "' is not a finite number");
+  }
+  return v;
+}
+
+/// Shortest decimal rendering that parses back to exactly `v`.
+std::string format_double(double v) {
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+SyntheticSpec SyntheticSpec::parse(const std::string& spec) {
+  SyntheticSpec out;
+  if (spec.empty()) return out;
+  std::set<std::string> seen;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = item.find('=');
+    if (item.empty() || eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument(
+          "gen: spec must be comma-separated key=value pairs; bad item '" +
+          item + "' in '" + spec + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (!seen.insert(key).second) spec_fail(key, "duplicate key");
+    if (key == "apps") {
+      out.apps = parse_u64(key, value);
+      if (out.apps == 0) spec_fail(key, "must be at least 1");
+      if (out.apps > 1'000'000) spec_fail(key, "must be at most 1000000");
+    } else if (key == "cores") {
+      const std::uint64_t v = parse_u64(key, value);
+      if (v < 2 || v > 4096) spec_fail(key, "must be in [2, 4096]");
+      out.cores = static_cast<std::uint32_t>(v);
+    } else if (key == "packets") {
+      const std::uint64_t v = parse_u64(key, value);
+      if (v == 0 || v > 1'000'000) spec_fail(key, "must be in [1, 1000000]");
+      out.packets = static_cast<std::uint32_t>(v);
+    } else if (key == "bits") {
+      out.bits = parse_u64(key, value);
+      if (out.bits == 0) spec_fail(key, "must be positive");
+    } else if (key == "seed") {
+      out.seed = parse_u64(key, value);
+    } else if (key == "connectivity") {
+      out.connectivity = parse_double(key, value);
+      if (out.connectivity <= 0) spec_fail(key, "must be positive");
+    } else if (key == "burstiness") {
+      out.burstiness = parse_double(key, value);
+      if (out.burstiness < 0 || out.burstiness >= 1) {
+        spec_fail(key, "must be in [0, 1)");
+      }
+    } else if (key == "hotspot") {
+      out.hotspot = parse_double(key, value);
+      if (out.hotspot < 0 || out.hotspot >= 1) {
+        spec_fail(key, "must be in [0, 1)");
+      }
+    } else if (key == "comp") {
+      out.comp = parse_double(key, value);
+      if (out.comp < 0) spec_fail(key, "must be non-negative");
+    } else if (key == "jitter") {
+      out.jitter = parse_double(key, value);
+      if (out.jitter < 0 || out.jitter >= 1) {
+        spec_fail(key, "must be in [0, 1)");
+      }
+    } else {
+      spec_fail(key,
+                "unknown key (accepted: apps, cores, packets, bits, seed, "
+                "connectivity, burstiness, hotspot, comp, jitter)");
+    }
+  }
+  if (out.packets != 0 && out.packets < out.cores) {
+    spec_fail("packets", "must be at least the core count");
+  }
+  if (out.bits != 0 && out.bits < out.effective_packets()) {
+    spec_fail("bits", "must be at least the packet count");
+  }
+  return out;
+}
+
+std::string SyntheticSpec::canonical() const {
+  std::string s;
+  s += "apps=" + std::to_string(apps);
+  s += ",cores=" + std::to_string(cores);
+  s += ",packets=" + std::to_string(effective_packets());
+  s += ",bits=" + std::to_string(effective_bits());
+  s += ",seed=" + std::to_string(seed);
+  s += ",connectivity=" + format_double(connectivity);
+  s += ",burstiness=" + format_double(burstiness);
+  s += ",hotspot=" + format_double(hotspot);
+  s += ",comp=" + format_double(comp);
+  s += ",jitter=" + format_double(jitter);
+  return s;
+}
+
+WorkloadApp SyntheticPopulation::app(std::size_t index) const {
+  if (index >= size()) {
+    throw std::out_of_range("SyntheticPopulation::app: index " +
+                            std::to_string(index) + " >= size " +
+                            std::to_string(size()));
+  }
+  // Per-index stream derived by mixing, never by iterating predecessors:
+  // app(i) is the same whatever subset of the population is realized.
+  util::Rng rng =
+      util::Rng(spec_.seed ^
+                (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(index) +
+                                          0x5851F42D4C957F2DULL)))
+          .split();
+
+  const double j = spec_.jitter;
+  const double fc = rng.uniform(1.0 - j, 1.0 + j);
+  const double fp = rng.uniform(1.0 - j, 1.0 + j);
+  const double fb = rng.uniform(1.0 - j, 1.0 + j);
+
+  RandomCdcgParams params;
+  params.num_cores = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(std::llround(spec_.cores * fc)));
+  params.num_packets = std::max<std::uint32_t>(
+      params.num_cores,
+      static_cast<std::uint32_t>(
+          std::llround(spec_.effective_packets() * fp)));
+  params.total_bits = std::max<std::uint64_t>(
+      params.num_packets,
+      static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(spec_.effective_bits()) * fb)));
+  params.parallelism = spec_.connectivity;
+  params.mean_comp_cycles = spec_.comp;
+  params.hotspot_fraction = spec_.hotspot;
+  params.bulk_fraction = spec_.burstiness;
+
+  WorkloadApp app;
+  app.name = "syn" + std::to_string(index);
+  app.cdcg = generate_random_cdcg(params, rng);
+  const auto [w, h] = fit_board(app.cdcg.num_cores());
+  app.noc_width = w;
+  app.noc_height = h;
+  validate_app(app, name(), index + 1);
+  return app;
+}
+
+}  // namespace nocmap::workload

@@ -1,0 +1,468 @@
+#include "nocmap/workload/tgff.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace nocmap::workload {
+
+namespace {
+
+struct Token {
+  enum Kind { kAt, kLBrace, kRBrace, kWord, kNumber, kEnd };
+  Kind kind = kEnd;
+  std::string text;
+  std::size_t line = 1;
+};
+
+class TgffLexer {
+ public:
+  TgffLexer(const std::string& text, std::string source)
+      : text_(text), source_(std::move(source)) {}
+
+  const std::string& source() const { return source_; }
+
+  [[noreturn]] void fail(std::size_t line, const std::string& field,
+                         const std::string& message) const {
+    throw ParseError(source_, line, field, message);
+  }
+
+  Token next() {
+    skip_ws_and_comments();
+    Token t;
+    t.line = line_;
+    if (pos_ >= text_.size()) return t;
+    const char c = text_[pos_];
+    if (c == '@') {
+      ++pos_;
+      t.kind = Token::kAt;
+      return t;
+    }
+    if (c == '{') {
+      ++pos_;
+      t.kind = Token::kLBrace;
+      return t;
+    }
+    if (c == '}') {
+      ++pos_;
+      t.kind = Token::kRBrace;
+      return t;
+    }
+    if (c == '-' || c == '.' || std::isdigit(static_cast<unsigned char>(c))) {
+      t.kind = Token::kNumber;
+      while (pos_ < text_.size() && is_number_char(text_[pos_])) {
+        t.text.push_back(text_[pos_++]);
+      }
+      return t;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      t.kind = Token::kWord;
+      while (pos_ < text_.size() && is_word_char(text_[pos_])) {
+        t.text.push_back(text_[pos_++]);
+      }
+      return t;
+    }
+    fail(line_, "", std::string("unexpected character '") + c + "'");
+  }
+
+ private:
+  static bool is_number_char(char c) {
+    return std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+           c == '-' || c == '+' || c == 'e' || c == 'E';
+  }
+  static bool is_word_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::string source_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+struct TaskRec {
+  std::string name;
+  std::uint64_t type = 0;
+  std::size_t line = 0;
+};
+
+struct ArcRec {
+  std::string name;
+  std::size_t from = 0;  ///< Task index.
+  std::size_t to = 0;
+  std::uint64_t type = 0;
+  std::size_t line = 0;
+};
+
+struct GraphRec {
+  std::uint64_t id = 0;
+  std::size_t line = 0;
+  std::optional<double> period;
+  std::vector<TaskRec> tasks;
+  std::vector<ArcRec> arcs;
+};
+
+class TgffParser {
+ public:
+  TgffParser(const std::string& text, const std::string& source)
+      : lexer_(text, source) {}
+
+  std::vector<WorkloadApp> parse() {
+    advance();
+    while (cur_.kind != Token::kEnd) {
+      if (cur_.kind != Token::kAt) {
+        lexer_.fail(cur_.line, "",
+                    "expected '@' to open a block (got '" + cur_.text + "')");
+      }
+      advance();
+      parse_block();
+    }
+    return build();
+  }
+
+ private:
+  void advance() { cur_ = lexer_.next(); }
+
+  std::string take_word(const std::string& field) {
+    if (cur_.kind != Token::kWord) {
+      lexer_.fail(cur_.line, field,
+                  "expected a name, got " + describe(cur_));
+    }
+    std::string v = cur_.text;
+    advance();
+    return v;
+  }
+
+  std::uint64_t take_uint(const std::string& field) {
+    if (cur_.kind != Token::kNumber) {
+      lexer_.fail(cur_.line, field,
+                  "expected a non-negative integer, got " + describe(cur_));
+    }
+    const std::string raw = cur_.text;
+    const std::size_t line = cur_.line;
+    for (char c : raw) {
+      if (c < '0' || c > '9') {
+        lexer_.fail(line, field,
+                    "expected a non-negative integer, got '" + raw + "'");
+      }
+    }
+    if (raw.empty()) lexer_.fail(line, field, "expected an integer");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
+    if (errno != 0 || end != raw.c_str() + raw.size()) {
+      lexer_.fail(line, field, "integer '" + raw + "' is out of range");
+    }
+    advance();
+    return v;
+  }
+
+  double take_number(const std::string& field) {
+    if (cur_.kind != Token::kNumber) {
+      lexer_.fail(cur_.line, field,
+                  "expected a number, got " + describe(cur_));
+    }
+    const std::string raw = cur_.text;
+    const std::size_t line = cur_.line;
+    char* end = nullptr;
+    const double v = std::strtod(raw.c_str(), &end);
+    if (end != raw.c_str() + raw.size() || !std::isfinite(v)) {
+      lexer_.fail(line, field, "'" + raw + "' is not a finite number");
+    }
+    advance();
+    return v;
+  }
+
+  static std::string describe(const Token& t) {
+    switch (t.kind) {
+      case Token::kAt: return "'@'";
+      case Token::kLBrace: return "'{'";
+      case Token::kRBrace: return "'}'";
+      case Token::kWord: return "'" + t.text + "'";
+      case Token::kNumber: return "'" + t.text + "'";
+      case Token::kEnd: return "end of input";
+    }
+    return "?";
+  }
+
+  void parse_block() {
+    const std::size_t line = cur_.line;
+    const std::string kind = take_word("block");
+    const std::uint64_t id = take_uint(kind);
+    if (kind == "HYPERPERIOD") return;  // Bare `@HYPERPERIOD N`: no body.
+    if (cur_.kind != Token::kLBrace) {
+      lexer_.fail(cur_.line, kind, "expected '{' to open the block body");
+    }
+    advance();
+    if (kind == "TASK_GRAPH") {
+      parse_task_graph(id, line);
+    } else if (kind == "COMMUN_QUANT") {
+      parse_quant_table(commun_quant_, "COMMUN_QUANT");
+    } else if (kind == "COMP_QUANT") {
+      parse_quant_table(comp_quant_, "COMP_QUANT");
+      has_comp_quant_ = true;
+    } else {
+      lexer_.fail(line, kind,
+                  "unknown block type (this reader understands TASK_GRAPH, "
+                  "COMMUN_QUANT, COMP_QUANT and HYPERPERIOD)");
+    }
+  }
+
+  void parse_task_graph(std::uint64_t id, std::size_t line) {
+    for (const GraphRec& g : graphs_) {
+      if (g.id == id) {
+        lexer_.fail(line, "TASK_GRAPH",
+                    "duplicate task graph id " + std::to_string(id));
+      }
+    }
+    GraphRec g;
+    g.id = id;
+    g.line = line;
+    while (cur_.kind != Token::kRBrace) {
+      if (cur_.kind == Token::kEnd) {
+        lexer_.fail(line, "TASK_GRAPH", "unterminated block (missing '}')");
+      }
+      const std::size_t stmt_line = cur_.line;
+      const std::string stmt = take_word("TASK_GRAPH");
+      if (stmt == "PERIOD") {
+        if (g.period) lexer_.fail(stmt_line, "PERIOD", "duplicate PERIOD");
+        const double v = take_number("PERIOD");
+        if (v < 0) {
+          lexer_.fail(stmt_line, "PERIOD", "PERIOD must be non-negative");
+        }
+        g.period = v;
+      } else if (stmt == "TASK") {
+        TaskRec t;
+        t.line = stmt_line;
+        t.name = take_word("TASK");
+        expect_keyword("TYPE", "TASK");
+        t.type = take_uint("TYPE");
+        if (find_task(g, t.name) != g.tasks.size()) {
+          lexer_.fail(stmt_line, "TASK",
+                      "duplicate task name '" + t.name + "'");
+        }
+        g.tasks.push_back(std::move(t));
+      } else if (stmt == "ARC") {
+        ArcRec a;
+        a.line = stmt_line;
+        a.name = take_word("ARC");
+        for (const ArcRec& other : g.arcs) {
+          if (other.name == a.name) {
+            lexer_.fail(stmt_line, "ARC",
+                        "duplicate arc name '" + a.name + "'");
+          }
+        }
+        expect_keyword("FROM", "ARC");
+        a.from = take_task_ref(g, "FROM");
+        expect_keyword("TO", "ARC");
+        a.to = take_task_ref(g, "TO");
+        expect_keyword("TYPE", "ARC");
+        a.type = take_uint("TYPE");
+        g.arcs.push_back(std::move(a));
+      } else if (stmt == "HARD_DEADLINE" || stmt == "SOFT_DEADLINE") {
+        take_word(stmt);  // Deadline name.
+        expect_keyword("ON", stmt);
+        take_task_ref(g, "ON");
+        expect_keyword("AT", stmt);
+        const double at = take_number("AT");
+        if (at < 0) {
+          lexer_.fail(stmt_line, stmt, "deadline must be non-negative");
+        }
+      } else {
+        lexer_.fail(stmt_line, stmt,
+                    "unknown statement (this reader understands PERIOD, "
+                    "TASK, ARC, HARD_DEADLINE and SOFT_DEADLINE)");
+      }
+    }
+    advance();  // '}'
+    graphs_.push_back(std::move(g));
+  }
+
+  void expect_keyword(const char* keyword, const std::string& field) {
+    const std::size_t line = cur_.line;
+    const std::string word = take_word(field);
+    if (word != keyword) {
+      lexer_.fail(line, field,
+                  std::string("expected '") + keyword + "', got '" + word +
+                      "'");
+    }
+  }
+
+  static std::size_t find_task(const GraphRec& g, const std::string& name) {
+    for (std::size_t i = 0; i < g.tasks.size(); ++i) {
+      if (g.tasks[i].name == name) return i;
+    }
+    return g.tasks.size();
+  }
+
+  std::size_t take_task_ref(const GraphRec& g, const std::string& field) {
+    const std::size_t line = cur_.line;
+    const std::string name = take_word(field);
+    const std::size_t i = find_task(g, name);
+    if (i == g.tasks.size()) {
+      lexer_.fail(line, field, "unknown task '" + name + "'");
+    }
+    return i;
+  }
+
+  void parse_quant_table(std::map<std::uint64_t, double>& table,
+                         const char* block) {
+    while (cur_.kind != Token::kRBrace) {
+      if (cur_.kind == Token::kEnd) {
+        lexer_.fail(cur_.line, block, "unterminated block (missing '}')");
+      }
+      const std::size_t line = cur_.line;
+      const std::uint64_t type = take_uint(block);
+      const double value = take_number(block);
+      if (!table.emplace(type, value).second) {
+        lexer_.fail(line, block,
+                    "duplicate entry for type " + std::to_string(type));
+      }
+    }
+    advance();  // '}'
+  }
+
+  /// Round a quant-table value to whole units; rejects non-positive values
+  /// and values that would round to zero — a volume is never clamped.
+  std::uint64_t round_positive(double v, std::size_t line,
+                               const std::string& field,
+                               const char* what) const {
+    if (v <= 0.0) {
+      lexer_.fail(line, field,
+                  std::string(what) + " must be positive, got " +
+                      std::to_string(v));
+    }
+    const double rounded = std::nearbyint(v);
+    if (rounded < 1.0) {
+      lexer_.fail(line, field,
+                  std::string(what) + " " + std::to_string(v) +
+                      " rounds to zero");
+    }
+    if (rounded > 9.2e18) {
+      lexer_.fail(line, field,
+                  std::string(what) + " " + std::to_string(v) +
+                      " is out of range");
+    }
+    return static_cast<std::uint64_t>(rounded);
+  }
+
+  std::vector<WorkloadApp> build() const {
+    if (graphs_.empty()) {
+      lexer_.fail(1, "", "no @TASK_GRAPH block in the input");
+    }
+    std::vector<WorkloadApp> apps;
+    for (const GraphRec& g : graphs_) {
+      WorkloadApp app;
+      app.name = "tg" + std::to_string(g.id);
+      if (g.tasks.empty()) {
+        lexer_.fail(g.line, "TASK_GRAPH",
+                    "task graph " + std::to_string(g.id) + " has no tasks");
+      }
+      for (const TaskRec& t : g.tasks) app.cdcg.add_core(t.name);
+
+      // Per-task computation time: the COMP_QUANT table when present,
+      // otherwise the PERIOD spread uniformly over the tasks.
+      std::vector<std::uint64_t> comp(g.tasks.size(), 0);
+      for (std::size_t i = 0; i < g.tasks.size(); ++i) {
+        const TaskRec& t = g.tasks[i];
+        if (has_comp_quant_) {
+          const auto it = comp_quant_.find(t.type);
+          if (it == comp_quant_.end()) {
+            lexer_.fail(t.line, "TYPE",
+                        "task type " + std::to_string(t.type) +
+                            " has no @COMP_QUANT entry");
+          }
+          if (it->second < 0 || it->second > 9.2e18) {
+            lexer_.fail(t.line, "TYPE",
+                        "@COMP_QUANT entry for type " +
+                            std::to_string(t.type) + " is out of range");
+          }
+          comp[i] = static_cast<std::uint64_t>(std::nearbyint(it->second));
+        } else if (g.period && *g.period > 0) {
+          comp[i] = static_cast<std::uint64_t>(
+              std::nearbyint(*g.period / static_cast<double>(g.tasks.size())));
+        }
+      }
+
+      for (const ArcRec& a : g.arcs) {
+        const auto it = commun_quant_.find(a.type);
+        if (it == commun_quant_.end()) {
+          lexer_.fail(a.line, "TYPE",
+                      "arc type " + std::to_string(a.type) +
+                          " has no @COMMUN_QUANT entry");
+        }
+        const std::uint64_t bits =
+            round_positive(it->second, a.line, "TYPE", "arc volume");
+        if (a.from == a.to) {
+          lexer_.fail(a.line, "TO",
+                      "arc '" + a.name + "' sends task '" +
+                          g.tasks[a.from].name + "' to itself");
+        }
+        try {
+          app.cdcg.add_packet(static_cast<graph::CoreId>(a.from),
+                              static_cast<graph::CoreId>(a.to), comp[a.from],
+                              bits);
+        } catch (const std::exception& e) {
+          lexer_.fail(a.line, "ARC", e.what());
+        }
+      }
+
+      // Dependences: the packet of arc u -> v waits for every packet of an
+      // arc entering u (receive-compute-send).
+      for (std::size_t p = 0; p < g.arcs.size(); ++p) {
+        for (std::size_t q = 0; q < g.arcs.size(); ++q) {
+          if (g.arcs[q].to != g.arcs[p].from) continue;
+          try {
+            app.cdcg.add_dependence(static_cast<graph::PacketId>(q),
+                                    static_cast<graph::PacketId>(p));
+          } catch (const std::exception& e) {
+            lexer_.fail(g.arcs[p].line, "ARC", e.what());
+          }
+        }
+      }
+
+      const auto [w, h] = fit_board(app.cdcg.num_cores());
+      app.noc_width = w;
+      app.noc_height = h;
+      validate_app(app, lexer_.source(), g.line);
+      apps.push_back(std::move(app));
+    }
+    return apps;
+  }
+
+  TgffLexer lexer_;
+  Token cur_;
+  std::vector<GraphRec> graphs_;
+  std::map<std::uint64_t, double> commun_quant_;
+  std::map<std::uint64_t, double> comp_quant_;
+  bool has_comp_quant_ = false;
+};
+
+}  // namespace
+
+std::vector<WorkloadApp> workloads_from_tgff(const std::string& text,
+                                             const std::string& source) {
+  return TgffParser(text, source).parse();
+}
+
+}  // namespace nocmap::workload

@@ -1,0 +1,45 @@
+#pragma once
+/// \file tgff.hpp
+/// TGFF task-graph parser: `.tgff` files in, CDCG workloads out.
+///
+/// TGFF (Task Graphs For Free, Dick/Rhodes/Wolf) is the de-facto exchange
+/// format for synthetic embedded task graphs; the paper's own random
+/// benchmarks came from "a proprietary system, similar to TGFF". This
+/// parser ingests the task-graph subset of the format and maps it onto the
+/// CDCG model (docs/workloads.md):
+///
+///  * every `@TASK_GRAPH n { ... }` block becomes one workload named `tgN`;
+///  * every `TASK` becomes a core (task names become core names);
+///  * every `ARC u -> v` becomes a packet from u's core to v's core whose
+///    bit volume is the `@COMMUN_QUANT` table entry of the arc's TYPE,
+///    rounded to the nearest whole bit (an entry that would round to zero
+///    bits is an error, never a clamp);
+///  * the packet for an arc u -> v depends on every packet of an arc
+///    entering u — the CDCG's receive-compute-send semantics;
+///  * the packet's source computation time comes from the `@COMP_QUANT`
+///    table entry of u's TYPE when that table is present, otherwise from
+///    the graph's PERIOD spread uniformly over its tasks
+///    (round(period / num_tasks)); with neither, computation time is 0;
+///  * `HARD_DEADLINE` / `SOFT_DEADLINE` statements are validated (the task
+///    must exist, the value must be a non-negative number) but do not alter
+///    the graph;
+///  * the target board is the smallest near-square mesh fitting the cores.
+///
+/// The parser is a strict validator in the same sense as interchange.hpp:
+/// unknown statements, dangling task references, self-arcs, duplicate
+/// names, missing quant entries, non-finite or negative volumes and cyclic
+/// task graphs all raise ParseError with the input line.
+
+#include <string>
+#include <vector>
+
+#include "nocmap/workload/workload_source.hpp"
+
+namespace nocmap::workload {
+
+/// Parse TGFF text. `source` names the input in diagnostics. Throws
+/// ParseError on malformed or semantically invalid input.
+std::vector<WorkloadApp> workloads_from_tgff(const std::string& text,
+                                             const std::string& source);
+
+}  // namespace nocmap::workload

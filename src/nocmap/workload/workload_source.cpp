@@ -1,0 +1,128 @@
+#include "nocmap/workload/workload_source.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "nocmap/workload/interchange.hpp"
+#include "nocmap/workload/suite.hpp"
+#include "nocmap/workload/synthetic.hpp"
+
+namespace nocmap::workload {
+
+std::vector<WorkloadApp> WorkloadSource::all() const {
+  std::vector<WorkloadApp> apps;
+  const std::size_t n = size();
+  apps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) apps.push_back(app(i));
+  return apps;
+}
+
+std::size_t WorkloadSource::find(const std::string& name) const {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (app(i).name == name) return i;
+  }
+  return n;
+}
+
+SuiteSource::SuiteSource() {
+  for (SuiteEntry& e : table1_suite()) {
+    WorkloadApp app;
+    app.name = std::move(e.name);
+    app.noc_width = e.noc_width;
+    app.noc_height = e.noc_height;
+    app.cdcg = std::move(e.cdcg);
+    apps_.push_back(std::move(app));
+  }
+}
+
+WorkloadApp SuiteSource::app(std::size_t index) const {
+  if (index >= apps_.size()) {
+    throw std::out_of_range("SuiteSource::app: index " +
+                            std::to_string(index) + " >= size " +
+                            std::to_string(apps_.size()));
+  }
+  return apps_[index];
+}
+
+WorkloadApp MemorySource::app(std::size_t index) const {
+  if (index >= apps_.size()) {
+    throw std::out_of_range("MemorySource::app: index " +
+                            std::to_string(index) + " >= size " +
+                            std::to_string(apps_.size()));
+  }
+  return apps_[index];
+}
+
+std::pair<std::uint32_t, std::uint32_t> fit_board(std::size_t cores) {
+  const std::size_t tiles = std::max<std::size_t>(cores, 2);
+  std::uint32_t w = static_cast<std::uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(tiles))));
+  if (w == 0) w = 1;
+  std::uint32_t h = static_cast<std::uint32_t>((tiles + w - 1) / w);
+  // Shrink the last row if the rectangle still fits, e.g. 5 cores -> 3x2.
+  while (w * (h - 1) >= tiles && h > 1) --h;
+  if (w * h < 2) h = 2;
+  return {w, h};
+}
+
+void validate_app(const WorkloadApp& app, const std::string& source,
+                  std::size_t line) {
+  if (app.name.empty()) {
+    throw ParseError(source, line, "name", "workload name is empty");
+  }
+  if (app.noc_width == 0 || app.noc_height == 0) {
+    throw ParseError(source, line, "noc",
+                     "workload '" + app.name + "' has a zero board dimension");
+  }
+  const std::uint64_t tiles =
+      static_cast<std::uint64_t>(app.noc_width) * app.noc_height;
+  if (tiles < app.cdcg.num_cores()) {
+    throw ParseError(source, line, "noc",
+                     "workload '" + app.name + "': " +
+                         std::to_string(app.cdcg.num_cores()) +
+                         " cores do not fit a " + app.noc_size_label() +
+                         " board");
+  }
+  try {
+    app.cdcg.validate(/*require_connected=*/true);
+  } catch (const std::exception& e) {
+    throw ParseError(source, line, "",
+                     "workload '" + app.name + "': " + e.what());
+  }
+}
+
+std::unique_ptr<WorkloadSource> make_workload_source(const std::string& spec) {
+  if (spec == "suite") return std::make_unique<SuiteSource>();
+  const std::size_t colon = spec.find(':');
+  const std::string scheme =
+      colon == std::string::npos ? spec : spec.substr(0, colon);
+  if (colon != std::string::npos && scheme == "file") {
+    const std::string path = spec.substr(colon + 1);
+    if (path.empty()) {
+      throw std::invalid_argument("file: spec needs a path, e.g. "
+                                  "--workload file:apps.json");
+    }
+    std::vector<WorkloadApp> apps = read_workload_file(path);
+    std::string provenance = "parsed from " + path + " (" +
+                             std::to_string(apps.size()) + " workload" +
+                             (apps.size() == 1 ? "" : "s") + ")";
+    return std::make_unique<MemorySource>("file:" + path,
+                                          std::move(provenance),
+                                          std::move(apps));
+  }
+  if (colon != std::string::npos && scheme == "gen") {
+    return std::make_unique<SyntheticPopulation>(
+        SyntheticSpec::parse(spec.substr(colon + 1)));
+  }
+  throw std::invalid_argument(
+      "unknown workload source '" + spec +
+      "'; accepted: suite, file:PATH (.json/.csv/.tgff), gen:SPEC");
+}
+
+bool is_source_spec(const std::string& spec) {
+  return spec == "suite" || spec.find(':') != std::string::npos;
+}
+
+}  // namespace nocmap::workload

@@ -73,8 +73,12 @@ timing-aware CDCM mapping over the volume-only CWM mapping.
 Options:
   --workload NAME   Workload to map (default: paper-example). NAME is
                     "paper-example", any `nocmap workloads` suite name
-                    (e.g. romberg-v1, random-big-2), or "random" to generate
-                    a fresh random CDCG (see --cores/--packets/--bits).
+                    (e.g. romberg-v1, random-big-2), "random" to generate
+                    a fresh random CDCG (see --cores/--packets/--bits), or
+                    a workload source: file:PATH (.json/.csv/.tgff) or
+                    gen:SPEC, with a '#NAME' or '#INDEX' fragment to pick
+                    one application from a multi-workload source (see
+                    `nocmap workloads --help` and docs/workloads.md).
   --mesh WxH        Mesh size, e.g. 4x4 (default: the workload's own size;
                     2x2 for paper-example).
   --tech NAME       Technology preset: example | 0.35u | 0.07u
@@ -184,6 +188,9 @@ Options:
                     BENCH_scale.json. Honours --sizes, --seed, --threads,
                     --bnb-nodes and --time-budget; every reported column
                     except wall_ms is identical for any --threads.
+  --workload SRC    --scale: bench a workload source instead of the default
+                    boards — suite, file:PATH or gen:SPEC (see
+                    `nocmap workloads --help`). Excludes --sizes.
   --time-budget MS  --scale: per-member wall budget (see `explore --help`).
   --sizes LIST      --perf/--scale grid sizes, comma-separated WxH
                     (--perf default: 3x3,...,8x8,10x10,12x10;
@@ -195,13 +202,40 @@ Options:
 )";
 
 constexpr const char* kWorkloadsUsage =
-    R"(Usage: nocmap workloads [options]
+    R"(Usage: nocmap workloads [list|import|export|gen|validate] [options]
 
-List the built-in Table-1 suite: application name, target NoC size, and the
-core / packet / bit-volume statistics the paper reports.
+Workload ingestion: list, convert, generate and validate application sets
+(docs/workloads.md). A workload source SRC is one of:
+
+  suite        the compiled-in Table-1 suite
+  file:PATH    a workload file — .json / .csv (the nocmap interchange
+               format) or .tgff (TGFF task graphs)
+  gen:SPEC     a synthetic population, e.g. gen:apps=200,cores=8,seed=7
+               (keys: apps, cores, packets, bits, seed, connectivity,
+               burstiness, hotspot, comp, jitter)
+
+These sources are also what `--workload` accepts in explore / sweep /
+bench --scale; explore needs a '#NAME' or '#INDEX' fragment to pick one
+application from a multi-workload source.
+
+Verbs:
+  list [SRC]       List applications, statistics and the source provenance
+                   (default verb; default source: the built-in suite).
+  import PATH [--out FILE]
+                   Read PATH (any supported format) and re-emit it
+                   canonically: JSON on stdout, or --out file.json/.csv.
+  export SRC --out FILE
+                   Materialize any source to a canonical .json/.csv file.
+  gen SPEC [--out FILE]
+                   Shorthand for `export gen:SPEC`; JSON on stdout
+                   without --out.
+  validate SRC     Parse and validate, print one line per workload; exits
+                   1 with a line/field diagnostic on the first error.
 
 Options:
-  --csv             Emit CSV instead of an aligned text table.
+  --workload SRC    Alternative to the positional SRC.
+  --out FILE        Output file for import/export/gen (.json or .csv).
+  --csv             list: emit CSV instead of an aligned text table.
   -h, --help        Show this message.
 )";
 
@@ -215,8 +249,12 @@ noise, and the way to compare topologies on equal footing.
 Options:
   --seeds N         Number of seeds to run (default: 5; 1 in suite mode).
   --seed N          First seed (default: 1).
-  --workload NAME   As in explore, plus "suite": run the full 18-application
-                    Table-1 suite (each application on its own NoC size).
+  --workload NAME   As in explore, plus multi-application sources: "suite"
+                    runs the full 18-application Table-1 suite, file:PATH /
+                    gen:SPEC run every application the source holds (each
+                    on its own NoC size).
+  --noc WxH         With a multi-application source: only its applications
+                    of one NoC size (e.g. 3x2).
   --topology LIST   Comma-separated topologies to sweep, e.g.
                     mesh,torus,xmesh (default: mesh).
   --routing LIST    Comma-separated routing algorithms, e.g. xy,odd-even
@@ -364,6 +402,7 @@ std::vector<noc::RoutingAlgorithm> parse_routings(const std::string& value) {
 /// Options shared by explore / bench / sweep.
 struct RunOptions {
   std::string workload = "paper-example";
+  bool workload_set = false;  ///< --workload was given explicitly.
   std::optional<std::pair<std::uint32_t, std::uint32_t>> mesh;
   std::optional<energy::Technology> tech;
   core::SearchMethod method = core::SearchMethod::kAuto;
@@ -428,6 +467,7 @@ RunOptions parse_run_options(int argc, char** argv, const char* usage,
     }
     if (a == "--workload") {
       opts.workload = value(i, a);
+      opts.workload_set = true;
     } else if (a == "--mesh") {
       opts.mesh = parse_mesh(a, value(i, a));
     } else if (a == "--tech") {
@@ -547,6 +587,24 @@ noc::TopologyOptions topology_options(const RunOptions& opts) {
   return to;
 }
 
+/// Split "file:apps.json#romberg-v1" into (source spec, fragment).
+std::pair<std::string, std::string> split_fragment(const std::string& spec) {
+  const std::size_t hash = spec.rfind('#');
+  if (hash == std::string::npos) return {spec, ""};
+  return {spec.substr(0, hash), spec.substr(hash + 1)};
+}
+
+/// make_workload_source() with spec mistakes reported as usage errors
+/// (exit 2); malformed file *contents* stay ParseError (exit 1).
+std::unique_ptr<workload::WorkloadSource> open_source(
+    const std::string& spec) {
+  try {
+    return workload::make_workload_source(spec);
+  } catch (const std::invalid_argument& e) {
+    throw UsageError(e.what());
+  }
+}
+
 /// A workload bound to its target topology, ready for the Explorer.
 struct BoundWorkload {
   std::string name;
@@ -559,9 +617,48 @@ BoundWorkload resolve_workload(const RunOptions& opts) {
   std::uint32_t width = 0;
   std::uint32_t height = 0;
   graph::Cdcg cdcg;
+  std::string display_name = opts.workload;
   energy::Technology default_tech = energy::technology_0_07u();
+  const auto [source_spec, fragment] = split_fragment(opts.workload);
 
-  if (opts.workload == "paper-example") {
+  if (workload::is_source_spec(source_spec)) {
+    const std::unique_ptr<workload::WorkloadSource> source =
+        open_source(source_spec);
+    std::size_t index = 0;
+    if (!fragment.empty()) {
+      const bool numeric =
+          std::all_of(fragment.begin(), fragment.end(), [](unsigned char c) {
+            return c >= '0' && c <= '9';
+          });
+      if (numeric) {
+        index = static_cast<std::size_t>(parse_u64("--workload", fragment));
+        if (index >= source->size()) {
+          throw UsageError("--workload fragment #" + fragment +
+                           " is out of range: " + source->name() + " holds " +
+                           std::to_string(source->size()) + " workloads");
+        }
+      } else {
+        index = source->find(fragment);
+        if (index == source->size()) {
+          throw UsageError("no workload named '" + fragment + "' in " +
+                           source->name());
+        }
+      }
+    } else if (source->size() != 1) {
+      throw UsageError("source " + source->name() + " holds " +
+                       std::to_string(source->size()) +
+                       " workloads; select one with a '#' fragment, e.g. "
+                       "--workload '" +
+                       source_spec + "#NAME' (or #INDEX)");
+    }
+    workload::WorkloadApp app = source->app(index);
+    // stderr: stdout stays parseable under --csv.
+    std::cerr << "workload source: " << source->provenance() << "\n";
+    display_name = app.name;
+    width = app.noc_width;
+    height = app.noc_height;
+    cdcg = std::move(app.cdcg);
+  } else if (opts.workload == "paper-example") {
     cdcg = workload::paper_example_cdcg();
     width = 2;
     height = 2;
@@ -610,7 +707,7 @@ BoundWorkload resolve_workload(const RunOptions& opts) {
                      " cores but the mesh only has " +
                      std::to_string(width * height) + " tiles");
   }
-  return BoundWorkload{opts.workload, std::move(cdcg),
+  return BoundWorkload{std::move(display_name), std::move(cdcg),
                        noc::make_topology(opts.topologies.front(), width,
                                           height, topology_options(opts)),
                        opts.tech ? *opts.tech : default_tech};
@@ -860,6 +957,34 @@ int cmd_bench_scale(const RunOptions& opts) {
   }
   core::ScaleBenchOptions options;
   if (!opts.perf_sizes.empty()) options.sizes = opts.perf_sizes;
+  if (opts.workload_set) {
+    if (!opts.perf_sizes.empty()) {
+      throw UsageError(
+          "bench --scale takes either --workload or --sizes, not both");
+    }
+    const auto [spec, fragment] = split_fragment(opts.workload);
+    if (!workload::is_source_spec(spec)) {
+      throw UsageError("bench --scale --workload expects a source spec "
+                       "(suite, file:PATH or gen:SPEC), got '" +
+                       opts.workload + "'");
+    }
+    if (!fragment.empty()) {
+      throw UsageError("bench --scale benches whole sources; drop the '#" +
+                       fragment + "' fragment");
+    }
+    const std::unique_ptr<workload::WorkloadSource> source =
+        open_source(spec);
+    std::cerr << "workload source: " << source->provenance() << "\n";
+    for (std::size_t i = 0; i < source->size(); ++i) {
+      workload::WorkloadApp app = source->app(i);
+      core::ScaleBenchWorkload w;
+      w.name = std::move(app.name);
+      w.width = app.noc_width;
+      w.height = app.noc_height;
+      w.cdcg = std::move(app.cdcg);
+      options.workloads.push_back(std::move(w));
+    }
+  }
   options.seed = opts.seed;
   options.threads = static_cast<std::uint32_t>(opts.threads);
   options.time_budget_ms = static_cast<double>(opts.time_budget_ms);
@@ -897,6 +1022,10 @@ int cmd_bench_scale(const RunOptions& opts) {
 int cmd_bench(const RunOptions& opts) {
   if (opts.perf && opts.scale) {
     throw UsageError("--perf and --scale are mutually exclusive");
+  }
+  if (opts.workload_set && !opts.scale) {
+    throw UsageError("`nocmap bench` accepts --workload only with --scale "
+                     "(the plain bench always runs the Table-1 suite)");
   }
   if (opts.perf) return cmd_bench_perf(opts);
   if (opts.scale) return cmd_bench_scale(opts);
@@ -951,31 +1080,178 @@ int cmd_bench(const RunOptions& opts) {
   return 0;
 }
 
-int cmd_workloads(const RunOptions& opts) {
-  Fmt fmt(opts.csv);
-  util::TextTable table(
-      {"Name", "NoC", "Cores", "Packets", "Bits", "ES feasible"});
-  table.set_title("nocmap workloads — the Table-1 suite");
-  {
-    graph::Cdcg example = workload::paper_example_cdcg();
-    table.add_row({"paper-example", "2 x 2",
-                   std::to_string(example.num_cores()),
-                   std::to_string(example.num_packets()),
-                   fmt.count(example.total_bits()), "yes"});
-    table.add_separator();
+/// Prefix bare paths with "file:" so `workloads import apps.tgff` works
+/// without spelling the scheme.
+std::string as_source_spec(const std::string& arg) {
+  if (workload::is_source_spec(arg)) return arg;
+  return "file:" + arg;
+}
+
+int cmd_workloads_list(const std::string& spec, bool csv) {
+  Fmt fmt(csv);
+  if (spec.empty()) {
+    // The historical listing: paper-example plus the Table-1 suite.
+    util::TextTable table(
+        {"Name", "NoC", "Cores", "Packets", "Bits", "ES feasible"});
+    table.set_title("nocmap workloads — the Table-1 suite");
+    {
+      graph::Cdcg example = workload::paper_example_cdcg();
+      table.add_row({"paper-example", "2 x 2",
+                     std::to_string(example.num_cores()),
+                     std::to_string(example.num_packets()),
+                     fmt.count(example.total_bits()), "yes"});
+      table.add_separator();
+    }
+    for (const workload::SuiteEntry& entry : workload::table1_suite()) {
+      table.add_row({entry.name, entry.noc_size_label(),
+                     std::to_string(entry.paper_cores),
+                     std::to_string(entry.paper_packets),
+                     fmt.count(entry.paper_bits),
+                     workload::small_enough_for_exhaustive(entry.noc_width,
+                                                           entry.noc_height)
+                         ? "yes"
+                         : "no"});
+    }
+    print_table(table, csv);
+    std::cout << "source: "
+              << workload::SuiteSource().provenance() << "\n";
+    return 0;
   }
-  for (const workload::SuiteEntry& entry : workload::table1_suite()) {
-    table.add_row({entry.name, entry.noc_size_label(),
-                   std::to_string(entry.paper_cores),
-                   std::to_string(entry.paper_packets),
-                   fmt.count(entry.paper_bits),
-                   workload::small_enough_for_exhaustive(entry.noc_width,
-                                                         entry.noc_height)
+  const std::unique_ptr<workload::WorkloadSource> source = open_source(spec);
+  util::TextTable table(
+      {"Name", "NoC", "Cores", "Packets", "Bits", "Deps", "ES feasible"});
+  table.set_title("nocmap workloads — " + source->name());
+  for (std::size_t i = 0; i < source->size(); ++i) {
+    const workload::WorkloadApp app = source->app(i);
+    table.add_row({app.name, app.noc_size_label(),
+                   std::to_string(app.cdcg.num_cores()),
+                   std::to_string(app.cdcg.num_packets()),
+                   fmt.count(app.cdcg.total_bits()),
+                   std::to_string(app.cdcg.num_dependences()),
+                   workload::small_enough_for_exhaustive(app.noc_width,
+                                                         app.noc_height)
                        ? "yes"
                        : "no"});
   }
-  print_table(table, opts.csv);
+  print_table(table, csv);
+  std::cout << "source: " << source->provenance() << "\n";
   return 0;
+}
+
+int cmd_workloads_export(const std::string& spec, const std::string& out) {
+  const std::unique_ptr<workload::WorkloadSource> source = open_source(spec);
+  const std::vector<workload::WorkloadApp> apps = source->all();
+  if (out.empty()) {
+    std::cout << workload::workloads_to_json(apps);
+  } else {
+    try {
+      workload::write_workload_file(out, apps);
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(e.what());
+    }
+    std::cerr << "wrote " << out << " (" << apps.size() << " workload"
+              << (apps.size() == 1 ? "" : "s") << " from " << source->name()
+              << ")\n";
+  }
+  return 0;
+}
+
+int cmd_workloads_validate(const std::string& spec) {
+  const std::unique_ptr<workload::WorkloadSource> source = open_source(spec);
+  std::cout << "source: " << source->name() << "\n"
+            << "provenance: " << source->provenance() << "\n";
+  const std::size_t n = source->size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const workload::WorkloadApp app = source->app(i);
+    // Every backend validates on ingest; re-check here so `validate` stays
+    // an end-to-end proof even if a backend regresses.
+    workload::validate_app(app, source->name(), i + 1);
+    std::cout << "workload " << app.name << ": OK (" << app.cdcg.num_cores()
+              << " cores, " << app.cdcg.num_packets() << " packets, "
+              << app.cdcg.total_bits() << " bits, "
+              << app.cdcg.num_dependences() << " deps, board "
+              << app.noc_size_label() << ")\n";
+  }
+  std::cout << n << " workload" << (n == 1 ? "" : "s") << " OK\n";
+  return 0;
+}
+
+int cmd_workloads(int argc, char** argv) {
+  std::string verb = "list";
+  std::vector<std::string> positional;
+  std::string spec;
+  std::string out;
+  bool csv = false;
+  int i = 2;
+  if (i < argc && argv[i][0] != '-') verb = argv[i++];
+  auto value = [&](const std::string& flag) -> std::string {
+    if (i + 1 >= argc) throw UsageError(flag + " expects a value");
+    return argv[++i];
+  };
+  for (; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-h" || a == "--help") {
+      std::cout << kWorkloadsUsage;
+      return 0;
+    } else if (a == "--csv") {
+      csv = true;
+    } else if (a == "--workload") {
+      spec = value(a);
+    } else if (a == "--out") {
+      out = value(a);
+    } else if (!a.empty() && a[0] == '-') {
+      throw UsageError("option '" + a +
+                       "' is not valid for `nocmap workloads`");
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (positional.size() > 1) {
+    throw UsageError("`nocmap workloads " + verb +
+                     "` takes at most one positional argument");
+  }
+  if (!positional.empty()) {
+    if (!spec.empty()) {
+      throw UsageError("give the source either positionally or with "
+                       "--workload, not both");
+    }
+    spec = positional.front();
+  }
+
+  if (verb == "list") {
+    return cmd_workloads_list(spec.empty() ? "" : as_source_spec(spec), csv);
+  }
+  if (verb == "import") {
+    if (spec.empty()) {
+      throw UsageError("`nocmap workloads import` needs a file, e.g. "
+                       "`nocmap workloads import apps.tgff --out apps.json`");
+    }
+    return cmd_workloads_export(as_source_spec(spec), out);
+  }
+  if (verb == "export") {
+    if (spec.empty()) {
+      throw UsageError("`nocmap workloads export` needs a source, e.g. "
+                       "`nocmap workloads export suite --out suite.json`");
+    }
+    return cmd_workloads_export(as_source_spec(spec), out);
+  }
+  if (verb == "gen") {
+    if (spec.empty()) {
+      throw UsageError("`nocmap workloads gen` needs a population spec, "
+                       "e.g. `nocmap workloads gen apps=200,seed=7`");
+    }
+    const std::string gen_spec =
+        spec.rfind("gen:", 0) == 0 ? spec : "gen:" + spec;
+    return cmd_workloads_export(gen_spec, out);
+  }
+  if (verb == "validate") {
+    if (spec.empty()) {
+      throw UsageError("`nocmap workloads validate` needs a source or file");
+    }
+    return cmd_workloads_validate(as_source_spec(spec));
+  }
+  throw UsageError("unknown `nocmap workloads` verb '" + verb +
+                   "' (expected list, import, export, gen or validate)");
 }
 
 /// The historical single-(topology, routing) seed sweep; kept as its own
@@ -1023,42 +1299,69 @@ int cmd_sweep_seeds(const RunOptions& opts) {
 }
 
 int cmd_sweep(const RunOptions& opts) {
-  const bool suite_mode = opts.workload == "suite";
-  if (!suite_mode && opts.topologies.size() == 1 &&
+  // Any multi-application source ("suite", "file:apps.json", "gen:...")
+  // sweeps every application it holds; a '#' fragment pins one application
+  // and keeps the historical single-workload semantics.
+  const auto [sweep_spec, sweep_fragment] = split_fragment(opts.workload);
+  const bool multi_mode =
+      workload::is_source_spec(sweep_spec) && sweep_fragment.empty();
+  if (opts.noc_filter && !multi_mode) {
+    throw UsageError(
+        "sweep --noc filters a multi-application --workload source "
+        "(suite, file:PATH or gen:SPEC)");
+  }
+  if (!multi_mode && opts.topologies.size() == 1 &&
       opts.routings.size() == 1) {
     return cmd_sweep_seeds(opts);
   }
 
   // --- Cross-topology sweep: (topology x routing x application x seed) ------
-  // One workload entry (possibly the whole Table-1 suite), each application
-  // on its own grid size rebuilt per topology kind.
+  // One workload entry (possibly a whole multi-application source), each
+  // application on its own grid size rebuilt per topology kind.
   struct SweepApp {
     std::string name;
     const graph::Cdcg* cdcg = nullptr;
     std::uint32_t width = 0;
     std::uint32_t height = 0;
   };
-  std::vector<workload::SuiteEntry> suite;
+  std::vector<workload::WorkloadApp> src_apps;
   std::optional<BoundWorkload> single;
   std::vector<SweepApp> apps;
+  std::string title = opts.workload;
   energy::Technology tech =
       opts.tech ? *opts.tech : energy::technology_0_07u();
-  if (suite_mode) {
-    suite = workload::table1_suite();
-    for (const workload::SuiteEntry& e : suite) {
-      apps.push_back(SweepApp{e.name, &e.cdcg, e.noc_width, e.noc_height});
+  if (multi_mode) {
+    const std::unique_ptr<workload::WorkloadSource> source =
+        open_source(sweep_spec);
+    title = source->name();
+    std::cerr << "workload source: " << source->provenance() << "\n";
+    for (std::size_t i = 0; i < source->size(); ++i) {
+      workload::WorkloadApp app = source->app(i);
+      if (opts.noc_filter && app.noc_size_label() != *opts.noc_filter) {
+        continue;
+      }
+      src_apps.push_back(std::move(app));
+    }
+    if (src_apps.empty()) {
+      throw UsageError("source " + source->name() +
+                       " has no workloads on NoC size " +
+                       (opts.noc_filter ? *opts.noc_filter : "?"));
+    }
+    for (const workload::WorkloadApp& a : src_apps) {
+      apps.push_back(SweepApp{a.name, &a.cdcg, a.noc_width, a.noc_height});
     }
   } else {
     single = resolve_workload(opts);
     tech = single->tech;
+    title = single->name;
     apps.push_back(SweepApp{single->name, &single->cdcg,
                             single->topo->width(), single->topo->height()});
   }
 
-  // The full suite already multiplies out to many rows; default to a single
+  // A full source already multiplies out to many rows; default to a single
   // seed there unless the user asked for more.
   const std::uint64_t num_seeds =
-      (suite_mode && !opts.seeds_set) ? 1 : opts.num_seeds;
+      (multi_mode && !opts.seeds_set) ? 1 : opts.num_seeds;
 
   struct SweepRow {
     std::string topology;
@@ -1100,10 +1403,7 @@ int cmd_sweep(const RunOptions& opts) {
                          "Method", fmt.head("CWM Texec", "ns"),
                          fmt.head("CDCM Texec", "ns"), fmt.head("ETR", "pct"),
                          fmt.head("ECS", "pct")});
-  table.set_title("nocmap sweep — " +
-                  (suite_mode ? std::string("Table-1 suite")
-                              : apps.front().name) +
-                  ", " + tech.name);
+  table.set_title("nocmap sweep — " + title + ", " + tech.name);
   std::string current_combo;
   for (const SweepRow& row : rows) {
     const std::string combo =
@@ -1178,19 +1478,20 @@ int main(int argc, char** argv) {
     if (sub == "bench") {
       return cmd_bench(parse_run_options(
           argc, argv, kBenchUsage,
-          {"--noc", "--tech", "--method", "--search", "--bnb-nodes",
-           "--routing", "--topology",
+          {"--noc", "--workload", "--tech", "--method", "--search",
+           "--bnb-nodes", "--routing", "--topology",
            "--express-interval", "--seed", "--threads", "--chains", "--perf",
            "--scale", "--time-budget",
            "--sizes", "--out", "--cost", "--hybrid-cadence", "--backend",
            "--buffer-depth", "--flow-control", "--switching"}));
     }
     if (sub == "workloads") {
-      return cmd_workloads(parse_run_options(argc, argv, kWorkloadsUsage, {}));
+      return cmd_workloads(argc, argv);
     }
     if (sub == "sweep") {
       std::vector<std::string> sweep_flags = explore_flags;
       sweep_flags.push_back("--seeds");
+      sweep_flags.push_back("--noc");
       return cmd_sweep(
           parse_run_options(argc, argv, kSweepUsage, sweep_flags));
     }

@@ -1,0 +1,21 @@
+# Runs BIN with ARGS (a space-separated string) in WORKDIR, captures stdout,
+# and requires it to be byte-identical to the EXPECTED file. Used to pin CLI
+# output against golden files without depending on a shell.
+#
+#   cmake -DBIN=... -DARGS="..." -DWORKDIR=... -DEXPECTED=... \
+#         -P run_and_compare.cmake
+separate_arguments(args UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND "${BIN}" ${args}
+  WORKING_DIRECTORY "${WORKDIR}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BIN} ${ARGS} exited ${rc}:\n${err}")
+endif()
+file(READ "${EXPECTED}" want)
+if(NOT out STREQUAL want)
+  message(FATAL_ERROR "stdout differs from ${EXPECTED}\n"
+                      "--- expected ---\n${want}\n--- actual ---\n${out}")
+endif()

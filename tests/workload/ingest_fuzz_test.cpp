@@ -1,0 +1,258 @@
+/// \file ingest_fuzz_test.cpp
+/// Parser robustness fuzzing (ISSUE 8, satellite 1): seeded random
+/// mutations of valid TGFF / JSON / CSV workload files. The contract under
+/// test is the strict-validator guarantee of workload_source.hpp: every
+/// mutated input either parses to a fully validated CDCG set or fails with
+/// a ParseError naming a line — never a crash, never a silent clamp. Runs
+/// under the ASan+UBSan CI leg, where any out-of-bounds read or UB in the
+/// lexers turns into a hard failure.
+
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nocmap/util/rng.hpp"
+#include "nocmap/workload/interchange.hpp"
+#include "nocmap/workload/tgff.hpp"
+#include "nocmap/workload/workload_source.hpp"
+
+namespace {
+
+using namespace nocmap;
+using workload::WorkloadApp;
+
+enum class Format { kJson, kCsv, kTgff };
+
+std::vector<WorkloadApp> parse(Format format, const std::string& text) {
+  switch (format) {
+    case Format::kJson: return workload::workloads_from_json(text, "<fuzz>");
+    case Format::kCsv: return workload::workloads_from_csv(text, "<fuzz>");
+    case Format::kTgff: return workload::workloads_from_tgff(text, "<fuzz>");
+  }
+  return {};
+}
+
+/// A small valid two-workload base document per format.
+std::string base_text(Format format) {
+  if (format == Format::kTgff) {
+    return "@TASK_GRAPH 0 {\n"
+           "  PERIOD 300\n"
+           "  TASK t0 TYPE 0\n"
+           "  TASK t1 TYPE 1\n"
+           "  TASK t2 TYPE 0\n"
+           "  ARC a0 FROM t0 TO t1 TYPE 0\n"
+           "  ARC a1 FROM t1 TO t2 TYPE 1\n"
+           "  HARD_DEADLINE d0 ON t2 AT 300\n"
+           "}\n"
+           "@TASK_GRAPH 1 {\n"
+           "  TASK u0 TYPE 0\n"
+           "  TASK u1 TYPE 1\n"
+           "  ARC b0 FROM u0 TO u1 TYPE 0\n"
+           "}\n"
+           "@COMMUN_QUANT 0 {\n"
+           "  0 512\n"
+           "  1 1024.4\n"
+           "}\n"
+           "@COMP_QUANT 0 {\n"
+           "  0 12\n"
+           "  1 30.6\n"
+           "}\n";
+  }
+  std::vector<WorkloadApp> apps;
+  for (int k = 0; k < 2; ++k) {
+    WorkloadApp app;
+    app.name = "app" + std::to_string(k);
+    app.noc_width = 2;
+    app.noc_height = 2;
+    const graph::CoreId a = app.cdcg.add_core("a");
+    const graph::CoreId b = app.cdcg.add_core("b");
+    const graph::CoreId c = app.cdcg.add_core("c");
+    const graph::PacketId p0 = app.cdcg.add_packet(a, b, 3, 256);
+    const graph::PacketId p1 = app.cdcg.add_packet(b, c, 0, 1024);
+    app.cdcg.add_packet(a, c, 7, 32);
+    app.cdcg.add_dependence(p0, p1);
+    apps.push_back(std::move(app));
+  }
+  return format == Format::kJson ? workload::workloads_to_json(apps)
+                                 : workload::workloads_to_csv(apps);
+}
+
+/// Apply one seeded mutation. Covers the ISSUE's required classes:
+/// truncation, field/line deletion, duplication (duplicate ids), type
+/// confusion, dangling references, NaN / negative / overflowing numbers.
+std::string mutate(const std::string& base, util::Rng& rng) {
+  std::string text = base;
+  if (text.empty()) {
+    text.push_back(static_cast<char>(' ' + rng.index(95)));
+    return text;
+  }
+  const std::size_t kind = rng.index(8);
+  auto random_pos = [&]() { return rng.index(text.size() + 1); };
+  switch (kind) {
+    case 0:  // Truncate at a random offset.
+      text.resize(rng.index(text.size()));
+      break;
+    case 1: {  // Delete a random line (field deletion).
+      std::vector<std::pair<std::size_t, std::size_t>> lines;
+      std::size_t start = 0;
+      for (std::size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == '\n') {
+          lines.emplace_back(start, i + 1 <= text.size() ? i + 1 - start
+                                                         : i - start);
+          start = i + 1;
+        }
+      }
+      const auto [pos, len] = lines[rng.index(lines.size())];
+      text.erase(pos, len);
+      break;
+    }
+    case 2: {  // Duplicate a random line (duplicate ids/records).
+      std::size_t start = rng.index(text.size());
+      while (start > 0 && text[start - 1] != '\n') --start;
+      std::size_t end = start;
+      while (end < text.size() && text[end] != '\n') ++end;
+      if (end < text.size()) ++end;
+      text.insert(start, text.substr(start, end - start));
+      break;
+    }
+    case 3: {  // Replace one character with a random printable one.
+      if (text.empty()) break;
+      const std::size_t pos = rng.index(text.size());
+      text[pos] = static_cast<char>(' ' + rng.index(95));
+      break;
+    }
+    case 4: {  // Inject a hostile token: NaN, negatives, overflow, syntax.
+      static const char* kTokens[] = {
+          "NaN",  "-1",  "-",    "1e999", "18446744073709551616",
+          "0.5",  "\"",  "{",    "}",     ",",
+          "]",    "[",   "null", "Infinity", "\\u0041",
+          "9999999999",  "#",    "@",     ":"};
+      const char* token = kTokens[rng.index(std::size(kTokens))];
+      text.insert(random_pos(), token);
+      break;
+    }
+    case 5: {  // Perturb a digit: dangling core/packet references,
+               // out-of-board cores, wrong counts.
+      std::vector<std::size_t> digits;
+      for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] >= '0' && text[i] <= '9') digits.push_back(i);
+      }
+      if (digits.empty()) break;
+      const std::size_t pos = digits[rng.index(digits.size())];
+      text[pos] = static_cast<char>('0' + rng.index(10));
+      break;
+    }
+    case 6: {  // Swap two random characters.
+      if (text.size() < 2) break;
+      std::swap(text[rng.index(text.size())], text[rng.index(text.size())]);
+      break;
+    }
+    default: {  // Delete a random span.
+      if (text.empty()) break;
+      const std::size_t pos = rng.index(text.size());
+      text.erase(pos, 1 + rng.index(20));
+      break;
+    }
+  }
+  return text;
+}
+
+/// One fuzz case: the mutated text must either parse into validated
+/// workloads or raise a positioned diagnostic. Anything else fails.
+void run_case(Format format, const std::string& text, std::size_t seed) {
+  try {
+    const std::vector<WorkloadApp> apps = parse(format, text);
+    // Accepted: then the result must honour the full source contract —
+    // validated CDCGs that re-serialize canonically (no silent clamping:
+    // a clamped value would break write/read byte-identity).
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      workload::validate_app(apps[i], "<fuzz>", i + 1);
+    }
+    if (format != Format::kTgff) {
+      const std::string out = format == Format::kJson
+                                  ? workload::workloads_to_json(apps)
+                                  : workload::workloads_to_csv(apps);
+      const std::vector<WorkloadApp> again =
+          format == Format::kJson
+              ? workload::workloads_from_json(out, "<fuzz2>")
+              : workload::workloads_from_csv(out, "<fuzz2>");
+      ASSERT_EQ(again.size(), apps.size()) << "seed " << seed;
+    }
+  } catch (const workload::ParseError& e) {
+    // Rejected: the diagnostic must carry a position and name the source.
+    EXPECT_GE(e.line(), 1u) << "seed " << seed;
+    EXPECT_NE(std::string(e.what()).find("<fuzz>"), std::string::npos)
+        << "seed " << seed << ": " << e.what();
+  }
+  // Any other exception type (or a crash) escapes and fails the test.
+}
+
+void fuzz_format(Format format, std::size_t cases) {
+  const std::string base = base_text(format);
+  // The unmutated base must parse cleanly.
+  ASSERT_EQ(parse(format, base).size(), 2u);
+  for (std::size_t c = 0; c < cases; ++c) {
+    util::Rng rng(0xF022 + 7919 * c + static_cast<std::size_t>(format));
+    std::string text = base;
+    // One to three stacked mutations per case.
+    const std::size_t rounds = 1 + rng.index(3);
+    for (std::size_t r = 0; r < rounds; ++r) text = mutate(text, rng);
+    SCOPED_TRACE("case " + std::to_string(c));
+    run_case(format, text, c);
+  }
+}
+
+// 3 x 200 = 600 seeded cases, comfortably past the 500-case floor the
+// acceptance criteria pin, and fast enough for the sanitizer leg.
+TEST(IngestFuzz, Json) { fuzz_format(Format::kJson, 200); }
+TEST(IngestFuzz, Csv) { fuzz_format(Format::kCsv, 200); }
+TEST(IngestFuzz, Tgff) { fuzz_format(Format::kTgff, 200); }
+
+/// Directed (non-random) hostile inputs: each must produce a ParseError
+/// with a sensible line, not a crash or a clamp.
+TEST(IngestFuzz, DirectedHostileInputs) {
+  struct Case {
+    Format format;
+    const char* text;
+  };
+  const Case cases[] = {
+      {Format::kJson, ""},
+      {Format::kJson, "{"},
+      {Format::kJson, "[]"},
+      {Format::kJson, "{\"format\": \"nocmap-workloads\"}"},
+      {Format::kJson, "{\"format\": \"nocmap-workloads\", \"schema\": 2, "
+                      "\"workloads\": []}"},
+      {Format::kJson, "{\"format\": \"nocmap-workloads\", \"schema\": 1, "
+                      "\"workloads\": [{\"name\": \"x\", \"noc\": "
+                      "{\"width\": 2, \"height\": 2}, \"cores\": [\"a\", "
+                      "\"b\"], \"packets\": [{\"src\": 0, \"dst\": 9, "
+                      "\"comp_time\": 0, \"bits\": 8}], \"deps\": []}]}"},
+      {Format::kJson, "{\"format\": \"nocmap-workloads\", \"schema\": 1, "
+                      "\"workloads\": [{\"name\": \"x\", \"noc\": "
+                      "{\"width\": 2, \"height\": 2}, \"cores\": [\"a\", "
+                      "\"b\"], \"packets\": [{\"src\": 0, \"dst\": 1, "
+                      "\"comp_time\": -3, \"bits\": 8}], \"deps\": []}]}"},
+      {Format::kJson, "{\"format\": \"nocmap-workloads\", \"schema\": 1, "
+                      "\"workloads\": [{\"name\": \"x\", \"noc\": "
+                      "{\"width\": 2, \"height\": 2}, \"cores\": [\"a\", "
+                      "\"b\"], \"packets\": [{\"src\": 0, \"dst\": 1, "
+                      "\"comp_time\": 0, \"bits\": 1.5}], \"deps\": []}]}"},
+      {Format::kCsv, ""},
+      {Format::kCsv, "# nocmap-workloads-csv 2\n"},
+      {Format::kCsv, "# nocmap-workloads-csv 1\ncore,0,a\n"},
+      {Format::kCsv, "# nocmap-workloads-csv 1\nworkload,w,2,2\n"
+                     "core,0,a\ncore,1,b\npacket,0,0,1,0,NaN\n"},
+      {Format::kCsv, "# nocmap-workloads-csv 1\nworkload,w,2,2\n"
+                     "core,0,a\ncore,1,b\npacket,0,0,1,0,8\ndep,0,7\n"},
+      {Format::kTgff, "@TASK_GRAPH x {"},
+      {Format::kTgff, "@TASK_GRAPH 0 { TASK a TYPE 99999999999999999999 }"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.text);
+    EXPECT_THROW(parse(c.format, c.text), workload::ParseError);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+/// \file interchange_roundtrip_test.cpp
+/// Round-trip properties of the workload interchange format
+/// (docs/workloads.md): export -> import is the identity for every suite
+/// application and for randomly generated CDCGs, in both JSON and CSV, and
+/// the canonical writers are byte-stable (write(read(write(x))) == write(x)).
+/// The golden exemplars under tests/golden/workloads/ interlock the three
+/// formats: exemplar.json and exemplar.csv are the canonical renderings of
+/// the applications described by exemplar.tgff.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nocmap/util/rng.hpp"
+#include "nocmap/workload/interchange.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+#include "nocmap/workload/tgff.hpp"
+#include "nocmap/workload/workload_source.hpp"
+
+namespace {
+
+using namespace nocmap;
+using workload::WorkloadApp;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot read " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(NOCMAP_TEST_GOLDEN_DIR) + "/workloads/" + name;
+}
+
+/// write(read(write(apps))) must equal write(apps) in both formats, and the
+/// re-read applications must describe the same graphs.
+void expect_roundtrip(const std::vector<WorkloadApp>& apps) {
+  const std::string json = workload::workloads_to_json(apps);
+  const std::vector<WorkloadApp> from_json =
+      workload::workloads_from_json(json, "<json>");
+  ASSERT_EQ(from_json.size(), apps.size());
+  EXPECT_EQ(workload::workloads_to_json(from_json), json);
+
+  const std::string csv = workload::workloads_to_csv(apps);
+  const std::vector<WorkloadApp> from_csv =
+      workload::workloads_from_csv(csv, "<csv>");
+  ASSERT_EQ(from_csv.size(), apps.size());
+  EXPECT_EQ(workload::workloads_to_csv(from_csv), csv);
+
+  // Cross-format: the two readers must agree on the graphs they rebuilt.
+  EXPECT_EQ(workload::workloads_to_json(from_csv), json);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_EQ(from_json[i].name, apps[i].name);
+    EXPECT_EQ(from_json[i].noc_width, apps[i].noc_width);
+    EXPECT_EQ(from_json[i].noc_height, apps[i].noc_height);
+    EXPECT_EQ(from_json[i].cdcg.num_cores(), apps[i].cdcg.num_cores());
+    EXPECT_EQ(from_json[i].cdcg.num_packets(), apps[i].cdcg.num_packets());
+    EXPECT_EQ(from_json[i].cdcg.num_dependences(),
+              apps[i].cdcg.num_dependences());
+    EXPECT_EQ(from_json[i].cdcg.total_bits(), apps[i].cdcg.total_bits());
+  }
+}
+
+TEST(InterchangeRoundtrip, AllSuiteAppsJsonAndCsv) {
+  const workload::SuiteSource suite;
+  const std::vector<WorkloadApp> apps = suite.all();
+  ASSERT_EQ(apps.size(), 18u);
+  expect_roundtrip(apps);
+  // Per-app too: single-workload files are the explore/`#fragment` path.
+  for (const WorkloadApp& app : apps) {
+    expect_roundtrip({app});
+  }
+}
+
+TEST(InterchangeRoundtrip, HundredRandomCdcgs) {
+  util::Rng rng(20250808);
+  std::vector<WorkloadApp> apps;
+  for (int i = 0; i < 100; ++i) {
+    workload::RandomCdcgParams params;
+    params.num_cores = static_cast<std::uint32_t>(2 + rng.index(14));
+    params.num_packets =
+        params.num_cores + static_cast<std::uint32_t>(rng.index(40));
+    params.total_bits =
+        params.num_packets + rng.uniform_u64(0, 1u << 20);
+    params.hotspot_fraction = rng.uniform01() * 0.9;
+    params.bulk_fraction = rng.uniform01() * 0.9;
+    WorkloadApp app;
+    app.name = "rand" + std::to_string(i);
+    app.cdcg = workload::generate_random_cdcg(params, rng);
+    const auto [w, h] = workload::fit_board(app.cdcg.num_cores());
+    app.noc_width = w;
+    app.noc_height = h;
+    apps.push_back(std::move(app));
+  }
+  expect_roundtrip(apps);
+}
+
+TEST(InterchangeRoundtrip, PacketsAndDepsSurviveExactly) {
+  WorkloadApp app;
+  app.name = "exact";
+  app.noc_width = 2;
+  app.noc_height = 2;
+  graph::CoreId a = app.cdcg.add_core("a");
+  graph::CoreId b = app.cdcg.add_core("b");
+  graph::CoreId c = app.cdcg.add_core("c");
+  graph::PacketId p0 = app.cdcg.add_packet(a, b, 7, 1);
+  graph::PacketId p1 = app.cdcg.add_packet(b, c, 0, 0xFFFFFFFFFFFFull);
+  app.cdcg.add_dependence(p0, p1);
+
+  for (const std::string& text : {workload::workloads_to_json({app}),
+                                  workload::workloads_to_csv({app})}) {
+    SCOPED_TRACE(text);
+    const std::vector<WorkloadApp> back =
+        text[0] == '{' ? workload::workloads_from_json(text, "<t>")
+                       : workload::workloads_from_csv(text, "<t>");
+    ASSERT_EQ(back.size(), 1u);
+    const graph::Cdcg& g = back[0].cdcg;
+    ASSERT_EQ(g.num_packets(), 2u);
+    EXPECT_EQ(g.packet(0).src, a);
+    EXPECT_EQ(g.packet(0).dst, b);
+    EXPECT_EQ(g.packet(0).comp_time, 7u);
+    EXPECT_EQ(g.packet(0).bits, 1u);
+    EXPECT_EQ(g.packet(1).comp_time, 0u);
+    EXPECT_EQ(g.packet(1).bits, 0xFFFFFFFFFFFFull);
+    EXPECT_EQ(g.core_name(0), "a");
+    EXPECT_EQ(g.core_name(2), "c");
+    ASSERT_EQ(g.num_dependences(), 1u);
+    EXPECT_EQ(g.successors(p0).size(), 1u);
+    EXPECT_EQ(g.successors(p0)[0], p1);
+  }
+}
+
+// --- Golden interlock: tgff -> json -> csv pin each other -------------------
+
+TEST(GoldenWorkloads, TgffParsesToGoldenJson) {
+  const std::vector<WorkloadApp> apps = workload::workloads_from_tgff(
+      read_file(golden_path("exemplar.tgff")), "exemplar.tgff");
+  EXPECT_EQ(workload::workloads_to_json(apps),
+            read_file(golden_path("exemplar.json")));
+}
+
+TEST(GoldenWorkloads, GoldenJsonRendersToGoldenCsv) {
+  const std::vector<WorkloadApp> apps = workload::workloads_from_json(
+      read_file(golden_path("exemplar.json")), "exemplar.json");
+  EXPECT_EQ(workload::workloads_to_csv(apps),
+            read_file(golden_path("exemplar.csv")));
+}
+
+TEST(GoldenWorkloads, GoldenCsvRendersToGoldenJson) {
+  const std::vector<WorkloadApp> apps = workload::workloads_from_csv(
+      read_file(golden_path("exemplar.csv")), "exemplar.csv");
+  EXPECT_EQ(workload::workloads_to_json(apps),
+            read_file(golden_path("exemplar.json")));
+}
+
+TEST(GoldenWorkloads, ReadWorkloadFileDispatchesOnExtension) {
+  for (const char* name : {"exemplar.tgff", "exemplar.json", "exemplar.csv"}) {
+    const std::vector<WorkloadApp> apps =
+        workload::read_workload_file(golden_path(name));
+    ASSERT_FALSE(apps.empty()) << name;
+    for (const WorkloadApp& app : apps) {
+      EXPECT_NO_THROW(workload::validate_app(app, name, 1));
+    }
+  }
+  EXPECT_THROW(workload::read_workload_file(golden_path("exemplar.xml")),
+               std::invalid_argument);
+}
+
+}  // namespace

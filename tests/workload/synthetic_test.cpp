@@ -1,0 +1,187 @@
+/// \file synthetic_test.cpp
+/// SyntheticPopulation properties (synthetic.hpp): spec parsing and its
+/// canonical form, bitwise thread/batch-count invariance of app(i), and
+/// realized population statistics within the spec's tolerances.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nocmap/workload/interchange.hpp"
+#include "nocmap/workload/synthetic.hpp"
+
+namespace {
+
+using namespace nocmap;
+using workload::SyntheticPopulation;
+using workload::SyntheticSpec;
+using workload::WorkloadApp;
+
+TEST(SyntheticSpec, DefaultsAndCanonicalForm) {
+  const SyntheticSpec spec = SyntheticSpec::parse("");
+  EXPECT_EQ(spec.apps, 100u);
+  EXPECT_EQ(spec.cores, 9u);
+  EXPECT_EQ(spec.effective_packets(), 36u);
+  EXPECT_EQ(spec.effective_bits(), 9216u);
+  EXPECT_EQ(spec.canonical(),
+            "apps=100,cores=9,packets=36,bits=9216,seed=1,connectivity=4,"
+            "burstiness=0.25,hotspot=0.3,comp=3,jitter=0.25");
+  // canonical() is a fixed point: parse(canonical()) renders identically.
+  EXPECT_EQ(SyntheticSpec::parse(spec.canonical()).canonical(),
+            spec.canonical());
+}
+
+TEST(SyntheticSpec, ParsesEveryKey) {
+  const SyntheticSpec spec = SyntheticSpec::parse(
+      "apps=7,cores=12,packets=50,bits=100000,seed=42,connectivity=2.5,"
+      "burstiness=0.1,hotspot=0.6,comp=0,jitter=0");
+  EXPECT_EQ(spec.apps, 7u);
+  EXPECT_EQ(spec.cores, 12u);
+  EXPECT_EQ(spec.effective_packets(), 50u);
+  EXPECT_EQ(spec.effective_bits(), 100000u);
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_DOUBLE_EQ(spec.connectivity, 2.5);
+  EXPECT_DOUBLE_EQ(spec.burstiness, 0.1);
+  EXPECT_DOUBLE_EQ(spec.hotspot, 0.6);
+  EXPECT_DOUBLE_EQ(spec.comp, 0.0);
+  EXPECT_DOUBLE_EQ(spec.jitter, 0.0);
+}
+
+TEST(SyntheticSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(SyntheticSpec::parse("warp=1"), std::invalid_argument);
+  EXPECT_THROW(SyntheticSpec::parse("apps"), std::invalid_argument);
+  EXPECT_THROW(SyntheticSpec::parse("apps=0"), std::invalid_argument);
+  EXPECT_THROW(SyntheticSpec::parse("apps=-3"), std::invalid_argument);
+  EXPECT_THROW(SyntheticSpec::parse("apps=2,apps=3"), std::invalid_argument);
+  EXPECT_THROW(SyntheticSpec::parse("cores=1"), std::invalid_argument);
+  EXPECT_THROW(SyntheticSpec::parse("jitter=1"), std::invalid_argument);
+  EXPECT_THROW(SyntheticSpec::parse("hotspot=NaN"), std::invalid_argument);
+  EXPECT_THROW(SyntheticSpec::parse("connectivity=-1"),
+               std::invalid_argument);
+  EXPECT_THROW(SyntheticSpec::parse("cores=8,packets=4"),
+               std::invalid_argument);
+  EXPECT_THROW(SyntheticSpec::parse("packets=100,bits=10"),
+               std::invalid_argument);
+  EXPECT_THROW(SyntheticSpec::parse("apps=99999999999999999999"),
+               std::invalid_argument);
+}
+
+/// Canonical JSON of one application: the bitwise-equality oracle.
+std::string fingerprint(const WorkloadApp& app) {
+  return workload::workloads_to_json({app});
+}
+
+TEST(SyntheticPopulation, PureFunctionOfSeedAndIndex) {
+  const SyntheticPopulation pop(
+      SyntheticSpec::parse("apps=40,cores=6,seed=11"));
+  ASSERT_EQ(pop.size(), 40u);
+
+  // Reference pass: sequential, in order.
+  std::vector<std::string> reference;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    reference.push_back(fingerprint(pop.app(i)));
+  }
+  // Names are unique and deterministic.
+  EXPECT_EQ(pop.app(0).name, "syn0");
+  EXPECT_EQ(pop.app(39).name, "syn39");
+
+  // Reverse order must not change anything (no hidden iteration state).
+  for (std::size_t i = pop.size(); i-- > 0;) {
+    EXPECT_EQ(fingerprint(pop.app(i)), reference[i]) << i;
+  }
+
+  // Batched realization: any split yields the same applications.
+  for (const std::size_t batch : {1u, 7u, 40u}) {
+    for (std::size_t start = 0; start < pop.size(); start += batch) {
+      const std::size_t end = std::min(start + batch, pop.size());
+      for (std::size_t i = start; i < end; ++i) {
+        ASSERT_EQ(fingerprint(pop.app(i)), reference[i])
+            << "batch " << batch << " index " << i;
+      }
+    }
+  }
+
+  // Concurrent realization from many threads: bitwise identical.
+  std::vector<std::string> parallel(pop.size());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= pop.size()) return;
+        parallel[i] = fingerprint(pop.app(i));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(parallel, reference);
+
+  // A fresh population with the same spec is the same population.
+  const SyntheticPopulation again(
+      SyntheticSpec::parse("apps=40,cores=6,seed=11"));
+  EXPECT_EQ(fingerprint(again.app(17)), reference[17]);
+  // A different seed is a different population.
+  const SyntheticPopulation other(
+      SyntheticSpec::parse("apps=40,cores=6,seed=12"));
+  EXPECT_NE(fingerprint(other.app(17)), reference[17]);
+}
+
+TEST(SyntheticPopulation, RealizedStatisticsTrackTheSpec) {
+  const SyntheticSpec spec =
+      SyntheticSpec::parse("apps=200,cores=10,packets=40,bits=20000,seed=5");
+  const SyntheticPopulation pop(spec);
+  double cores_sum = 0, packets_sum = 0, bits_sum = 0;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    const WorkloadApp app = pop.app(i);
+    cores_sum += static_cast<double>(app.cdcg.num_cores());
+    packets_sum += static_cast<double>(app.cdcg.num_packets());
+    bits_sum += static_cast<double>(app.cdcg.total_bits());
+    // Every application is valid and fits its board by construction.
+    EXPECT_LE(app.cdcg.num_cores(),
+              static_cast<std::size_t>(app.noc_width) * app.noc_height);
+  }
+  const double n = static_cast<double>(pop.size());
+  // Sizes jitter uniformly by ±25%; 200-app means land well inside ±10%.
+  EXPECT_NEAR(cores_sum / n, 10.0, 1.0);
+  EXPECT_NEAR(packets_sum / n, 40.0, 4.0);
+  EXPECT_NEAR(bits_sum / n, 20000.0, 2000.0);
+}
+
+TEST(SyntheticPopulation, HotspotSkewConcentratesTraffic) {
+  // Compare destination concentration between a uniform and a hotspot-heavy
+  // population: the max in-degree share must grow with the hotspot knob.
+  auto top_dst_share = [](const SyntheticPopulation& pop) {
+    double share_sum = 0;
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      const WorkloadApp app = pop.app(i);
+      std::vector<std::uint64_t> in_bits(app.cdcg.num_cores(), 0);
+      for (graph::PacketId p = 0;
+           p < static_cast<graph::PacketId>(app.cdcg.num_packets()); ++p) {
+        in_bits[app.cdcg.packet(p).dst] += app.cdcg.packet(p).bits;
+      }
+      std::uint64_t total = 0, best = 0;
+      for (const std::uint64_t b : in_bits) {
+        total += b;
+        best = std::max(best, b);
+      }
+      share_sum += static_cast<double>(best) / static_cast<double>(total);
+    }
+    return share_sum / static_cast<double>(pop.size());
+  };
+  const SyntheticPopulation uniform(
+      SyntheticSpec::parse("apps=50,cores=12,hotspot=0,seed=3"));
+  const SyntheticPopulation skewed(
+      SyntheticSpec::parse("apps=50,cores=12,hotspot=0.9,seed=3"));
+  EXPECT_GT(top_dst_share(skewed), top_dst_share(uniform) + 0.1);
+}
+
+TEST(SyntheticPopulation, OutOfRangeIndexThrows) {
+  const SyntheticPopulation pop(SyntheticSpec::parse("apps=2"));
+  EXPECT_THROW(pop.app(2), std::out_of_range);
+}
+
+}  // namespace

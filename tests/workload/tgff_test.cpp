@@ -1,0 +1,215 @@
+/// \file tgff_test.cpp
+/// TGFF parser semantics (tgff.hpp): the task/arc -> core/packet mapping,
+/// COMP_QUANT / PERIOD computation times, receive-compute-send dependences,
+/// and the strict-validator error contract (ParseError with line + field,
+/// never a clamp).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nocmap/workload/tgff.hpp"
+
+namespace {
+
+using namespace nocmap;
+using workload::ParseError;
+using workload::WorkloadApp;
+
+const char* kDiamond = R"(# a diamond task graph
+@TASK_GRAPH 0 {
+  PERIOD 400
+  TASK src  TYPE 0
+  TASK mid1 TYPE 1
+  TASK mid2 TYPE 1
+  TASK sink TYPE 0
+  ARC a0 FROM src  TO mid1 TYPE 0
+  ARC a1 FROM src  TO mid2 TYPE 0
+  ARC a2 FROM mid1 TO sink TYPE 1
+  ARC a3 FROM mid2 TO sink TYPE 1
+  HARD_DEADLINE d0 ON sink AT 400
+}
+@COMMUN_QUANT 0 {
+  0 256
+  1 512
+}
+)";
+
+TEST(Tgff, DiamondGraphMapsToCdcg) {
+  const std::vector<WorkloadApp> apps =
+      workload::workloads_from_tgff(kDiamond, "<tgff>");
+  ASSERT_EQ(apps.size(), 1u);
+  const WorkloadApp& app = apps[0];
+  EXPECT_EQ(app.name, "tg0");
+  const graph::Cdcg& g = app.cdcg;
+  ASSERT_EQ(g.num_cores(), 4u);
+  EXPECT_EQ(g.core_name(0), "src");
+  EXPECT_EQ(g.core_name(3), "sink");
+  ASSERT_EQ(g.num_packets(), 4u);
+  EXPECT_EQ(g.packet(0).bits, 256u);
+  EXPECT_EQ(g.packet(2).bits, 512u);
+  // No COMP_QUANT table: comp time is round(PERIOD / tasks) = 400/4.
+  EXPECT_EQ(g.packet(0).comp_time, 100u);
+  // a2 (mid1 -> sink) waits for a0 (src -> mid1); a3 waits for a1.
+  ASSERT_EQ(g.num_dependences(), 2u);
+  EXPECT_EQ(g.successors(0).size(), 1u);
+  EXPECT_EQ(g.successors(0)[0], 2u);
+  EXPECT_EQ(g.successors(1)[0], 3u);
+  // 4 cores fit a 2x2 board.
+  EXPECT_EQ(app.noc_width, 2u);
+  EXPECT_EQ(app.noc_height, 2u);
+}
+
+TEST(Tgff, CompQuantOverridesPeriod) {
+  const std::string text = R"(@TASK_GRAPH 3 {
+  PERIOD 400
+  TASK t0 TYPE 7
+  TASK t1 TYPE 9
+  ARC a FROM t0 TO t1 TYPE 0
+}
+@COMMUN_QUANT 0 { 0 64 }
+@COMP_QUANT 0 {
+  7 30.4
+  9 12
+}
+)";
+  const std::vector<WorkloadApp> apps =
+      workload::workloads_from_tgff(text, "<tgff>");
+  ASSERT_EQ(apps.size(), 1u);
+  EXPECT_EQ(apps[0].name, "tg3");
+  EXPECT_EQ(apps[0].cdcg.packet(0).comp_time, 30u);  // round(30.4)
+}
+
+TEST(Tgff, MultipleGraphsAndHyperperiod) {
+  const std::string text = R"(@HYPERPERIOD 1200
+@TASK_GRAPH 0 {
+  TASK a TYPE 0
+  TASK b TYPE 0
+  ARC x FROM a TO b TYPE 0
+}
+@TASK_GRAPH 1 {
+  TASK c TYPE 0
+  TASK d TYPE 0
+  ARC y FROM d TO c TYPE 0
+}
+@COMMUN_QUANT 0 { 0 100 }
+)";
+  const std::vector<WorkloadApp> apps =
+      workload::workloads_from_tgff(text, "<tgff>");
+  ASSERT_EQ(apps.size(), 2u);
+  EXPECT_EQ(apps[0].name, "tg0");
+  EXPECT_EQ(apps[1].name, "tg1");
+  // No PERIOD and no COMP_QUANT: computation time defaults to 0.
+  EXPECT_EQ(apps[0].cdcg.packet(0).comp_time, 0u);
+}
+
+/// Expect a ParseError whose line and field match.
+void expect_error(const std::string& text, std::size_t line,
+                  const std::string& field_substr) {
+  try {
+    workload::workloads_from_tgff(text, "<tgff>");
+    FAIL() << "expected ParseError for:\n" << text;
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), line) << e.what();
+    EXPECT_NE(std::string(e.what()).find(field_substr), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TgffErrors, UnknownTaskInArc) {
+  expect_error(
+      "@TASK_GRAPH 0 {\n TASK a TYPE 0\n ARC x FROM a TO ghost TYPE 0\n}\n"
+      "@COMMUN_QUANT 0 { 0 8 }\n",
+      3, "ghost");
+}
+
+TEST(TgffErrors, VolumeRoundingToZeroIsNeverClamped) {
+  expect_error(
+      "@TASK_GRAPH 0 {\n TASK a TYPE 0\n TASK b TYPE 0\n"
+      " ARC x FROM a TO b TYPE 0\n}\n@COMMUN_QUANT 0 { 0 0.2 }\n",
+      4, "rounds to zero");
+}
+
+TEST(TgffErrors, NegativeVolumeRejected) {
+  expect_error(
+      "@TASK_GRAPH 0 {\n TASK a TYPE 0\n TASK b TYPE 0\n"
+      " ARC x FROM a TO b TYPE 0\n}\n@COMMUN_QUANT 0 { 0 -5 }\n",
+      4, "must be positive");
+}
+
+TEST(TgffErrors, MissingCommunQuantEntry) {
+  expect_error(
+      "@TASK_GRAPH 0 {\n TASK a TYPE 0\n TASK b TYPE 0\n"
+      " ARC x FROM a TO b TYPE 9\n}\n@COMMUN_QUANT 0 { 0 8 }\n",
+      4, "no @COMMUN_QUANT entry");
+}
+
+TEST(TgffErrors, SelfArcRejected) {
+  expect_error(
+      "@TASK_GRAPH 0 {\n TASK a TYPE 0\n TASK b TYPE 0\n"
+      " ARC l FROM a TO a TYPE 0\n ARC m FROM a TO b TYPE 0\n}\n"
+      "@COMMUN_QUANT 0 { 0 8 }\n",
+      4, "itself");
+}
+
+TEST(TgffErrors, CyclicGraphRejected) {
+  expect_error(
+      "@TASK_GRAPH 0 {\n TASK a TYPE 0\n TASK b TYPE 0\n"
+      " ARC x FROM a TO b TYPE 0\n ARC y FROM b TO a TYPE 0\n}\n"
+      "@COMMUN_QUANT 0 { 0 8 }\n",
+      1, "tg0");
+}
+
+TEST(TgffErrors, DuplicateGraphIdRejected) {
+  expect_error(
+      "@TASK_GRAPH 0 {\n TASK a TYPE 0\n}\n@TASK_GRAPH 0 {\n TASK b TYPE 0\n}\n",
+      4, "duplicate task graph id");
+}
+
+TEST(TgffErrors, DuplicateTaskNameRejected) {
+  expect_error("@TASK_GRAPH 0 {\n TASK a TYPE 0\n TASK a TYPE 1\n}\n", 3,
+               "duplicate task name");
+}
+
+TEST(TgffErrors, DeadlineOnUnknownTask) {
+  expect_error(
+      "@TASK_GRAPH 0 {\n TASK a TYPE 0\n TASK b TYPE 0\n"
+      " ARC x FROM a TO b TYPE 0\n HARD_DEADLINE d ON ghost AT 10\n}\n"
+      "@COMMUN_QUANT 0 { 0 8 }\n",
+      5, "ghost");
+}
+
+TEST(TgffErrors, NegativeDeadlineRejected) {
+  expect_error(
+      "@TASK_GRAPH 0 {\n TASK a TYPE 0\n TASK b TYPE 0\n"
+      " ARC x FROM a TO b TYPE 0\n SOFT_DEADLINE d ON b AT -1\n}\n"
+      "@COMMUN_QUANT 0 { 0 8 }\n",
+      5, "non-negative");
+}
+
+TEST(TgffErrors, UnknownStatementRejected) {
+  expect_error("@TASK_GRAPH 0 {\n FROBNICATE 3\n}\n", 2, "unknown statement");
+}
+
+TEST(TgffErrors, UnknownBlockRejected) {
+  expect_error("@WIRE 0 {\n 0 1\n}\n", 1, "unknown block type");
+}
+
+TEST(TgffErrors, UnterminatedBlockRejected) {
+  expect_error("@TASK_GRAPH 0 {\n TASK a TYPE 0\n", 1, "unterminated");
+}
+
+TEST(TgffErrors, EmptyInputRejected) {
+  expect_error("# nothing here\n", 1, "no @TASK_GRAPH");
+}
+
+TEST(TgffErrors, IsolatedTaskRejected) {
+  // Task c neither sends nor receives: the CDCG connectivity validator
+  // must reject the graph through the TGFF frontend too.
+  expect_error(
+      "@TASK_GRAPH 0 {\n TASK a TYPE 0\n TASK b TYPE 0\n TASK c TYPE 0\n"
+      " ARC x FROM a TO b TYPE 0\n}\n@COMMUN_QUANT 0 { 0 8 }\n",
+      1, "tg0");
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+/// \file workload_source_test.cpp
+/// The WorkloadSource provider API (workload_source.hpp): the suite behind
+/// the source interface, board fitting, app validation, and the
+/// make_workload_source() spec factory with its unknown-scheme rejection.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nocmap/workload/interchange.hpp"
+#include "nocmap/workload/suite.hpp"
+#include "nocmap/workload/workload_source.hpp"
+
+namespace {
+
+using namespace nocmap;
+using workload::WorkloadApp;
+
+TEST(SuiteSource, MirrorsTable1Suite) {
+  const workload::SuiteSource source;
+  const std::vector<workload::SuiteEntry> suite = workload::table1_suite();
+  ASSERT_EQ(source.size(), suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const WorkloadApp app = source.app(i);
+    EXPECT_EQ(app.name, suite[i].name);
+    EXPECT_EQ(app.noc_width, suite[i].noc_width);
+    EXPECT_EQ(app.noc_height, suite[i].noc_height);
+    EXPECT_EQ(app.cdcg.num_cores(), suite[i].cdcg.num_cores());
+    EXPECT_EQ(app.cdcg.total_bits(), suite[i].cdcg.total_bits());
+    EXPECT_NO_THROW(workload::validate_app(app, "suite", i + 1));
+  }
+  EXPECT_EQ(source.find("romberg-v1"), 0u);
+  EXPECT_EQ(source.find("no-such-app"), source.size());
+  EXPECT_THROW(source.app(source.size()), std::out_of_range);
+  EXPECT_FALSE(source.name().empty());
+  EXPECT_NE(source.provenance().find("suite.cpp"), std::string::npos);
+}
+
+TEST(FitBoard, SmallestNearSquareBoard) {
+  using P = std::pair<std::uint32_t, std::uint32_t>;
+  EXPECT_EQ(workload::fit_board(1), (P{2, 1}));
+  EXPECT_EQ(workload::fit_board(2), (P{2, 1}));
+  EXPECT_EQ(workload::fit_board(3), (P{2, 2}));
+  EXPECT_EQ(workload::fit_board(4), (P{2, 2}));
+  EXPECT_EQ(workload::fit_board(5), (P{3, 2}));
+  EXPECT_EQ(workload::fit_board(9), (P{3, 3}));
+  EXPECT_EQ(workload::fit_board(10), (P{4, 3}));
+  EXPECT_EQ(workload::fit_board(12), (P{4, 3}));
+  EXPECT_EQ(workload::fit_board(99), (P{10, 10}));
+  for (std::size_t cores = 1; cores <= 200; ++cores) {
+    const auto [w, h] = workload::fit_board(cores);
+    EXPECT_GE(static_cast<std::size_t>(w) * h, std::max<std::size_t>(cores, 2));
+  }
+}
+
+TEST(ValidateApp, RejectsContractViolations) {
+  WorkloadApp app;
+  app.name = "bad";
+  app.noc_width = 1;
+  app.noc_height = 1;
+  app.cdcg.add_core("a");
+  app.cdcg.add_core("b");
+  app.cdcg.add_packet(0, 1, 0, 8);
+  // Two cores on a one-tile board.
+  EXPECT_THROW(workload::validate_app(app, "<t>", 1), workload::ParseError);
+  app.noc_width = 2;
+  EXPECT_NO_THROW(workload::validate_app(app, "<t>", 1));
+  app.name.clear();
+  EXPECT_THROW(workload::validate_app(app, "<t>", 1), workload::ParseError);
+}
+
+TEST(MakeWorkloadSource, SuiteAndGenSchemes) {
+  EXPECT_EQ(workload::make_workload_source("suite")->size(), 18u);
+  const auto gen = workload::make_workload_source("gen:apps=3,cores=5");
+  EXPECT_EQ(gen->size(), 3u);
+  EXPECT_NE(gen->provenance().find("apps=3"), std::string::npos);
+}
+
+TEST(MakeWorkloadSource, FileSchemeRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/source_test_apps.json";
+  {
+    const workload::SuiteSource suite;
+    workload::write_workload_file(path, {suite.app(0), suite.app(1)});
+  }
+  const auto source = workload::make_workload_source("file:" + path);
+  EXPECT_EQ(source->size(), 2u);
+  EXPECT_EQ(source->app(0).name, "romberg-v1");
+  EXPECT_NE(source->provenance().find(path), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MakeWorkloadSource, RejectsUnknownSchemesWithClearErrors) {
+  for (const char* spec : {"warp:x", "files:apps.json", "gen", "file:",
+                           "http://example.com/a.json", "romberg-v1"}) {
+    try {
+      workload::make_workload_source(spec);
+      FAIL() << "expected rejection of '" << spec << "'";
+    } catch (const std::invalid_argument& e) {
+      // The diagnostic must name the accepted schemes so the CLI error is
+      // actionable.
+      const std::string what = e.what();
+      EXPECT_TRUE(what.find("suite") != std::string::npos ||
+                  what.find("file:") != std::string::npos)
+          << what;
+    }
+  }
+  EXPECT_THROW(workload::make_workload_source("file:/no/such/file.json"),
+               std::runtime_error);
+  EXPECT_THROW(workload::make_workload_source("file:apps.xml"),
+               std::invalid_argument);
+}
+
+TEST(IsSourceSpec, SchemeDetection) {
+  EXPECT_TRUE(workload::is_source_spec("suite"));
+  EXPECT_TRUE(workload::is_source_spec("file:a.json"));
+  EXPECT_TRUE(workload::is_source_spec("gen:apps=2"));
+  EXPECT_FALSE(workload::is_source_spec("paper-example"));
+  EXPECT_FALSE(workload::is_source_spec("romberg-v1"));
+  EXPECT_FALSE(workload::is_source_spec("random"));
+}
+
+}  // namespace
