@@ -43,6 +43,18 @@ Explorer::Explorer(const graph::Cdcg& cdcg, const noc::Topology& topo,
   if (cdcg_.num_cores() > topo_.num_tiles()) {
     throw std::invalid_argument("Explorer: more cores than tiles");
   }
+  if (!options_.seed_assignment.empty()) {
+    if (options_.seed_assignment.size() != cdcg_.num_cores()) {
+      throw std::invalid_argument(
+          "Explorer: seed mapping names " +
+          std::to_string(options_.seed_assignment.size()) +
+          " tiles but the application has " +
+          std::to_string(cdcg_.num_cores()) + " cores");
+    }
+    // from_assignment rejects out-of-range tiles and double occupancy.
+    seed_map_ = mapping::Mapping::from_assignment(topo_,
+                                                  options_.seed_assignment);
+  }
 }
 
 bool Explorer::would_use_exhaustive() const {
@@ -74,6 +86,7 @@ search::SearchResult Explorer::run_sa_chains(
   if (options_.time_budget_ms > 0.0) {
     sa.time_budget_ms = options_.time_budget_ms;  // Per chain.
   }
+  if (options_.cancel) sa.cancel = options_.cancel;
   auto run_chain = [&](std::uint32_t chain, mapping::CostFunction& cost) {
     util::Rng rng = chain_rng(options_.seed, chain);
     results[chain] = search::anneal(cost, topo_, rng, sa, sa_initial);
@@ -154,6 +167,7 @@ search::SearchResult Explorer::run_branch_and_bound(
   const mapping::Mapping greedy = search::greedy_mapping(cwg_, topo_);
   bo.incumbent = incumbent ? incumbent : &greedy;
   bo.use_symmetry = bo.use_symmetry && options_.es.use_symmetry;
+  if (options_.cancel) bo.cancel = options_.cancel;
   return search::branch_and_bound(make_cost, topo_, bo);
 }
 
@@ -172,6 +186,7 @@ search::SearchResult Explorer::run_portfolio(const CostFactory& make_cost,
   // the B&B member prunes from the first node.
   const mapping::Mapping greedy = search::greedy_mapping(cwg_, topo_);
   po.initial = initial ? initial : &greedy;
+  if (options_.cancel) po.cancel = options_.cancel;
   search::PortfolioResult pr =
       search::portfolio(make_cost, cwg_, topo_, options_.routing, po);
   summary.winner = pr.members[pr.winner].label;
@@ -184,6 +199,10 @@ search::SearchResult Explorer::run_portfolio(const CostFactory& make_cost,
 ModelOutcome Explorer::run(const CostFactory& make_cost,
                            const std::string& model, bool timing_model,
                            const mapping::Mapping* sa_initial) const {
+  // An explicit per-call incumbent (the CWM winner under seed_cdcm_with_cwm)
+  // outranks the options-level seed mapping; both flow through the same
+  // initial-state plumbing of every engine.
+  if (!sa_initial && seed_map_) sa_initial = &*seed_map_;
   const bool bnb = options_.method == SearchMethod::kBranchAndBound;
   const bool pf = options_.method == SearchMethod::kPortfolio;
   const bool exhaustive =

@@ -19,7 +19,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "nocmap/energy/technology.hpp"
 #include "nocmap/graph/cdcg.hpp"
@@ -115,6 +117,24 @@ struct ExplorerOptions {
   std::uint32_t buffer_depth = 8;  ///< kFlit: flits per router input port.
   sim::FlowControl flow_control = sim::FlowControl::kCredit;  ///< kFlit.
   sim::Switching switching = sim::Switching::kWormhole;       ///< kFlit.
+  /// Optional starting mapping: core i begins on tile seed_assignment[i].
+  /// Validated at Explorer construction (must name one tile per application
+  /// core, injectively, within the topology — std::invalid_argument
+  /// otherwise). Every search method is seeded the same way a caller-side
+  /// incumbent would be: SA chains and portfolio members start from it
+  /// instead of random mappings, and branch and bound adopts it as the
+  /// initial upper bound. compare() still overrides it with the CWM winner
+  /// for the CDCM half when seed_cdcm_with_cwm is set. Exhaustive search
+  /// ignores seeds (it enumerates everything regardless). Empty = no seed.
+  /// This is the warm-start hook the serving layer (serve/engine.hpp) and
+  /// `explore --seed-mapping FILE` use.
+  std::vector<noc::TileId> seed_assignment;
+  /// Cooperative cancellation for every search this Explorer runs, polled
+  /// at SA temperature-step and B&B node-test boundaries (exhaustive
+  /// enumeration is not cancellable — kAuto only picks it when the pruned
+  /// space is small). A cancelled run returns the incumbent at the last
+  /// completed step. Not owned; may be nullptr; must outlive the Explorer.
+  const search::CancelToken* cancel = nullptr;
 };
 
 /// The outcome of optimizing one model.
@@ -215,6 +235,8 @@ class Explorer {
   const noc::Topology& topo_;
   graph::Cwg cwg_;
   ExplorerOptions options_;
+  /// Validated form of options_.seed_assignment; nullopt when unseeded.
+  std::optional<mapping::Mapping> seed_map_;
 };
 
 }  // namespace nocmap::core

@@ -43,6 +43,10 @@
 #include "nocmap/search/greedy.hpp"
 #include "nocmap/search/random_search.hpp"
 #include "nocmap/search/simulated_annealing.hpp"
+#include "nocmap/serve/canonical.hpp"
+#include "nocmap/serve/engine.hpp"
+#include "nocmap/serve/result_cache.hpp"
+#include "nocmap/serve/serve_bench.hpp"
 #include "nocmap/sim/batch_evaluator.hpp"
 #include "nocmap/sim/schedule.hpp"
 #include "nocmap/sim/simulator.hpp"

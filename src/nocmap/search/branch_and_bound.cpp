@@ -65,6 +65,7 @@ struct SearchPlan {
   double incumbent_cost = kInf;           ///< Seeded incumbent (SA/greedy).
   std::uint64_t max_nodes = 0;
   bool share_incumbent = false;
+  const CancelToken* cancel = nullptr;
   /// eliminated[level]: nodes of the subtree rooted at a placement of
   /// order[level] (itself included) — what a failing bound test at that
   /// level removes from the enumeration. Saturating.
@@ -151,6 +152,14 @@ class ShardRunner {
   /// replay — sibling tasks sharing the prefix charge their own slices).
   bool enter_node(std::size_t level, graph::CoreId core, noc::TileId tile,
                   std::uint64_t prune_volume) {
+    // Cancellation truncates exactly like an exhausted node budget; polled
+    // before the budget counter so a cancellation at the K-th poll equals
+    // max_nodes == K - 1 single-threaded (the recorded-cut contract).
+    if (plan_.cancel && plan_.cancel->cancelled()) {
+      state_.truncated.store(true, std::memory_order_relaxed);
+      stop_ = true;
+      return false;
+    }
     if (plan_.max_nodes != 0 &&
         state_.nodes.fetch_add(1, std::memory_order_relaxed) >=
             plan_.max_nodes) {
@@ -316,6 +325,7 @@ SearchResult run_search(const mapping::CostFunction& setup_cost,
   plan.first_tiles = symmetry_first_tiles(topo, plan.symmetry);
   plan.max_nodes = options.max_nodes;
   plan.share_incumbent = options.share_incumbent;
+  plan.cancel = options.cancel;
 
   // Placement order: heaviest communicators first (ties by core id), so
   // early prefixes already carry most of the cost mass and the remainder
@@ -342,7 +352,9 @@ SearchResult run_search(const mapping::CostFunction& setup_cost,
   }
   if (options.seed_with_sa) {
     util::Rng rng(options.seed);
-    SearchResult sa = anneal(setup_cost, topo, rng, options.sa,
+    SaOptions seed_sa = options.sa;
+    if (options.cancel) seed_sa.cancel = options.cancel;
+    SearchResult sa = anneal(setup_cost, topo, rng, seed_sa,
                              seed_map ? &*seed_map : nullptr);
     result.evaluations += sa.evaluations;
     if (!seed_map || sa.best_cost < plan.incumbent_cost) {

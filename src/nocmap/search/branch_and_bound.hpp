@@ -96,6 +96,15 @@ struct BnbOptions {
   /// is ever cut) — but nodes_visited/nodes_pruned then depend on thread
   /// timing. Leave off when byte-identical reports matter (the default).
   bool share_incumbent = false;
+
+  /// Cooperative cancellation, polled once per node test (the same boundary
+  /// as max_nodes) and by the seeding SA chain at its step boundaries. A
+  /// cancelled run truncates exactly like an exhausted node budget: it
+  /// returns the best mapping seen so far — at worst the seeded incumbent —
+  /// with exhausted == false. Single-threaded, a cancellation at the K-th
+  /// poll is byte-identical to running with max_nodes == K - 1. Not owned;
+  /// may be nullptr. The token must outlive the search.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Builds one cost-function instance per search worker (cost functions own

@@ -1,0 +1,63 @@
+#pragma once
+/// \file cancel.hpp
+/// Cooperative cancellation for the search engines.
+///
+/// A CancelToken is a shared flag the owner of a search (the serving engine,
+/// a signal handler, a deadline watchdog) raises to stop work early. Every
+/// engine polls it only at the boundaries it already uses for budget cuts —
+/// SA temperature steps, portfolio member checkpoints, B&B node tests — so a
+/// cancelled run always returns the incumbent at the last completed step,
+/// with the same counters a move/node-budget cut at that point would report.
+///
+/// For deterministic tests the token can also be armed with a poll countdown
+/// (`cancel_after_polls`): the N-th poll observes the cancellation, making a
+/// mid-run cancellation exactly reproducible single-threaded. This is the
+/// same recorded-cut idea as SaOptions::time_budget_ms + max_moves: a
+/// wall-clock (or human) cancellation records a checkpoint, and replaying
+/// with the equivalent deterministic budget reproduces the result bitwise.
+
+#include <atomic>
+#include <cstdint>
+
+namespace nocmap::search {
+
+/// Shared cancellation flag. Thread-safe; polls are two relaxed loads when
+/// idle, so engines may poll per node test without measurable cost.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Raise the flag. Every subsequent poll observes the cancellation.
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Arm a deterministic trigger: polls 1..n-1 return false, the n-th poll
+  /// (and every later one) returns true. n == 0 disarms. With a single
+  /// polling thread this makes the cut point exactly reproducible.
+  void cancel_after_polls(std::uint64_t n) noexcept {
+    polls_left_.store(n, std::memory_order_relaxed);
+  }
+
+  /// Poll. Engines call this at step/node boundaries only.
+  bool cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    std::uint64_t left = polls_left_.load(std::memory_order_relaxed);
+    if (left == 0) return false;  // Not armed.
+    left = polls_left_.fetch_sub(1, std::memory_order_relaxed);
+    if (left <= 1) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  /// Countdown for the deterministic trigger; 0 = disarmed.
+  mutable std::atomic<std::uint64_t> polls_left_{0};
+};
+
+}  // namespace nocmap::search

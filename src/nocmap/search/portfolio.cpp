@@ -138,6 +138,7 @@ PortfolioResult portfolio(const BnbCostFactory& make_cost,
     so.cooling = ladder[i % ladder.size()];
     so.max_moves = options.max_moves;
     so.time_budget_ms = options.time_budget_ms;
+    if (options.cancel) so.cancel = options.cancel;
 
     SaChain chain(*cost, topo, rng, so, options.initial, gen.get());
     std::vector<AnytimeSample> samples;
@@ -185,6 +186,7 @@ PortfolioResult portfolio(const BnbCostFactory& make_cost,
     bo.seed = options.seed;
     bo.seed_with_sa = false;  // The SA members *are* the seeds.
     bo.share_incumbent = false;
+    if (options.cancel) bo.cancel = options.cancel;
     std::optional<mapping::Mapping> warm;
     bo.incumbent = options.initial;
     if (options.share_incumbent) {

@@ -123,6 +123,13 @@ struct PortfolioOptions {
   /// (only when the cost advertises has_batched_deltas — the vectorized
   /// CWM path). Deterministic.
   bool polish = true;
+
+  /// Cooperative cancellation, shared by every member: SA members poll at
+  /// their temperature-step boundaries, the B&B member per node test. A
+  /// cancelled portfolio reports budget_cut and returns the best incumbent
+  /// over the members' last completed steps (never worse than `initial`).
+  /// Not owned; may be nullptr. The token must outlive the search.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Race the portfolio for the cost functions built by `make_cost` (one

@@ -129,6 +129,11 @@ void SaChain::undo_uncommitted(const Move& mv) {
 
 void SaChain::maybe_finish_by_budget() {
   if (done_) return;
+  if (options_.cancel && options_.cancel->cancelled()) {
+    done_ = true;
+    budget_cut_ = true;
+    return;
+  }
   if (options_.max_moves != 0 && moves_priced_ >= options_.max_moves) {
     done_ = true;
     budget_cut_ = true;

@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "nocmap/mapping/cost.hpp"
+#include "nocmap/search/cancel.hpp"
 #include "nocmap/search/moves.hpp"
 #include "nocmap/search/search_result.hpp"
 #include "nocmap/util/rng.hpp"
@@ -63,6 +64,13 @@ struct SaOptions {
   /// value as max_moves to reproduce the cut bit-for-bit); 0 means no time
   /// budget.
   double time_budget_ms = 0.0;
+  /// Cooperative cancellation, polled once per temperature step at the same
+  /// boundary as the budgets above: a cancelled chain finishes the step in
+  /// flight, reports budget_cut(), and its result equals a max_moves cut at
+  /// the moves_priced() checkpoint — so any cancellation is reproducible
+  /// bit-for-bit by replaying with that move budget. Not owned; may be
+  /// nullptr (never cancelled). The token must outlive the search.
+  const CancelToken* cancel = nullptr;
 };
 
 /// One resumable annealing chain. Construction performs the initial

@@ -1,0 +1,85 @@
+#pragma once
+/// \file canonical.hpp
+/// Deterministic canonical forms of CDCGs/CWGs for the serving cache.
+///
+/// Two mapping requests are *the same problem* when their CDCGs differ only
+/// by a renaming of the cores: the packet stream, dependences, computation
+/// times and payloads are identical once core ids are translated. The
+/// result cache (serve/result_cache.hpp) must recognize that — a mapping
+/// solved for one labeling is a mapping for every relabeling, translated
+/// through the renaming.
+///
+/// The canonical labeling here is exact for that equivalence, and cheap:
+/// cores are renamed in order of first appearance in the packet stream
+/// (src before dst, packets in graph order). Because a core relabeling
+/// permutes only the ids *inside* packets — never the packet order — two
+/// relabelings of the same CDCG produce byte-identical canonical graphs,
+/// and the composition of their labelings is the translation between them.
+/// Cores that never send or receive (zero traffic, zero computation — comp
+/// time lives on packets) are appended afterwards; they are pairwise
+/// interchangeable, so any fixed completion preserves exactness of costs.
+///
+/// Two hashes are derived from the canonical form:
+///  * exact_hash  — everything: packet (src, dst, comp, bits) sequence,
+///    dependence lists, core count, plus a weight-refinement digest of the
+///    projected CWG. Equal for relabelings, (almost surely) different for
+///    different instances; the cache verifies equality on the canonical
+///    graphs anyway, so a collision can never change a served result.
+///  * family_hash — structure only: the (src, dst) sequence, dependences and
+///    core count, plus a degree-refinement digest of the *unweighted* CWG.
+///    Instances that differ only in payload sizes / computation times (the
+///    "near-duplicate" request shape) share a family, and — because first
+///    appearance depends only on the (src, dst) sequence — share canonical
+///    labels, so a family member's cached mapping translates exactly. This
+///    keys warm starts.
+///
+/// The refinement digests are classic Weisfeiler–Leman color refinement
+/// over the CWG (per-core colors from degrees/volumes, iterated through
+/// neighbor-color multisets, hashed as a sorted multiset). They are
+/// invariant under any core relabeling — including packet *reorderings*
+/// the sequence hashes are sensitive to — and are exposed standalone for
+/// callers that only hold a CWG.
+
+#include <cstdint>
+#include <vector>
+
+#include "nocmap/graph/cdcg.hpp"
+#include "nocmap/graph/cwg.hpp"
+
+namespace nocmap::serve {
+
+/// The canonical relabeling of one CDCG.
+struct CanonicalForm {
+  std::uint64_t exact_hash = 0;   ///< Instance identity (see file comment).
+  std::uint64_t family_hash = 0;  ///< Structure identity (near-duplicates).
+  /// canon_of_core[c] = canonical id of original core c; core_of_canon is
+  /// the inverse permutation.
+  std::vector<graph::CoreId> canon_of_core;
+  std::vector<graph::CoreId> core_of_canon;
+  /// The relabeled CDCG (cores "c0".."cN-1" in canonical order, packets and
+  /// dependences in original order). Byte-comparable across relabelings.
+  graph::Cdcg canonical;
+};
+
+/// Canonicalize `cdcg`. Deterministic; O(cores + packets + dependences)
+/// plus the refinement digest's O(rounds * edges log edges).
+CanonicalForm canonicalize(const graph::Cdcg& cdcg);
+
+/// Exact structural equality of two canonical CDCGs: core/packet counts,
+/// every packet tuple, and every dependence list. Core names are ignored
+/// (they never affect cost). This is the verify-on-hit the cache runs, so
+/// hash collisions can never change results.
+bool canonical_equal(const graph::Cdcg& a, const graph::Cdcg& b);
+
+/// Family (structure-only) equality: like canonical_equal but ignoring
+/// packet comp_time and bits — the near-duplicate verify.
+bool family_equal(const graph::Cdcg& a, const graph::Cdcg& b);
+
+/// Weisfeiler–Leman weight-refinement digest of a CWG: relabeling-invariant
+/// (same value for any core renaming, regardless of edge insertion order).
+/// `weighted` folds edge volumes into the colors; unweighted refinement
+/// sees only the adjacency structure.
+std::uint64_t cwg_refinement_hash(const graph::Cwg& cwg, bool weighted = true,
+                                  std::uint32_t rounds = 3);
+
+}  // namespace nocmap::serve

@@ -1,0 +1,168 @@
+#pragma once
+/// \file engine.hpp
+/// Mapping-as-a-service: a batched serving engine over core::Explorer.
+///
+/// The engine answers "map this application onto this NoC" requests and
+/// exploits the fact that real request streams repeat themselves: the same
+/// task graph arrives again under a different core labeling (a duplicate),
+/// or with perturbed payloads / computation times after a profiling rerun
+/// (a near-duplicate). Three layers turn that into latency:
+///
+///  1. **Canonical-form result cache** (serve/result_cache.hpp): each
+///     request's CDCG is canonicalized (serve/canonical.hpp) and looked up
+///     by exact canonical hash x context. A verified hit skips search
+///     entirely — the cached mapping is translated through the relabeling
+///     and returned. Verification is structural equality, so a hash
+///     collision can never alter a served result.
+///  2. **Warm starts**: on an exact miss, a family hit (same structure,
+///     different payloads) — or a caller-provided seed — becomes the search
+///     incumbent via ExplorerOptions::seed_assignment, and the SA schedule
+///     is shortened (ServeOptions::warm_max_steps / warm_max_stale): the
+///     incumbent is already near-optimal, so the search only needs a short
+///     refinement, which is where the serve-bench warm-start speedup comes
+///     from. Warm results are never worse than their seed (the seed is the
+///     search's starting incumbent).
+///  3. **Batched serving**: serve() takes N requests and solves the unique
+///     cold/warm jobs on a worker pool (ServeOptions::threads). Requests
+///     that are exact duplicates *within* the batch are solved once and
+///     fanned out.
+///
+/// **Determinism.** Responses — mappings, costs, Served labels — and the
+/// cache state after a batch are byte-identical for any thread count. The
+/// batch pipeline has four phases: canonicalize (pure), classify
+/// (sequential, in request order: all cache probes and within-batch dedup
+/// happen here, so LRU order and counters never depend on solver timing),
+/// solve (parallel, each job independent with its own Explorer), publish
+/// (sequential, in request order: responses assembled and results inserted).
+///
+/// **Cancellation.** ServeOptions::cancel is polled by every solver at SA
+/// temperature-step and B&B node-test boundaries (search/cancel.hpp); a
+/// cancelled batch still returns well-formed responses holding each search's
+/// last incumbent.
+///
+/// **Bypass.** ServeOptions::bypass_cache short-circuits all three layers:
+/// every request is solved cold and the cache is neither read nor written.
+/// A bypass run is byte-identical to calling core::Explorer directly — the
+/// contract the serve CI leg diffs.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nocmap/core/explorer.hpp"
+#include "nocmap/graph/cdcg.hpp"
+#include "nocmap/noc/topology.hpp"
+#include "nocmap/search/cancel.hpp"
+#include "nocmap/serve/canonical.hpp"
+#include "nocmap/serve/result_cache.hpp"
+
+namespace nocmap::serve {
+
+/// Which objective the engine optimizes for every request.
+enum class Objective : std::uint8_t {
+  kCwm,   ///< Equation 3 (communication-weighted, timing-blind).
+  kCdcm,  ///< Equation 10 (wormhole-simulated, the paper's headline model).
+};
+
+/// How a response was produced.
+enum class Served : std::uint8_t {
+  kCold,       ///< Full search from scratch (miss, or cache bypassed).
+  kExactHit,   ///< Verified cache hit: no search ran.
+  kBatchHit,   ///< Exact duplicate of an earlier request in the same batch.
+  kWarmStart,  ///< Search seeded from a family hit or caller seed.
+};
+
+const char* served_name(Served s);
+
+struct ServeOptions {
+  /// Base search configuration for every solve. The engine owns the
+  /// per-request fields: seed_assignment and cancel are overwritten per
+  /// job, and `threads` is forced to 1 (parallelism lives across jobs, not
+  /// inside them — that keeps per-job work identical for any pool size).
+  core::ExplorerOptions explorer;
+  Objective objective = Objective::kCdcm;
+  std::size_t cache_capacity = 4096;
+  /// Solve every request cold; never read or write the cache.
+  bool bypass_cache = false;
+  /// Use family hits as warm-start incumbents (exact hits always serve).
+  bool warm_start = true;
+  /// Shortened SA schedule for warm-started solves: the incumbent is a
+  /// solved mapping of a structurally identical instance, so a brief
+  /// refinement suffices. Applied to SaOptions::max_steps / max_stale_steps
+  /// of warm jobs only; cold jobs keep the explorer defaults.
+  std::uint32_t warm_max_steps = 48;
+  std::uint32_t warm_max_stale = 4;
+  /// Worker threads solving a batch's unique jobs. Purely a throughput
+  /// knob: responses and cache state are identical for any value. 0 = 1.
+  std::uint32_t threads = 1;
+  /// Cooperative cancellation for every search (see file comment).
+  const search::CancelToken* cancel = nullptr;
+};
+
+/// One mapping request. The CDCG must stay alive until serve() returns.
+struct MapRequest {
+  const graph::Cdcg* cdcg = nullptr;
+  /// Optional caller-provided warm-start seed: core i of *this request's*
+  /// labeling starts on tile seed_assignment[i]. Used when the cache has
+  /// neither an exact nor a family hit. Empty = none.
+  std::vector<noc::TileId> seed_assignment;
+};
+
+/// One mapping response, in the *request's* core labeling.
+struct MapResponse {
+  /// Core i of the request's CDCG is placed on tile assignment[i].
+  std::vector<noc::TileId> assignment;
+  double cost_j = 0.0;  ///< Objective value of `assignment`.
+  Served served = Served::kCold;
+  std::uint64_t exact_hash = 0;   ///< Canonical instance identity.
+  std::uint64_t family_hash = 0;  ///< Canonical structure identity.
+  /// Wall-clock ms spent searching for this response: the solve time of its
+  /// job for cold/warm requests, 0 for exact and within-batch hits (their
+  /// marginal cost is a verified lookup). The only non-deterministic field —
+  /// excluded from every determinism digest.
+  double solve_ms = 0.0;
+};
+
+/// Aggregate serving counters (monotonic across serve() calls).
+struct EngineStats {
+  std::uint64_t requests = 0;
+  std::uint64_t cold = 0;
+  std::uint64_t exact_hits = 0;
+  std::uint64_t batch_hits = 0;
+  std::uint64_t warm_starts = 0;
+};
+
+class ServeEngine {
+ public:
+  /// The topology must outlive the engine.
+  ServeEngine(const noc::Topology& topo, ServeOptions options = {});
+
+  /// Serve a batch. Responses are returned in request order and are
+  /// byte-identical for any ServeOptions::threads (see file comment).
+  std::vector<MapResponse> serve(const std::vector<MapRequest>& batch);
+
+  /// Convenience: a one-request batch.
+  MapResponse serve_one(const graph::Cdcg& cdcg);
+
+  const ResultCache& cache() const { return cache_; }
+  EngineStats stats() const { return stats_; }
+  /// The context-key string shared by every request this engine serves
+  /// (docs/serving.md documents the fields; exposed for tests and the
+  /// bench report).
+  const std::string& context() const { return context_; }
+
+ private:
+  struct Job;  // One unique solve of a batch (defined in engine.cpp).
+
+  void solve_job(Job& job) const;
+
+  const noc::Topology& topo_;
+  ServeOptions options_;
+  std::string context_;
+  ResultCache cache_;
+  EngineStats stats_;
+};
+
+}  // namespace nocmap::serve

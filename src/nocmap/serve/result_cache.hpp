@@ -1,0 +1,115 @@
+#pragma once
+/// \file result_cache.hpp
+/// The canonical-form result cache behind the serving engine.
+///
+/// Entries are keyed by (exact canonical hash x context), where the context
+/// string encodes everything *besides the application* that determines the
+/// result: topology, routing, objective, search method and budgets, backend
+/// options, seed (serve/engine.cpp builds it; docs/serving.md specifies it).
+/// A hash match alone never serves a result: the cache stores the canonical
+/// CDCG of every entry and verifies structural equality plus context-string
+/// equality on each probe, so a 64-bit collision degrades to a miss, never
+/// to a wrong answer.
+///
+/// A second index keyed by (family hash x context) powers warm starts:
+/// instances that differ only in packet payloads / computation times share a
+/// family (and, by construction of the canonical labeling, share canonical
+/// core labels), so a family member's cached assignment is a valid — and
+/// usually excellent — starting incumbent for the new instance. Family
+/// lookups verify with family_equal() the same way.
+///
+/// Bounded LRU: `capacity` entries, least-recently-used evicted on insert.
+/// Exact and family probes both refresh recency. All operations are
+/// mutex-guarded; the cache is safe to share across serving threads. Hit /
+/// miss / insert / eviction / verify-reject counters are exposed for the
+/// bench report.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <mutex>
+
+#include "nocmap/noc/topology.hpp"
+#include "nocmap/serve/canonical.hpp"
+
+namespace nocmap::serve {
+
+/// Monotonic operation counters (snapshot via ResultCache::stats()).
+struct CacheStats {
+  std::uint64_t exact_hits = 0;    ///< find_exact served a verified entry.
+  std::uint64_t family_hits = 0;   ///< find_family served a verified entry.
+  std::uint64_t misses = 0;        ///< find_exact found nothing usable.
+  std::uint64_t inserts = 0;       ///< New entries stored.
+  std::uint64_t updates = 0;       ///< Existing entry improved in place.
+  std::uint64_t evictions = 0;     ///< LRU entries dropped at capacity.
+  std::uint64_t verify_rejects = 0;  ///< Hash matched, structure didn't.
+};
+
+/// A cached result, expressed in *canonical* core labels: canonical core k
+/// sits on tile canon_assignment[k]. Callers translate through their own
+/// CanonicalForm::core_of_canon to recover original labels.
+struct CachedResult {
+  std::vector<noc::TileId> canon_assignment;
+  double cost_j = 0.0;
+};
+
+class ResultCache {
+ public:
+  /// `capacity` = maximum resident entries (>= 1).
+  explicit ResultCache(std::size_t capacity = 1024);
+
+  /// Exact probe: same canonical graph (verified), same context. Counts a
+  /// hit or a miss. Refreshes recency on hit.
+  std::optional<CachedResult> find_exact(const CanonicalForm& form,
+                                         const std::string& context);
+
+  /// Family probe: same structure (verified with family_equal), same
+  /// context, payloads free. Returns the best family member's assignment as
+  /// a warm-start seed. Does not count toward misses (it runs after
+  /// find_exact already did); counts family_hits on success.
+  std::optional<CachedResult> find_family(const CanonicalForm& form,
+                                          const std::string& context);
+
+  /// Store (or improve) the result for `form` in `context`. Keeps the
+  /// better cost if an entry already exists; refreshes recency either way.
+  /// The assignment must be in canonical core labels.
+  void insert(const CanonicalForm& form, const std::string& context,
+              std::vector<noc::TileId> canon_assignment, double cost_j);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::uint64_t exact_key = 0;   ///< fold(exact_hash, context hash).
+    std::uint64_t family_key = 0;  ///< fold(family_hash, context hash).
+    graph::Cdcg canonical;         ///< Verify-on-hit structure.
+    std::string context;           ///< Verify-on-hit context.
+    std::vector<noc::TileId> canon_assignment;
+    double cost_j = 0.0;
+  };
+  using Lru = std::list<Entry>;
+
+  /// Buckets may hold several iterators (distinct instances sharing a
+  /// 64-bit key — astronomically rare for exact, routine for family).
+  using Index = std::unordered_map<std::uint64_t, std::vector<Lru::iterator>>;
+
+  void touch(Lru::iterator it);
+  void unindex(Index& index, std::uint64_t key, Lru::iterator it);
+  void evict_lru();
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  Lru lru_;  ///< Front = most recently used.
+  Index by_exact_;
+  Index by_family_;
+  CacheStats stats_;
+};
+
+}  // namespace nocmap::serve

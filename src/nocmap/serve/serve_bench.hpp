@@ -1,0 +1,105 @@
+#pragma once
+/// \file serve_bench.hpp
+/// Load-test harness for the serving engine: replay a randomized request
+/// stream with a controllable duplicate / near-duplicate mix and report
+/// latency percentiles, throughput, cache effectiveness and the
+/// warm-start speedup.
+///
+/// The stream is synthesized from a `gen:SPEC` population
+/// (workload/synthetic.hpp). Each request is, with the configured
+/// probabilities,
+///  * a **duplicate** — an earlier request's CDCG under a fresh random core
+///    relabeling (identical canonical form: the cache must serve it),
+///  * a **near-duplicate** — an earlier CDCG relabeled *and* payload-
+///    perturbed (computation times and packet sizes jittered, structure
+///    untouched: same family, so a warm start applies),
+///  * or a **fresh** application drawn from the population.
+/// The stream, including every relabeling and perturbation, is a pure
+/// function of (options, seed) — two runs see byte-identical requests.
+///
+/// Requests are served in batches of `batch` through one ServeEngine.
+/// Per-request latency is MapResponse::solve_ms (the search time a request
+/// caused; verified cache hits cost ~0), so the percentile spread directly
+/// exposes the cache: hits pull p50 toward zero while cold solves set p99.
+///
+/// The report serializes to the JSON tracked as BENCH_serve.json at the
+/// repo root (`nocmap serve-bench`; schema in docs/serving.md). All fields
+/// except the *_ms / *_rps timing measurements are deterministic in
+/// (options, seed) — `results_digest` in particular hashes every response's
+/// cost bits, assignment and Served label in request order, and must be
+/// identical for any --threads and, on an empty cache, for --bypass-cache
+/// vs the cold path. The serve CI leg diffs exactly that.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nocmap/serve/engine.hpp"
+
+namespace nocmap::serve {
+
+struct ServeBenchOptions {
+  /// `gen:` population spec (workload::SyntheticSpec grammar) supplying the
+  /// fresh applications. cores must fit the mesh.
+  std::string population = "apps=64,cores=8,seed=7";
+  std::uint32_t requests = 1000;
+  double dup_ratio = 0.35;   ///< P(request is a relabeled duplicate).
+  double near_ratio = 0.25;  ///< P(request is a perturbed near-duplicate).
+  std::uint32_t mesh_width = 3;
+  std::uint32_t mesh_height = 3;
+  std::uint32_t batch = 16;  ///< Requests per ServeEngine::serve() call.
+  std::uint64_t seed = 1;    ///< Drives the stream synthesis only.
+  /// Engine configuration (objective, method, cache capacity, bypass, warm
+  /// profile, threads, search seed).
+  ServeOptions serve;
+};
+
+struct ServeBenchReport {
+  // --- Configuration echo (deterministic) ----------------------------------
+  std::string population;  ///< Canonical spec of the population used.
+  std::uint32_t requests = 0;
+  double dup_ratio = 0.0;
+  double near_ratio = 0.0;
+  std::uint32_t mesh_width = 0;
+  std::uint32_t mesh_height = 0;
+  std::uint32_t batch = 0;
+  std::uint32_t threads = 0;
+  std::uint64_t seed = 0;
+  std::string objective;  ///< "cwm" | "cdcm".
+  bool bypass_cache = false;
+  std::uint64_t cache_capacity = 0;
+
+  // --- Serving outcome (deterministic) -------------------------------------
+  std::uint64_t cold = 0;
+  std::uint64_t exact_hits = 0;
+  std::uint64_t batch_hits = 0;
+  std::uint64_t warm_starts = 0;
+  double cache_hit_rate = 0.0;   ///< (exact_hits + batch_hits) / requests.
+  double warm_start_rate = 0.0;  ///< warm_starts / requests.
+  /// Order-sensitive hash of every response's (cost bits, assignment,
+  /// Served label): the determinism key the CI leg diffs.
+  std::uint64_t results_digest = 0;
+
+  // --- Timing (measured wall clock; never diffed) --------------------------
+  double p50_ms = 0.0;   ///< Per-request solve-latency percentiles.
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double total_wall_ms = 0.0;   ///< End-to-end replay time.
+  double throughput_rps = 0.0;  ///< requests / total wall seconds.
+  double cold_solve_ms = 0.0;   ///< Mean solve time of cold requests.
+  double warm_solve_ms = 0.0;   ///< Mean solve time of warm-started ones.
+  /// cold_solve_ms / warm_solve_ms (0 when either pool is empty): how much
+  /// faster a warm-started search finishes than a cold one.
+  double warm_speedup = 0.0;
+
+  /// Pretty-printed JSON ({"bench": "serve", "schema": 1, ...}).
+  std::string to_json() const;
+};
+
+/// Run the load test. Throws std::invalid_argument on malformed options
+/// (bad population spec, ratios outside [0,1] or summing above 1, zero
+/// requests, cores that cannot fit the mesh).
+ServeBenchReport run_serve_bench(const ServeBenchOptions& options = {});
+
+}  // namespace nocmap::serve

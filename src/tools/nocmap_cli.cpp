@@ -2,12 +2,13 @@
 /// The `nocmap` command-line driver.
 ///
 /// One binary wrapping the FRW exploration flow (core::Explorer) and the
-/// Table-1 workload suite behind four subcommands:
+/// Table-1 workload suite behind five subcommands:
 ///
-///   nocmap explore    optimize one workload under CWM and CDCM and compare
-///   nocmap bench      run the Table-1 suite, print Table-2-style ETR/ECS rows
-///   nocmap workloads  list the built-in workloads and their statistics
-///   nocmap sweep      repeat explore over a seed range and aggregate
+///   nocmap explore      optimize one workload under CWM and CDCM and compare
+///   nocmap bench        run the Table-1 suite, print Table-2-style ETR/ECS rows
+///   nocmap workloads    list the built-in workloads and their statistics
+///   nocmap sweep        repeat explore over a seed range and aggregate
+///   nocmap serve-bench  load-test the caching/warm-start serving engine
 ///
 /// Every subcommand renders through util::TextTable and switches to CSV with
 /// --csv, so results pipe straight into plotting scripts. Exit codes: 0 on
@@ -21,6 +22,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -55,6 +57,10 @@ Subcommands:
               Table-2-style ETR/ECS rows.
   workloads   List the built-in workloads (Table-1 statistics).
   sweep       Repeat explore over a range of seeds and aggregate.
+  serve-bench Replay a randomized request stream (with controllable
+              duplicate / near-duplicate ratios) through the canonical-form
+              caching, warm-starting serving engine and write latency /
+              throughput / cache statistics to BENCH_serve.json.
 
 Global:
   -h, --help     Show this message (or subcommand help after a subcommand).
@@ -136,7 +142,62 @@ Options:
                     (--backend flit) credit | onoff (default: credit).
   --switching NAME  (--backend flit) wormhole | vct (default: wormhole;
                     vct needs --buffer-depth >= the largest packet).
+  --seed-mapping FILE
+                    Warm-start the search from the mapping in FILE:
+                    whitespace- or comma-separated tile ids (# starts a
+                    line comment), one per core
+                    (core i starts on the i-th tile listed). The ids must
+                    be distinct, in range, and exactly one per application
+                    core — anything else is rejected. Every method except
+                    es is seeded (es enumerates everything); compare()
+                    still reseeds the CDCM half with the CWM winner unless
+                    --no-seed-cdcm.
   --csv             Emit CSV instead of aligned text tables.
+  -h, --help        Show this message.
+)";
+
+constexpr const char* kServeBenchUsage =
+    R"(Usage: nocmap serve-bench [options]
+
+Load-test the mapping-as-a-service engine (docs/serving.md): synthesize a
+randomized request stream from a gen:SPEC population with a controllable
+mix of exact duplicates (relabeled cores) and near-duplicates (relabeled +
+payload-perturbed), replay it in batches through the canonical-form result
+cache with warm-started search, and report latency percentiles, throughput,
+cache hit rates and the warm-start speedup. The JSON report is written to
+--out (default BENCH_serve.json; schema in docs/serving.md).
+
+All report fields except wall-clock timings are deterministic in the
+options: `results_digest` is byte-identical for any --threads, and — when
+every request is unique or the cache is empty — identical between
+--bypass-cache and the default cold path.
+
+Options:
+  --population SPEC Synthetic population supplying fresh applications
+                    (workload gen: grammar, e.g. "apps=64,cores=8,seed=7";
+                    default exactly that). Cores must fit the mesh.
+  --requests N      Stream length (default: 1000).
+  --dup-ratio X     Fraction of requests that are relabeled duplicates of
+                    earlier ones (default: 0.35).
+  --near-ratio X    Fraction that are relabeled + payload-perturbed
+                    near-duplicates (default: 0.25). dup + near <= 1.
+  --mesh WxH        Target NoC size (default: 3x3).
+  --batch N         Requests per serving batch (default: 16).
+  --threads N       Worker threads solving a batch's unique jobs
+                    (default: 1). Purely a throughput knob.
+  --seed N          Stream-synthesis and search seed (default: 1).
+  --objective NAME  cwm | cdcm (default: cwm — the cheap objective keeps
+                    the 1000-request replay fast; cdcm load-tests the
+                    full wormhole-simulation path).
+  --method NAME     auto | sa | bnb | portfolio (default: sa). es is
+                    rejected: exhaustive search ignores warm starts.
+  --cache-capacity N
+                    LRU capacity in cached results (default: 4096).
+  --bypass-cache    Solve every request cold; the cache is neither read
+                    nor written (the byte-identity baseline the CI leg
+                    diffs against).
+  --out PATH        Report path (default: BENCH_serve.json).
+  --csv             Emit the summary table as CSV.
   -h, --help        Show this message.
 )";
 
@@ -440,8 +501,43 @@ struct RunOptions {
   std::uint64_t time_budget_ms = 0;
   std::uint64_t num_seeds = 5;            // sweep only
   bool seeds_set = false;                 // sweep only
+  /// explore only: warm-start mapping file (--seed-mapping).
+  std::optional<std::string> seed_mapping_path;
   bool csv = false;
 };
+
+/// Parse a --seed-mapping file: whitespace- or comma-separated tile ids,
+/// one per core. Count/range/injectivity are validated by the Explorer,
+/// which knows the application and topology.
+std::vector<noc::TileId> load_seed_mapping(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw UsageError("--seed-mapping: cannot read '" + path + "'");
+  std::vector<noc::TileId> tiles;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip `#` line comments, then accept whitespace or comma separators.
+    line = line.substr(0, line.find('#'));
+    std::istringstream ls(line);
+    std::string token;
+    while (ls >> token) {
+      std::istringstream ts(token);
+      std::string item;
+      while (std::getline(ts, item, ',')) {
+        if (item.empty()) continue;
+        const std::uint64_t v = parse_u64("--seed-mapping", item);
+        if (v > std::numeric_limits<noc::TileId>::max()) {
+          throw UsageError("--seed-mapping: tile id " + item +
+                           " out of range");
+        }
+        tiles.push_back(static_cast<noc::TileId>(v));
+      }
+    }
+  }
+  if (tiles.empty()) {
+    throw UsageError("--seed-mapping: '" + path + "' contains no tile ids");
+  }
+  return tiles;
+}
 
 /// Parse argv[2..] for a subcommand. `usage` is printed for -h/--help;
 /// `allowed` is the set of flags this subcommand actually consumes — anything
@@ -551,6 +647,8 @@ RunOptions parse_run_options(int argc, char** argv, const char* usage,
       if (opts.time_budget_ms == 0 || opts.time_budget_ms > 86'400'000) {
         throw UsageError("--time-budget expects milliseconds in [1, 86,400,000]");
       }
+    } else if (a == "--seed-mapping") {
+      opts.seed_mapping_path = value(i, a);
     } else if (a == "--out") {
       opts.out_path = value(i, a);
     } else if (a == "--noc") {
@@ -731,6 +829,9 @@ core::ExplorerOptions explorer_options(const RunOptions& opts,
   eo.switching = opts.switching;
   if (opts.bnb_nodes != 0) eo.bnb.max_nodes = opts.bnb_nodes;
   eo.time_budget_ms = static_cast<double>(opts.time_budget_ms);
+  if (opts.seed_mapping_path) {
+    eo.seed_assignment = load_seed_mapping(*opts.seed_mapping_path);
+  }
   return eo;
 }
 
@@ -1077,6 +1178,133 @@ int cmd_bench(const RunOptions& opts) {
                    fmt.percent(cmp.energy_saving())});
   }
   print_table(table, opts.csv);
+  return 0;
+}
+
+double parse_ratio(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size() || !(v >= 0.0) || !(v <= 1.0)) {
+      throw std::invalid_argument(value);
+    }
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError(flag + " expects a fraction in [0, 1], got '" + value +
+                     "'");
+  }
+}
+
+int cmd_serve_bench(int argc, char** argv) {
+  serve::ServeBenchOptions options;
+  options.serve.explorer.tech = energy::technology_0_07u();
+  options.serve.explorer.method = core::SearchMethod::kSimulatedAnnealing;
+  options.serve.objective = serve::Objective::kCwm;
+  std::string out_path = "BENCH_serve.json";
+  bool csv = false;
+
+  auto value = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) throw UsageError(flag + " expects a value");
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-h" || a == "--help") {
+      std::cout << kServeBenchUsage;
+      return 0;
+    } else if (a == "--population") {
+      options.population = value(i, a);
+    } else if (a == "--requests") {
+      options.requests =
+          static_cast<std::uint32_t>(parse_u64(a, value(i, a)));
+      if (options.requests == 0 || options.requests > 10'000'000) {
+        throw UsageError("--requests must be in [1, 10,000,000]");
+      }
+    } else if (a == "--dup-ratio") {
+      options.dup_ratio = parse_ratio(a, value(i, a));
+    } else if (a == "--near-ratio") {
+      options.near_ratio = parse_ratio(a, value(i, a));
+    } else if (a == "--mesh") {
+      const auto wh = parse_mesh(a, value(i, a));
+      options.mesh_width = wh.first;
+      options.mesh_height = wh.second;
+    } else if (a == "--batch") {
+      options.batch = static_cast<std::uint32_t>(parse_u64(a, value(i, a)));
+      if (options.batch == 0 || options.batch > 1'000'000) {
+        throw UsageError("--batch must be in [1, 1,000,000]");
+      }
+    } else if (a == "--threads") {
+      const std::uint64_t t = parse_u64(a, value(i, a));
+      if (t == 0 || t > 1024) throw UsageError("--threads must be in [1, 1024]");
+      options.serve.threads = static_cast<std::uint32_t>(t);
+    } else if (a == "--seed") {
+      options.seed = parse_u64(a, value(i, a));
+      options.serve.explorer.seed = options.seed;
+    } else if (a == "--objective") {
+      const std::string v = value(i, a);
+      if (v == "cwm") {
+        options.serve.objective = serve::Objective::kCwm;
+      } else if (v == "cdcm") {
+        options.serve.objective = serve::Objective::kCdcm;
+      } else {
+        throw UsageError("--objective expects cwm | cdcm, got '" + v + "'");
+      }
+    } else if (a == "--method") {
+      options.serve.explorer.method = parse_method(value(i, a));
+      if (options.serve.explorer.method == core::SearchMethod::kExhaustive) {
+        throw UsageError(
+            "serve-bench --method es is not supported: exhaustive search "
+            "ignores warm starts");
+      }
+    } else if (a == "--cache-capacity") {
+      options.serve.cache_capacity =
+          static_cast<std::size_t>(parse_u64(a, value(i, a)));
+      if (options.serve.cache_capacity == 0) {
+        throw UsageError("--cache-capacity must be >= 1");
+      }
+    } else if (a == "--bypass-cache") {
+      options.serve.bypass_cache = true;
+    } else if (a == "--out") {
+      out_path = value(i, a);
+    } else if (a == "--csv") {
+      csv = true;
+    } else {
+      throw UsageError("option '" + a +
+                       "' is not valid for `nocmap serve-bench`");
+    }
+  }
+  if (options.dup_ratio + options.near_ratio > 1.0) {
+    throw UsageError("--dup-ratio + --near-ratio must be at most 1");
+  }
+
+  const serve::ServeBenchReport report = serve::run_serve_bench(options);
+
+  Fmt fmt(csv);
+  util::TextTable table({"Metric", "Value"});
+  table.set_title("nocmap serve-bench — " + report.population + " on " +
+                  std::to_string(report.mesh_width) + "x" +
+                  std::to_string(report.mesh_height) + ", " +
+                  std::to_string(report.requests) + " requests");
+  table.add_row({"cold solves", fmt.count(report.cold)});
+  table.add_row({"exact hits", fmt.count(report.exact_hits)});
+  table.add_row({"batch hits", fmt.count(report.batch_hits)});
+  table.add_row({"warm starts", fmt.count(report.warm_starts)});
+  table.add_row({"cache hit rate", fmt.percent(report.cache_hit_rate)});
+  table.add_row({"warm-start rate", fmt.percent(report.warm_start_rate)});
+  table.add_row({"p50 latency (ms)", util::format_fixed(report.p50_ms, 3)});
+  table.add_row({"p95 latency (ms)", util::format_fixed(report.p95_ms, 3)});
+  table.add_row({"p99 latency (ms)", util::format_fixed(report.p99_ms, 3)});
+  table.add_row(
+      {"throughput (req/s)", util::format_fixed(report.throughput_rps, 1)});
+  table.add_row(
+      {"warm-start speedup", util::format_fixed(report.warm_speedup, 2)});
+  table.add_row({"results digest", std::to_string(report.results_digest)});
+  print_table(table, csv);
+
+  std::ofstream out(out_path);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+  out << report.to_json();
+  std::cerr << "wrote " << out_path << "\n";
   return 0;
 }
 
@@ -1472,8 +1700,12 @@ int main(int argc, char** argv) {
         "--threads",  "--chains",        "--cost",  "--hybrid-cadence",
         "--backend",  "--buffer-depth",  "--flow-control", "--switching"};
     if (sub == "explore") {
-      return cmd_explore(
-          parse_run_options(argc, argv, kExploreUsage, explore_flags));
+      std::vector<std::string> flags = explore_flags;
+      flags.push_back("--seed-mapping");
+      return cmd_explore(parse_run_options(argc, argv, kExploreUsage, flags));
+    }
+    if (sub == "serve-bench") {
+      return cmd_serve_bench(argc, argv);
     }
     if (sub == "bench") {
       return cmd_bench(parse_run_options(

@@ -1,0 +1,190 @@
+// Cooperative cancellation (search/cancel.hpp) contract tests: a cancelled
+// run returns the incumbent at the last completed step and is reproducible
+// via the equivalent deterministic budget — the recorded-cut idea the serve
+// engine's cancellation story relies on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "nocmap/energy/technology.hpp"
+#include "nocmap/mapping/cost.hpp"
+#include "nocmap/mapping/mapping.hpp"
+#include "nocmap/noc/mesh.hpp"
+#include "nocmap/search/branch_and_bound.hpp"
+#include "nocmap/search/cancel.hpp"
+#include "nocmap/search/greedy.hpp"
+#include "nocmap/search/portfolio.hpp"
+#include "nocmap/search/simulated_annealing.hpp"
+#include "nocmap/util/rng.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+
+namespace nocmap::search {
+namespace {
+
+struct Fixture {
+  noc::Mesh mesh{3, 3};
+  energy::Technology tech = energy::technology_0_07u();
+  graph::Cdcg cdcg;
+  graph::Cwg cwg;
+
+  Fixture() {
+    workload::RandomCdcgParams params;
+    params.num_cores = 8;
+    params.num_packets = 32;
+    params.total_bits = 3200;
+    util::Rng rng(17);
+    cdcg = workload::generate_random_cdcg(params, rng);
+    cwg = cdcg.to_cwg();
+  }
+
+  mapping::CwmCost cost() const { return {cwg, mesh, tech}; }
+};
+
+TEST(CancellationTest, TokenCountdownTriggersOnTheNthPoll) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel_after_polls(3);
+  EXPECT_FALSE(token.cancelled());  // Poll 1.
+  EXPECT_FALSE(token.cancelled());  // Poll 2.
+  EXPECT_TRUE(token.cancelled());   // Poll 3 observes the cancellation...
+  EXPECT_TRUE(token.cancelled());   // ...and it latches.
+
+  CancelToken raised;
+  raised.request_cancel();
+  EXPECT_TRUE(raised.cancelled());
+}
+
+TEST(CancellationTest, CancelledSaChainReplaysBitwiseViaItsMoveCheckpoint) {
+  const Fixture f;
+  const mapping::CwmCost cost = f.cost();
+
+  // Cancel mid-run: the 4th temperature-step poll observes the token.
+  CancelToken token;
+  token.cancel_after_polls(4);
+  SaOptions cancelled_opts;
+  cancelled_opts.cancel = &token;
+  util::Rng rng_a(5);
+  SaChain cancelled(cost, f.mesh, rng_a, cancelled_opts);
+  while (cancelled.step()) {
+  }
+  ASSERT_TRUE(cancelled.budget_cut());
+  const std::uint64_t checkpoint = cancelled.moves_priced();
+  ASSERT_GT(checkpoint, 0u);
+
+  // Replaying with max_moves = the recorded checkpoint reproduces the
+  // cancelled run bit for bit.
+  SaOptions replay_opts;
+  replay_opts.max_moves = checkpoint;
+  util::Rng rng_b(5);
+  SaChain replay(cost, f.mesh, rng_b, replay_opts);
+  while (replay.step()) {
+  }
+  EXPECT_TRUE(replay.budget_cut());
+  EXPECT_EQ(replay.moves_priced(), checkpoint);
+  EXPECT_EQ(replay.result().best_cost, cancelled.result().best_cost);
+  EXPECT_EQ(replay.result().evaluations, cancelled.result().evaluations);
+  for (graph::CoreId c = 0; c < f.cdcg.num_cores(); ++c) {
+    EXPECT_EQ(replay.result().best.tile_of(c),
+              cancelled.result().best.tile_of(c));
+  }
+
+  // An uncancelled chain with the same seed runs longer.
+  SaOptions free_opts;
+  util::Rng rng_c(5);
+  SaChain free_chain(cost, f.mesh, rng_c, free_opts);
+  while (free_chain.step()) {
+  }
+  EXPECT_FALSE(free_chain.budget_cut());
+  EXPECT_GT(free_chain.moves_priced(), checkpoint);
+}
+
+TEST(CancellationTest, BnbCancelAtKthPollEqualsNodeBudgetKMinus1) {
+  const Fixture f;
+  const mapping::CwmCost cost = f.cost();
+  const mapping::Mapping incumbent = greedy_mapping(f.cwg, f.mesh);
+
+  // The fixture's tree exhausts after ~300 node tests under this incumbent,
+  // so the cut must land well before that for cancellation to be observable.
+  constexpr std::uint64_t kPoll = 120;
+  CancelToken token;
+  token.cancel_after_polls(kPoll);
+  BnbOptions cancelled_opts;
+  cancelled_opts.seed_with_sa = false;  // Only node tests poll the token.
+  cancelled_opts.incumbent = &incumbent;
+  cancelled_opts.cancel = &token;
+  const SearchResult cancelled = branch_and_bound(cost, f.mesh,
+                                                  cancelled_opts);
+  EXPECT_FALSE(cancelled.exhausted);
+
+  BnbOptions budget_opts;
+  budget_opts.seed_with_sa = false;
+  budget_opts.incumbent = &incumbent;
+  budget_opts.max_nodes = kPoll - 1;
+  const SearchResult budgeted = branch_and_bound(cost, f.mesh, budget_opts);
+  EXPECT_FALSE(budgeted.exhausted);
+
+  EXPECT_EQ(cancelled.best_cost, budgeted.best_cost);
+  EXPECT_EQ(cancelled.nodes_tested, budgeted.nodes_tested);
+  EXPECT_EQ(cancelled.nodes_visited, budgeted.nodes_visited);
+  for (graph::CoreId c = 0; c < f.cdcg.num_cores(); ++c) {
+    EXPECT_EQ(cancelled.best.tile_of(c), budgeted.best.tile_of(c));
+  }
+}
+
+TEST(CancellationTest, PreCancelledBnbReturnsTheSeededIncumbent) {
+  const Fixture f;
+  const mapping::CwmCost cost = f.cost();
+  const mapping::Mapping incumbent = greedy_mapping(f.cwg, f.mesh);
+
+  CancelToken token;
+  token.request_cancel();
+  BnbOptions opts;
+  opts.seed_with_sa = false;
+  opts.incumbent = &incumbent;
+  opts.cancel = &token;
+  const SearchResult result = branch_and_bound(cost, f.mesh, opts);
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_EQ(result.best_cost, cost.cost(incumbent));
+  for (graph::CoreId c = 0; c < f.cdcg.num_cores(); ++c) {
+    EXPECT_EQ(result.best.tile_of(c), incumbent.tile_of(c));
+  }
+}
+
+TEST(CancellationTest, PreCancelledPortfolioIsThreadCountInvariant) {
+  const Fixture f;
+  const mapping::Mapping initial = greedy_mapping(f.cwg, f.mesh);
+  const double initial_cost = f.cost().cost(initial);
+
+  std::vector<PortfolioResult> results;
+  for (const std::uint32_t threads : {1u, 4u}) {
+    CancelToken token;
+    token.request_cancel();
+    PortfolioOptions opts;
+    opts.threads = threads;
+    opts.initial = &initial;
+    opts.cancel = &token;
+    opts.sa.max_steps = 30;
+    opts.bnb_nodes = 2000;
+    const auto make_cost = [&f]() {
+      return std::make_unique<mapping::CwmCost>(f.cwg, f.mesh, f.tech);
+    };
+    results.push_back(portfolio(make_cost, f.cwg, f.mesh,
+                                noc::RoutingAlgorithm::kXY, opts));
+  }
+  for (const PortfolioResult& r : results) {
+    EXPECT_TRUE(r.budget_cut);
+    // Never worse than the shared starting incumbent.
+    EXPECT_LE(r.best.best_cost, initial_cost);
+  }
+  EXPECT_EQ(results[0].best.best_cost, results[1].best.best_cost);
+  EXPECT_EQ(results[0].winner, results[1].winner);
+  for (graph::CoreId c = 0; c < f.cdcg.num_cores(); ++c) {
+    EXPECT_EQ(results[0].best.best.tile_of(c),
+              results[1].best.best.tile_of(c));
+  }
+}
+
+}  // namespace
+}  // namespace nocmap::search

@@ -1,0 +1,186 @@
+// Property tests for the canonical-form machinery (serve/canonical.hpp):
+// relabeling invariance of the canonical graph and both hashes, exactness of
+// the mapping translation (bitwise-identical CDCM cost), and the family
+// (structure-only) equivalence behind warm starts.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nocmap/mapping/cost.hpp"
+#include "nocmap/mapping/mapping.hpp"
+#include "nocmap/noc/mesh.hpp"
+#include "nocmap/search/greedy.hpp"
+#include "nocmap/serve/canonical.hpp"
+#include "nocmap/util/rng.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+
+namespace nocmap::serve {
+namespace {
+
+graph::Cdcg random_cdcg(std::uint64_t seed, std::uint32_t cores = 8,
+                        std::uint32_t packets = 32) {
+  workload::RandomCdcgParams params;
+  params.num_cores = cores;
+  params.num_packets = packets;
+  params.total_bits = 64ULL * packets;
+  util::Rng rng(seed);
+  return workload::generate_random_cdcg(params, rng);
+}
+
+/// Core c of `cdcg` becomes core perm[c]; packet/dependence order is kept.
+graph::Cdcg relabel(const graph::Cdcg& cdcg,
+                    const std::vector<std::size_t>& perm) {
+  graph::Cdcg out;
+  for (graph::CoreId c = 0; c < cdcg.num_cores(); ++c) {
+    out.add_core("x" + std::to_string(c));
+  }
+  for (graph::PacketId id = 0; id < cdcg.num_packets(); ++id) {
+    const graph::Packet& p = cdcg.packet(id);
+    out.add_packet(static_cast<graph::CoreId>(perm[p.src]),
+                   static_cast<graph::CoreId>(perm[p.dst]), p.comp_time,
+                   p.bits);
+  }
+  for (graph::PacketId id = 0; id < cdcg.num_packets(); ++id) {
+    for (const graph::PacketId s : cdcg.successors(id)) {
+      out.add_dependence(id, s);
+    }
+  }
+  return out;
+}
+
+graph::Cdcg scale_payloads(const graph::Cdcg& cdcg, std::uint64_t bits_mul,
+                           std::uint64_t comp_add) {
+  graph::Cdcg out;
+  for (graph::CoreId c = 0; c < cdcg.num_cores(); ++c) {
+    out.add_core("y" + std::to_string(c));
+  }
+  for (graph::PacketId id = 0; id < cdcg.num_packets(); ++id) {
+    const graph::Packet& p = cdcg.packet(id);
+    out.add_packet(p.src, p.dst, p.comp_time + comp_add, p.bits * bits_mul);
+  }
+  for (graph::PacketId id = 0; id < cdcg.num_packets(); ++id) {
+    for (const graph::PacketId s : cdcg.successors(id)) {
+      out.add_dependence(id, s);
+    }
+  }
+  return out;
+}
+
+TEST(CanonicalTest, RelabelingIsInvisibleToTheCanonicalForm) {
+  util::Rng rng(11);
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    const graph::Cdcg original = random_cdcg(100 + trial);
+    const CanonicalForm a = canonicalize(original);
+    const graph::Cdcg shuffled =
+        relabel(original, rng.permutation(original.num_cores()));
+    const CanonicalForm b = canonicalize(shuffled);
+
+    EXPECT_EQ(a.exact_hash, b.exact_hash);
+    EXPECT_EQ(a.family_hash, b.family_hash);
+    EXPECT_TRUE(canonical_equal(a.canonical, b.canonical));
+    EXPECT_TRUE(family_equal(a.canonical, b.canonical));
+  }
+}
+
+TEST(CanonicalTest, PermutationsAreInverseBijections) {
+  const graph::Cdcg cdcg = random_cdcg(7);
+  const CanonicalForm form = canonicalize(cdcg);
+  ASSERT_EQ(form.canon_of_core.size(), cdcg.num_cores());
+  ASSERT_EQ(form.core_of_canon.size(), cdcg.num_cores());
+  for (graph::CoreId c = 0; c < cdcg.num_cores(); ++c) {
+    EXPECT_EQ(form.core_of_canon[form.canon_of_core[c]], c);
+    EXPECT_EQ(form.canon_of_core[form.core_of_canon[c]], c);
+  }
+}
+
+TEST(CanonicalTest, TranslatedMappingHasBitwiseIdenticalCdcmCost) {
+  const noc::Mesh mesh(3, 3);
+  const energy::Technology tech = energy::technology_0_07u();
+  util::Rng rng(23);
+  for (std::uint64_t trial = 0; trial < 5; ++trial) {
+    const graph::Cdcg original = random_cdcg(40 + trial);
+    const std::vector<std::size_t> perm =
+        rng.permutation(original.num_cores());
+    const graph::Cdcg shuffled = relabel(original, perm);
+    const CanonicalForm fa = canonicalize(original);
+    const CanonicalForm fb = canonicalize(shuffled);
+    ASSERT_EQ(fa.exact_hash, fb.exact_hash);
+
+    // Solve the original (greedy is deterministic), express the mapping in
+    // canonical labels, then translate into the relabeled instance.
+    const mapping::Mapping ma =
+        search::greedy_mapping(original.to_cwg(), mesh);
+    std::vector<noc::TileId> canon(original.num_cores());
+    for (graph::CoreId c = 0; c < original.num_cores(); ++c) {
+      canon[fa.canon_of_core[c]] = ma.tile_of(c);
+    }
+    std::vector<noc::TileId> translated(shuffled.num_cores());
+    for (graph::CoreId c = 0; c < shuffled.num_cores(); ++c) {
+      translated[c] = canon[fb.canon_of_core[c]];
+    }
+    const mapping::Mapping mb =
+        mapping::Mapping::from_assignment(mesh, translated);
+
+    // The CDCM schedule sees identical packets on identical tiles, so the
+    // simulated cost is the same double, bit for bit.
+    const mapping::CdcmCost cost_a(original, mesh, tech);
+    const mapping::CdcmCost cost_b(shuffled, mesh, tech);
+    EXPECT_EQ(cost_a.cost(ma), cost_b.cost(mb));
+  }
+}
+
+TEST(CanonicalTest, PayloadChangesKeepTheFamilyButNotTheInstance) {
+  const graph::Cdcg original = random_cdcg(9);
+  const graph::Cdcg perturbed = scale_payloads(original, 3, 2);
+  const CanonicalForm a = canonicalize(original);
+  const CanonicalForm b = canonicalize(perturbed);
+
+  EXPECT_NE(a.exact_hash, b.exact_hash);
+  EXPECT_EQ(a.family_hash, b.family_hash);
+  EXPECT_FALSE(canonical_equal(a.canonical, b.canonical));
+  EXPECT_TRUE(family_equal(a.canonical, b.canonical));
+  // Family members share canonical labels — the warm-start translation
+  // contract.
+  EXPECT_EQ(a.canon_of_core, b.canon_of_core);
+}
+
+TEST(CanonicalTest, DifferentStructuresGetDifferentHashes) {
+  const CanonicalForm a = canonicalize(random_cdcg(1));
+  const CanonicalForm b = canonicalize(random_cdcg(2));
+  EXPECT_NE(a.exact_hash, b.exact_hash);
+  EXPECT_NE(a.family_hash, b.family_hash);
+  EXPECT_FALSE(canonical_equal(a.canonical, b.canonical));
+}
+
+TEST(CanonicalTest, TrafficFreeCoresAreAppendedDeterministically) {
+  graph::Cdcg with_idle = random_cdcg(5, 6, 24);
+  with_idle.add_core("idle-a");
+  with_idle.add_core("idle-b");
+  const CanonicalForm form = canonicalize(with_idle);
+  // The idle cores occupy the last canonical slots in index order.
+  EXPECT_EQ(form.canon_of_core[6], 6u);
+  EXPECT_EQ(form.canon_of_core[7], 7u);
+  EXPECT_EQ(form.canonical.num_cores(), 8u);
+}
+
+TEST(CanonicalTest, RefinementHashIsRelabelingInvariant) {
+  util::Rng rng(31);
+  const graph::Cdcg original = random_cdcg(77);
+  const graph::Cdcg shuffled =
+      relabel(original, rng.permutation(original.num_cores()));
+  const graph::Cwg cwg_a = original.to_cwg();
+  const graph::Cwg cwg_b = shuffled.to_cwg();
+
+  EXPECT_EQ(cwg_refinement_hash(cwg_a, true), cwg_refinement_hash(cwg_b, true));
+  EXPECT_EQ(cwg_refinement_hash(cwg_a, false),
+            cwg_refinement_hash(cwg_b, false));
+  // A payload change flips the weighted digest but not the unweighted one.
+  const graph::Cwg scaled = scale_payloads(original, 2, 0).to_cwg();
+  EXPECT_NE(cwg_refinement_hash(cwg_a, true), cwg_refinement_hash(scaled, true));
+  EXPECT_EQ(cwg_refinement_hash(cwg_a, false),
+            cwg_refinement_hash(scaled, false));
+}
+
+}  // namespace
+}  // namespace nocmap::serve

@@ -1,0 +1,171 @@
+// Unit tests for the canonical-form LRU result cache: hit/miss counters,
+// verify-on-hit, family lookups, in-place improvement, and bounded eviction.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nocmap/serve/canonical.hpp"
+#include "nocmap/serve/result_cache.hpp"
+#include "nocmap/util/rng.hpp"
+#include "nocmap/workload/random_cdcg.hpp"
+
+namespace nocmap::serve {
+namespace {
+
+graph::Cdcg random_cdcg(std::uint64_t seed) {
+  workload::RandomCdcgParams params;
+  params.num_cores = 6;
+  params.num_packets = 20;
+  params.total_bits = 2000;
+  util::Rng rng(seed);
+  return workload::generate_random_cdcg(params, rng);
+}
+
+graph::Cdcg scale_payloads(const graph::Cdcg& cdcg, std::uint64_t bits_mul) {
+  graph::Cdcg out;
+  for (graph::CoreId c = 0; c < cdcg.num_cores(); ++c) {
+    out.add_core("z" + std::to_string(c));
+  }
+  for (graph::PacketId id = 0; id < cdcg.num_packets(); ++id) {
+    const graph::Packet& p = cdcg.packet(id);
+    out.add_packet(p.src, p.dst, p.comp_time, p.bits * bits_mul);
+  }
+  for (graph::PacketId id = 0; id < cdcg.num_packets(); ++id) {
+    for (const graph::PacketId s : cdcg.successors(id)) {
+      out.add_dependence(id, s);
+    }
+  }
+  return out;
+}
+
+std::vector<noc::TileId> assignment_of(const graph::Cdcg& cdcg,
+                                       noc::TileId base) {
+  std::vector<noc::TileId> a(cdcg.num_cores());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = base + static_cast<noc::TileId>(i);
+  }
+  return a;
+}
+
+const std::string kCtx = "v1|test-context";
+
+TEST(ResultCacheTest, MissThenInsertThenExactHit) {
+  ResultCache cache(8);
+  const graph::Cdcg cdcg = random_cdcg(1);
+  const CanonicalForm form = canonicalize(cdcg);
+
+  EXPECT_FALSE(cache.find_exact(form, kCtx).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  cache.insert(form, kCtx, assignment_of(cdcg, 0), 3.5);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+
+  const std::optional<CachedResult> hit = cache.find_exact(form, kCtx);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->cost_j, 3.5);
+  EXPECT_EQ(hit->canon_assignment, assignment_of(cdcg, 0));
+  EXPECT_EQ(cache.stats().exact_hits, 1u);
+}
+
+TEST(ResultCacheTest, ContextSeparatesOtherwiseIdenticalEntries) {
+  ResultCache cache(8);
+  const graph::Cdcg cdcg = random_cdcg(2);
+  const CanonicalForm form = canonicalize(cdcg);
+  cache.insert(form, kCtx, assignment_of(cdcg, 0), 1.0);
+
+  EXPECT_FALSE(cache.find_exact(form, "v1|other-context").has_value());
+  EXPECT_TRUE(cache.find_exact(form, kCtx).has_value());
+}
+
+TEST(ResultCacheTest, FamilyLookupServesPayloadPerturbedTwin) {
+  ResultCache cache(8);
+  const graph::Cdcg base = random_cdcg(3);
+  const graph::Cdcg twin = scale_payloads(base, 5);
+  const CanonicalForm base_form = canonicalize(base);
+  const CanonicalForm twin_form = canonicalize(twin);
+  ASSERT_NE(base_form.exact_hash, twin_form.exact_hash);
+  ASSERT_EQ(base_form.family_hash, twin_form.family_hash);
+
+  cache.insert(base_form, kCtx, assignment_of(base, 2), 7.0);
+
+  // No exact entry for the twin, but its family has one.
+  EXPECT_FALSE(cache.find_exact(twin_form, kCtx).has_value());
+  const std::optional<CachedResult> warm = cache.find_family(twin_form, kCtx);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(warm->canon_assignment, assignment_of(base, 2));
+  EXPECT_EQ(cache.stats().family_hits, 1u);
+}
+
+TEST(ResultCacheTest, FamilyLookupPrefersTheCheapestMember) {
+  ResultCache cache(8);
+  const graph::Cdcg base = random_cdcg(4);
+  const graph::Cdcg twin = scale_payloads(base, 2);
+  const graph::Cdcg probe = scale_payloads(base, 3);
+  cache.insert(canonicalize(base), kCtx, assignment_of(base, 0), 9.0);
+  cache.insert(canonicalize(twin), kCtx, assignment_of(twin, 4), 2.0);
+
+  const std::optional<CachedResult> warm =
+      cache.find_family(canonicalize(probe), kCtx);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(warm->cost_j, 2.0);
+  EXPECT_EQ(warm->canon_assignment, assignment_of(twin, 4));
+}
+
+TEST(ResultCacheTest, InsertImprovesInPlaceAndIgnoresWorseResults) {
+  ResultCache cache(8);
+  const graph::Cdcg cdcg = random_cdcg(5);
+  const CanonicalForm form = canonicalize(cdcg);
+
+  cache.insert(form, kCtx, assignment_of(cdcg, 0), 5.0);
+  cache.insert(form, kCtx, assignment_of(cdcg, 8), 9.0);  // Worse: dropped.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find_exact(form, kCtx)->cost_j, 5.0);
+
+  cache.insert(form, kCtx, assignment_of(cdcg, 4), 1.0);  // Better: kept.
+  EXPECT_EQ(cache.size(), 1u);
+  const std::optional<CachedResult> hit = cache.find_exact(form, kCtx);
+  EXPECT_EQ(hit->cost_j, 1.0);
+  EXPECT_EQ(hit->canon_assignment, assignment_of(cdcg, 4));
+  EXPECT_EQ(cache.stats().updates, 1u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+TEST(ResultCacheTest, LruEvictionKeepsTheRecentlyUsed) {
+  ResultCache cache(2);
+  const graph::Cdcg a = random_cdcg(10);
+  const graph::Cdcg b = random_cdcg(11);
+  const graph::Cdcg c = random_cdcg(12);
+  const CanonicalForm fa = canonicalize(a);
+  const CanonicalForm fb = canonicalize(b);
+  const CanonicalForm fc = canonicalize(c);
+
+  cache.insert(fa, kCtx, assignment_of(a, 0), 1.0);
+  cache.insert(fb, kCtx, assignment_of(b, 0), 2.0);
+  // Touch `a` so `b` is the LRU victim when `c` arrives.
+  EXPECT_TRUE(cache.find_exact(fa, kCtx).has_value());
+  cache.insert(fc, kCtx, assignment_of(c, 0), 3.0);
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.find_exact(fa, kCtx).has_value());
+  EXPECT_TRUE(cache.find_exact(fc, kCtx).has_value());
+  EXPECT_FALSE(cache.find_exact(fb, kCtx).has_value());
+}
+
+TEST(ResultCacheTest, CapacityIsRespected) {
+  ResultCache cache(3);
+  EXPECT_EQ(cache.capacity(), 3u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const graph::Cdcg g = random_cdcg(100 + i);
+    cache.insert(canonicalize(g), kCtx, assignment_of(g, 0), 1.0);
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 7u);
+}
+
+}  // namespace
+}  // namespace nocmap::serve

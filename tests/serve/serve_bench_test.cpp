@@ -1,0 +1,112 @@
+// Load-test harness tests: deterministic stream synthesis, the cache hit
+// guarantees a duplicate-heavy stream earns, thread-count and bypass digest
+// contracts, option validation, and the JSON shape of the report.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "nocmap/serve/serve_bench.hpp"
+
+namespace nocmap::serve {
+namespace {
+
+/// Small but duplicate-heavy configuration (CWM keeps the solves fast).
+ServeBenchOptions quick_options() {
+  ServeBenchOptions o;
+  o.population = "apps=6,cores=6,seed=3";
+  o.requests = 40;
+  o.dup_ratio = 0.4;
+  o.near_ratio = 0.2;
+  o.batch = 8;
+  o.seed = 11;
+  o.serve.objective = Objective::kCwm;
+  o.serve.explorer.method = core::SearchMethod::kSimulatedAnnealing;
+  o.serve.explorer.sa.max_steps = 30;
+  o.serve.explorer.sa.max_stale_steps = 5;
+  o.serve.explorer.seed = 5;
+  return o;
+}
+
+TEST(ServeBenchTest, DuplicateHeavyStreamHitsTheCache) {
+  const ServeBenchReport report = run_serve_bench(quick_options());
+  EXPECT_EQ(report.requests, 40u);
+  EXPECT_EQ(report.cold + report.exact_hits + report.batch_hits +
+                report.warm_starts,
+            40u);
+  EXPECT_GT(report.cache_hit_rate, 0.0);
+  EXPECT_GT(report.warm_starts, 0u);
+  EXPECT_NE(report.results_digest, 0u);
+}
+
+TEST(ServeBenchTest, DigestIsIdenticalAcrossThreadCounts) {
+  ServeBenchOptions a = quick_options();
+  a.serve.threads = 1;
+  ServeBenchOptions b = quick_options();
+  b.serve.threads = 4;
+  const ServeBenchReport ra = run_serve_bench(a);
+  const ServeBenchReport rb = run_serve_bench(b);
+  EXPECT_EQ(ra.results_digest, rb.results_digest);
+  EXPECT_EQ(ra.cold, rb.cold);
+  EXPECT_EQ(ra.exact_hits, rb.exact_hits);
+  EXPECT_EQ(ra.batch_hits, rb.batch_hits);
+  EXPECT_EQ(ra.warm_starts, rb.warm_starts);
+}
+
+TEST(ServeBenchTest, BypassMatchesColdPathOnAnAllFreshStream) {
+  ServeBenchOptions cold = quick_options();
+  cold.dup_ratio = 0.0;
+  cold.near_ratio = 0.0;
+  // The population must not wrap (a wrapped fresh draw repeats an earlier
+  // application verbatim, which the cold path would serve as an exact hit),
+  // so it must comfortably exceed the request count.
+  cold.population = "apps=80,cores=6,seed=3";
+  ServeBenchOptions bypass = cold;
+  bypass.serve.bypass_cache = true;
+  const ServeBenchReport rc = run_serve_bench(cold);
+  const ServeBenchReport rb = run_serve_bench(bypass);
+  EXPECT_EQ(rc.results_digest, rb.results_digest);
+  EXPECT_EQ(rb.exact_hits + rb.batch_hits + rb.warm_starts, 0u);
+}
+
+TEST(ServeBenchTest, RejectsMalformedOptions) {
+  ServeBenchOptions bad_ratio = quick_options();
+  bad_ratio.dup_ratio = 0.8;
+  bad_ratio.near_ratio = 0.5;  // Sum > 1.
+  EXPECT_THROW(run_serve_bench(bad_ratio), std::invalid_argument);
+
+  ServeBenchOptions negative = quick_options();
+  negative.dup_ratio = -0.1;
+  EXPECT_THROW(run_serve_bench(negative), std::invalid_argument);
+
+  ServeBenchOptions zero_requests = quick_options();
+  zero_requests.requests = 0;
+  EXPECT_THROW(run_serve_bench(zero_requests), std::invalid_argument);
+
+  ServeBenchOptions bad_spec = quick_options();
+  bad_spec.population = "gen:nonsense==";
+  EXPECT_THROW(run_serve_bench(bad_spec), std::invalid_argument);
+
+  ServeBenchOptions too_big = quick_options();
+  too_big.population = "apps=2,cores=64,seed=1";  // 64 cores on a 3x3 mesh.
+  EXPECT_THROW(run_serve_bench(too_big), std::invalid_argument);
+}
+
+TEST(ServeBenchTest, JsonReportHasTheSchemaFields) {
+  ServeBenchOptions o = quick_options();
+  o.requests = 10;
+  const std::string json = run_serve_bench(o).to_json();
+  for (const char* field :
+       {"\"bench\": \"serve\"", "\"schema\": 1", "\"population\"",
+        "\"requests\"", "\"dup_ratio\"", "\"near_ratio\"", "\"cold\"",
+        "\"exact_hits\"", "\"batch_hits\"", "\"warm_starts\"",
+        "\"cache_hit_rate\"", "\"warm_start_rate\"", "\"results_digest\"",
+        "\"p50_ms\"", "\"p95_ms\"", "\"p99_ms\"", "\"throughput_rps\"",
+        "\"warm_speedup\"", "\"objective\"", "\"bypass_cache\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+}  // namespace
+}  // namespace nocmap::serve
