@@ -101,6 +101,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--hybrid-cadence" && i + 1 < argc) {
       options.hybrid_cadence =
           static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--ckpt-interval" && i + 1 < argc) {
+      options.ckpt_interval = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (arg == "--bnb-nodes" && i + 1 < argc) {
       options.bnb_max_nodes =
           static_cast<std::uint64_t>(std::atoll(argv[++i]));
@@ -115,18 +117,21 @@ int main(int argc, char** argv) {
   const nocmap::core::EvalBenchReport report =
       nocmap::core::run_eval_bench(options);
 
-  std::printf("%-6s %12s %12s %12s %12s %12s %12s %9s %12s %12s %7s %10s %8s\n",
-              "noc", "cwm_legacy/s", "cwm_delta/s", "cdcm_1shot/s",
-              "cdcm_reuse/s", "cdcm_delta/s", "delta_spdup", "batch_Tx",
-              "cdcm_batchT/s", "hybrid/s", "allocs", "bnb_prune%", "bnb_done");
+  std::printf(
+      "%-6s %12s %12s %12s %12s %12s %12s %11s %10s %9s %12s %12s %7s %10s "
+      "%8s\n",
+      "noc", "cwm_legacy/s", "cwm_delta/s", "cdcm_1shot/s", "cdcm_reuse/s",
+      "cdcm_delta/s", "cdcm_ckpt/s", "ckpt_spdup", "replay%", "batch_Tx",
+      "cdcm_batchT/s", "hybrid/s", "allocs", "bnb_prune%", "bnb_done");
   for (const nocmap::core::EvalBenchRow& r : report.rows) {
     std::printf(
-        "%ux%-4u %12.0f %12.0f %12.0f %12.0f %12.0f %11.1fx %8.2fx %12.0f "
-        "%12.0f %7lld %9.4f%% %8s\n",
+        "%ux%-4u %12.0f %12.0f %12.0f %12.0f %12.0f %12.0f %10.1fx %8.1f%% "
+        "%8.2fx %12.0f %12.0f %7lld %9.4f%% %8s\n",
         r.mesh_width, r.mesh_height, r.cwm_legacy_per_s, r.cwm_delta_per_s,
         r.cdcm_oneshot_per_s, r.cdcm_reuse_per_s, r.cdcm_delta_per_s,
-        r.cdcm_delta_speedup(), r.cdcm_batch_scaling(), r.cdcm_batch_t_per_s,
-        r.hybrid_per_s, static_cast<long long>(r.cdcm_allocs_per_run),
+        r.cdcm_ckpt_per_s, r.ckpt_speedup(), 100.0 * r.ckpt_replay_frac,
+        r.cdcm_batch_scaling(), r.cdcm_batch_t_per_s, r.hybrid_per_s,
+        static_cast<long long>(r.cdcm_allocs_per_run),
         100.0 * r.bnb_pruned_frac(), r.bnb_complete ? "yes" : "no");
   }
 

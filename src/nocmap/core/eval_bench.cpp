@@ -71,11 +71,68 @@ void append_json_number(std::ostringstream& os, double v) {
   os << static_cast<std::uint64_t>(v + 0.5);
 }
 
+/// The checkpointed-evaluation workload: `kLanes` parallel lanes, each a
+/// chain of pipeline stages over a contiguous block of cores, with `kTokens`
+/// tokens streamed through every lane. Token t's packet at stage s depends
+/// on the same token's packet at stage s-1 (data) and on token t-1's packet
+/// at stage s (the stage core sends in order). This is the shape of the
+/// paper's streaming applications — the schedule spreads linearly, so a
+/// genuine tail exists for incremental replay to skip. Fully deterministic:
+/// no RNG, so every bench run prices the same graph.
+struct PipelineWorkload {
+  graph::Cdcg cdcg;
+  /// Cores of the deepest stage quartile across all lanes, ranked by
+  /// mapping-independent normalized stage depth (ties by core id), at least
+  /// two. The tail-walk move population draws both swap endpoints here.
+  std::vector<graph::CoreId> tail_cores;
+};
+
+PipelineWorkload make_pipeline_workload(std::uint32_t tiles) {
+  constexpr std::uint32_t kTokens = 4;
+  const std::uint32_t lanes =
+      std::max<std::uint32_t>(1, std::min<std::uint32_t>(2, tiles / 4));
+  PipelineWorkload w;
+  for (std::uint32_t c = 0; c < tiles; ++c) {
+    w.cdcg.add_core("p" + std::to_string(c));
+  }
+  std::vector<std::pair<double, graph::CoreId>> depth;  // (-norm_stage, core)
+  std::uint32_t offset = 0;
+  for (std::uint32_t l = 0; l < lanes; ++l) {
+    // Distribute the tiles as evenly as possible; the first `tiles % lanes`
+    // lanes take one extra stage.
+    const std::uint32_t len = tiles / lanes + (l < tiles % lanes ? 1 : 0);
+    std::vector<graph::PacketId> prev_token(len, 0);
+    for (std::uint32_t t = 0; t < kTokens; ++t) {
+      graph::PacketId prev_in_chain = 0;
+      for (std::uint32_t s = 0; s + 1 < len; ++s) {
+        const graph::PacketId id = w.cdcg.add_packet(
+            offset + s, offset + s + 1, /*comp_time=*/16, /*bits=*/256);
+        if (s > 0) w.cdcg.add_dependence(prev_in_chain, id);
+        if (t > 0) w.cdcg.add_dependence(prev_token[s], id);
+        prev_token[s] = id;
+        prev_in_chain = id;
+      }
+    }
+    for (std::uint32_t s = 0; s < len; ++s) {
+      depth.emplace_back(-static_cast<double>(s) / (len - 1),
+                         static_cast<graph::CoreId>(offset + s));
+    }
+    offset += len;
+  }
+  std::sort(depth.begin(), depth.end());
+  const std::size_t n_tail =
+      std::max<std::size_t>(2, static_cast<std::size_t>(tiles) / 4);
+  for (std::size_t i = 0; i < n_tail && i < depth.size(); ++i) {
+    w.tail_cores.push_back(depth[i].second);
+  }
+  return w;
+}
+
 }  // namespace
 
 std::string EvalBenchReport::to_json() const {
   std::ostringstream os;
-  os << "{\n  \"bench\": \"eval_engine\",\n  \"schema\": 4,\n"
+  os << "{\n  \"bench\": \"eval_engine\",\n  \"schema\": 5,\n"
      << "  \"unit\": \"evaluations_per_second\",\n"
      << "  \"host_threads\": " << host_threads << ",\n"
      << "  \"rows\": [\n";
@@ -109,7 +166,19 @@ std::string EvalBenchReport::to_json() const {
     append_json_number(os, r.hybrid_per_s);
     os << ", \"hybrid_cadence\": " << r.hybrid_cadence
        << ", \"hybrid_speedup\": " << r.hybrid_speedup()
-       << ", \"cdcm_allocs_per_run\": " << r.cdcm_allocs_per_run << ",\n"
+       << ", \"alloc_probe\": \""
+       << (r.alloc_probe_available ? "counted" : "unavailable") << "\"";
+    if (r.alloc_probe_available) {
+      os << ", \"cdcm_allocs_per_run\": " << r.cdcm_allocs_per_run;
+    }
+    os << ",\n     \"cdcm_ckpt\": ";
+    append_json_number(os, r.cdcm_ckpt_per_s);
+    os << ", \"cdcm_ckpt_full\": ";
+    append_json_number(os, r.cdcm_ckpt_full_per_s);
+    os << ", \"ckpt_speedup\": " << r.ckpt_speedup()
+       << ", \"ckpt_replay_frac\": " << r.ckpt_replay_frac
+       << ", \"ckpt_interval\": " << r.ckpt_interval
+       << ", \"ckpt_packets\": " << r.ckpt_packets << ",\n"
        << "     \"cdcm_flit\": ";
     append_json_number(os, r.cdcm_flit_per_s);
     os << ", \"flit_buffer_depth\": " << r.flit_buffer_depth
@@ -314,6 +383,49 @@ EvalBenchReport run_eval_bench(const EvalBenchOptions& options) {
       });
     }
 
+    // Checkpointed incremental CDCM evaluation on the staged pipeline
+    // workload, under the tail-quartile walk (both swap endpoints drawn
+    // from the deepest stage quartile — the SA phase where incremental
+    // replay matters, late-search refinement of a mostly-settled schedule).
+    // Both rows run the pointwise-identical walk: a fresh RNG and a fresh
+    // mapping make the swapped core sequence — and therefore the tile
+    // sequence — reproduce exactly, so cdcm_ckpt / cdcm_ckpt_full is a
+    // like-for-like ratio (its denominator pays full resimulation).
+    {
+      const PipelineWorkload pipe = make_pipeline_workload(tiles);
+      row.ckpt_packets = static_cast<std::uint32_t>(pipe.cdcg.num_packets());
+      sim::SimOptions ckpt_options = sim_options;
+      ckpt_options.checkpoints = true;
+      ckpt_options.checkpoint_interval = options.ckpt_interval;
+      const std::uint64_t walk_seed = options.seed + 0xD1B54A32D192ED03ULL;
+      auto run_walk = [&](const sim::SimOptions& so, double& out_rate) {
+        const mapping::CdcmCost cost(pipe.cdcg, *topo, tech,
+                                     noc::RoutingAlgorithm::kXY, so);
+        mapping::Mapping pm(*topo, tiles);
+        util::Rng walk_rng(walk_seed);
+        out_rate = measure(options.min_time_s, sink, [&] {
+          const std::size_t n = pipe.tail_cores.size();
+          std::size_t i = walk_rng.index(n), j;
+          do {
+            j = walk_rng.index(n);
+          } while (j == i);
+          const noc::TileId a = pm.tile_of(pipe.tail_cores[i]);
+          const noc::TileId b = pm.tile_of(pipe.tail_cores[j]);
+          const double d = cost.swap_delta(pm, a, b);
+          cost.apply_swap(pm, a, b);
+          return d;
+        });
+        return cost.checkpoint_stats().replay_frac();
+      };
+      row.ckpt_replay_frac = run_walk(ckpt_options, row.cdcm_ckpt_per_s);
+      run_walk(sim_options, row.cdcm_ckpt_full_per_s);
+      // The resolved auto cadence, for the JSON (the CdcmCost's simulator
+      // is private; a throwaway arena resolves the identical value).
+      row.ckpt_interval =
+          sim::Simulator(pipe.cdcg, *topo, tech, ckpt_options)
+              .checkpoint_interval();
+    }
+
     // Branch-and-bound exact CWM search: one full run (it is a search, not
     // a steady-state rate loop — the budget bounds its cost on big boards),
     // plus the serial exhaustive reference when the space is enumerable so
@@ -346,6 +458,7 @@ EvalBenchReport run_eval_bench(const EvalBenchOptions& options) {
     }
 
     if (options.alloc_count) {
+      row.alloc_probe_available = true;
       // Steady state: the arena is warm after the timed loop above. Count
       // heap allocations across a batch of runs.
       constexpr int kRuns = 32;

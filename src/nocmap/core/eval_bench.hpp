@@ -40,6 +40,8 @@ struct EvalBenchOptions {
   std::uint32_t batch_threads = 4;   ///< T for the cdcm_batch_T row.
   std::uint32_t batch_size = 256;    ///< Mappings per BatchEvaluator call.
   std::uint32_t hybrid_cadence = 8;  ///< HybridCost CDCM verification rate.
+  /// Snapshot cadence (event pops) for the checkpointed rows; 0 = auto.
+  std::uint32_t ckpt_interval = 0;
   /// Input-port buffer depth (flits) for the cdcm_flit row.
   std::uint32_t flit_buffer_depth = 8;
   /// Branch-and-bound node budget (lower-bound tests) per row. The 3x3 and
@@ -78,7 +80,29 @@ struct EvalBenchRow {
   /// (wormhole, credit flow control, flit_buffer_depth-flit ports).
   double cdcm_flit_per_s = 0.0;
   std::uint32_t flit_buffer_depth = 0;  ///< Depth of the row above.
-  std::int64_t cdcm_allocs_per_run = -1;  ///< -1 when not measured.
+  /// True when the calling binary installed an operator-new hook
+  /// (EvalBenchOptions::alloc_count). The JSON then reports
+  /// "alloc_probe": "counted" with the real per-run count; otherwise it
+  /// reports "alloc_probe": "unavailable" and omits the count entirely.
+  bool alloc_probe_available = false;
+  std::int64_t cdcm_allocs_per_run = -1;  ///< Meaningful only when counted.
+
+  // --- Checkpointed incremental CDCM evaluation ---------------------------
+  // Measured on a staged pipeline workload (parallel lanes of chained
+  // stages — the shape of the paper's streaming applications, where a
+  // genuine schedule tail exists) under a tail-quartile move walk: both
+  // endpoints of every swap are cores from the deepest quartile of pipeline
+  // stages, ranked by mapping-independent stage depth. cdcm_ckpt_full runs
+  // the pointwise-identical walk with checkpoints off, so
+  // ckpt_speedup = cdcm_ckpt / cdcm_ckpt_full is a like-for-like ratio
+  // (docs/bench-format.md spells out the protocol).
+  double cdcm_ckpt_per_s = 0.0;       ///< Checkpointed suffix replay.
+  double cdcm_ckpt_full_per_s = 0.0;  ///< Same walk, full resimulation.
+  /// Replayed pops / pops a full resimulation would have executed, over the
+  /// checkpointed measurement; -1 when the row was not measured.
+  double ckpt_replay_frac = -1.0;
+  std::uint64_t ckpt_interval = 0;  ///< Resolved snapshot cadence (pops).
+  std::uint32_t ckpt_packets = 0;   ///< Pipeline-workload packet count.
 
   // --- Branch-and-bound exact CWM search (one run, not a rate loop) --------
   double bnb_evals_per_s = 0.0;        ///< Lower-bound tests per second.
@@ -111,6 +135,12 @@ struct EvalBenchRow {
   double hybrid_speedup() const {
     return cdcm_reuse_per_s > 0 ? hybrid_per_s / cdcm_reuse_per_s : 0.0;
   }
+  /// Checkpointed over full-resimulation pricing rate on the identical
+  /// pipeline-workload tail walk (the honest like-for-like ratio).
+  double ckpt_speedup() const {
+    return cdcm_ckpt_full_per_s > 0 ? cdcm_ckpt_per_s / cdcm_ckpt_full_per_s
+                                    : 0.0;
+  }
   /// Fidelity tax: link-claim rate over flit-backend rate (>= 1 in
   /// practice — the flit loop does strictly more bookkeeping per event).
   double flit_tax() const {
@@ -131,7 +161,7 @@ struct EvalBenchReport {
   /// reports ~1.0).
   std::uint32_t host_threads = 0;
 
-  /// Pretty-printed JSON document ({"bench": "eval_engine", "schema": 4,
+  /// Pretty-printed JSON document ({"bench": "eval_engine", "schema": 5,
   /// "rows": [...]}).
   std::string to_json() const;
 };

@@ -258,6 +258,8 @@ sim::SimOptions Explorer::sim_options() const {
   so.buffer_depth = options_.buffer_depth;
   so.flow_control = options_.flow_control;
   so.switching = options_.switching;
+  so.checkpoints = options_.cdcm_checkpoints;
+  so.checkpoint_interval = options_.ckpt_interval;
   return so;
 }
 

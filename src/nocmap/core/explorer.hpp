@@ -117,6 +117,14 @@ struct ExplorerOptions {
   std::uint32_t buffer_depth = 8;  ///< kFlit: flits per router input port.
   sim::FlowControl flow_control = sim::FlowControl::kCredit;  ///< kFlit.
   sim::Switching switching = sim::Switching::kWormhole;       ///< kFlit.
+  /// Checkpointed incremental CDCM evaluation (SimOptions::checkpoints):
+  /// scalar link-claim move pricing restores the latest snapshot before the
+  /// earliest affected instant and replays only the suffix, bitwise equal
+  /// to a full resimulation. Flit-backend / traced runs fall back to full
+  /// resimulation automatically.
+  bool cdcm_checkpoints = false;
+  /// Snapshot cadence in event pops; 0 = auto (scaled from packet count).
+  std::uint32_t ckpt_interval = 0;
   /// Optional starting mapping: core i begins on tile seed_assignment[i].
   /// Validated at Explorer construction (must name one tile per application
   /// core, injectively, within the topology — std::invalid_argument

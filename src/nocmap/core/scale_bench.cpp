@@ -53,7 +53,7 @@ void append_precise(std::ostringstream& os, double v) {
 
 std::string ScaleBenchReport::to_json() const {
   std::ostringstream os;
-  os << "{\n  \"bench\": \"scale_search\",\n  \"schema\": 1,\n"
+  os << "{\n  \"bench\": \"scale_search\",\n  \"schema\": 2,\n"
      << "  \"objective\": \"cwm\",\n"
      << "  \"seed\": " << seed << ",\n  \"threads\": " << threads << ",\n"
      << "  \"checkpoint_moves\": " << checkpoint_moves << ",\n"

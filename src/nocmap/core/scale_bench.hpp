@@ -86,7 +86,8 @@ struct ScaleBenchReport {
   std::uint64_t checkpoint_moves = 0;
   std::uint64_t max_moves = 0;
 
-  /// Pretty-printed JSON ({"bench": "scale_search", "schema": 1, ...}).
+  /// Pretty-printed JSON ({"bench": "scale_search", "schema": 2, ...}). Schema 2
+  /// switched the curve to improvement-driven samples merged by move count.
   std::string to_json() const;
 };
 

@@ -682,6 +682,14 @@ sim::SimulationResult CdcmCost::evaluate(const Mapping& m) const {
   return simulator_->run_traced(m);
 }
 
+const sim::CheckpointStats& CdcmCost::checkpoint_stats() const {
+  return simulator_->checkpoint_stats();
+}
+
+bool CdcmCost::checkpointing_active() const {
+  return simulator_->checkpointing_active();
+}
+
 HybridCost::HybridCost(const graph::Cdcg& cdcg, const noc::Topology& topo,
                        const energy::Technology& tech,
                        noc::RoutingAlgorithm routing,

@@ -322,6 +322,12 @@ class CdcmCost final : public CostFunction {
   /// the search picked a winner.
   sim::SimulationResult evaluate(const Mapping& m) const;
 
+  /// Checkpointed-evaluation counters of the owned arena (all zero unless
+  /// sim_options.checkpoints was set and the binding is eligible).
+  const sim::CheckpointStats& checkpoint_stats() const;
+  /// True when the owned arena actually runs the checkpointed path.
+  bool checkpointing_active() const;
+
  private:
   double run_cost(const Mapping& m) const;
 

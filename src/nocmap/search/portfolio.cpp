@@ -144,17 +144,27 @@ PortfolioResult portfolio(const BnbCostFactory& make_cost,
     std::vector<AnytimeSample> samples;
     const std::uint64_t quantum = options.checkpoint_moves;
     std::uint64_t next_cp = quantum;
+    double last_sampled = kInf;
     bool abandoned = false;
     while (chain.step()) {
+      // Sample at the fixed move-count quanta AND on every improvement of
+      // this member's own incumbent, so the anytime curve records the exact
+      // step each improvement landed instead of the next checkpoint after
+      // it. Improvement samples are deterministic (a pure function of the
+      // member's chain); publishing and the racing cut stay on the quantum
+      // cadence so share_incumbent timing semantics are unchanged.
+      const bool improved = chain.result().best_cost < last_sampled;
       const bool at_checkpoint =
           quantum == 0 || chain.moves_priced() >= next_cp || chain.done();
-      if (!at_checkpoint) continue;
+      if (!at_checkpoint && !improved) continue;
       while (quantum != 0 && next_cp <= chain.moves_priced()) {
         next_cp += quantum;
       }
       samples.push_back(AnytimeSample{chain.moves_priced(),
                                       chain.result().best_cost,
                                       elapsed_ms(start)});
+      last_sampled = chain.result().best_cost;
+      if (!at_checkpoint) continue;
       shared.publish(chain.result().best_cost, chain.result().best);
       if (options.share_incumbent &&
           chain.result().best_cost > shared.peek() * 1.05) {
@@ -259,7 +269,14 @@ PortfolioResult portfolio(const BnbCostFactory& make_cost,
   }
   best.evaluations = total_evals;
 
-  // --- Merged anytime curve: running min across SA members per checkpoint --
+  // --- Merged anytime curve: running min over the union of SA samples -----
+  // Improvement-driven sampling gives members different sample counts, so
+  // the merge is event-based instead of checkpoint-index-aligned: every SA
+  // sample ordered by its priced-move count (stable — ties keep member
+  // order, so the result is a pure function of the members' deterministic
+  // sample lists), folded through a running minimum, one curve point per
+  // distinct move count. Monotone nonincreasing in best_j and nondecreasing
+  // in moves by construction.
   PortfolioResult out{std::move(best),
                       winner,
                       {},
@@ -270,22 +287,26 @@ PortfolioResult portfolio(const BnbCostFactory& make_cost,
   for (std::unique_ptr<PortfolioMemberOutcome>& o : outcomes) {
     out.members.push_back(std::move(*o));
   }
-  std::size_t max_k = 0;
+  std::vector<AnytimeSample> events;
   for (std::uint32_t i = 0; i < sa_members; ++i) {
-    max_k = std::max(max_k, out.members[i].samples.size());
+    const std::vector<AnytimeSample>& s = out.members[i].samples;
+    events.insert(events.end(), s.begin(), s.end());
   }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const AnytimeSample& a, const AnytimeSample& b) {
+                     return a.moves < b.moves;
+                   });
   double running = kInf;
-  for (std::size_t k = 0; k < max_k; ++k) {
-    AnytimeSample merged;
-    for (std::uint32_t i = 0; i < sa_members; ++i) {
-      const std::vector<AnytimeSample>& s = out.members[i].samples;
-      if (k >= s.size()) continue;
-      running = std::min(running, s[k].best_j);
-      merged.moves = std::max(merged.moves, s[k].moves);
-      merged.wall_ms = std::max(merged.wall_ms, s[k].wall_ms);
+  double wall = 0.0;
+  for (const AnytimeSample& s : events) {
+    running = std::min(running, s.best_j);
+    wall = std::max(wall, s.wall_ms);
+    if (!out.curve.empty() && out.curve.back().moves == s.moves) {
+      out.curve.back().best_j = running;
+      out.curve.back().wall_ms = wall;
+    } else {
+      out.curve.push_back(AnytimeSample{s.moves, running, wall});
     }
-    merged.best_j = running;
-    out.curve.push_back(merged);
   }
   // Terminal point: fold in the B&B member and the polish.
   AnytimeSample final_point;

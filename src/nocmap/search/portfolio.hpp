@@ -28,8 +28,9 @@
 /// tradeoff as BnbOptions::share_incumbent).
 ///
 /// Every member records anytime samples (best cost vs priced moves vs wall
-/// clock) at deterministic move-count checkpoints; the merged portfolio
-/// curve is the running minimum across members — the measurement
+/// clock) at deterministic move-count checkpoints AND on every improvement
+/// of its own incumbent; the merged portfolio curve is the running minimum
+/// over the union of member samples ordered by move count — the measurement
 /// bench --scale persists to BENCH_scale.json (docs/bench-format.md).
 
 #include <cstdint>
@@ -66,9 +67,11 @@ struct PortfolioResult {
                             ///< members (and the polish pass).
   std::size_t winner = 0;   ///< Index into members.
   std::vector<PortfolioMemberOutcome> members;
-  /// Running minimum across members per checkpoint index, with the final
+  /// Running minimum over the union of the SA members' samples, ordered by
+  /// priced-move count (one point per distinct count), with the final
   /// (post-B&B, post-polish) best appended — monotone nonincreasing in
-  /// best_j by construction.
+  /// best_j and nondecreasing in moves by construction, and deterministic
+  /// (a pure function of the members' deterministic sample lists).
   std::vector<AnytimeSample> curve;
   bool budget_cut = false;          ///< Any member was budget-cut.
   std::uint64_t polish_applied = 0;  ///< Swaps applied by the final descent.
@@ -100,7 +103,10 @@ struct PortfolioOptions {
 
   /// Anytime-sample granularity in priced moves; 0 samples every
   /// temperature step. Samples land on step boundaries, so two checkpoints
-  /// never split a step.
+  /// never split a step. Members additionally sample whenever their own
+  /// incumbent improves, independent of the quantum — the curve records the
+  /// exact step of every improvement. Publishing to the shared incumbent
+  /// (and the share_incumbent racing cut) stays on the quantum cadence.
   std::uint64_t checkpoint_moves = 0;
   /// Per-SA-member priced-move budget (SaOptions::max_moves semantics);
   /// 0 = each member stops by its own convergence criteria.

@@ -90,6 +90,9 @@ ServeEngine::ServeEngine(const noc::Topology& topo, ServeOptions options)
       << x.sa.max_steps << ',' << x.sa.max_stale_steps
       << "|es_threshold=" << x.es_auto_threshold
       << "|warm=" << options_.warm_max_steps << ',' << options_.warm_max_stale;
+  // cdcm_checkpoints / ckpt_interval are deliberately absent: checkpointed
+  // evaluation is bitwise-identical to full resimulation, so entries cached
+  // with and without it are interchangeable.
   context_ = ctx.str();
 }
 

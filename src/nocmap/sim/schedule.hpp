@@ -136,6 +136,20 @@ struct SimOptions {
   std::uint32_t buffer_depth = 8;
   FlowControl flow_control = FlowControl::kCredit;   ///< kFlit only.
   Switching switching = Switching::kWormhole;        ///< kFlit only.
+  /// Checkpointed incremental evaluation: scalar link-claim runs record
+  /// periodic snapshots of the event loop (packet progress, link busy
+  /// times, queued events) at deterministic pop-count boundaries, and each
+  /// subsequent run restores the latest snapshot taken before the earliest
+  /// instant the mapping change can affect, replaying only the suffix.
+  /// Results are bitwise-identical to a full resimulation
+  /// (docs/simulation.md spells out the argument). Ignored — with a full
+  /// resimulation fallback — for the flit backend, traced runs, and
+  /// contend_local_in.
+  bool checkpoints = false;
+  /// Snapshot cadence in event pops; 0 = auto (scaled from packet count).
+  /// 1 checkpoints every pop (maximal restore resolution, maximal memory);
+  /// very large values degrade to one pre-loop snapshot (full replays).
+  std::uint32_t checkpoint_interval = 0;
 };
 
 struct SimulationResult {

@@ -146,6 +146,29 @@ Simulator::Simulator(const graph::Cdcg& cdcg, const noc::Topology& topo,
     bucket_.init(num_packets);
   }
 
+  // --- Checkpointed incremental evaluation ---------------------------------
+  // Eligibility is exact, not assumed: the restore argument needs strictly
+  // sorted pops (tr > 0 and tl > 0 make every pushed key strictly future)
+  // and injection writes that nothing observes (contend_local_in off); the
+  // flit backend's port-state arenas are not snapshotted. Ineligible
+  // bindings silently run in full, so results never depend on this flag.
+  ckpt_active_ = options_.checkpoints &&
+                 options_.backend == SimBackend::kLinkClaim &&
+                 !options_.contend_local_in && tr_ > 0.0 && tl_ > 0.0 &&
+                 num_packets > 0;
+  if (ckpt_active_) {
+    // Auto cadence: about 16 snapshots over the ~6 pops a packet's route
+    // contributes on the shipped meshes, floored so tiny graphs do not
+    // snapshot every other pop.
+    ckpt_interval_res_ =
+        options_.checkpoint_interval != 0
+            ? options_.checkpoint_interval
+            : std::max<std::uint64_t>(32, (num_packets * 6) / 16);
+    ev_time_.resize(num_packets);
+    ev_hop_.resize(num_packets);
+    ev_state_.resize(num_packets);
+  }
+
   // --- Flit-backend arenas --------------------------------------------------
   if (options_.backend == SimBackend::kFlit) {
     for (graph::PacketId p = 0; p < num_packets; ++p) {
@@ -207,6 +230,7 @@ void Simulator::sync_bind(const mapping::Mapping& mapping) {
   }
 
   const std::size_t num_cores = cdcg_.num_cores();
+  full_rebind_run_ = false;
   if (!bound_) {
     for (graph::CoreId c = 0; c < num_cores; ++c) {
       bound_tiles_[c] = mapping.tile_of(c);
@@ -215,6 +239,7 @@ void Simulator::sync_bind(const mapping::Mapping& mapping) {
       rebind_packet(p);
     }
     bound_ = true;
+    full_rebind_run_ = true;
     return;
   }
 
@@ -279,6 +304,11 @@ void Simulator::inject(graph::PacketId p, SimulationResult& out) {
           Occupancy{p, start, start + n_tl, contended});
     }
   }
+  if (ckpt_recording_) {
+    ev_time_[p] = start + tl_;
+    ev_hop_[p] = 0;
+    ev_state_[p] = 1;
+  }
   queue_.push(detail::QueuedEvent::make(start + tl_, p, 0));
 }
 
@@ -331,20 +361,6 @@ void Simulator::run_impl(const mapping::Mapping& mapping,
     }
   }
 
-  // --- Per-run arena reset: a few flat passes over the SoA state -----------
-  if (num_packets != 0) {
-    std::memcpy(pending_.data(), num_preds_.data(),
-                num_packets * sizeof(std::uint32_t));
-  }
-  std::fill(ready_.begin(), ready_.end(), 0.0);
-  std::fill(contention_.begin(), contention_.end(), 0.0);
-  if constexpr (Full) {
-    std::fill(contended_down_.begin(), contended_down_.end(),
-              std::uint8_t{0});
-  }
-  std::fill(link_free_.begin(), link_free_.end(), 0.0);
-  queue_.clear();
-
   // Dynamic energy is a pure function of the bindings; re-accumulate it in
   // packet order so the sum is byte-identical to a full rebind.
   double dynamic_j = 0.0;
@@ -354,13 +370,19 @@ void Simulator::run_impl(const mapping::Mapping& mapping,
   out.energy.dynamic_j = dynamic_j;
 
   if (options_.backend == SimBackend::kFlit) {
+    ckpt_valid_ = false;
+    reset_arena<Full>();
     std::fill(port_slot_free_.begin(), port_slot_free_.end(), 0.0);
     std::fill(port_clear_.begin(), port_clear_.end(), 0.0);
     for (graph::PacketId p = 0; p < num_packets; ++p) {
       if (pending_[p] == 0) inject<Full>(p, out);
     }
     run_flit_loop<Full>(out);
+  } else if (!Full && ckpt_active_) {
+    run_ckpt(out);
   } else if (!Full && bucket_mode_) {
+    ckpt_valid_ = false;
+    reset_arena<Full>();
     bucket_.begin_run();
     for (graph::PacketId p = 0; p < num_packets; ++p) {
       if (pending_[p] == 0) inject_bucket(p);
@@ -368,7 +390,10 @@ void Simulator::run_impl(const mapping::Mapping& mapping,
     run_bucket_loop(out);
     bucket_.finish_run();
   } else {
-    queue_.clear();
+    // Traced runs leave the arena in a state the snapshots no longer
+    // describe; the next checkpointed run re-records from scratch.
+    ckpt_valid_ = false;
+    reset_arena<Full>();
     for (graph::PacketId p = 0; p < num_packets; ++p) {
       if (pending_[p] == 0) inject<Full>(p, out);
     }
@@ -393,19 +418,226 @@ void Simulator::run_impl(const mapping::Mapping& mapping,
       energy::static_noc_energy(tech_, topo_.num_tiles(), out.texec_ns);
 }
 
+template <bool Full>
+void Simulator::reset_arena() {
+  const std::size_t num_packets = cdcg_.num_packets();
+  if (num_packets != 0) {
+    std::memcpy(pending_.data(), num_preds_.data(),
+                num_packets * sizeof(std::uint32_t));
+  }
+  std::fill(ready_.begin(), ready_.end(), 0.0);
+  std::fill(contention_.begin(), contention_.end(), 0.0);
+  if constexpr (Full) {
+    std::fill(contended_down_.begin(), contended_down_.end(),
+              std::uint8_t{0});
+  }
+  std::fill(link_free_.begin(), link_free_.end(), 0.0);
+  queue_.clear();
+}
+
+void Simulator::record_ckpt(std::uint64_t pops, std::size_t delivered,
+                            double texec, const SimulationResult& out) {
+  if (ckpt_count_ >= kMaxCkptSlots) return;
+  if (ckpts_.size() == ckpt_count_) ckpts_.emplace_back();
+  Ckpt& c = ckpts_[ckpt_count_++];
+  c.pops = pops;
+  c.has_next = !queue_.empty();
+  c.next = c.has_next ? queue_.min() : detail::QueuedEvent{};
+  c.delivered = delivered;
+  c.texec = texec;
+  c.total_contention = out.total_contention_ns;
+  c.num_contended = out.num_contended_packets;
+  c.pending.assign(pending_.begin(), pending_.end());
+  c.ready.assign(ready_.begin(), ready_.end());
+  c.contention.assign(contention_.begin(), contention_.end());
+  c.link_free.assign(link_free_.begin(), link_free_.end());
+  c.ev_time.assign(ev_time_.begin(), ev_time_.end());
+  c.ev_hop.assign(ev_hop_.begin(), ev_hop_.end());
+  c.ev_state.assign(ev_state_.begin(), ev_state_.end());
+}
+
+/// The checkpointed scalar path. Correctness rests on two facts, spelled
+/// out in docs/simulation.md:
+///
+///  * Pops are strictly sorted in (time, packet, hop) order (every pushed
+///    key is strictly in the future when tr > 0 and tl > 0), so the pop
+///    prefix before any key is the same for every queue implementation.
+///  * The first pop whose processing can differ between the old and new
+///    bindings is the earliest first-event key K* over the rebound (dirty)
+///    packets: earlier pops touch no dirty packet and read no state a
+///    dirty packet wrote (injection's local-link write is unobservable with
+///    contend_local_in off), so any snapshot whose next pop key is <= K*
+///    restores a state the new run shares bitwise.
+void Simulator::run_ckpt(SimulationResult& out) {
+  const std::size_t num_packets = cdcg_.num_packets();
+  ++ckpt_stats_.runs;
+  ckpt_recording_ = true;
+
+  std::size_t slot = static_cast<std::size_t>(-1);
+  if (ckpt_valid_ && !full_rebind_run_ && ckpt_count_ > 0) {
+    // The earliest affected instant: min first-event key over the packets
+    // incident to the moved cores. ready_ still holds the previous run's
+    // final values, and a packet's final ready equals its value at
+    // injection (no predecessor delivers after it injects), so the key is
+    // the same for the old and new bindings.
+    bool have_kstar = false;
+    detail::QueuedEvent kstar{};
+    for (const graph::CoreId c : moved_scratch_) {
+      const std::uint32_t begin = core_pkt_off_[c];
+      const std::uint32_t end = core_pkt_off_[c + 1];
+      for (std::uint32_t i = begin; i < end; ++i) {
+        const graph::PacketId p = core_pkt_list_[i];
+        const detail::QueuedEvent key =
+            detail::QueuedEvent::make(ready_[p] + comp_ns_[p] + tl_, p, 0);
+        if (!have_kstar || key < kstar) {
+          kstar = key;
+          have_kstar = true;
+        }
+      }
+    }
+    // Latest snapshot whose next pop is not past the affected instant. A
+    // snapshot with no next pop (end of run) only serves identity rebinds.
+    for (std::size_t s = ckpt_count_; s-- > 0;) {
+      const Ckpt& c = ckpts_[s];
+      if (!have_kstar || (c.has_next && !(kstar < c.next))) {
+        slot = s;
+        break;
+      }
+    }
+  }
+
+  if (slot == static_cast<std::size_t>(-1)) {
+    // Cold path: full run, recording snapshots as it goes.
+    reset_arena<false>();
+    std::fill(ev_state_.begin(), ev_state_.end(), std::uint8_t{0});
+    ckpt_count_ = 0;
+    for (graph::PacketId p = 0; p < num_packets; ++p) {
+      if (pending_[p] == 0) inject<false>(p, out);
+    }
+    record_ckpt(0, 0, 0.0, out);
+    run_heap_loop<false, true>(out, 0, 0.0, 0);
+    ckpt_stats_.pops_replayed += ckpt_run_pops_;
+    ckpt_replays_since_refresh_ = 0;
+  } else {
+    const Ckpt& c = ckpts_[slot];
+    std::memcpy(pending_.data(), c.pending.data(),
+                num_packets * sizeof(std::uint32_t));
+    std::memcpy(ready_.data(), c.ready.data(), num_packets * sizeof(double));
+    std::memcpy(contention_.data(), c.contention.data(),
+                num_packets * sizeof(double));
+    std::memcpy(link_free_.data(), c.link_free.data(),
+                link_free_.size() * sizeof(double));
+    std::memcpy(ev_time_.data(), c.ev_time.data(),
+                num_packets * sizeof(double));
+    std::memcpy(ev_hop_.data(), c.ev_hop.data(),
+                num_packets * sizeof(std::uint32_t));
+    std::memcpy(ev_state_.data(), c.ev_state.data(), num_packets);
+    out.total_contention_ns = c.total_contention;
+    out.num_contended_packets = c.num_contended;
+    // Snapshots past the restore point describe a future this run rewrites.
+    ckpt_count_ = slot + 1;
+    if (c.pops > 0) ++ckpt_stats_.restored_runs;
+    // Copy out the resume point: record_ckpt during a heap replay can grow
+    // ckpts_ and invalidate `c`.
+    const std::uint64_t resume_pops = c.pops;
+    const std::size_t resume_delivered = c.delivered;
+    const double resume_texec = c.texec;
+    // Replay the suffix through the bucket fast path when it is available:
+    // its pops are ~2-3x cheaper than the heap's, and the whole point of a
+    // restore is that the suffix dominates neither loop. The heap loop is
+    // kept for (a) ineligible bindings, (b) full replays (pops == 0 — the
+    // ladder collapsed, so rebuild it while paying the full cost anyway),
+    // and (c) a periodic refresh, because bucket mid-run states cannot be
+    // snapshotted (kCkptRefreshPeriod above ckpt_replays_since_refresh_).
+    const bool heap_replay = !bucket_mode_ || resume_pops == 0 ||
+                             ++ckpt_replays_since_refresh_ >=
+                                 kCkptRefreshPeriod;
+    if (heap_replay) {
+      ckpt_replays_since_refresh_ = 0;
+      // Rebuild the queue from the per-packet shadow; the push order is
+      // irrelevant because keys are unique and pops are totally ordered.
+      queue_.clear();
+      for (graph::PacketId p = 0; p < num_packets; ++p) {
+        if (ev_state_[p] == 1) {
+          queue_.push(detail::QueuedEvent::make(ev_time_[p], p, ev_hop_[p]));
+        }
+      }
+      run_heap_loop<false, true>(out, resume_delivered, resume_texec,
+                                 resume_pops);
+      ckpt_stats_.pops_replayed += ckpt_run_pops_ - resume_pops;
+    } else {
+      std::size_t delivered_count = resume_delivered;
+      double texec = resume_texec;
+      bucket_.begin_run();
+      for (graph::PacketId p = 0; p < num_packets; ++p) {
+        if (ev_state_[p] != 1) continue;
+        const HotPacket& hp = hot_[p];
+        if (ev_hop_[p] + 1 == hp.len) {
+          // A pending ejection: apply it at seed time. Ejections touch no
+          // links and every effect commutes (max-merges and counters) —
+          // exactly the reordering the fused bucket loop performs anyway.
+          const double delivered = ev_time_[p] + tr_ + hp.n_tl;
+          ++delivered_count;
+          texec = std::max(texec, delivered);
+          if (contention_[p] > 0) ++out.num_contended_packets;
+          for (std::uint32_t i = hp.succ_begin; i < hp.succ_end; ++i) {
+            const graph::PacketId succ = succ_list_[i];
+            ready_[succ] = std::max(ready_[succ], delivered);
+            if (--pending_[succ] == 0) inject_bucket(succ);
+          }
+        } else {
+          bucket_.push(static_cast<std::size_t>(ev_time_[p]), p, ev_hop_[p]);
+        }
+      }
+      run_bucket_loop(out, delivered_count, texec);
+      bucket_.finish_run();
+      // Heap-equivalent accounting (the bucket loop fuses ejections, so
+      // its own pop count undercounts): every packet pops once per router.
+      std::uint64_t total_pops = 0;
+      for (graph::PacketId p = 0; p < num_packets; ++p) {
+        total_pops += hot_[p].len;
+      }
+      ckpt_run_pops_ = total_pops;
+      ckpt_stats_.pops_replayed += total_pops - resume_pops;
+      // End-of-run snapshot: it serves identity rebinds. The mid-run
+      // ladder stays as truncated — only heap replays regrow it.
+      queue_.clear();
+      std::fill(ev_state_.begin(), ev_state_.end(), std::uint8_t{2});
+      if (ckpts_[ckpt_count_ - 1].pops != total_pops) {
+        record_ckpt(total_pops, num_packets, out.texec_ns, out);
+      }
+    }
+  }
+  ckpt_stats_.pops_total += ckpt_run_pops_;
+  ckpt_recording_ = false;
+  ckpt_valid_ = true;
+}
+
 /// The general loop. Keys are unique ((time, packet, hop) — a packet has
 /// one in-flight event), so the pop order is a total order regardless of
 /// push order or heap internals. Contention accounting is branchless: the
 /// uncontended case adds an exact +0.0, which leaves every accumulator
 /// byte-identical.
-template <bool Full>
-void Simulator::run_heap_loop(SimulationResult& out) {
+template <bool Full, bool Ckpt>
+void Simulator::run_heap_loop(SimulationResult& out, std::size_t delivered0,
+                              double texec0, std::uint64_t pops0) {
   const std::size_t num_packets = cdcg_.num_packets();
   const double tr = tr_;
   const double tl = tl_;
-  std::size_t delivered_count = 0;
-  double texec = 0.0;
+  std::size_t delivered_count = delivered0;
+  double texec = texec0;
+  std::uint64_t pops = pops0;
+  std::uint64_t next_rec = 0;
+  if constexpr (Ckpt) {
+    next_rec = (pops0 / ckpt_interval_res_ + 1) * ckpt_interval_res_;
+  }
   while (!queue_.empty()) {
+    if constexpr (Ckpt) {
+      if (pops == next_rec) {
+        record_ckpt(pops, delivered_count, texec, out);
+        next_rec += ckpt_interval_res_;
+      }
+    }
     const detail::QueuedEvent ev = queue_.min();
     const graph::PacketId p = ev.packet();
     const std::uint32_t hop = ev.hop();
@@ -442,6 +674,10 @@ void Simulator::run_heap_loop(SimulationResult& out) {
           record_router(p, hop, arrival, header_out, out);
         }
       }
+      if constexpr (Ckpt) {
+        ev_time_[p] = header_out + tl;
+        ev_hop_[p] = hop + 1;
+      }
       // The header's next arrival replaces this event in one sift-down.
       queue_.replace_min(detail::QueuedEvent::make(header_out + tl, p,
                                                    hop + 1));
@@ -460,6 +696,7 @@ void Simulator::run_heap_loop(SimulationResult& out) {
           record_router(p, hop, arrival, header_out, out);
         }
       }
+      if constexpr (Ckpt) ev_state_[p] = 2;
       ++delivered_count;
       texec = std::max(texec, delivered);
       if (contention_[p] > 0) ++out.num_contended_packets;
@@ -475,8 +712,18 @@ void Simulator::run_heap_loop(SimulationResult& out) {
         if (--pending_[succ] == 0) inject<Full>(succ, out);
       }
     }
+    ++pops;
   }
   out.texec_ns = texec;
+
+  if constexpr (Ckpt) {
+    ckpt_run_pops_ = pops;
+    // End-of-run snapshot: it serves identity rebinds (re-evaluating the
+    // same mapping restores it and replays nothing).
+    if (ckpt_count_ == 0 || ckpts_[ckpt_count_ - 1].pops != pops) {
+      record_ckpt(pops, delivered_count, texec, out);
+    }
+  }
 
   if (delivered_count != num_packets) {
     throw std::logic_error("simulate: not all packets were delivered");
@@ -490,13 +737,14 @@ void Simulator::run_heap_loop(SimulationResult& out) {
 /// produces successor updates, and max(arrival, free_at) + tr equals
 /// arrival + wait + tr exactly in integer arithmetic), and injection skips
 /// the local-link bookkeeping nothing reads unless contend_local_in is on.
-void Simulator::run_bucket_loop(SimulationResult& out) {
+void Simulator::run_bucket_loop(SimulationResult& out,
+                                std::size_t delivered0, double texec0) {
   const std::size_t num_packets = cdcg_.num_packets();
   const std::size_t stride = arena_stride_;
   const double tr = tr_;
   const double tl = tl_;
-  std::size_t delivered_count = 0;
-  double texec = 0.0;
+  std::size_t delivered_count = delivered0;
+  double texec = texec0;
   while (delivered_count != num_packets) {
     std::size_t bucket;
     std::uint32_t p;

@@ -48,6 +48,24 @@
 
 namespace nocmap::sim {
 
+/// Counters for SimOptions::checkpoints, accumulated across scalar runs.
+/// pops_total counts the event pops a full resimulation of every run would
+/// have executed; pops_replayed counts the pops actually executed after
+/// snapshot restores, so 1 - replay_frac() is the fraction of event work the
+/// checkpoints saved.
+struct CheckpointStats {
+  std::uint64_t runs = 0;          ///< Checkpointed scalar runs.
+  std::uint64_t restored_runs = 0; ///< Served from a mid-schedule restore.
+  std::uint64_t pops_total = 0;
+  std::uint64_t pops_replayed = 0;
+  double replay_frac() const {
+    return pops_total == 0
+               ? 1.0
+               : static_cast<double>(pops_replayed) /
+                     static_cast<double>(pops_total);
+  }
+};
+
 class Simulator {
  public:
   /// Binds the application, NoC and technology; validates them once and
@@ -72,17 +90,34 @@ class Simulator {
   const noc::RouteTable& route_table() const { return routes_; }
   const SimOptions& options() const { return options_; }
 
+  /// True when options().checkpoints is set AND this binding is eligible
+  /// (link-claim backend, contend_local_in off, tr > 0 and tl > 0, at least
+  /// one packet). Ineligible bindings silently fall back to full
+  /// resimulation, so results never depend on this flag.
+  bool checkpointing_active() const { return ckpt_active_; }
+  const CheckpointStats& checkpoint_stats() const { return ckpt_stats_; }
+  void reset_checkpoint_stats() { ckpt_stats_ = CheckpointStats{}; }
+  /// The resolved snapshot cadence in pops (the auto-tuned value when
+  /// options().checkpoint_interval == 0).
+  std::uint64_t checkpoint_interval() const { return ckpt_interval_res_; }
+
  private:
   template <bool Full>
   void run_impl(const mapping::Mapping& mapping, SimulationResult& out);
   /// The general event loop: 4-ary heap, one event per router of every
-  /// route, optional traces. Handles every SimOptions combination.
-  template <bool Full>
-  void run_heap_loop(SimulationResult& out);
+  /// route, optional traces. Handles every SimOptions combination. With
+  /// Ckpt (scalar only) the loop resumes from `delivered0` deliveries /
+  /// `texec0` / `pops0` pops, maintains the per-packet queued-event shadow,
+  /// and snapshots the arena at every ckpt_interval_res_-th pop boundary.
+  template <bool Full, bool Ckpt = false>
+  void run_heap_loop(SimulationResult& out, std::size_t delivered0 = 0,
+                     double texec0 = 0.0, std::uint64_t pops0 = 0);
   /// The integer-time fast path: bucket-calendar queue, final ejection
   /// fused into the last link claim. Scalar results only; byte-identical
-  /// to run_heap_loop<false> (see bucket_mode_).
-  void run_bucket_loop(SimulationResult& out);
+  /// to run_heap_loop<false> (see bucket_mode_). `delivered0`/`texec0`
+  /// resume a checkpointed suffix replay (the caller seeds bucket_ first).
+  void run_bucket_loop(SimulationResult& out, std::size_t delivered0 = 0,
+                       double texec0 = 0.0);
   /// The flit backend (options_.backend == kFlit): the heap loop's link
   /// arbitration plus finite-buffer admission gates and a backpressure
   /// cascade. Every correction is a max(0, .)-style term that contributes
@@ -103,6 +138,19 @@ class Simulator {
   /// the packets incident to every core that moved.
   void sync_bind(const mapping::Mapping& mapping);
   void rebind_packet(graph::PacketId p);
+
+  /// Reset the per-run arena to the pre-injection state (pending counts,
+  /// ready/contention times, link busy times, event queue).
+  template <bool Full>
+  void reset_arena();
+  /// The checkpointed scalar path: pick the latest snapshot at or before
+  /// the earliest affected instant of this run's rebind, restore it and
+  /// replay the suffix — or run in full (recording snapshots) when no
+  /// usable snapshot exists.
+  void run_ckpt(SimulationResult& out);
+  /// Append a snapshot of the current mid-loop state (`pops` pops done).
+  void record_ckpt(std::uint64_t pops, std::size_t delivered, double texec,
+                   const SimulationResult& out);
 
   const graph::Cdcg& cdcg_;
   const noc::Topology& topo_;
@@ -161,6 +209,51 @@ class Simulator {
   std::vector<double> link_free_;       ///< Per-resource "busy until".
   detail::EventQueue queue_;
   SimulationResult scalar_result_;      ///< Backs run()'s return value.
+
+  // --- Checkpointed incremental evaluation (SimOptions::checkpoints) -------
+  /// One snapshot of the scalar event loop at a pop-count boundary. Every
+  /// injected-but-undelivered packet holds exactly one queued event, so the
+  /// queue state is three flat per-packet arrays instead of a heap copy.
+  struct Ckpt {
+    std::uint64_t pops = 0;        ///< Pops executed before this boundary.
+    detail::QueuedEvent next{};    ///< Key of the next pop (validity test).
+    bool has_next = false;         ///< False at the end-of-run snapshot.
+    std::size_t delivered = 0;
+    double texec = 0.0;
+    double total_contention = 0.0;
+    std::size_t num_contended = 0;
+    std::vector<std::uint32_t> pending;
+    std::vector<double> ready;
+    std::vector<double> contention;
+    std::vector<double> link_free;
+    std::vector<double> ev_time;       ///< Queued-event arrival per packet.
+    std::vector<std::uint32_t> ev_hop; ///< Queued-event hop per packet.
+    std::vector<std::uint8_t> ev_state;///< 0 waiting, 1 queued, 2 delivered.
+  };
+  static constexpr std::size_t kMaxCkptSlots = 4096;
+
+  bool ckpt_active_ = false;      ///< options + eligibility (see ctor).
+  bool ckpt_valid_ = false;       ///< Snapshots match the arena's last run.
+  bool ckpt_recording_ = false;   ///< inject() maintains the shadow arrays.
+  bool full_rebind_run_ = false;  ///< sync_bind() took the first-bind path.
+  std::uint64_t ckpt_interval_res_ = 0;  ///< Resolved snapshot cadence.
+  std::vector<Ckpt> ckpts_;       ///< Slot pool, reused across runs.
+  std::size_t ckpt_count_ = 0;    ///< Live prefix of ckpts_.
+  /// Shadow of the queue during recording runs: each packet's single
+  /// in-flight event, updated on inject/advance/delivery.
+  std::vector<double> ev_time_;
+  std::vector<std::uint32_t> ev_hop_;
+  std::vector<std::uint8_t> ev_state_;
+  std::uint64_t ckpt_run_pops_ = 0;  ///< Total pops of the last ckpt run.
+  CheckpointStats ckpt_stats_;
+  /// Suffix replays normally run through the bucket fast path (when
+  /// bucket_mode_), whose mid-run states cannot be snapshotted (the fused
+  /// ejection applies successor effects at an earlier pop position). Every
+  /// kCkptRefreshPeriod-th restored replay runs through the recording heap
+  /// loop instead, so the snapshot ladder regrows behind the walk's
+  /// earliest affected instant after truncations.
+  static constexpr std::uint32_t kCkptRefreshPeriod = 16;
+  std::uint32_t ckpt_replays_since_refresh_ = 0;
 
   // --- Integer-time fast path ----------------------------------------------
   /// True when every timing constant is an exact integer (in ns), routes

@@ -33,7 +33,32 @@
 #include <utility>
 #include <vector>
 
+#include <new>
+
 #include "nocmap/nocmap.hpp"
+
+// --- Global allocation probe -------------------------------------------------
+// Counts every heap allocation in the process so `nocmap bench --perf` can
+// report a real cdcm_allocs_per_run ("alloc_probe": "counted") instead of
+// declaring the probe unavailable. Mirrors bench/bench_cost_eval.cpp.
+
+namespace {
+std::atomic<std::uint64_t> g_cli_allocations{0};
+std::uint64_t cli_allocation_count() {
+  return g_cli_allocations.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_cli_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -128,6 +153,13 @@ Options:
                     With --cost hybrid: verify every Nth priced move with
                     an exact CDCM delta (default: 8; 1 = every move,
                     0 = step resyncs only).
+  --ckpt-interval N Enable checkpointed incremental CDCM evaluation: move
+                    pricing restores the latest event-loop snapshot taken
+                    before the earliest instant the move can affect and
+                    replays only the suffix, bitwise-identical to a full
+                    resimulation. N is the snapshot cadence in event pops
+                    (0 = auto, scaled from the packet count). Ignored —
+                    with a full-resimulation fallback — for --backend flit.
   --no-seed-cdcm    Do not seed the CDCM search with the CWM winner.
   --cores N         (--workload random) number of cores (default: 8).
   --packets N       (--workload random) number of packets (default: 32).
@@ -191,6 +223,9 @@ Options:
                     full wormhole-simulation path).
   --method NAME     auto | sa | bnb | portfolio (default: sa). es is
                     rejected: exhaustive search ignores warm starts.
+  --ckpt-interval N Checkpointed incremental CDCM evaluation for the solve
+                    paths (0 = auto cadence); results are bitwise-identical
+                    either way, so cache entries stay interchangeable.
   --cache-capacity N
                     LRU capacity in cached results (default: 4096).
   --bypass-cache    Solve every request cold; the cache is neither read
@@ -231,6 +266,9 @@ Options:
   --hybrid-cadence N
                     With --cost hybrid: CDCM verification cadence
                     (default: 8).
+  --ckpt-interval N Checkpointed incremental CDCM evaluation as in
+                    `nocmap explore` (0 = auto cadence). --perf/--scale
+                    honour it for their checkpointed rows/members.
   --backend NAME    Evaluation backend: link (default) | flit; flit adds
                     --buffer-depth / --flow-control / --switching as in
                     `nocmap explore`.
@@ -482,6 +520,10 @@ struct RunOptions {
   std::uint64_t chains = 1;
   core::TimingCostMode timing_cost = core::TimingCostMode::kCdcm;
   std::uint64_t hybrid_cadence = 8;
+  /// --ckpt-interval: presence enables checkpointed incremental CDCM
+  /// evaluation; the value is the snapshot cadence in pops (0 = auto).
+  bool checkpoints = false;
+  std::uint64_t ckpt_interval = 0;
   sim::SimBackend sim_backend = sim::SimBackend::kLinkClaim;
   std::uint64_t buffer_depth = 8;
   sim::FlowControl flow_control = sim::FlowControl::kCredit;
@@ -619,6 +661,12 @@ RunOptions parse_run_options(int argc, char** argv, const char* usage,
       opts.hybrid_cadence = parse_u64(a, value(i, a));
       if (opts.hybrid_cadence > 1'000'000) {
         throw UsageError("--hybrid-cadence must be at most 1,000,000");
+      }
+    } else if (a == "--ckpt-interval") {
+      opts.checkpoints = true;
+      opts.ckpt_interval = parse_u64(a, value(i, a));
+      if (opts.ckpt_interval > 1'000'000'000) {
+        throw UsageError("--ckpt-interval must be at most 1,000,000,000");
       }
     } else if (a == "--backend") {
       opts.sim_backend = parse_backend(value(i, a));
@@ -823,6 +871,8 @@ core::ExplorerOptions explorer_options(const RunOptions& opts,
   eo.sa_chains = static_cast<std::uint32_t>(opts.chains);
   eo.timing_cost = opts.timing_cost;
   eo.hybrid_cadence = static_cast<std::uint32_t>(opts.hybrid_cadence);
+  eo.cdcm_checkpoints = opts.checkpoints;
+  eo.ckpt_interval = static_cast<std::uint32_t>(opts.ckpt_interval);
   eo.sim_backend = opts.sim_backend;
   eo.buffer_depth = static_cast<std::uint32_t>(opts.buffer_depth);
   eo.flow_control = opts.flow_control;
@@ -1006,6 +1056,8 @@ int cmd_bench_perf(const RunOptions& opts) {
   options.batch_threads =
       std::max<std::uint32_t>(2, static_cast<std::uint32_t>(opts.threads));
   options.hybrid_cadence = static_cast<std::uint32_t>(opts.hybrid_cadence);
+  options.ckpt_interval = static_cast<std::uint32_t>(opts.ckpt_interval);
+  options.alloc_count = &cli_allocation_count;
   // Quick default budget too: the 3x3/4x4 exact searches finish far below
   // it (the 4x4 bench instance needs ~36k tests), and the larger boards
   // just report a truncated run without stalling the smoke.
@@ -1019,7 +1071,8 @@ int cmd_bench_perf(const RunOptions& opts) {
       {"NoC", "Cores", fmt.head("CWM legacy", "eval_s"),
        fmt.head("CWM delta", "eval_s"),
        fmt.head("CDCM 1-shot", "eval_s"), fmt.head("CDCM reuse", "eval_s"),
-       fmt.head("CDCM delta", "eval_s"), fmt.head(batch_t, "eval_s"),
+       fmt.head("CDCM delta", "eval_s"), fmt.head("CDCM ckpt", "eval_s"),
+       fmt.head(batch_t, "eval_s"),
        fmt.head("Hybrid", "eval_s"), fmt.head("B&B pruned", "pct"),
        "B&B done"});
   table.set_title("nocmap bench --perf — evaluations/second, " +
@@ -1033,6 +1086,7 @@ int cmd_bench_perf(const RunOptions& opts) {
                    fmt.count(static_cast<std::uint64_t>(r.cdcm_oneshot_per_s)),
                    fmt.count(static_cast<std::uint64_t>(r.cdcm_reuse_per_s)),
                    fmt.count(static_cast<std::uint64_t>(r.cdcm_delta_per_s)),
+                   fmt.count(static_cast<std::uint64_t>(r.cdcm_ckpt_per_s)),
                    fmt.count(static_cast<std::uint64_t>(r.cdcm_batch_t_per_s)),
                    fmt.count(static_cast<std::uint64_t>(r.hybrid_per_s)),
                    fmt.percent(r.bnb_pruned_frac()),
@@ -1256,6 +1310,13 @@ int cmd_serve_bench(int argc, char** argv) {
             "serve-bench --method es is not supported: exhaustive search "
             "ignores warm starts");
       }
+    } else if (a == "--ckpt-interval") {
+      options.serve.explorer.cdcm_checkpoints = true;
+      const std::uint64_t n = parse_u64(a, value(i, a));
+      if (n > 1'000'000'000) {
+        throw UsageError("--ckpt-interval must be at most 1,000,000,000");
+      }
+      options.serve.explorer.ckpt_interval = static_cast<std::uint32_t>(n);
     } else if (a == "--cache-capacity") {
       options.serve.cache_capacity =
           static_cast<std::size_t>(parse_u64(a, value(i, a)));
@@ -1698,6 +1759,7 @@ int main(int argc, char** argv) {
         "--topology", "--express-interval",
         "--seed",     "--no-seed-cdcm",  "--cores", "--packets", "--bits",
         "--threads",  "--chains",        "--cost",  "--hybrid-cadence",
+        "--ckpt-interval",
         "--backend",  "--buffer-depth",  "--flow-control", "--switching"};
     if (sub == "explore") {
       std::vector<std::string> flags = explore_flags;
@@ -1714,8 +1776,8 @@ int main(int argc, char** argv) {
            "--bnb-nodes", "--routing", "--topology",
            "--express-interval", "--seed", "--threads", "--chains", "--perf",
            "--scale", "--time-budget",
-           "--sizes", "--out", "--cost", "--hybrid-cadence", "--backend",
-           "--buffer-depth", "--flow-control", "--switching"}));
+           "--sizes", "--out", "--cost", "--hybrid-cadence", "--ckpt-interval",
+           "--backend", "--buffer-depth", "--flow-control", "--switching"}));
     }
     if (sub == "workloads") {
       return cmd_workloads(argc, argv);

@@ -81,7 +81,7 @@ TEST(ScaleBenchTest, JsonReportCarriesTheDocumentedSchemaKeys) {
   options.sizes = {{3, 3}};
   const std::string json = run_scale_bench(options).to_json();
   for (const char* key :
-       {"\"bench\": \"scale_search\"", "\"schema\": 1", "\"objective\"",
+       {"\"bench\": \"scale_search\"", "\"schema\": 2", "\"objective\"",
         "\"seed\"", "\"threads\"", "\"checkpoint_moves\"", "\"max_moves\"",
         "\"rows\"", "\"topology\"", "\"mesh\"", "\"application\"",
         "\"cores\"", "\"packets\"", "\"members\"", "\"winner\"",

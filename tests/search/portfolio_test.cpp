@@ -119,6 +119,40 @@ TEST(PortfolioTest, CurveIsMonotoneAndEndsAtTheFinalBest) {
   EXPECT_EQ(pr.curve.back().best_j, pr.best.best_cost);
 }
 
+// A coarse checkpoint quantum must not hide improvements: every drop of a
+// member's incumbent lands in its sample list at the exact step it
+// happened, not at the next quantum boundary — so the merged curve has no
+// flat prefix ending in one late jump. (With quantum 0 every step is
+// sampled anyway; a huge quantum isolates the improvement-driven path.)
+TEST(PortfolioTest, ImprovementsAreSampledBetweenCoarseCheckpoints) {
+  Fixture f;
+  PortfolioOptions po = quick_options();
+  po.checkpoint_moves = 1'000'000'000;  // Quanta effectively never fire.
+  po.include_bnb = false;
+  const PortfolioResult pr =
+      portfolio(f.cwm_factory(), f.cwg, f.mesh, noc::RoutingAlgorithm::kXY,
+                po);
+  bool any_intermediate = false;
+  for (const PortfolioMemberOutcome& m : pr.members) {
+    ASSERT_FALSE(m.samples.empty()) << m.label;
+    // Samples within one member must strictly improve (each was recorded
+    // because the incumbent dropped; only the guaranteed terminal sample
+    // may repeat the last best).
+    for (std::size_t k = 1; k + 1 < m.samples.size(); ++k) {
+      EXPECT_LT(m.samples[k].best_j, m.samples[k - 1].best_j) << m.label;
+    }
+    any_intermediate = any_intermediate || m.samples.size() > 2;
+  }
+  // At least one member of the roster improved more than once mid-run —
+  // the curve is not a single flat segment plus a jump.
+  EXPECT_TRUE(any_intermediate);
+  for (std::size_t k = 1; k < pr.curve.size(); ++k) {
+    EXPECT_LE(pr.curve[k].best_j, pr.curve[k - 1].best_j);
+    EXPECT_GE(pr.curve[k].moves, pr.curve[k - 1].moves);
+  }
+  EXPECT_EQ(pr.curve.back().best_j, pr.best.best_cost);
+}
+
 TEST(PortfolioTest, MoveBudgetCutsEverySaMemberDeterministically) {
   Fixture f;
   PortfolioOptions po = quick_options();
